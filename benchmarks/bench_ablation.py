@@ -1,0 +1,47 @@
+"""Engine ablations for the §2.3 scheduling claims.
+
+The optimized scheduler has two key insights — pruning-power ordering and
+spatial/temporal partitioning — plus binding propagation between data
+queries.  Each configuration runs the full Figure 4 query set so the
+benchmark table shows each optimization's contribution.  DESIGN.md calls
+these out as the design choices under test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.executor import EngineOptions, execute
+from repro.lang.parser import parse
+
+CONFIGURATIONS = {
+    "full": EngineOptions(),
+    "no_prioritize": EngineOptions(prioritize=False),
+    "no_propagate": EngineOptions(propagate=False),
+    "no_partition": EngineOptions(partition=False),
+    "none": EngineOptions(prioritize=False, propagate=False,
+                          partition=False),
+}
+
+
+def _run_catalog(env, options: EngineOptions) -> int:
+    total_rows = 0
+    for entry in env.catalog:
+        result = execute(env.store, parse(entry.aiql), options)
+        total_rows += len(result.rows)
+    return total_rows
+
+
+@pytest.fixture(scope="module")
+def reference_rows(fig4_env):
+    return _run_catalog(fig4_env, CONFIGURATIONS["full"])
+
+
+@pytest.mark.parametrize("name", list(CONFIGURATIONS))
+@pytest.mark.benchmark(group="ablation-scheduler")
+def test_scheduler_ablation(benchmark, fig4_env, reference_rows, name):
+    options = CONFIGURATIONS[name]
+    rows = benchmark.pedantic(_run_catalog, args=(fig4_env, options),
+                              rounds=2, iterations=1, warmup_rounds=1)
+    # Optimizations must never change results, only speed.
+    assert rows == reference_rows

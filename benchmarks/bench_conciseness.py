@@ -1,0 +1,47 @@
+"""The §3 conciseness comparison (text table in the paper).
+
+Paper numbers: "SQL queries contain at least 3.0x more constraints, 3.5x
+more words, and 5.2x more characters (excluding spaces) than AIQL
+queries", and Cypher queries are likewise "quite verbose".
+
+The benchmark times the metric computation (cheap) and prints the full
+ratio table over both query catalogs.  Run with ``-s`` to see it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.investigate import (FIGURE4_QUERIES, FIGURE5_QUERIES,
+                               compare_catalog)
+
+
+def _compare_all():
+    return {
+        "figure4": compare_catalog(FIGURE4_QUERIES),
+        "figure5": compare_catalog(FIGURE5_QUERIES),
+    }
+
+
+@pytest.mark.benchmark(group="conciseness")
+def test_conciseness_table(benchmark):
+    comparisons = benchmark.pedantic(_compare_all, rounds=3, iterations=1)
+    print()
+    print("=== Query conciseness: AIQL vs SQL vs Cypher ===")
+    print(f"{'catalog':<10s}{'language':<9s}{'constraints':>12s}"
+          f"{'words':>9s}{'chars':>9s}")
+    for name, comparison in comparisons.items():
+        for language, metrics in (("AIQL", comparison.aiql),
+                                  ("SQL", comparison.sql),
+                                  ("Cypher", comparison.cypher)):
+            print(f"{name:<10s}{language:<9s}{metrics.constraints:>12d}"
+                  f"{metrics.words:>9d}{metrics.characters:>9d}")
+        sql_c, sql_w, sql_ch = comparison.sql_ratios
+        cy_c, cy_w, cy_ch = comparison.cypher_ratios
+        print(f"{name}: SQL/AIQL ratios — constraints {sql_c:.1f}x, "
+              f"words {sql_w:.1f}x, chars {sql_ch:.1f}x")
+        print(f"{name}: Cypher/AIQL ratios — constraints {cy_c:.1f}x, "
+              f"words {cy_w:.1f}x, chars {cy_ch:.1f}x")
+    # Shape claim: SQL is substantially more verbose on every metric.
+    for comparison in comparisons.values():
+        assert all(ratio > 1.5 for ratio in comparison.sql_ratios)

@@ -1,0 +1,55 @@
+"""Figure 4: AIQL vs PostgreSQL (both w/ optimized storage).
+
+Paper series: log10 execution time for the 20 investigation queries
+(a1-1 .. a5-6; 19 multievent/dependency + 1 anomaly).  Paper totals:
+AIQL 3.6 min vs PostgreSQL 77 min — a 21x speedup, with the biggest gaps
+on the complex multi-pattern queries (a2-2, a5-5).
+
+Expected shape here: AIQL total well below the SQL total, with the largest
+per-query gaps on the many-join queries.  Run with ``-s`` to see the
+per-query series table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_series
+
+
+def _run_all(env, runner) -> float:
+    return sum(runner(entry) for entry in env.catalog)
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_aiql(benchmark, fig4_env):
+    """The AIQL engine over the full 20-query investigation."""
+    benchmark.pedantic(_run_all, args=(fig4_env, fig4_env.run_aiql),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_postgresql_optimized(benchmark, fig4_env):
+    """Monolithic SQL on the relational baseline w/ optimized storage."""
+    benchmark.pedantic(_run_all, args=(fig4_env, fig4_env.run_sql),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.benchmark(group="figure4-report")
+def test_figure4_report(benchmark, fig4_env):
+    """Prints the paper's per-query log10 series (use -s to see it)."""
+
+    def both() -> float:
+        total = 0.0
+        for entry in fig4_env.catalog:
+            total += fig4_env.run_aiql(entry)
+            total += fig4_env.run_sql(entry)
+        return total
+
+    benchmark.pedantic(both, rounds=1, iterations=1)
+    print_series("Figure 4: AIQL vs PostgreSQL (w/ optimized storage), "
+                 "log10(ms)", fig4_env, ["aiql", "sql"])
+    aiql_total = sum(fig4_env.timings["aiql"].values())
+    sql_total = sum(fig4_env.timings["sql"].values())
+    # The shape claim of the figure: AIQL wins overall.
+    assert aiql_total < sql_total

@@ -1,0 +1,120 @@
+"""Storage ablations for the §2.1 write-path/read-path claims.
+
+The paper lists data deduplication, in-memory indexes, batch commit, and
+time+space partitioning as the storage optimizations.  Each benchmark
+isolates one of them:
+
+* ingest throughput with small vs large batch commits;
+* ingest volume with and without burst merging (dedup);
+* point-pattern lookup through the indexes vs a full partition scan;
+* partition pruning vs scanning all partitions for a pinned agent+day.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.timeutil import Window
+from repro.storage.ingest import IngestPipeline
+from repro.storage.stats import PatternProfile
+from repro.storage.store import EventStore
+from repro.telemetry import build_demo_scenario
+
+EVENTS_PER_HOST = 800
+
+
+@pytest.fixture(scope="module")
+def event_stream():
+    scenario = build_demo_scenario(events_per_host=EVENTS_PER_HOST)
+    return scenario.events()
+
+
+@pytest.fixture(scope="module")
+def loaded_store(event_stream):
+    store = EventStore()
+    store.ingest(event_stream)
+    return store
+
+
+@pytest.mark.benchmark(group="storage-ingest")
+def test_ingest_batched(benchmark, event_stream):
+    def run():
+        store = EventStore()
+        with IngestPipeline(store, batch_size=2000) as pipeline:
+            pipeline.add_all(event_stream)
+        return len(store)
+
+    assert benchmark(run) == len(event_stream)
+
+
+@pytest.mark.benchmark(group="storage-ingest")
+def test_ingest_unbatched(benchmark, event_stream):
+    def run():
+        store = EventStore()
+        with IngestPipeline(store, batch_size=1) as pipeline:
+            pipeline.add_all(event_stream)
+        return len(store)
+
+    assert benchmark(run) == len(event_stream)
+
+
+@pytest.mark.benchmark(group="storage-ingest")
+def test_ingest_with_merge_dedup(benchmark, event_stream):
+    def run():
+        store = EventStore()
+        with IngestPipeline(store, batch_size=2000,
+                            merge_window=15.0) as pipeline:
+            pipeline.add_all(event_stream)
+        return len(store)
+
+    stored = benchmark(run)
+    assert stored < len(event_stream)  # dedup removed burst duplicates
+
+
+@pytest.mark.benchmark(group="storage-lookup")
+def test_indexed_lookup(benchmark, loaded_store):
+    """Selective pattern answered through the posting indexes."""
+    profile = PatternProfile(event_type="file",
+                             operations=frozenset({"write"}),
+                             subject_exact="sqlservr.exe")
+
+    def run():
+        return len(loaded_store.candidates(profile))
+
+    assert benchmark(run) > 0
+
+
+@pytest.mark.benchmark(group="storage-lookup")
+def test_full_scan_lookup(benchmark, loaded_store):
+    """The same pattern answered by scanning every event."""
+
+    def run():
+        return sum(
+            1 for event in loaded_store.scan()
+            if event.event_type == "file" and event.operation == "write"
+            and event.subject.exe_name == "sqlservr.exe")
+
+    assert benchmark(run) > 0
+
+
+@pytest.mark.benchmark(group="storage-pruning")
+def test_partition_pruned_scan(benchmark, loaded_store):
+    window = loaded_store.span
+    quarter = Window(window.start, window.start + window.duration / 4)
+
+    def run():
+        return len(loaded_store.scan(quarter, {3}))
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="storage-pruning")
+def test_unpruned_scan_then_filter(benchmark, loaded_store):
+    window = loaded_store.span
+    quarter = Window(window.start, window.start + window.duration / 4)
+
+    def run():
+        return sum(1 for event in loaded_store.scan()
+                   if quarter.contains(event.ts) and event.agentid == 3)
+
+    benchmark(run)

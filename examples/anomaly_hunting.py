@@ -1,0 +1,62 @@
+"""Frequency-based anomaly models with AIQL's sliding windows (§2.2.3).
+
+Shows three behavioural models expressed in the anomaly dialect:
+
+1. the paper's moving-average egress spike (Query 3);
+2. an event-rate spike (process start storm via count);
+3. a sudden-silence detector (an active beacon that stops sending).
+
+Run:  python examples/anomaly_hunting.py
+"""
+
+from repro import AiqlSession
+from repro.telemetry import ATTACKER_IP, build_demo_scenario
+from repro.ui.render import render_table
+
+session = AiqlSession()
+session.ingest(build_demo_scenario(events_per_host=1000).events())
+
+print("Model 1 — moving-average volume spike (the paper's Query 3):")
+spike = session.query(f'''
+(at "06/10/2026")
+agentid = 3
+window = 1 min, step = 10 sec
+proc p write ip i[dstip = "{ATTACKER_IP}"] as evt
+return p, avg(evt.amount) as amt
+group by p
+having (amt > 2 * (amt + amt[1] + amt[2]) / 3)
+''')
+print(render_table(spike, max_rows=8))
+print()
+
+print("Model 2 — negative control: steady benign service load stays quiet")
+print("(svchost.exe writes logs all day at a constant rate; a calibrated")
+print(" moving-average model must NOT flag it):")
+storm = session.query('''
+(at "06/10/2026")
+agentid = 1
+window = 5 min, step = 1 min
+proc p["%svchost.exe%"] write file f as evt
+return p, count(evt) as c
+group by p
+having c > 3 * (c + c[1] + c[2]) / 3
+''')
+print(render_table(storm, max_rows=8))
+print("-> 0 rows is the correct outcome here.")
+print()
+
+print("Model 3 — active egress channel that suddenly goes quiet:")
+silence = session.query(f'''
+(at "06/10/2026")
+agentid = 3
+window = 2 min, step = 2 min
+proc p write ip i[dstip = "{ATTACKER_IP}"] as evt
+return p, count(evt) as c
+group by p
+having c = 0 and c[1] > 0
+''')
+print(render_table(silence, max_rows=8))
+print()
+print("Each hit is a (window, process) pair whose behaviour broke its own")
+print("history — the historical-aggregate access (amt[1], c[1]) is what")
+print("general-purpose query languages cannot express directly.")

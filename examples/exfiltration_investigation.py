@@ -1,0 +1,71 @@
+"""The live end-to-end investigation of §3, as a script.
+
+Reproduces the demo narrative for attack step a5 (data exfiltration),
+assuming *no prior knowledge* of the attack:
+
+1. an anomaly query surfaces a process transferring large volumes to a
+   suspicious external IP;
+2. a multievent query lists the files that process read beforehand;
+3. another multievent query identifies who created the dump file;
+4. a final query confirms the C2 connection preceded the transfer.
+
+Run:  python examples/exfiltration_investigation.py
+"""
+
+from repro import AiqlSession
+from repro.telemetry import ATTACKER_IP, build_demo_scenario
+from repro.ui.render import render_table
+
+session = AiqlSession()
+session.ingest(build_demo_scenario(events_per_host=1000).events())
+
+print("Step 1 — hunt for abnormal egress volume (anomaly query):")
+anomaly = session.query(f'''
+(at "06/10/2026")
+agentid = 3
+window = 1 min, step = 10 sec
+proc p write ip i[dstip = "{ATTACKER_IP}"] as evt
+return p, avg(evt.amount) as amt
+group by p
+having (amt > 2 * (amt + amt[1] + amt[2]) / 3)
+''')
+print(render_table(anomaly))
+suspicious = sorted(set(anomaly.column("p")))
+print(f"-> suspicious transfer process(es): {', '.join(suspicious)}\n")
+
+print("Step 2 — what did powershell.exe read before transferring?")
+reads = session.query(f'''
+(at "06/10/2026")
+agentid = 3
+proc p["%powershell.exe%"] read file f as e1
+proc p write ip i[dstip = "{ATTACKER_IP}"] as e2
+with e1 before e2
+return distinct p, f
+''')
+print(render_table(reads))
+dump_file = reads.first()["f"]
+print(f"-> it read the database dump: {dump_file}\n")
+
+print("Step 3 — which process created that dump file?")
+creator = session.query(f'''
+(at "06/10/2026")
+agentid = 3
+proc p write file f["%db.bak%"] as e1
+return distinct p, f, e1.amount
+''')
+print(render_table(creator))
+print("-> sqlservr.exe: a standard SQL-server process (verified "
+      "signature), so the dump itself was made through the DBMS.\n")
+
+print("Step 4 — was the C2 connection opened before the transfer?")
+confirm = session.query(f'''
+(at "06/10/2026")
+agentid = 3
+proc p["%powershell.exe%"] connect ip i[dstip = "{ATTACKER_IP}"] as e1
+proc p write ip i as e2
+with e1 before e2
+return distinct p, i
+''')
+print(render_table(confirm))
+print("-> confirmed: connection first, bulk transfer after.  Data "
+      "exfiltration from the database server is established (step a5).")

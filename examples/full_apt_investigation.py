@@ -1,0 +1,49 @@
+"""Replay the complete Figure 4 investigation: all 20 catalog queries.
+
+Walks the five attack steps (a1 initial compromise .. a5 exfiltration),
+executing every query a security analyst issued in the paper's
+investigation, printing the analyst's question, the execution plan order,
+and the evidence found.
+
+Run:  python examples/full_apt_investigation.py
+"""
+
+from repro import AiqlSession
+from repro.investigate import FIGURE4_QUERIES
+from repro.telemetry import build_demo_scenario
+from repro.ui.render import render_table
+
+session = AiqlSession()
+scenario = build_demo_scenario(events_per_host=1000)
+session.ingest(scenario.events())
+print(session.describe())
+
+STEP_TITLES = {
+    "a1": "Initial Compromise (UnrealIRCd RCE on the web server)",
+    "a2": "Malware Infection (implant spread to the Windows client)",
+    "a3": "Privilege Escalation (Mimikatz/Kiwi memory dumping)",
+    "a4": "Obtain User Credentials (PwDump7/WCE on the DC)",
+    "a5": "Data Exfiltration (database dump to the attacker)",
+}
+
+current_step = None
+total_elapsed = 0.0
+for entry in FIGURE4_QUERIES:
+    if entry.step != current_step:
+        current_step = entry.step
+        print()
+        print("=" * 72)
+        print(f"Step {current_step}: {STEP_TITLES[current_step]}")
+        print("=" * 72)
+    print()
+    print(f"[{entry.id}] {entry.title}")
+    result = session.query(entry.aiql)
+    total_elapsed += result.elapsed
+    print(render_table(result, max_rows=5))
+
+print()
+print("=" * 72)
+print(f"Investigation complete: {len(FIGURE4_QUERIES)} queries, "
+      f"{total_elapsed * 1000:.0f} ms total query time.")
+print("Every attack step is evidenced; the kill chain runs from the")
+print("UnrealIRCd exploit (a1) to the database exfiltration (a5).")

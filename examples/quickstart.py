@@ -1,0 +1,65 @@
+"""Quickstart: ingest simulated monitoring data and run the paper's queries.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AiqlSession
+from repro.telemetry import ATTACKER_IP, build_demo_scenario
+from repro.ui.render import render_table
+
+# 1. Simulate one enterprise day (Figure 2 topology) with the five-step
+#    APT attack injected into the benign background traffic.
+scenario = build_demo_scenario(events_per_host=1000)
+
+# 2. Load it into an investigation session (batch-commit ingest).
+session = AiqlSession()
+session.ingest(scenario.events())
+print(session.describe())
+print()
+
+# 3. Multievent query — the paper's Query 1: data exfiltration from the
+#    database server via OSQL and the sbblv.exe malware.
+QUERY_1 = f'''
+(at "06/10/2026")
+agentid = 3
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+proc p4 read || write ip i1[dstip = "{ATTACKER_IP}"] as evt4
+with evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct p1, p2, p3, f1, p4, i1
+'''
+print("== Query 1: multievent (data exfiltration) ==")
+print(render_table(session.query(QUERY_1)))
+print()
+
+# 4. Dependency query — forward tracking from the implant dropped on the
+#    Windows client to the harvested credentials (paper's Query 2 style).
+QUERY_2 = '''
+(at "06/10/2026")
+forward: proc m["%svchost_upd%", agentid = 1] ->[start] proc t["%mimikatz%"]
+->[write] file c["%creds.txt%"]
+return distinct m, t, c
+'''
+print("== Query 2: dependency (forward tracking) ==")
+print(render_table(session.query(QUERY_2)))
+print()
+
+# 5. Anomaly query — the paper's Query 3: a moving-average spike in data
+#    transferred to the suspicious external IP.
+QUERY_3 = f'''
+(at "06/10/2026")
+agentid = 3
+window = 1 min, step = 10 sec
+proc p write ip i[dstip = "{ATTACKER_IP}"] as evt
+return p, avg(evt.amount) as amt
+group by p
+having (amt > 2 * (amt + amt[1] + amt[2]) / 3)
+'''
+print("== Query 3: anomaly (large data transfer) ==")
+print(render_table(session.query(QUERY_3)))
+print()
+
+# 6. Ask the engine how it scheduled Query 1.
+print("== Execution plan for Query 1 ==")
+print(session.explain(QUERY_1))

@@ -1,0 +1,43 @@
+"""Launch the demo web UI (Figure 3) over a loaded scenario.
+
+Run:  python examples/webui_demo.py          # serve until Ctrl-C
+      python examples/webui_demo.py --check  # start, self-test, exit
+
+The UI offers the demo's features: an AIQL input box with server-side
+syntax highlighting, a syntax checker, the execution status area, and an
+interactive result table with sorting and searching.
+"""
+
+import json
+import sys
+import urllib.request
+
+from repro import AiqlSession
+from repro.telemetry import build_demo_scenario
+from repro.ui.webapp import serve_background
+
+session = AiqlSession()
+session.ingest(build_demo_scenario(events_per_host=500).events())
+
+server, thread = serve_background(session, port=0)
+host, port = server.server_address
+print(f"AIQL web UI listening on http://{host}:{port}/")
+print(session.describe())
+
+if "--check" in sys.argv:
+    request = urllib.request.Request(
+        f"http://{host}:{port}/api/query",
+        data=b'proc p["%sbblv%"] write ip i as e1\nreturn distinct p, i',
+        method="POST")
+    with urllib.request.urlopen(request) as response:
+        payload = json.loads(response.read())
+    print("self-test:", payload["status"])
+    assert payload["ok"] and payload["rows"]
+    server.shutdown()
+    print("ok")
+else:
+    print("Press Ctrl-C to stop.")
+    try:
+        thread.join()
+    except KeyboardInterrupt:
+        server.shutdown()

@@ -1,0 +1,44 @@
+"""AIQL reproduction — a query system for efficiently investigating complex
+attack behaviors over system monitoring data.
+
+Reproduces Gao et al., "A Query System for Efficiently Investigating Complex
+Attack Behaviors for Enterprise Security" (VLDB 2019 demo; full system in
+USENIX ATC 2018), as a pure-Python library:
+
+* :mod:`repro.model` — system entities and SVO events;
+* :mod:`repro.storage` — partitioned, indexed, deduplicating event store;
+* :mod:`repro.lang` — the AIQL language (multievent, dependency, anomaly);
+* :mod:`repro.engine` — the optimized query engine;
+* :mod:`repro.baselines` — SQL and graph-database comparison baselines;
+* :mod:`repro.telemetry` — simulated enterprise + APT attack scenarios;
+* :mod:`repro.investigate` — the paper's investigation query catalogs;
+* :mod:`repro.ui` — CLI REPL and web UI.
+
+Quickstart::
+
+    from repro import AiqlSession
+    from repro.telemetry import build_demo_scenario
+
+    session = AiqlSession()
+    session.ingest(build_demo_scenario().events())
+    print(session.query('''
+        proc p["%powershell.exe"] write ip i as e1
+        return distinct p, i
+    ''').rows)
+"""
+
+from repro.core.results import QueryResult
+from repro.core.session import AiqlSession
+from repro.engine.executor import EngineOptions
+from repro.errors import (DataModelError, ExecutionError, ParseError,
+                          QueryError, ReproError, SemanticError, StorageError,
+                          TranslationError)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AiqlSession", "QueryResult", "EngineOptions",
+    "DataModelError", "ExecutionError", "ParseError", "QueryError",
+    "ReproError", "SemanticError", "StorageError", "TranslationError",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro`` — the AIQL command line."""
+
+from repro.ui.main import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""Comparison baselines: relational (SQLite-as-PostgreSQL) and graph."""
+
+from repro.baselines.cypher_translator import translate_cypher
+from repro.baselines.graph import GraphRun, GraphStore
+from repro.baselines.sql_translator import translate
+from repro.baselines.sqlite_backend import RelationalBaseline, SqlRun
+
+__all__ = [
+    "translate_cypher", "GraphRun", "GraphStore", "translate",
+    "RelationalBaseline", "SqlRun",
+]

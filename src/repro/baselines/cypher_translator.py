@@ -1,0 +1,206 @@
+"""AIQL -> Cypher translation (for the conciseness comparison).
+
+The paper's §3 notes that "both SQL and Cypher queries become quite verbose
+with many joins and constraints".  This translator produces the Cypher a
+Neo4j user would write for the same investigation: one ``MATCH`` path
+element per event pattern, relationship properties for event attributes,
+``WHERE`` for constraints and temporal order.
+
+The text is consumed by :mod:`repro.investigate.conciseness` (it is not
+executed — the executable graph baseline is :mod:`repro.baselines.graph`,
+which matches the AIQL AST directly so that result sets are directly
+comparable).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TranslationError
+from repro.lang.ast import (AnomalyQuery, Constraint, DependencyQuery,
+                            MultieventQuery, Query, VarRef)
+from repro.model.entities import DEFAULT_ATTRIBUTE, canonical_attribute
+from repro.model.events import canonical_event_attribute
+from repro.engine.dependency import rewrite_dependency
+
+_NODE_LABELS = {"proc": "Process", "file": "File", "ip": "Connection"}
+
+
+def translate_cypher(query: Query) -> str:
+    """Render the Cypher equivalent of an AIQL query."""
+    if isinstance(query, DependencyQuery):
+        return translate_cypher(rewrite_dependency(query))
+    if isinstance(query, MultieventQuery):
+        return _translate_multievent(query)
+    if isinstance(query, AnomalyQuery):
+        return _translate_anomaly(query)
+    raise TranslationError(f"cannot translate {type(query).__name__}")
+
+
+def _like_to_regex_literal(pattern: str) -> str:
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        elif ch in ".^$*+?{}[]\\|()":
+            out.append("\\" + ch)
+        else:
+            out.append(ch)
+    return "(?i)" + "".join(out)
+
+
+def _value(value: object) -> str:
+    if isinstance(value, str):
+        return "'" + value.replace("\\", "\\\\").replace("'", "\\'") + "'"
+    if isinstance(value, tuple):
+        return "[" + ", ".join(_value(v) for v in value) + "]"
+    return str(value)
+
+
+def _constraint(variable: str, entity_type: str,
+                constraint: Constraint) -> str:
+    attribute = constraint.attribute
+    if attribute is None:
+        attribute = DEFAULT_ATTRIBUTE[entity_type]
+    elif attribute != "agentid":
+        attribute = canonical_attribute(entity_type, attribute)
+    lhs = f"{variable}.{attribute}"
+    if constraint.op == "like":
+        return f"{lhs} =~ {_value(_like_to_regex_literal(str(constraint.value)))}"
+    if constraint.op == "in":
+        return f"{lhs} IN {_value(constraint.value)}"
+    op = {"=": "=", "!=": "<>"}.get(constraint.op, constraint.op)
+    return f"{lhs} {op} {_value(constraint.value)}"
+
+
+def _translate_multievent(query: MultieventQuery) -> str:
+    match_parts: list[str] = []
+    where: list[str] = []
+    seen_vars: set[str] = set()
+    for pattern in query.patterns:
+        subject, obj = pattern.subject, pattern.object
+        rel_type = "|".join(op.upper() for op in pattern.operations)
+        match_parts.append(
+            f"({subject.variable}:{_NODE_LABELS[subject.entity_type]})"
+            f"-[{pattern.event_var}:{rel_type}]->"
+            f"({obj.variable}:{_NODE_LABELS[obj.entity_type]})")
+        for entity in (subject, obj):
+            if entity.variable in seen_vars:
+                pass  # Cypher reuses the variable, constraints already set.
+            seen_vars.add(entity.variable)
+            for constraint in entity.constraints:
+                clause = _constraint(entity.variable, entity.entity_type,
+                                     constraint)
+                if clause not in where:
+                    where.append(clause)
+        window = query.header.window
+        if window is not None:
+            where.append(f"{pattern.event_var}.ts >= {window.start}")
+            where.append(f"{pattern.event_var}.ts < {window.end}")
+        for constraint in query.header.constraints:
+            attribute = canonical_event_attribute(constraint.attribute or "")
+            where.append(
+                f"{pattern.event_var}.{attribute} "
+                f"{'=' if constraint.op == '=' else constraint.op} "
+                f"{_value(constraint.value)}")
+    for relation in query.temporal:
+        rel = relation.normalized()
+        where.append(f"{rel.left}.ts < {rel.right}.ts")
+        if rel.within is not None:
+            where.append(f"{rel.right}.ts - {rel.left}.ts <= {rel.within}")
+    for attr_relation in query.relations:
+        op = {"=": "=", "!=": "<>"}.get(attr_relation.op, attr_relation.op)
+        where.append(f"{attr_relation.left} {op} {attr_relation.right}")
+    returns = []
+    for item in query.return_items:
+        if not isinstance(item.expr, VarRef):
+            raise TranslationError("unsupported return item for Cypher")
+        ref = item.expr
+        event_vars = {p.event_var for p in query.patterns}
+        if ref.variable in event_vars:
+            attribute = canonical_event_attribute(ref.attribute or "id")
+        else:
+            entity_type = _variable_type(query, ref.variable)
+            attribute = (DEFAULT_ATTRIBUTE[entity_type]
+                         if ref.attribute is None
+                         else canonical_attribute(entity_type,
+                                                  ref.attribute))
+        text = f"{ref.variable}.{attribute}"
+        if item.alias:
+            text += f" AS {item.alias}"
+        returns.append(text)
+    distinct = "DISTINCT " if query.distinct else ""
+    lines = ["MATCH " + ",\n      ".join(match_parts)]
+    if where:
+        lines.append("WHERE " + "\n  AND ".join(dict.fromkeys(where)))
+    lines.append(f"RETURN {distinct}{', '.join(returns)}")
+    if query.sort_by:
+        keys = [f"{key.expr}{' DESC' if key.descending else ''}"
+                for key in query.sort_by]
+        lines.append("ORDER BY " + ", ".join(keys))
+    if query.top is not None:
+        lines.append(f"LIMIT {query.top}")
+    return "\n".join(lines)
+
+
+def _variable_type(query: MultieventQuery, variable: str) -> str:
+    for pattern in query.patterns:
+        for entity in (pattern.subject, pattern.object):
+            if entity.variable == variable:
+                return entity.entity_type
+    raise TranslationError(f"unknown variable {variable!r}")
+
+
+def _translate_anomaly(query: AnomalyQuery) -> str:
+    """Cypher for the anomaly query's event selection + aggregation.
+
+    Neo4j has no sliding windows or LAG; the realistic translation buckets
+    by window index with integer arithmetic and leaves the historical
+    comparison to a client-side post-pass — which is itself part of the
+    conciseness point the paper makes.
+    """
+    pattern = query.patterns[0]
+    subject, obj = pattern.subject, pattern.object
+    rel_type = "|".join(op.upper() for op in pattern.operations)
+    where: list[str] = []
+    for entity in (subject, obj):
+        for constraint in entity.constraints:
+            where.append(_constraint(entity.variable, entity.entity_type,
+                                     constraint))
+    window = query.header.window
+    if window is not None:
+        where.append(f"{pattern.event_var}.ts >= {window.start}")
+        where.append(f"{pattern.event_var}.ts < {window.end}")
+    for constraint in query.header.constraints:
+        attribute = canonical_event_attribute(constraint.attribute or "")
+        where.append(f"{pattern.event_var}.{attribute} "
+                     f"{'=' if constraint.op == '=' else constraint.op} "
+                     f"{_value(constraint.value)}")
+    start = window.start if window is not None else 0.0
+    step = query.window_spec.step
+    lines = [
+        f"MATCH ({subject.variable}:{_NODE_LABELS[subject.entity_type]})"
+        f"-[{pattern.event_var}:{rel_type}]->"
+        f"({obj.variable}:{_NODE_LABELS[obj.entity_type]})",
+    ]
+    if where:
+        lines.append("WHERE " + "\n  AND ".join(where))
+    group_exprs = [f"{ref.variable}.{DEFAULT_ATTRIBUTE[_anomaly_type(query, ref)]}"
+                   if ref.attribute is None and ref.variable != pattern.event_var
+                   else str(ref) for ref in query.group_by]
+    lines.append(
+        f"WITH {', '.join(group_exprs) or '1 AS one'}, "
+        f"toInteger(({pattern.event_var}.ts - {start}) / {step}) AS widx, "
+        f"avg({pattern.event_var}.amount) AS amt")
+    lines.append("RETURN * ORDER BY widx "
+                 "// history comparison requires client-side post-processing")
+    return "\n".join(lines)
+
+
+def _anomaly_type(query: AnomalyQuery, ref: VarRef) -> str:
+    pattern = query.patterns[0]
+    if ref.variable == pattern.subject.variable:
+        return pattern.subject.entity_type
+    if ref.variable == pattern.object.variable:
+        return pattern.object.entity_type
+    raise TranslationError(f"unknown group-by variable {ref.variable!r}")

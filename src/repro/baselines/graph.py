@@ -1,0 +1,194 @@
+"""The graph-database baseline (Neo4j stand-in).
+
+Entities become property nodes and events become typed edges; queries are
+answered by *traversal-based pattern matching*: candidates for the first
+pattern come from an edge scan, and subsequent patterns expand through
+adjacency lists of already-bound nodes.  That mirrors how a graph engine
+evaluates a Cypher path — fast at expansions, but with no cost-based join
+reordering and no statistics, which is exactly the weakness the paper
+observes: "Neo4j runs generally slower than PostgreSQL since it lacks
+support for efficient joins, which are required in expressing attack
+behaviors with multiple steps."
+
+Patterns are matched in declaration order (Cypher's default behaviour when
+no planner statistics exist), with constraint predicates compiled from the
+same AIQL AST the optimized engine uses, so result sets are identical and
+only the execution strategy differs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+from repro.lang.ast import DependencyQuery, MultieventQuery, Query
+from repro.model.events import Event
+from repro.engine.dependency import rewrite_dependency
+from repro.engine.executor import project_bindings
+from repro.engine.joiner import Binding, TemporalCheck
+from repro.engine.planner import DataQuery, plan_multievent
+
+
+@dataclass
+class GraphRun:
+    """One executed graph query with timing and projected rows."""
+
+    columns: list[str]
+    rows: list[tuple]
+    elapsed: float
+    expansions: int
+
+
+class GraphStore:
+    """In-memory property graph: entity nodes, event edges."""
+
+    def __init__(self) -> None:
+        self._edges: list[Event] = []
+        self._out: dict[tuple, list[Event]] = defaultdict(list)
+        self._in: dict[tuple, list[Event]] = defaultdict(list)
+
+    def load_events(self, events) -> int:
+        count = 0
+        for event in events:
+            self._edges.append(event)
+            self._out[event.subject.identity].append(event)
+            self._in[event.object.identity].append(event)
+            count += 1
+        return count
+
+    def load_store(self, store) -> int:
+        return self.load_events(store.scan())
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    @property
+    def node_count(self) -> int:
+        return len(set(self._out) | set(self._in))
+
+    # ------------------------------------------------------------------
+    # Traversal-based pattern matching
+    # ------------------------------------------------------------------
+    def run_query(self, query: Query,
+                  step_limit: int = 50_000_000) -> GraphRun:
+        """Match an AIQL multievent/dependency query by graph traversal."""
+        if isinstance(query, DependencyQuery):
+            query = rewrite_dependency(query)
+        if not isinstance(query, MultieventQuery):
+            raise ExecutionError(
+                "the graph baseline executes multievent and dependency "
+                "queries only")
+        started = time.perf_counter()
+        plan = plan_multievent(query)
+        checks = [TemporalCheck(rel.left, rel.right, rel.within)
+                  for rel in plan.temporal]
+        matcher = _Matcher(self, plan.data_queries, checks, plan.window,
+                           step_limit)
+        bindings = matcher.match()
+        if plan.relations:
+            bindings = [binding for binding in bindings
+                        if all(check.holds(binding)
+                               for check in plan.relations)]
+        columns, rows = project_bindings(plan, query, bindings)
+        elapsed = time.perf_counter() - started
+        return GraphRun(columns=columns, rows=rows, elapsed=elapsed,
+                        expansions=matcher.expansions)
+
+
+class _Matcher:
+    """Backtracking subgraph matcher in declaration order."""
+
+    def __init__(self, store: GraphStore, data_queries, checks,
+                 window, step_limit: int) -> None:
+        self._store = store
+        self._data_queries = list(data_queries)  # declaration order
+        self._checks = checks
+        self._window = window
+        self._limit = step_limit
+        self.expansions = 0
+
+    def match(self) -> list[Binding]:
+        results: list[Binding] = []
+        self._extend({}, 0, results)
+        return results
+
+    def _extend(self, binding: Binding, depth: int,
+                results: list[Binding]) -> None:
+        if depth == len(self._data_queries):
+            results.append(dict(binding))
+            return
+        dq = self._data_queries[depth]
+        for event in self._candidates(dq, binding):
+            self.expansions += 1
+            if self.expansions > self._limit:
+                raise ExecutionError(
+                    f"graph traversal exceeded {self._limit} expansions")
+            if not self._admissible(dq, event, binding):
+                continue
+            added = self._bind(dq, event, binding)
+            self._extend(binding, depth + 1, results)
+            for key in added:
+                del binding[key]
+
+    def _candidates(self, dq: DataQuery, binding: Binding):
+        """Expansion through a bound endpoint when possible, else a scan."""
+        subject = binding.get(dq.subject_var)
+        if subject is not None:
+            return self._store._out.get(
+                subject.identity, ())  # type: ignore[attr-defined]
+        obj = binding.get(dq.object_var)
+        if obj is not None:
+            return self._store._in.get(
+                obj.identity, ())  # type: ignore[attr-defined]
+        return self._store._edges
+
+    def _admissible(self, dq: DataQuery, event: Event,
+                    binding: Binding) -> bool:
+        if event.event_type != dq.event_type:
+            return False
+        if event.operation not in dq.operations:
+            return False
+        if self._window is not None and not self._window.contains(event.ts):
+            return False
+        if dq.agentids is not None and event.agentid not in dq.agentids:
+            return False
+        if not dq.predicate(event):
+            return False
+        bound_subject = binding.get(dq.subject_var)
+        if (bound_subject is not None
+                and event.subject.identity
+                != bound_subject.identity):  # type: ignore[attr-defined]
+            return False
+        bound_object = binding.get(dq.object_var)
+        if (bound_object is not None
+                and event.object.identity
+                != bound_object.identity):  # type: ignore[attr-defined]
+            return False
+        # Eager temporal checks against already-bound events.  Two pattern
+        # variables may bind the same event (as in SQL self-joins), so the
+        # check runs whenever both endpoints are resolvable.
+        for check in self._checks:
+            left = (event if check.left == dq.event_var
+                    else binding.get(check.left))
+            right = (event if check.right == dq.event_var
+                     else binding.get(check.right))
+            if left is None or right is None:
+                continue
+            probe = {check.left: left, check.right: right}
+            if not check.holds(probe):
+                return False
+        return True
+
+    def _bind(self, dq: DataQuery, event: Event,
+              binding: Binding) -> list[str]:
+        added = []
+        for key, value in ((dq.event_var, event),
+                           (dq.subject_var, event.subject),
+                           (dq.object_var, event.object)):
+            if key not in binding:
+                binding[key] = value
+                added.append(key)
+        return added

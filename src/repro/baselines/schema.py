@@ -1,0 +1,145 @@
+"""The flattened relational schema shared by the SQL baseline components.
+
+The paper's comparison executes "semantically equivalent SQL queries" in
+PostgreSQL; here the stand-in engine is stdlib SQLite over a conventional
+flattened audit-event table (one row per event, entity attributes denormal-
+ized into subject/object column groups, interned entity ids for joins).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TranslationError
+
+EVENTS_TABLE = "events"
+
+CREATE_EVENTS_SQL = """
+CREATE TABLE events (
+    id INTEGER PRIMARY KEY,
+    ts REAL NOT NULL,
+    agentid INTEGER NOT NULL,
+    operation TEXT NOT NULL,
+    etype TEXT NOT NULL,
+    amount INTEGER NOT NULL DEFAULT 0,
+    failcode INTEGER NOT NULL DEFAULT 0,
+    subj_id INTEGER NOT NULL,
+    subj_agentid INTEGER NOT NULL,
+    subj_pid INTEGER NOT NULL,
+    subj_exe TEXT NOT NULL,
+    subj_user TEXT,
+    subj_cmdline TEXT,
+    subj_start_time REAL,
+    obj_id INTEGER NOT NULL,
+    obj_agentid INTEGER,
+    obj_pid INTEGER,
+    obj_exe TEXT,
+    obj_user TEXT,
+    obj_cmdline TEXT,
+    obj_start_time REAL,
+    obj_name TEXT,
+    obj_owner TEXT,
+    obj_src_ip TEXT,
+    obj_src_port INTEGER,
+    obj_dst_ip TEXT,
+    obj_dst_port INTEGER,
+    obj_protocol TEXT
+)
+"""
+
+# The paper's optimized storage: composite spatial/temporal index plus
+# per-attribute secondary indexes (the in-memory-index analogue).
+OPTIMIZED_INDEX_SQL = (
+    "CREATE INDEX idx_events_agent_ts ON events(agentid, ts)",
+    "CREATE INDEX idx_events_ts ON events(ts)",
+    "CREATE INDEX idx_events_op ON events(etype, operation)",
+    "CREATE INDEX idx_events_subj_exe ON events(subj_exe)",
+    "CREATE INDEX idx_events_obj_name ON events(obj_name)",
+    "CREATE INDEX idx_events_obj_exe ON events(obj_exe)",
+    "CREATE INDEX idx_events_obj_dst_ip ON events(obj_dst_ip)",
+    "CREATE INDEX idx_events_subj_id ON events(subj_id)",
+    "CREATE INDEX idx_events_obj_id ON events(obj_id)",
+)
+
+# AIQL entity attribute -> SQL column, per role and entity type.
+_SUBJECT_COLUMNS = {
+    "agentid": "subj_agentid",
+    "pid": "subj_pid",
+    "exe_name": "subj_exe",
+    "user": "subj_user",
+    "cmdline": "subj_cmdline",
+    "start_time": "subj_start_time",
+}
+
+_OBJECT_COLUMNS = {
+    "proc": {
+        "agentid": "obj_agentid",
+        "pid": "obj_pid",
+        "exe_name": "obj_exe",
+        "user": "obj_user",
+        "cmdline": "obj_cmdline",
+        "start_time": "obj_start_time",
+    },
+    "file": {
+        "agentid": "obj_agentid",
+        "name": "obj_name",
+        "owner": "obj_owner",
+    },
+    "ip": {
+        "agentid": "obj_agentid",
+        "src_ip": "obj_src_ip",
+        "src_port": "obj_src_port",
+        "dst_ip": "obj_dst_ip",
+        "dst_port": "obj_dst_port",
+        "protocol": "obj_protocol",
+    },
+}
+
+_EVENT_COLUMNS = {
+    "id": "id",
+    "ts": "ts",
+    "agentid": "agentid",
+    "operation": "operation",
+    "amount": "amount",
+    "failcode": "failcode",
+}
+
+
+def subject_column(attribute: str) -> str:
+    try:
+        return _SUBJECT_COLUMNS[attribute]
+    except KeyError:
+        raise TranslationError(
+            f"no SQL column for subject attribute {attribute!r}") from None
+
+
+def object_column(entity_type: str, attribute: str) -> str:
+    try:
+        return _OBJECT_COLUMNS[entity_type][attribute]
+    except KeyError:
+        raise TranslationError(
+            f"no SQL column for {entity_type} attribute "
+            f"{attribute!r}") from None
+
+
+def event_column(attribute: str) -> str:
+    try:
+        return _EVENT_COLUMNS[attribute]
+    except KeyError:
+        raise TranslationError(
+            f"no SQL column for event attribute {attribute!r}") from None
+
+
+def identity_column(role: str) -> str:
+    """The interned-entity id column used for shared-variable joins."""
+    return "subj_id" if role == "subject" else "obj_id"
+
+
+def sql_quote(value: object) -> str:
+    """Render a literal for inline SQL (values come from parsed AIQL)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value).replace("'", "''")
+    return f"'{text}'"

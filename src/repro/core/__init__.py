@@ -1,0 +1,6 @@
+"""Public API: the AIQL session facade and query results."""
+
+from repro.core.results import QueryResult
+from repro.core.session import AiqlSession
+
+__all__ = ["AiqlSession", "QueryResult"]

@@ -1,0 +1,86 @@
+"""Query results: typed rows plus the execution report.
+
+The web UI's result table supports sorting and searching (§3); those
+operations live here so the CLI, the web UI, and tests share one
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ExecutionError
+
+
+@dataclass
+class QueryResult:
+    """The outcome of executing one AIQL query."""
+
+    columns: list[str]
+    rows: list[tuple]
+    elapsed: float
+    kind: str
+    report: str = ""
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column."""
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise ExecutionError(
+                f"no column {name!r} (have: {', '.join(self.columns)})"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def sorted_by(self, name: str, descending: bool = False) -> "QueryResult":
+        """A copy of this result ordered by one column (UI sort feature)."""
+        index = self.columns.index(name) if name in self.columns else None
+        if index is None:
+            raise ExecutionError(
+                f"no column {name!r} (have: {', '.join(self.columns)})")
+        ordered = sorted(self.rows,
+                         key=lambda row: _sort_key(row[index]),
+                         reverse=descending)
+        return QueryResult(columns=list(self.columns), rows=ordered,
+                           elapsed=self.elapsed, kind=self.kind,
+                           report=self.report)
+
+    def search(self, needle: str) -> "QueryResult":
+        """Rows whose textual form contains the needle (UI search feature)."""
+        lowered = needle.lower()
+        kept = [row for row in self.rows
+                if any(lowered in str(cell).lower() for cell in row)]
+        return QueryResult(columns=list(self.columns), rows=kept,
+                           elapsed=self.elapsed, kind=self.kind,
+                           report=self.report)
+
+    def first(self) -> dict[str, object]:
+        """The first row as a dict; raises when the result is empty."""
+        if not self.rows:
+            raise ExecutionError("result is empty")
+        return dict(zip(self.columns, self.rows[0]))
+
+
+def _sort_key(value: object) -> tuple:
+    """Total order over mixed cell types: None < numbers < strings."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, str(value))

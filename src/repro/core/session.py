@@ -1,0 +1,88 @@
+"""AiqlSession: the library's public facade.
+
+A session owns an :class:`~repro.storage.store.EventStore` and exposes the
+full investigation loop the demo walks through: ingest monitoring data,
+issue AIQL queries (all three classes), inspect plans, and check syntax.
+
+>>> from repro import AiqlSession
+>>> session = AiqlSession()
+>>> # ... ingest events (see repro.telemetry) ...
+>>> result = session.query('proc p["%cmd.exe"] start proc c as e1 return c')
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.results import QueryResult
+from repro.engine.executor import DEFAULT_OPTIONS, EngineOptions, execute, explain
+from repro.lang.ast import Query
+from repro.lang.errors import AiqlSyntaxError, check_syntax
+from repro.lang.parser import parse
+from repro.model.events import Event
+from repro.model.timeutil import SECONDS_PER_DAY
+from repro.storage.ingest import IngestPipeline, IngestStats
+from repro.storage.store import EventStore
+
+
+class AiqlSession:
+    """One investigation session over one event store."""
+
+    def __init__(self, store: EventStore | None = None,
+                 options: EngineOptions = DEFAULT_OPTIONS,
+                 bucket_seconds: float = SECONDS_PER_DAY) -> None:
+        self.store = store if store is not None else EventStore(
+            bucket_seconds)
+        self.options = options
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, events: Iterable[Event], batch_size: int = 1000,
+               merge_window: float | None = None) -> IngestStats:
+        """Load events through the batch-commit pipeline."""
+        with IngestPipeline(self.store, batch_size=batch_size,
+                            merge_window=merge_window) as pipeline:
+            pipeline.add_all(events)
+        return pipeline.stats
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def parse(self, source: str) -> Query:
+        """Parse AIQL text (raises AiqlSyntaxError with diagnostics)."""
+        return parse(source)
+
+    def query(self, source: str,
+              options: EngineOptions | None = None) -> QueryResult:
+        """Parse and execute an AIQL query."""
+        parsed = parse(source)
+        return execute(self.store, parsed,
+                       options if options is not None else self.options)
+
+    def explain(self, source: str) -> str:
+        """Describe the execution plan without running the query."""
+        return explain(self.store, parse(source), self.options)
+
+    def check(self, source: str) -> AiqlSyntaxError | None:
+        """Syntax-check a query; None means it parses."""
+        return check_syntax(source)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def event_count(self) -> int:
+        return len(self.store)
+
+    @property
+    def entity_count(self) -> int:
+        return self.store.entity_count
+
+    def describe(self) -> str:
+        """One-line store summary for the UI status area."""
+        span = self.store.span
+        span_text = str(span) if span is not None else "(empty)"
+        return (f"{len(self.store)} events, {self.store.entity_count} "
+                f"entities, {self.store.partition_count} partitions, "
+                f"agents={sorted(self.store.agentids)}, span={span_text}")

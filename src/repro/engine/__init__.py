@@ -1,0 +1,16 @@
+"""The optimized AIQL query execution engine (§2.3)."""
+
+from repro.engine.executor import (DEFAULT_OPTIONS, EngineOptions, execute,
+                                   explain)
+from repro.engine.dependency import rewrite_dependency
+from repro.engine.planner import DataQuery, QueryPlan, plan_multievent
+from repro.engine.scheduler import ExecutionReport, Scheduler
+from repro.engine.parallel import (execute_plan, spatially_partitionable,
+                                   temporally_partitionable)
+
+__all__ = [
+    "DEFAULT_OPTIONS", "EngineOptions", "execute", "explain",
+    "rewrite_dependency", "DataQuery", "QueryPlan", "plan_multievent",
+    "ExecutionReport", "Scheduler", "execute_plan",
+    "spatially_partitionable", "temporally_partitionable",
+]

@@ -1,0 +1,131 @@
+"""Aggregate functions and per-group history for anomaly queries.
+
+AIQL anomaly queries aggregate event attributes inside sliding windows and
+compare against *historical* aggregate results (``amt[1]`` is the value one
+window back).  This module provides the aggregate function registry and the
+:class:`GroupHistory` ring that makes history access O(1).
+
+Empty-window conventions (documented behaviour, exercised by tests):
+``count``/``sum`` are 0, ``avg``/``stddev`` are 0.0, and order-based
+aggregates (``min``/``max``/``median``/``first``/``last``) are ``None``;
+any comparison involving ``None`` in a having clause is false, so a group
+with no events never fires an anomaly by itself.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Sequence
+
+from repro.errors import SemanticError
+
+Number = int | float
+
+
+def _agg_count(values: Sequence[object]) -> int:
+    return len(values)
+
+
+def _agg_sum(values: Sequence[Number]) -> Number:
+    return sum(values) if values else 0
+
+
+def _agg_avg(values: Sequence[Number]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _agg_min(values: Sequence[Number]) -> Number | None:
+    return min(values) if values else None
+
+
+def _agg_max(values: Sequence[Number]) -> Number | None:
+    return max(values) if values else None
+
+
+def _agg_stddev(values: Sequence[Number]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mean = sum(values) / len(values)
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
+
+
+def _agg_median(values: Sequence[Number]) -> Number | None:
+    if not values:
+        return None
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def _agg_first(values: Sequence[object]) -> object | None:
+    return values[0] if values else None
+
+
+def _agg_last(values: Sequence[object]) -> object | None:
+    return values[-1] if values else None
+
+
+AGGREGATES: dict[str, Callable[[Sequence], object]] = {
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "avg": _agg_avg,
+    "min": _agg_min,
+    "max": _agg_max,
+    "stddev": _agg_stddev,
+    "median": _agg_median,
+    "first": _agg_first,
+    "last": _agg_last,
+}
+
+
+def aggregate(func: str, values: Sequence) -> object:
+    """Apply a named aggregate; unknown names raise SemanticError."""
+    try:
+        fn = AGGREGATES[func]
+    except KeyError:
+        raise SemanticError(
+            f"unknown aggregate function {func!r} "
+            f"(known: {', '.join(sorted(AGGREGATES))})") from None
+    return fn(values)
+
+
+class GroupHistory:
+    """Bounded per-(group, alias) history of past window aggregates.
+
+    ``lookup(alias, 0)`` is the current window's value; ``lookup(alias, k)``
+    is k windows back.  Values are recorded once per window via
+    :meth:`record`; groups absent from early windows simply have short
+    histories, so ``amt[2]`` stays unresolvable (``None``) until three
+    windows of data exist for the group.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise SemanticError("history depth must be at least 1")
+        self._depth = depth
+        self._values: dict[tuple, deque] = {}
+
+    def record(self, group: tuple, alias: str, value: object) -> None:
+        key = (group, alias)
+        ring = self._values.get(key)
+        if ring is None:
+            ring = deque(maxlen=self._depth)
+            self._values[key] = ring
+        ring.appendleft(value)
+
+    def lookup(self, group: tuple, alias: str, offset: int) -> object | None:
+        """Value ``offset`` windows back, or None if not yet recorded.
+
+        Call *after* :meth:`record` for the current window, so offset 0 is
+        the freshly recorded value.
+        """
+        ring = self._values.get((group, alias))
+        if ring is None or offset >= len(ring):
+            return None
+        return ring[offset]
+
+    def known_groups(self) -> set[tuple]:
+        return {group for group, _alias in self._values}

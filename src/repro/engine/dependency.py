@@ -1,0 +1,79 @@
+"""Dependency query rewriting.
+
+§2.3: "For a dependency query, the parser compiles it to a semantically
+equivalent multievent query for execution."  This module is that compiler
+(the *Dependency Query Rewriting* box of Figure 1).
+
+A path ``n0 ->[op1] n1 <-[op2] n2 ...`` becomes one event pattern per edge:
+the arrow orientation picks the subject (``X ->[op] Y`` makes X the acting
+process; ``X <-[op] Y`` makes Y act on X), and chained nodes become shared
+entity variables, which the planner turns into identity joins.
+
+The direction keyword fixes the temporal order along the path (§2.2.2:
+"The forward keyword specifies the temporal order of the events: left event
+occurs earlier"); ``backward`` is the mirror image used to track toward an
+attack's entry point.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemanticError
+from repro.lang.ast import (DependencyQuery, EventPattern, MultieventQuery,
+                            TemporalRelation)
+
+EVENT_VAR_PREFIX = "dep_evt"
+
+
+def rewrite_dependency(query: DependencyQuery) -> MultieventQuery:
+    """Compile a dependency query to its equivalent multievent query."""
+    node_vars = {node.variable for node in query.nodes}
+    patterns: list[EventPattern] = []
+    for position, edge in enumerate(query.edges):
+        left = query.nodes[position]
+        right = query.nodes[position + 1]
+        if edge.subject_side == "left":
+            subject, obj = left, right
+        else:
+            subject, obj = right, left
+        if subject.entity_type != "proc":
+            raise SemanticError(
+                f"edge {position + 1}: the subject {subject.variable!r} "
+                f"must be a process")
+        event_var = _fresh_event_var(position + 1, node_vars)
+        patterns.append(EventPattern(subject=subject,
+                                     operations=edge.operations,
+                                     object=obj, event_var=event_var))
+    temporal = _temporal_chain([p.event_var for p in patterns],
+                               query.direction)
+    return MultieventQuery(header=query.header, patterns=tuple(patterns),
+                           temporal=temporal,
+                           return_items=query.return_items,
+                           distinct=query.distinct,
+                           sort_by=query.sort_by, top=query.top)
+
+
+def _fresh_event_var(index: int, node_vars: set[str]) -> str:
+    candidate = f"{EVENT_VAR_PREFIX}{index}"
+    while candidate in node_vars:
+        candidate = "_" + candidate
+    return candidate
+
+
+def _temporal_chain(event_vars: list[str],
+                    direction: str) -> tuple[TemporalRelation, ...]:
+    """Adjacent-pair ordering along the path.
+
+    ``forward``: events happen left-to-right along the path (information
+    flows with time).  ``backward``: the path is written from the artifact
+    being investigated back toward its origin, so each edge's event happened
+    *after* the next one.
+    """
+    relations = []
+    for left, right in zip(event_vars, event_vars[1:]):
+        if direction == "forward":
+            relations.append(TemporalRelation(left, "before", right))
+        elif direction == "backward":
+            relations.append(TemporalRelation(right, "before", left))
+        else:
+            raise SemanticError(f"unknown tracking direction {direction!r}")
+    return tuple(relations)

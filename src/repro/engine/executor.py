@@ -1,0 +1,190 @@
+"""Top-level query execution: dispatch, projection, and reporting.
+
+This is the *AIQL Query Execution Engine* box of Figure 1.  It accepts a
+parsed query of any of the three classes, routes it through the right
+machinery (dependency queries are first rewritten to multievent queries,
+§2.3), and projects the joined bindings through the ``return`` clause with
+the context-aware shortcuts of §2.2.1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import SemanticError
+from repro.lang.ast import (AnomalyQuery, DependencyQuery, MultieventQuery,
+                            Query, ReturnItem, VarRef)
+from repro.model.entities import DEFAULT_ATTRIBUTE, canonical_attribute
+from repro.model.events import canonical_event_attribute
+from repro.core.results import QueryResult
+from repro.engine.anomaly import execute_anomaly
+from repro.engine.dependency import rewrite_dependency
+from repro.engine.joiner import Binding
+from repro.engine.parallel import execute_plan, merge_reports
+from repro.engine.planner import QueryPlan, plan_multievent
+from repro.storage.store import EventStore
+
+
+@dataclass(frozen=True, slots=True)
+class EngineOptions:
+    """Feature toggles for the engine's optimizations.
+
+    Defaults are the paper's configuration; the ablation benchmark flips
+    individual flags to measure each optimization's contribution.
+    """
+
+    prioritize: bool = True      # pruning-power pattern ordering
+    propagate: bool = True       # binding propagation between patterns
+    partition: bool = True       # spatial/temporal sub-query parallelism
+    max_workers: int = 4
+    row_limit: int | None = None
+
+
+DEFAULT_OPTIONS = EngineOptions()
+
+
+def execute(store: EventStore, query: Query,
+            options: EngineOptions = DEFAULT_OPTIONS) -> QueryResult:
+    """Execute a parsed AIQL query and return its result table."""
+    if isinstance(query, MultieventQuery):
+        return _execute_multievent(store, query, options)
+    if isinstance(query, DependencyQuery):
+        rewritten = rewrite_dependency(query)
+        result = _execute_multievent(store, rewritten, options)
+        return QueryResult(columns=result.columns, rows=result.rows,
+                           elapsed=result.elapsed, kind="dependency",
+                           report=result.report)
+    if isinstance(query, AnomalyQuery):
+        output = execute_anomaly(
+            store, query, prioritize=options.prioritize,
+            propagate=options.propagate, partition=options.partition,
+            max_workers=options.max_workers)
+        return QueryResult(columns=output.columns, rows=output.rows,
+                           elapsed=output.report.elapsed, kind="anomaly",
+                           report=output.report.describe())
+    raise SemanticError(f"unknown query type: {type(query).__name__}")
+
+
+def explain(store: EventStore, query: Query,
+            options: EngineOptions = DEFAULT_OPTIONS) -> str:
+    """Describe how the engine would execute a query (plan + estimates)."""
+    if isinstance(query, DependencyQuery):
+        inner = rewrite_dependency(query)
+        return ("dependency query compiled to multievent query:\n"
+                + explain(store, inner, options))
+    if isinstance(query, AnomalyQuery):
+        spec = query.window_spec
+        return (f"anomaly query: 1 pattern, window={spec.width:.0f}s "
+                f"step={spec.step:.0f}s, sliding-window aggregation")
+    plan = plan_multievent(query)
+    lines = ["multievent query plan:"]
+    estimates = []
+    for dq in plan.data_queries:
+        estimate = store.estimate(dq.profile, plan.window,
+                                  set(dq.agentids) if dq.agentids else None)
+        estimates.append((estimate, dq))
+    for estimate, dq in sorted(estimates, key=lambda pair: pair[0]):
+        ops = "||".join(sorted(dq.operations))
+        lines.append(f"  {dq.event_var}: {dq.event_type}/{ops} "
+                     f"estimated {estimate} events")
+    from repro.engine.parallel import (spatially_partitionable,
+                                       temporally_partitionable)
+    if spatially_partitionable(plan):
+        lines.append("  partitioning: spatial (one sub-query per agent)")
+    elif temporally_partitionable(plan):
+        lines.append("  partitioning: temporal (one sub-query per bucket)")
+    else:
+        lines.append("  partitioning: none (cross-host join)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Multievent execution + projection
+# ---------------------------------------------------------------------------
+
+def _execute_multievent(store: EventStore, query: MultieventQuery,
+                        options: EngineOptions) -> QueryResult:
+    started = time.perf_counter()
+    plan = plan_multievent(query)
+    parallel = execute_plan(
+        store, plan, prioritize=options.prioritize,
+        propagate=options.propagate, partition=options.partition,
+        max_workers=options.max_workers, row_limit=options.row_limit)
+    columns, rows = project_bindings(plan, query, parallel.rows)
+    report = merge_reports(parallel.reports)
+    report.joined_rows = len(parallel.rows)
+    elapsed = time.perf_counter() - started
+    report.elapsed = elapsed
+    return QueryResult(columns=columns, rows=rows, elapsed=elapsed,
+                       kind="multievent", report=report.describe())
+
+
+def project_bindings(plan: QueryPlan, query: MultieventQuery,
+                     bindings: list[Binding],
+                     ) -> tuple[list[str], list[tuple]]:
+    """Project joined bindings through a query's return clause.
+
+    Shared by the optimized engine and the graph baseline so that both
+    produce identical result tables from their (differently computed)
+    binding sets.  Applies the stable result order (or the explicit
+    ``sort by``), ``distinct``, and ``top``.
+    """
+    projectors = [_compile_projection(item, plan)
+                  for item in query.return_items]
+    columns = [item.name for item in query.return_items]
+    if query.sort_by:
+        ordered = _sorted_by_keys(bindings, query, plan)
+    else:
+        ordered = _ordered(bindings, plan)
+    rows = [tuple(project(binding) for project in projectors)
+            for binding in ordered]
+    if query.distinct:
+        rows = list(dict.fromkeys(rows))
+    if query.top is not None:
+        rows = rows[:query.top]
+    return columns, rows
+
+
+def _sorted_by_keys(bindings: list[Binding], query: MultieventQuery,
+                    plan: QueryPlan) -> list[Binding]:
+    from repro.engine.planner import binding_getter
+    event_vars = {dq.event_var for dq in plan.data_queries}
+    getters = [(binding_getter(key.expr, plan.variable_types, event_vars),
+                key.descending) for key in query.sort_by]
+    ordered = _ordered(bindings, plan)  # stable tiebreak: time order
+    for getter, descending in reversed(getters):
+        ordered.sort(key=lambda b: _null_safe_key(getter(b)),
+                     reverse=descending)
+    return ordered
+
+
+def _null_safe_key(value: object) -> tuple:
+    if value is None:
+        return (0, 0)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (1, value)
+    return (2, str(value))
+
+
+def _ordered(rows: list[Binding], plan: QueryPlan) -> list[Binding]:
+    """Stable result order: by the timestamps of the declared patterns."""
+    event_vars = [dq.event_var for dq in plan.data_queries]
+
+    def key(binding: Binding) -> tuple:
+        return tuple(binding[var].ts for var in event_vars)  # type: ignore
+
+    return sorted(rows, key=key)
+
+
+def _compile_projection(item: ReturnItem,
+                        plan: QueryPlan) -> Callable[[Binding], object]:
+    from repro.engine.planner import binding_getter
+    expr = item.expr
+    if not isinstance(expr, VarRef):
+        raise SemanticError(
+            f"multievent return items must be variables or attributes, "
+            f"got {expr!r}")
+    event_vars = {dq.event_var for dq in plan.data_queries}
+    return binding_getter(expr, plan.variable_types, event_vars)

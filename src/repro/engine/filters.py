@@ -1,0 +1,111 @@
+"""Predicate compilation: AIQL constraints -> fast event filters.
+
+Constraints appear in three positions — entity brackets on a pattern's
+subject, entity brackets on its object, and global header clauses — and all
+compile to plain callables over :class:`~repro.model.events.Event` so the
+executor evaluates one fused residual predicate per candidate event.
+
+Comparison semantics match SQLite (the relational baseline) so differential
+tests agree: ``=`` on strings is case-sensitive, ``like`` is
+case-insensitive, ordered comparisons between a number and a string are
+False rather than an error.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SemanticError
+from repro.lang.ast import Constraint
+from repro.model.entities import DEFAULT_ATTRIBUTE, canonical_attribute
+from repro.model.events import Event, canonical_event_attribute
+from repro.storage.indexes import like_to_regex
+
+EventPredicate = Callable[[Event], bool]
+
+_NUMERIC = (int, float)
+
+
+def _compare(op: str, left: object, right: object) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "in":
+        return left in right  # type: ignore[operator]
+    # Ordered comparisons: numbers with numbers, strings with strings.
+    if isinstance(left, _NUMERIC) and isinstance(right, _NUMERIC):
+        pass
+    elif isinstance(left, str) and isinstance(right, str):
+        pass
+    else:
+        return False
+    if op == "<":
+        return left < right  # type: ignore[operator]
+    if op == "<=":
+        return left <= right  # type: ignore[operator]
+    if op == ">":
+        return left > right  # type: ignore[operator]
+    if op == ">=":
+        return left >= right  # type: ignore[operator]
+    raise SemanticError(f"unknown comparison operator {op!r}")
+
+
+def _value_getter(entity_type: str, attribute: str | None,
+                  role: str) -> Callable[[Event], object]:
+    """Build an accessor for a constraint's left-hand side.
+
+    ``role`` is ``"subject"`` or ``"object"``; ``agentid`` on an entity
+    resolves to the entity's own agent id (which for network objects is the
+    observing host).
+    """
+    if attribute is None:
+        attribute = DEFAULT_ATTRIBUTE[entity_type]
+    else:
+        attribute = canonical_attribute(entity_type, attribute)
+    if role == "subject":
+        return lambda event: getattr(event.subject, attribute)
+    return lambda event: getattr(event.object, attribute)
+
+
+def compile_entity_constraint(constraint: Constraint, entity_type: str,
+                              role: str) -> EventPredicate:
+    """Compile one bracket constraint against the subject or object."""
+    getter = _value_getter(entity_type, constraint.attribute, role)
+    if constraint.op == "like":
+        if not isinstance(constraint.value, str):
+            raise SemanticError("like patterns must be strings")
+        regex = like_to_regex(constraint.value)
+        return lambda event: (isinstance(value := getter(event), str)
+                              and regex.match(value) is not None)
+    op, value = constraint.op, constraint.value
+    return lambda event: _compare(op, getter(event), value)
+
+
+def compile_global_constraint(constraint: Constraint) -> EventPredicate:
+    """Compile a header constraint (applies to the event itself)."""
+    if constraint.attribute is None:
+        raise SemanticError("global constraints need an attribute name")
+    attribute = canonical_event_attribute(constraint.attribute)
+    if constraint.op == "like":
+        if not isinstance(constraint.value, str):
+            raise SemanticError("like patterns must be strings")
+        regex = like_to_regex(constraint.value)
+        return lambda event: (isinstance(
+            value := getattr(event, attribute), str)
+            and regex.match(value) is not None)
+    op, value = constraint.op, constraint.value
+    return lambda event: _compare(op, getattr(event, attribute), value)
+
+
+def conjunction(predicates: list[EventPredicate]) -> EventPredicate:
+    """AND-fuse predicates; the empty conjunction accepts everything."""
+    if not predicates:
+        return lambda event: True
+    if len(predicates) == 1:
+        return predicates[0]
+
+    def fused(event: Event) -> bool:
+        return all(predicate(event) for predicate in predicates)
+
+    return fused

@@ -1,0 +1,229 @@
+"""The optimized scheduler: pruning-power ordering + binding propagation.
+
+This is the first key insight of §2.3: "for a query with multiple event
+patterns, we prioritize the search of event patterns with higher pruning
+power, maximizing the reduction of irrelevant events as early as possible."
+
+Concretely the scheduler:
+
+1. estimates each data query's match cardinality from storage statistics
+   and executes the most selective pattern first;
+2. after each pattern executes, *propagates bindings* to the remaining
+   patterns — shared entity variables restrict candidates to already-seen
+   entity identities, and temporal relationships narrow the remaining
+   patterns' time windows;
+3. short-circuits to an empty result the moment any pattern has no match.
+
+Both optimizations are individually toggleable so the ablation benchmark
+can measure their contribution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.model.events import Event
+from repro.model.timeutil import Window
+from repro.engine.planner import DataQuery, QueryPlan
+from repro.storage.store import EventStore
+
+
+@dataclass
+class PatternExecution:
+    """Trace of one data query's execution (for explain/report output)."""
+
+    event_var: str
+    estimate: int
+    fetched: int
+    matched: int
+    elapsed: float
+
+
+@dataclass
+class ExecutionReport:
+    """What the engine did for one query — shown in the UI status area."""
+
+    order: list[str] = field(default_factory=list)
+    patterns: list[PatternExecution] = field(default_factory=list)
+    short_circuited: bool = False
+    joined_rows: int = 0
+    elapsed: float = 0.0
+
+    def describe(self) -> str:
+        lines = [f"pattern order: {' -> '.join(self.order) or '(none)'}"]
+        for trace in self.patterns:
+            lines.append(
+                f"  {trace.event_var}: estimate={trace.estimate} "
+                f"fetched={trace.fetched} matched={trace.matched} "
+                f"({trace.elapsed * 1000:.1f} ms)")
+        if self.short_circuited:
+            lines.append("  short-circuited: a pattern had no matches")
+        lines.append(f"joined rows: {self.joined_rows}")
+        lines.append(f"total: {self.elapsed * 1000:.1f} ms")
+        return "\n".join(lines)
+
+
+@dataclass
+class ScheduledMatches:
+    """Per-pattern candidate lists in execution order, ready to join."""
+
+    order: list[DataQuery]
+    events: dict[int, list[Event]]  # data-query index -> matches
+    report: ExecutionReport
+
+
+class Scheduler:
+    """Executes a plan's data queries in pruning-power order."""
+
+    def __init__(self, store: EventStore, *, prioritize: bool = True,
+                 propagate: bool = True) -> None:
+        self._store = store
+        self._prioritize = prioritize
+        self._propagate = propagate
+
+    def run(self, plan: QueryPlan,
+            window: Window | None = None,
+            agentids: frozenset[int] | None = None) -> ScheduledMatches:
+        """Fetch and filter matches for every pattern.
+
+        ``window``/``agentids`` optionally override the plan's own bounds —
+        the parallel executor uses this to run the same plan per partition.
+        """
+        base_window = window if window is not None else plan.window
+        started = time.perf_counter()
+        report = ExecutionReport()
+
+        estimates = {
+            dq.index: self._store.estimate(
+                dq.profile, base_window, _agents(dq, agentids))
+            for dq in plan.data_queries
+        }
+        ordered = list(plan.data_queries)
+        if self._prioritize:
+            ordered.sort(key=lambda dq: (estimates[dq.index], dq.index))
+        report.order = [dq.event_var for dq in ordered]
+
+        # Binding state threaded through pattern executions.
+        identity_sets: dict[str, set[tuple]] = {}
+        ts_bounds: dict[str, tuple[float, float]] = {}
+        matches: dict[int, list[Event]] = {}
+
+        for dq in ordered:
+            step_started = time.perf_counter()
+            effective = self._narrow_window(dq, plan, base_window, ts_bounds,
+                                            matches)
+            candidates = self._store.candidates(
+                dq.profile, effective, _agents(dq, agentids))
+            fetched = len(candidates)
+            predicate = dq.predicate
+            survivors = [evt for evt in candidates if predicate(evt)]
+            if self._propagate:
+                survivors = self._apply_identity_bindings(
+                    dq, survivors, identity_sets)
+            matches[dq.index] = survivors
+            report.patterns.append(PatternExecution(
+                event_var=dq.event_var, estimate=estimates[dq.index],
+                fetched=fetched, matched=len(survivors),
+                elapsed=time.perf_counter() - step_started))
+            if not survivors:
+                report.short_circuited = True
+                report.elapsed = time.perf_counter() - started
+                return ScheduledMatches(order=ordered, events={
+                    d.index: matches.get(d.index, [])
+                    for d in plan.data_queries}, report=report)
+            if self._propagate:
+                self._update_bindings(dq, survivors, identity_sets,
+                                      ts_bounds)
+        report.elapsed = time.perf_counter() - started
+        return ScheduledMatches(order=ordered, events=matches, report=report)
+
+    # ------------------------------------------------------------------
+    # Binding propagation
+    # ------------------------------------------------------------------
+    def _narrow_window(self, dq: DataQuery, plan: QueryPlan,
+                       base: Window | None,
+                       ts_bounds: dict[str, tuple[float, float]],
+                       matches: dict[int, list[Event]],
+                       ) -> Window | None:
+        """Clip this pattern's window using executed temporal partners.
+
+        For ``u before v``: once u has matched with earliest timestamp t0,
+        v's candidates need ``ts > t0`` (weakest sound bound over all
+        possible partners); symmetrically once v has matched with latest
+        timestamp t1, u needs ``ts < t1``.  ``within d`` tightens the other
+        side of the interval.
+        """
+        if not self._propagate:
+            return base
+        lo, hi = (-float("inf"), float("inf"))
+        var = dq.event_var
+        for rel in plan.temporal:
+            if rel.right == var and rel.left in ts_bounds:
+                partner_lo, partner_hi = ts_bounds[rel.left]
+                lo = max(lo, partner_lo)
+                if rel.within is not None:
+                    hi = min(hi, partner_hi + rel.within)
+            elif rel.left == var and rel.right in ts_bounds:
+                partner_lo, partner_hi = ts_bounds[rel.right]
+                hi = min(hi, partner_hi)
+                if rel.within is not None:
+                    lo = max(lo, partner_lo - rel.within)
+        if lo == -float("inf") and hi == float("inf"):
+            return base
+        if base is not None:
+            lo = max(lo, base.start)
+            hi = min(hi, base.end)
+        if lo >= hi:
+            # Empty window: no event can satisfy the temporal constraints.
+            return Window(lo, lo)
+        if lo == -float("inf") or hi == float("inf"):
+            span = self._store.span
+            if span is None:
+                return base
+            lo = max(lo, span.start)
+            hi = min(hi, span.end)
+            if lo >= hi:
+                return Window(lo, lo)
+        return Window(lo, hi)
+
+    def _apply_identity_bindings(self, dq: DataQuery, events: list[Event],
+                                 identity_sets: dict[str, set[tuple]],
+                                 ) -> list[Event]:
+        subject_allowed = identity_sets.get(dq.subject_var)
+        object_allowed = identity_sets.get(dq.object_var)
+        if subject_allowed is None and object_allowed is None:
+            return events
+        filtered = []
+        for event in events:
+            if (subject_allowed is not None
+                    and event.subject.identity not in subject_allowed):
+                continue
+            if (object_allowed is not None
+                    and event.object.identity not in object_allowed):
+                continue
+            filtered.append(event)
+        return filtered
+
+    def _update_bindings(self, dq: DataQuery, events: list[Event],
+                         identity_sets: dict[str, set[tuple]],
+                         ts_bounds: dict[str, tuple[float, float]]) -> None:
+        subject_ids = {event.subject.identity for event in events}
+        object_ids = {event.object.identity for event in events}
+        for var, ids in ((dq.subject_var, subject_ids),
+                         (dq.object_var, object_ids)):
+            existing = identity_sets.get(var)
+            identity_sets[var] = ids if existing is None else existing & ids
+        timestamps = [event.ts for event in events]
+        ts_bounds[dq.event_var] = (min(timestamps), max(timestamps))
+
+
+def _agents(dq: DataQuery,
+            override: frozenset[int] | None) -> set[int] | None:
+    own = dq.agentids
+    if override is None:
+        return set(own) if own is not None else None
+    if own is None:
+        return set(override)
+    return set(own & override)

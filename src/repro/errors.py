@@ -1,0 +1,49 @@
+"""Shared exception hierarchy for the AIQL reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch a single base class at API boundaries while still being
+able to distinguish the layer that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class DataModelError(ReproError):
+    """Invalid entity, event, or attribute construction."""
+
+
+class StorageError(ReproError):
+    """Errors raised by the storage substrate (ingest, partitions, indexes)."""
+
+
+class QueryError(ReproError):
+    """Base class for query-related errors (parsing or execution)."""
+
+
+class ParseError(QueryError):
+    """Syntactic or lexical error in an AIQL query.
+
+    Subclassed by :class:`repro.lang.errors.AiqlSyntaxError`, which carries
+    source positions and renders caret diagnostics.
+    """
+
+
+class SemanticError(QueryError):
+    """The query parsed but is not meaningful.
+
+    Examples: a temporal relationship referring to an undeclared event
+    variable, an aggregate used in a multievent query, or a history access
+    (``amt[1]``) outside a ``having`` clause.
+    """
+
+
+class ExecutionError(QueryError):
+    """The engine failed while executing a valid query."""
+
+
+class TranslationError(QueryError):
+    """A baseline translator could not express the query (SQL/Cypher)."""

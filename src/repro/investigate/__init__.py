@@ -1,0 +1,18 @@
+"""Investigation assets: the paper's query catalogs and conciseness metrics."""
+
+from repro.investigate.catalog import Catalog, CatalogEntry
+from repro.investigate.conciseness import (ConcisenessComparison,
+                                           QueryMetrics, aiql_metrics,
+                                           compare_catalog, cypher_metrics,
+                                           sql_metrics)
+from repro.investigate.figure4_queries import FIGURE4_QUERIES
+from repro.investigate.figure5_queries import FIGURE5_QUERIES
+from repro.investigate.report import (ExperimentReport, SystemSeries,
+                                      run_experiment)
+
+__all__ = [
+    "Catalog", "CatalogEntry", "ConcisenessComparison", "QueryMetrics",
+    "aiql_metrics", "compare_catalog", "cypher_metrics", "sql_metrics",
+    "FIGURE4_QUERIES", "FIGURE5_QUERIES",
+    "ExperimentReport", "SystemSeries", "run_experiment",
+]

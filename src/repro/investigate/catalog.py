@@ -1,0 +1,63 @@
+"""Query catalog plumbing shared by the Figure 4 and Figure 5 sets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True, slots=True)
+class CatalogEntry:
+    """One investigation query: its figure label, intent, and AIQL text."""
+
+    id: str          # e.g. "a2-2" or "c5-7"
+    step: str        # attack step being investigated, e.g. "a2"
+    title: str       # analyst's question
+    aiql: str        # the query text
+
+    @property
+    def kind(self) -> str:
+        """multievent / dependency / anomaly, inferred from the text."""
+        stripped = "\n".join(
+            line for line in self.aiql.splitlines()
+            if line.strip() and not line.strip().startswith("//"))
+        lowered = stripped.lower()
+        if "forward:" in lowered or "backward:" in lowered:
+            return "dependency"
+        if "window =" in lowered or "window=" in lowered:
+            return "anomaly"
+        return "multievent"
+
+
+class Catalog:
+    """An ordered set of catalog entries with id lookup."""
+
+    def __init__(self, name: str, entries: list[CatalogEntry]) -> None:
+        ids = [entry.id for entry in entries]
+        if len(ids) != len(set(ids)):
+            raise QueryError(f"duplicate query ids in catalog {name!r}")
+        self.name = name
+        self.entries = list(entries)
+        self._by_id = {entry.id: entry for entry in entries}
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def get(self, query_id: str) -> CatalogEntry:
+        try:
+            return self._by_id[query_id]
+        except KeyError:
+            raise QueryError(
+                f"catalog {self.name!r} has no query {query_id!r} "
+                f"(ids: {', '.join(sorted(self._by_id))})") from None
+
+    def by_step(self, step: str) -> list[CatalogEntry]:
+        return [entry for entry in self.entries if entry.step == step]
+
+    @property
+    def ids(self) -> list[str]:
+        return [entry.id for entry in self.entries]

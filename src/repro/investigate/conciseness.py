@@ -1,0 +1,151 @@
+"""Query conciseness metrics (the §3 comparison).
+
+"For the query conciseness, SQL queries contain at least 3.0x more
+constraints, 3.5x more words, and 5.2x more characters (excluding spaces)
+than AIQL queries."  This module computes the same three metrics over any
+query text and counts semantic constraints from the parsed AIQL AST and
+from the generated SQL/Cypher.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.lang.ast import (AnomalyQuery, DependencyQuery, MultieventQuery,
+                            Query)
+from repro.lang.parser import parse
+
+
+@dataclass(frozen=True, slots=True)
+class QueryMetrics:
+    """The three §3 conciseness metrics for one query text."""
+
+    constraints: int
+    words: int
+    characters: int  # excluding whitespace
+
+    def ratio_to(self, other: "QueryMetrics") -> tuple[float, float, float]:
+        """(constraints, words, characters) ratios of self over other."""
+        return (
+            self.constraints / other.constraints if other.constraints else 0.0,
+            self.words / other.words if other.words else 0.0,
+            self.characters / other.characters if other.characters else 0.0,
+        )
+
+
+def _strip_comments(text: str) -> str:
+    return "\n".join(re.sub(r"//.*$", "", line)
+                     for line in text.splitlines())
+
+
+def text_metrics(text: str, constraints: int) -> QueryMetrics:
+    stripped = _strip_comments(text)
+    words = len(stripped.split())
+    characters = sum(1 for ch in stripped if not ch.isspace())
+    return QueryMetrics(constraints=constraints, words=words,
+                        characters=characters)
+
+
+def count_aiql_constraints(query: Query) -> int:
+    """Semantic constraints in an AIQL query.
+
+    Counts: global header constraints + the time window, bracket
+    constraints, one per temporal relation, and the operation restriction
+    of each pattern/edge.
+    """
+    count = len(query.header.constraints)
+    if query.header.window is not None:
+        count += 1
+    if isinstance(query, (MultieventQuery, AnomalyQuery)):
+        for pattern in query.patterns:
+            count += 1  # the operation restriction
+            count += len(pattern.subject.constraints)
+            count += len(pattern.object.constraints)
+    if isinstance(query, MultieventQuery):
+        count += len(query.temporal)
+        count += len(query.relations)
+    if isinstance(query, DependencyQuery):
+        for node in query.nodes:
+            count += len(node.constraints)
+        count += len(query.edges)  # operation + implied temporal order
+    if isinstance(query, AnomalyQuery) and query.having is not None:
+        count += 1
+    return count
+
+
+def count_sql_constraints(sql: str) -> int:
+    """Conjuncts in the WHERE clause(s) of generated SQL."""
+    count = 0
+    for clause in re.findall(r"WHERE(.*?)(?:GROUP BY|ORDER BY|$)", sql,
+                             re.IGNORECASE | re.DOTALL):
+        count += len(re.findall(r"\bAND\b", clause, re.IGNORECASE)) + 1
+    # JOIN ... ON conditions count too.
+    count += len(re.findall(r"\bON\b", sql, re.IGNORECASE))
+    return count
+
+
+def count_cypher_constraints(cypher: str) -> int:
+    """WHERE conjuncts plus one structural constraint per MATCH element."""
+    count = 0
+    where = re.search(r"WHERE(.*?)(?:RETURN|WITH|$)", cypher,
+                      re.IGNORECASE | re.DOTALL)
+    if where is not None:
+        count += len(re.findall(r"\bAND\b", where.group(1),
+                                re.IGNORECASE)) + 1
+    count += cypher.count("]->")
+    return count
+
+
+def aiql_metrics(aiql_text: str) -> QueryMetrics:
+    query = parse(aiql_text)
+    return text_metrics(aiql_text, count_aiql_constraints(query))
+
+
+def sql_metrics(sql_text: str) -> QueryMetrics:
+    return text_metrics(sql_text, count_sql_constraints(sql_text))
+
+
+def cypher_metrics(cypher_text: str) -> QueryMetrics:
+    return text_metrics(cypher_text, count_cypher_constraints(cypher_text))
+
+
+@dataclass
+class ConcisenessComparison:
+    """Aggregated AIQL-vs-baseline conciseness over a query catalog."""
+
+    aiql: QueryMetrics
+    sql: QueryMetrics
+    cypher: QueryMetrics
+
+    @property
+    def sql_ratios(self) -> tuple[float, float, float]:
+        return self.sql.ratio_to(self.aiql)
+
+    @property
+    def cypher_ratios(self) -> tuple[float, float, float]:
+        return self.cypher.ratio_to(self.aiql)
+
+
+def compare_catalog(entries) -> ConcisenessComparison:
+    """Sum metrics across a catalog and compare the three languages."""
+    from repro.baselines.cypher_translator import translate_cypher
+    from repro.baselines.sql_translator import translate
+
+    totals = {"aiql": [0, 0, 0], "sql": [0, 0, 0], "cypher": [0, 0, 0]}
+
+    def accumulate(key: str, metrics: QueryMetrics) -> None:
+        totals[key][0] += metrics.constraints
+        totals[key][1] += metrics.words
+        totals[key][2] += metrics.characters
+
+    for entry in entries:
+        query = parse(entry.aiql)
+        accumulate("aiql", text_metrics(entry.aiql,
+                                        count_aiql_constraints(query)))
+        accumulate("sql", sql_metrics(translate(query)))
+        accumulate("cypher", cypher_metrics(translate_cypher(query)))
+    return ConcisenessComparison(
+        aiql=QueryMetrics(*totals["aiql"]),
+        sql=QueryMetrics(*totals["sql"]),
+        cypher=QueryMetrics(*totals["cypher"]))

@@ -1,0 +1,214 @@
+"""The Figure 4 investigation: 19 multievent queries + 1 anomaly query.
+
+"Our investigation used 19 multievent queries and 1 anomaly query" (§3).
+These are the queries a security analyst iteratively constructs while
+investigating the demo's five-step APT attack; each is phrased against the
+artifacts :mod:`repro.telemetry.apt` injects, using the demo enterprise's
+agent ids (1 = Windows client, 2 = web server, 3 = DB server, 4 = DC).
+
+Labels follow the paper's figure (a1-1 .. a5-*); the anomaly query is
+a5-1, matching the live-investigation narrative, which *starts* the a5
+investigation with an anomaly query and then drills down with multievent
+queries.
+"""
+
+from __future__ import annotations
+
+from repro.investigate.catalog import Catalog, CatalogEntry
+from repro.telemetry.collector import SCENARIO_DATE
+from repro.telemetry.enterprise import ATTACKER_IP
+
+_AT = f'(at "{SCENARIO_DATE}")'
+
+FIGURE4_QUERIES = Catalog("figure4", [
+    # ------------------------------------------------------------------
+    # a1: initial compromise of the web server
+    # ------------------------------------------------------------------
+    CatalogEntry(
+        "a1-1", "a1",
+        "Which web-server processes accepted connections from the "
+        "suspicious external IP?",
+        f'''{_AT}
+agentid = 2
+proc p accept ip i[srcip = "{ATTACKER_IP}"] as e1
+return distinct p, i.src_ip'''),
+    CatalogEntry(
+        "a1-2", "a1",
+        "Did the IRC daemon spawn a shell?",
+        f'''{_AT}
+agentid = 2
+proc p1["%unrealircd%"] start proc p2 as e1
+return distinct p1, p2'''),
+    CatalogEntry(
+        "a1-3", "a1",
+        "Did any shell open a back-connection to the attacker?",
+        f'''{_AT}
+agentid = 2
+proc p["%/bin/sh%"] connect || write ip i[dstip = "{ATTACKER_IP}"] as e1
+return distinct p, i, i.dst_port'''),
+    CatalogEntry(
+        "a1-4", "a1",
+        "Full exploitation chain: inbound exploit, shell spawn, "
+        "back-connect — in temporal order.",
+        f'''{_AT}
+agentid = 2
+proc p1["%unrealircd%"] accept ip i1[srcip = "{ATTACKER_IP}"] as e1
+proc p1 start proc p2["%/bin/sh%"] as e2
+proc p2 connect ip i2[dstip = "{ATTACKER_IP}"] as e3
+with e1 before e2, e2 before e3
+return distinct p1, p2, i2'''),
+    # ------------------------------------------------------------------
+    # a2: malware infection
+    # ------------------------------------------------------------------
+    CatalogEntry(
+        "a2-1", "a2",
+        "What files did the compromised shell write?",
+        f'''{_AT}
+agentid = 2
+proc p["%/bin/sh%"] write file f as e1
+return distinct p, f'''),
+    CatalogEntry(
+        "a2-2", "a2",
+        "Malware drop chain: shell pulls payload from the attacker, "
+        "writes the dropper, launches it, and the malware reaches "
+        "another host.",
+        f'''{_AT}
+proc p1["%/bin/sh%", agentid = 2] read ip i1[dstip = "{ATTACKER_IP}"] as e1
+proc p1 write file f1["%rcbot%"] as e2
+proc p1 start proc p2["%rcbot%"] as e3
+proc p2 connect proc p3 as e4
+with e1 before e2, e2 before e3, e3 before e4
+return distinct p1, f1, p2, p3'''),
+    CatalogEntry(
+        "a2-3", "a2",
+        "Infection on the Windows client: who wrote and launched the "
+        "implant?",
+        f'''{_AT}
+agentid = 1
+proc p1 write file f1["%svchost_upd.exe%"] as e1
+proc p1 start proc p2["%svchost_upd%"] as e2
+with e1 before e2
+return distinct p1, f1, p2'''),
+    # ------------------------------------------------------------------
+    # a3: privilege escalation + memory dumping
+    # ------------------------------------------------------------------
+    CatalogEntry(
+        "a3-1", "a3",
+        "Who launched the memory-dumping tools?",
+        f'''{_AT}
+agentid = 1
+proc p1 start proc p2["%mimikatz.exe%"] as e1
+return distinct p1, p2'''),
+    CatalogEntry(
+        "a3-2", "a3",
+        "Did both dumping tools touch the same LSASS dump?",
+        f'''{_AT}
+agentid = 1
+proc p1["%mimikatz.exe%"] write file f1["%lsass.dmp%"] as e1
+proc p2["%kiwi.exe%"] read file f1 as e2
+with e1 before e2
+return distinct p1, f1, p2'''),
+    CatalogEntry(
+        "a3-3", "a3",
+        "Ramification of the implant: track forward from the implant to "
+        "the harvested credentials.",
+        f'''{_AT}
+forward: proc m["%svchost_upd%", agentid = 1] ->[start] proc t["%mimikatz%"]
+->[write] file c["%creds.txt%"]
+return distinct m, t, c'''),
+    # ------------------------------------------------------------------
+    # a4: domain controller penetration + password dumping
+    # ------------------------------------------------------------------
+    CatalogEntry(
+        "a4-1", "a4",
+        "Which client process connected into the domain controller?",
+        f'''{_AT}
+proc p1[agentid = 1] connect proc p2[agentid = 4] as e1
+return distinct p1, p2'''),
+    CatalogEntry(
+        "a4-2", "a4",
+        "Were password dumpers started on the DC, and by whom?",
+        f'''{_AT}
+agentid = 4
+proc p1["%cmd.exe%"] start proc p2["%PwDump7%"] as e1
+proc p1 start proc p3["%WCE%"] as e2
+with e1 before e2
+return distinct p1, p2, p3'''),
+    CatalogEntry(
+        "a4-3", "a4",
+        "Did PwDump7 read the AD database and write a dump?",
+        f'''{_AT}
+agentid = 4
+proc p1["%PwDump7%"] read file f1["%ntds.dit%"] as e1
+proc p1 write file f2["%pwdump_all%"] as e2
+with e1 before e2
+return distinct p1, f1, f2'''),
+    CatalogEntry(
+        "a4-4", "a4",
+        "Full WCE chain: launch, SAM read, credential file write.",
+        f'''{_AT}
+agentid = 4
+proc p1["%cmd.exe%"] start proc p2["%WCE%"] as e1
+proc p2 read file f1["%config\\\\SAM%"] as e2
+proc p2 write file f2["%wce_creds%"] as e3
+with e1 before e2, e2 before e3
+return distinct p1, p2, f1, f2'''),
+    # ------------------------------------------------------------------
+    # a5: data exfiltration from the database server
+    # ------------------------------------------------------------------
+    CatalogEntry(
+        "a5-1", "a5",
+        "Anomaly: processes transferring unusually large volumes to the "
+        "suspicious IP (moving-average spike).",
+        f'''{_AT}
+agentid = 3
+window = 1 min, step = 10 sec
+proc p write ip i[dstip = "{ATTACKER_IP}"] as evt
+return p, avg(evt.amount) as amt
+group by p
+having (amt > 2 * (amt + amt[1] + amt[2]) / 3)'''),
+    CatalogEntry(
+        "a5-2", "a5",
+        "Which DB-server processes sent data to the attacker at all?",
+        f'''{_AT}
+agentid = 3
+proc p write ip i[dstip = "{ATTACKER_IP}"] as e1
+return distinct p, i'''),
+    CatalogEntry(
+        "a5-3", "a5",
+        "What files did powershell.exe read before its transfers?",
+        f'''{_AT}
+agentid = 3
+proc p["%powershell.exe%"] read file f as e1
+proc p write ip i[dstip = "{ATTACKER_IP}"] as e2
+with e1 before e2
+return distinct p, f'''),
+    CatalogEntry(
+        "a5-4", "a5",
+        "Which process created the database dump file?",
+        f'''{_AT}
+agentid = 3
+proc p write file f["%db.bak%"] as e1
+return distinct p, f'''),
+    CatalogEntry(
+        "a5-5", "a5",
+        "The paper's Query 1: OSQL-driven dump exfiltrated by the "
+        "sbblv.exe malware.",
+        f'''{_AT}
+agentid = 3
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+proc p4 read || write ip i1[dstip = "{ATTACKER_IP}"] as evt4
+with evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct p1, p2, p3, f1, p4, i1'''),
+    CatalogEntry(
+        "a5-6", "a5",
+        "Confirm the C2 connection was established before the transfer.",
+        f'''{_AT}
+agentid = 3
+proc p["%powershell.exe%"] connect ip i[dstip = "{ATTACKER_IP}"] as e1
+proc p write ip i as e2
+with e1 before e2
+return distinct p, i'''),
+])

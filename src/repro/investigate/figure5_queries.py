@@ -1,0 +1,238 @@
+"""The Figure 5 investigation: the 26 queries of the second APT case study.
+
+"In another case study of APT attack [9], we evaluated the performance of
+Aiql against PostgreSQL w/o our optimizations and Neo4j" — 26 queries
+labelled c1-1 .. c5-7 in the figure.  The workload is the phishing-
+initiated intrusion of :mod:`repro.telemetry.apt_case2`.
+"""
+
+from __future__ import annotations
+
+from repro.investigate.catalog import Catalog, CatalogEntry
+from repro.telemetry.apt_case2 import C2_IP, DROPZONE_IP
+from repro.telemetry.collector import SCENARIO_DATE
+
+_AT = f'(at "{SCENARIO_DATE}")'
+
+FIGURE5_QUERIES = Catalog("figure5", [
+    # ------------------------------------------------------------------
+    # c1: initial compromise (phishing attachment)
+    # ------------------------------------------------------------------
+    CatalogEntry(
+        "c1-1", "c1",
+        "Did the mail client drop an executable that was then launched "
+        "and read back its own image?",
+        f'''{_AT}
+agentid = 1
+proc p1["%outlook.exe%"] write file f1["%invoice%"] as e1
+proc p2["%explorer.exe%"] start proc p3["%invoice%"] as e2
+proc p3 read file f1 as e3
+with e1 before e2, e2 before e3
+return distinct p1, f1, p3'''),
+    # ------------------------------------------------------------------
+    # c2: command & control + reconnaissance
+    # ------------------------------------------------------------------
+    CatalogEntry(
+        "c2-1", "c2",
+        "Did the dropper talk to an external C2 address?",
+        f'''{_AT}
+agentid = 1
+proc p["%invoice%"] connect ip i[dstip = "{C2_IP}"] as e1
+return distinct p, i'''),
+    CatalogEntry(
+        "c2-2", "c2",
+        "Stager download: payload pulled from the C2 and written to disk.",
+        f'''{_AT}
+agentid = 1
+proc p["%invoice%"] read ip i[dstip = "{C2_IP}"] as e1
+proc p write file f["%winupd.exe%"] as e2
+with e1 before e2
+return distinct p, f'''),
+    CatalogEntry(
+        "c2-3", "c2",
+        "Was the downloaded stager executed?",
+        f'''{_AT}
+agentid = 1
+proc p1["%invoice%"] start proc p2["%winupd%"] as e1
+return distinct p1, p2'''),
+    CatalogEntry(
+        "c2-4", "c2",
+        "Does the stager maintain its own C2 channel?",
+        f'''{_AT}
+agentid = 1
+proc p["%winupd%"] connect || write ip i[dstip = "{C2_IP}"] as e1
+return distinct p, i'''),
+    CatalogEntry(
+        "c2-5", "c2",
+        "Did the stager open a command shell?",
+        f'''{_AT}
+agentid = 1
+proc p1["%winupd%"] start proc p2["%cmd.exe%"] as e1
+return distinct p1, p2'''),
+    CatalogEntry(
+        "c2-6", "c2",
+        "Which recon tools did that shell run?",
+        f'''{_AT}
+agentid = 1
+proc p1["%cmd.exe%"] start proc p2[exe_name in ("whoami.exe",
+    "ipconfig.exe", "net.exe", "tasklist.exe")] as e1
+return distinct p1, p2'''),
+    CatalogEntry(
+        "c2-7", "c2",
+        "Where did the recon output go?",
+        f'''{_AT}
+agentid = 1
+proc p write file f["%recon.txt%"] as e1
+return distinct p, f'''),
+    CatalogEntry(
+        "c2-8", "c2",
+        "Full C2 setup chain: dropper beacons out, drops the stager, "
+        "launches it, stager beacons out.",
+        f'''{_AT}
+agentid = 1
+proc p1["%invoice%"] connect ip i1[dstip = "{C2_IP}"] as e1
+proc p1 write file f1["%winupd.exe%"] as e2
+proc p1 start proc p2["%winupd%"] as e3
+proc p2 connect ip i2[dstip = "{C2_IP}"] as e4
+with e1 before e2, e2 before e3, e3 before e4
+return distinct p1, f1, p2, i2'''),
+    # ------------------------------------------------------------------
+    # c3: lateral movement
+    # ------------------------------------------------------------------
+    CatalogEntry(
+        "c3-1", "c3",
+        "Did the stager pivot into the web server?",
+        f'''{_AT}
+proc p1["%winupd%", agentid = 1] connect proc p2["%sshd%", agentid = 2] as e1
+return distinct p1, p2'''),
+    CatalogEntry(
+        "c3-2", "c3",
+        "Implant installation on the web server (forward tracking).",
+        f'''{_AT}
+forward: proc sh["%bash%", agentid = 2] ->[write] file b["%/tmp/.x/beacon%"]
+<-[execute] proc bc["%beacon%"]
+return distinct sh, b, bc'''),
+    # ------------------------------------------------------------------
+    # c4: data harvesting
+    # ------------------------------------------------------------------
+    CatalogEntry(
+        "c4-1", "c4",
+        "Did the implant read the shadow password file?",
+        f'''{_AT}
+agentid = 2
+proc p["%beacon%"] read file f["%/etc/shadow%"] as e1
+return distinct p, f'''),
+    CatalogEntry(
+        "c4-2", "c4",
+        "Did it sweep both local credential files?",
+        f'''{_AT}
+agentid = 2
+proc p["%beacon%"] read file f1["%/etc/passwd%"] as e1
+proc p read file f2["%/etc/shadow%"] as e2
+with e1 before e2
+return distinct p, f1, f2'''),
+    CatalogEntry(
+        "c4-3", "c4",
+        "Did the implant dump the database?",
+        f'''{_AT}
+agentid = 2
+proc p1["%beacon%"] start proc p2["%mysqldump%"] as e1
+return distinct p1, p2'''),
+    CatalogEntry(
+        "c4-4", "c4",
+        "How large was the database dump?",
+        f'''{_AT}
+agentid = 2
+proc p["%mysqldump%"] write file f["%db_dump.sql%"] as e1
+return distinct p, f, e1.amount'''),
+    CatalogEntry(
+        "c4-5", "c4",
+        "Was the dump staged into an archive?",
+        f'''{_AT}
+agentid = 2
+proc p["%tar%"] read file f1["%db_dump.sql%"] as e1
+proc p write file f2["%stage.tar.gz%"] as e2
+with e1 before e2
+return distinct p, f1, f2'''),
+    CatalogEntry(
+        "c4-6", "c4",
+        "Dump-to-archive provenance (forward tracking).",
+        f'''{_AT}
+forward: proc md["%mysqldump%", agentid = 2] ->[write] file d["%db_dump.sql%"]
+<-[read] proc t["%tar%"]
+->[write] file s["%stage.tar.gz%"]
+return distinct md, d, t, s'''),
+    CatalogEntry(
+        "c4-7", "c4",
+        "Did the client stager harvest browser credentials?",
+        f'''{_AT}
+agentid = 1
+proc p["%winupd%"] read file f["%Login Data%"] as e1
+return distinct p, f'''),
+    CatalogEntry(
+        "c4-8", "c4",
+        "Client staging: documents read and packed into an archive.",
+        f'''{_AT}
+agentid = 1
+proc p["%winupd%"] read file f1["%Documents%"] as e1
+proc p write file f2["%stage.zip%"] as e2
+with e1 before e2
+return distinct p, f1, f2'''),
+    # ------------------------------------------------------------------
+    # c5: exfiltration + cleanup
+    # ------------------------------------------------------------------
+    CatalogEntry(
+        "c5-1", "c5",
+        "Did the implant contact the drop zone?",
+        f'''{_AT}
+agentid = 2
+proc p["%beacon%"] connect ip i[dstip = "{DROPZONE_IP}"] as e1
+return distinct p, i'''),
+    CatalogEntry(
+        "c5-2", "c5",
+        "Server-side exfiltration: archive read, then pushed to the "
+        "drop zone.",
+        f'''{_AT}
+agentid = 2
+proc p["%beacon%"] read file f["%stage.tar.gz%"] as e1
+proc p write ip i[dstip = "{DROPZONE_IP}"] as e2
+with e1 before e2
+return distinct p, f, i'''),
+    CatalogEntry(
+        "c5-3", "c5",
+        "Client-side exfiltration: staged archive pushed out.",
+        f'''{_AT}
+agentid = 1
+proc p["%winupd%"] read file f["%stage.zip%"] as e1
+proc p write ip i[dstip = "{DROPZONE_IP}"] as e2
+with e1 before e2
+return distinct p, f, i'''),
+    CatalogEntry(
+        "c5-4", "c5",
+        "What did the attackers delete to cover their tracks?",
+        f'''{_AT}
+proc p delete file f as e1
+return distinct p, f'''),
+    CatalogEntry(
+        "c5-5", "c5",
+        "Who terminated the implant?",
+        f'''{_AT}
+agentid = 2
+proc p1 end proc p2["%beacon%"] as e1
+return distinct p1, p2'''),
+    CatalogEntry(
+        "c5-6", "c5",
+        "Archive-to-dropzone provenance (forward tracking).",
+        f'''{_AT}
+forward: proc t["%tar%", agentid = 2] ->[write] file s["%stage.tar.gz%"]
+<-[read] proc b["%beacon%"]
+->[write] ip i[dstip = "{DROPZONE_IP}"]
+return distinct t, s, b, i'''),
+    CatalogEntry(
+        "c5-7", "c5",
+        "Coordinated exfiltration from both hosts to the same drop zone.",
+        f'''{_AT}
+proc p1["%beacon%", agentid = 2] write ip i1[dstip = "{DROPZONE_IP}"] as e1
+proc p2["%winupd%", agentid = 1] write ip i2[dstip = "{DROPZONE_IP}"] as e2
+return distinct p1, p2'''),
+])

@@ -1,0 +1,111 @@
+"""Structured experiment reports: the paper's series as data + markdown.
+
+The benchmark harness prints Figure 4/5-style tables; this module is the
+library form — it runs a catalog against any set of backends, collects
+per-query timings, and renders the log10 series, totals, and speedups the
+paper reports.  Useful for notebooks and for regenerating EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.investigate.catalog import Catalog, CatalogEntry
+
+Runner = Callable[[CatalogEntry], float]
+
+
+@dataclass
+class SystemSeries:
+    """Per-query execution times for one system."""
+
+    name: str
+    seconds_by_query: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds_by_query.values())
+
+    def log10_ms(self, query_id: str) -> float | None:
+        seconds = self.seconds_by_query.get(query_id)
+        if seconds is None:
+            return None
+        return math.log10(max(seconds * 1000.0, 0.001))
+
+
+@dataclass
+class ExperimentReport:
+    """One figure's full comparison: a catalog run on several systems."""
+
+    title: str
+    catalog: Catalog
+    systems: list[SystemSeries]
+
+    def speedup(self, baseline: str) -> float:
+        """Total-time ratio of a named baseline over the first system."""
+        reference = self.systems[0].total_seconds
+        other = self._system(baseline).total_seconds
+        if reference <= 0:
+            return float("inf")
+        return other / reference
+
+    def _system(self, name: str) -> SystemSeries:
+        for series in self.systems:
+            if series.name == name:
+                return series
+        raise KeyError(f"no system named {name!r} "
+                       f"(have: {[s.name for s in self.systems]})")
+
+    def wins(self, name: str) -> int:
+        """Queries on which the named system is strictly fastest."""
+        target = self._system(name)
+        count = 0
+        for entry in self.catalog:
+            mine = target.seconds_by_query.get(entry.id)
+            if mine is None:
+                continue
+            others = [series.seconds_by_query.get(entry.id)
+                      for series in self.systems if series is not target]
+            if all(other is None or mine < other for other in others):
+                count += 1
+        return count
+
+    def to_markdown(self) -> str:
+        """The per-query log10(ms) series as a markdown table."""
+        names = [series.name for series in self.systems]
+        lines = [f"### {self.title}", "",
+                 "| query | " + " | ".join(names) + " |",
+                 "|---" * (len(names) + 1) + "|"]
+        for entry in self.catalog:
+            cells = []
+            for series in self.systems:
+                value = series.log10_ms(entry.id)
+                cells.append("n/a" if value is None else f"{value:.2f}")
+            lines.append(f"| {entry.id} | " + " | ".join(cells) + " |")
+        totals = " | ".join(f"{series.total_seconds:.3f}"
+                            for series in self.systems)
+        lines.append(f"| **total (s)** | {totals} |")
+        for series in self.systems[1:]:
+            lines.append(
+                f"\nspeedup {self.systems[0].name} vs {series.name}: "
+                f"**{self.speedup(series.name):.1f}x**")
+        return "\n".join(lines)
+
+
+def run_experiment(title: str, catalog: Catalog,
+                   runners: dict[str, Runner]) -> ExperimentReport:
+    """Execute every catalog query on every system and collect timings.
+
+    ``runners`` maps a system name to a callable that executes one catalog
+    entry and returns elapsed seconds.  The first mapping entry is treated
+    as the reference system for speedups.
+    """
+    systems = []
+    for name, runner in runners.items():
+        series = SystemSeries(name=name)
+        for entry in catalog:
+            series.seconds_by_query[entry.id] = runner(entry)
+        systems.append(series)
+    return ExperimentReport(title=title, catalog=catalog, systems=systems)

@@ -1,0 +1,13 @@
+"""The AIQL language: lexer, parser, AST, formatting, and diagnostics."""
+
+from repro.lang import ast
+from repro.lang.errors import AiqlSyntaxError, check_syntax
+from repro.lang.highlight import highlight_ansi, highlight_html
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+
+__all__ = [
+    "ast", "AiqlSyntaxError", "check_syntax", "highlight_ansi",
+    "highlight_html", "tokenize", "parse", "pretty",
+]

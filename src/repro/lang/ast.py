@@ -1,0 +1,310 @@
+"""Typed abstract syntax trees for the three AIQL query classes.
+
+The parser produces exactly one of :class:`MultieventQuery`,
+:class:`DependencyQuery`, or :class:`AnomalyQuery`; all three share the
+global clauses (time window and spatial/attribute constraints) through
+:class:`QueryHeader`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.model.timeutil import Window
+
+# ---------------------------------------------------------------------------
+# Constraints and entity/event patterns
+# ---------------------------------------------------------------------------
+
+# Comparison operators usable in constraints.  ``like`` is what a bare
+# string constraint with wildcards desugars to.
+CONSTRAINT_OPS = ("=", "!=", "<", "<=", ">", ">=", "like", "in")
+
+
+@dataclass(frozen=True, slots=True)
+class Constraint:
+    """One attribute constraint inside ``[...]`` or a global clause.
+
+    ``attribute`` is None for bare default-attribute string constraints
+    (``["%cmd.exe"]``); the planner resolves it per entity type.
+    """
+
+    attribute: str | None
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in CONSTRAINT_OPS:
+            raise ValueError(f"bad constraint operator: {self.op!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class EntityPattern:
+    """``proc p1["%cmd.exe", agentid = 1]`` — a typed, constrained variable."""
+
+    entity_type: str
+    variable: str
+    constraints: tuple[Constraint, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class EventPattern:
+    """``subj op1 || op2 obj as evt`` — one event pattern declaration."""
+
+    subject: EntityPattern
+    operations: tuple[str, ...]
+    object: EntityPattern
+    event_var: str
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalRelation:
+    """``evt1 before evt2 [within 5 min]`` in a ``with`` clause."""
+
+    left: str
+    relation: str  # "before" | "after"
+    right: str
+    within: float | None = None  # seconds
+
+    def normalized(self) -> "TemporalRelation":
+        """Rewrite ``after`` as the symmetric ``before``."""
+        if self.relation == "before":
+            return self
+        return TemporalRelation(self.right, "before", self.left, self.within)
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeRelation:
+    """``p1.user = p2.user`` in a ``with`` clause.
+
+    An *explicit* attribute relationship between two variables (entity or
+    event), complementing the implicit relationships expressed by shared
+    variables.  The full AIQL system (ATC '18) supports these alongside
+    temporal relations.
+    """
+
+    left: "VarRef"
+    op: str  # = != < <= > >=
+    right: "VarRef"
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+# ---------------------------------------------------------------------------
+# Expressions (return items and having clauses)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class VarRef:
+    """``p1`` or ``p1.exe_name`` or ``evt.amount``."""
+
+    variable: str
+    attribute: str | None = None
+
+    def __str__(self) -> str:
+        if self.attribute is None:
+            return self.variable
+        return f"{self.variable}.{self.attribute}"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class AggCall:
+    """``avg(evt.amount)`` — an aggregate over matched events."""
+
+    func: str
+    arg: VarRef | None  # None for count(*) style counts
+
+    def __str__(self) -> str:
+        inner = str(self.arg) if self.arg is not None else "*"
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class HistoryRef:
+    """``amt[1]`` — the aliased aggregate, one sliding window back."""
+
+    alias: str
+    offset: int
+
+    def __str__(self) -> str:
+        return f"{self.alias}[{self.offset}]"
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp:
+    op: str  # + - * / % = != < <= > >= and or
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class NotOp:
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"(not {self.operand})"
+
+
+Expr = Union[VarRef, Literal, AggCall, HistoryRef, BinOp, NotOp]
+
+
+@dataclass(frozen=True, slots=True)
+class ReturnItem:
+    """One projection in a ``return`` clause, with an optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+    @property
+    def name(self) -> str:
+        """Result-column name: explicit alias or the expression text."""
+        return self.alias if self.alias is not None else str(self.expr)
+
+
+@dataclass(frozen=True, slots=True)
+class SortKey:
+    """One key of a ``sort by`` clause (ATC-AIQL result management)."""
+
+    expr: "VarRef"
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.expr} desc" if self.descending else str(self.expr)
+
+
+# ---------------------------------------------------------------------------
+# Query classes
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class QueryHeader:
+    """Shared global clauses: time window + global attribute constraints."""
+
+    window: Window | None = None
+    constraints: tuple[Constraint, ...] = ()
+
+    def agentids(self) -> set[int] | None:
+        """Agent ids pinned by equality/in constraints, or None if unbound."""
+        pinned: set[int] | None = None
+        for constraint in self.constraints:
+            if constraint.attribute != "agentid":
+                continue
+            if constraint.op == "=":
+                values = {int(constraint.value)}  # type: ignore[arg-type]
+            elif constraint.op == "in":
+                values = {int(v) for v in constraint.value}  # type: ignore
+            else:
+                continue
+            pinned = values if pinned is None else (pinned & values)
+        return pinned
+
+
+@dataclass(frozen=True, slots=True)
+class MultieventQuery:
+    """§2.2.1 — event patterns + temporal/attribute relationships."""
+
+    header: QueryHeader
+    patterns: tuple[EventPattern, ...]
+    temporal: tuple[TemporalRelation, ...]
+    return_items: tuple[ReturnItem, ...]
+    distinct: bool = False
+    relations: tuple[AttributeRelation, ...] = ()
+    sort_by: tuple[SortKey, ...] = ()
+    top: int | None = None
+
+    kind = "multievent"
+
+
+@dataclass(frozen=True, slots=True)
+class DependencyEdge:
+    """One edge of a dependency path.
+
+    ``subject_side`` records the arrow orientation: ``"left"`` for
+    ``X ->[op] Y`` (X is the event subject) and ``"right"`` for
+    ``X <-[op] Y`` (Y is the subject acting on X).
+    """
+
+    operations: tuple[str, ...]
+    subject_side: str  # "left" | "right"
+
+
+@dataclass(frozen=True, slots=True)
+class DependencyQuery:
+    """§2.2.2 — a forward/backward event path for causality tracking."""
+
+    header: QueryHeader
+    direction: str  # "forward" | "backward"
+    nodes: tuple[EntityPattern, ...]
+    edges: tuple[DependencyEdge, ...]
+    return_items: tuple[ReturnItem, ...]
+    distinct: bool = False
+    sort_by: tuple[SortKey, ...] = ()
+    top: int | None = None
+
+    kind = "dependency"
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.edges) + 1:
+            raise ValueError("a dependency path needs n+1 nodes for n edges")
+
+
+@dataclass(frozen=True, slots=True)
+class SlidingWindowSpec:
+    """``window = 1 min, step = 10 sec``."""
+
+    width: float  # seconds
+    step: float   # seconds
+
+
+@dataclass(frozen=True, slots=True)
+class AnomalyQuery:
+    """§2.2.3 — sliding windows + aggregation + historical access."""
+
+    header: QueryHeader
+    window_spec: SlidingWindowSpec
+    patterns: tuple[EventPattern, ...]
+    return_items: tuple[ReturnItem, ...]
+    group_by: tuple[VarRef, ...] = ()
+    having: Expr | None = None
+
+    kind = "anomaly"
+
+
+Query = Union[MultieventQuery, DependencyQuery, AnomalyQuery]
+
+
+def walk_expr(expr: Expr):
+    """Yield every node of an expression tree (pre-order)."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, NotOp):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, AggCall) and expr.arg is not None:
+        yield expr.arg
+
+
+def expr_aggregates(expr: Expr) -> list[AggCall]:
+    """All aggregate calls appearing in an expression."""
+    return [node for node in walk_expr(expr) if isinstance(node, AggCall)]
+
+
+def expr_history_refs(expr: Expr) -> list[HistoryRef]:
+    """All historical aggregate accesses appearing in an expression."""
+    return [node for node in walk_expr(expr) if isinstance(node, HistoryRef)]

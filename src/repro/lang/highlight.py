@@ -1,0 +1,150 @@
+"""Syntax highlighting for AIQL queries (web UI feature, §3).
+
+Two renderers share one token classification: ANSI escape codes for the CLI
+REPL and ``<span class="...">`` markup for the web UI.  Both operate on the
+raw source so whitespace and comments survive verbatim.
+"""
+
+from __future__ import annotations
+
+import html
+
+from repro.lang.lexer import Lexer
+from repro.lang.tokens import ENTITY_KEYWORDS, Token, TokenType
+
+# Classification names shared by both renderers (and the web UI CSS).
+KEYWORD = "kw"
+ENTITY = "entity"
+STRING = "str"
+NUMBER = "num"
+OPERATOR = "op"
+IDENT = "ident"
+COMMENT = "comment"
+
+_ANSI = {
+    KEYWORD: "\x1b[1;34m",   # bold blue
+    ENTITY: "\x1b[1;35m",    # bold magenta
+    STRING: "\x1b[32m",      # green
+    NUMBER: "\x1b[36m",      # cyan
+    OPERATOR: "\x1b[33m",    # yellow
+    IDENT: "",
+    COMMENT: "\x1b[90m",     # grey
+}
+_ANSI_RESET = "\x1b[0m"
+
+_OPERATOR_TYPES = {
+    TokenType.EQ, TokenType.NEQ, TokenType.LT, TokenType.LE, TokenType.GT,
+    TokenType.GE, TokenType.PLUS, TokenType.MINUS, TokenType.STAR,
+    TokenType.SLASH, TokenType.PERCENT, TokenType.OROR,
+    TokenType.ARROW_RIGHT, TokenType.ARROW_LEFT,
+}
+
+
+def classify(token: Token) -> str:
+    """Map a token to its highlight class."""
+    if token.type is TokenType.KEYWORD:
+        return ENTITY if token.text.lower() in ENTITY_KEYWORDS else KEYWORD
+    if token.type is TokenType.STRING:
+        return STRING
+    if token.type is TokenType.NUMBER:
+        return NUMBER
+    if token.type in _OPERATOR_TYPES:
+        return OPERATOR
+    return IDENT
+
+
+def _spans(source: str) -> list[tuple[str, str]]:
+    """Split source into (class, text) spans, preserving all characters.
+
+    Comments and whitespace between tokens are emitted as COMMENT /
+    untagged spans by scanning the gaps between token positions.  Source
+    that does not lex (the highlighter also runs on *invalid* queries,
+    e.g. in error payloads) degrades to one untagged span.
+    """
+    from repro.errors import ReproError
+
+    lexer = Lexer(source)
+    try:
+        tokens = lexer.tokens()
+    except ReproError:
+        return [("", source)]
+    # Recover byte offsets from line/col positions.
+    line_starts = [0]
+    for index, ch in enumerate(source):
+        if ch == "\n":
+            line_starts.append(index + 1)
+    spans: list[tuple[str, str]] = []
+    cursor = 0
+    for token in tokens:
+        if token.type is TokenType.EOF:
+            break
+        offset = line_starts[token.line - 1] + token.col - 1
+        if offset > cursor:
+            gap = source[cursor:offset]
+            spans.extend(_classify_gap(gap))
+        if token.type is TokenType.STRING:
+            raw_len = _raw_string_length(source, offset)
+            text = source[offset:offset + raw_len]
+        else:
+            text = token.text
+        spans.append((classify(token), text))
+        cursor = offset + len(text)
+    if cursor < len(source):
+        spans.extend(_classify_gap(source[cursor:]))
+    return spans
+
+
+def _raw_string_length(source: str, start: int) -> int:
+    index = start + 1
+    while index < len(source):
+        if source[index] == "\\" and index + 1 < len(source):
+            index += 2
+            continue
+        if source[index] == '"':
+            return index - start + 1
+        index += 1
+    return len(source) - start
+
+
+def _classify_gap(gap: str) -> list[tuple[str, str]]:
+    """Split inter-token text into comments and plain whitespace."""
+    spans: list[tuple[str, str]] = []
+    rest = gap
+    while rest:
+        comment_at = rest.find("//")
+        if comment_at == -1:
+            spans.append(("", rest))
+            break
+        if comment_at > 0:
+            spans.append(("", rest[:comment_at]))
+        end = rest.find("\n", comment_at)
+        if end == -1:
+            spans.append((COMMENT, rest[comment_at:]))
+            break
+        spans.append((COMMENT, rest[comment_at:end]))
+        rest = rest[end:]
+    return spans
+
+
+def highlight_ansi(source: str) -> str:
+    """Colorize a query for terminal display."""
+    out: list[str] = []
+    for cls, text in _spans(source):
+        color = _ANSI.get(cls, "")
+        if color:
+            out.append(f"{color}{text}{_ANSI_RESET}")
+        else:
+            out.append(text)
+    return "".join(out)
+
+
+def highlight_html(source: str) -> str:
+    """Render a query as HTML spans (classes: kw, entity, str, num, op)."""
+    out: list[str] = []
+    for cls, text in _spans(source):
+        escaped = html.escape(text)
+        if cls:
+            out.append(f'<span class="aiql-{cls}">{escaped}</span>')
+        else:
+            out.append(escaped)
+    return "".join(out)

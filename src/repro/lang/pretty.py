@@ -1,0 +1,147 @@
+"""Unparser: render a query AST back to canonical AIQL text.
+
+Used by the web UI (query formatting), the conciseness benchmark (which
+counts words/characters of canonical query text), and the round-trip
+property tests (``parse(pretty(parse(q)))`` is ``parse(q)``).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.lang import ast
+from repro.model.timeutil import SECONDS_PER_DAY, format_duration
+
+
+def _format_date(ts: float) -> str:
+    moment = _dt.datetime.fromtimestamp(ts, tz=_dt.timezone.utc)
+    if moment.hour == moment.minute == moment.second == 0:
+        return moment.strftime("%m/%d/%Y")
+    return moment.strftime("%m/%d/%Y %H:%M:%S")
+
+
+def _render_value(value: object) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(value, tuple):
+        return "(" + ", ".join(_render_value(v) for v in value) + ")"
+    return str(value)
+
+
+def _render_constraint(constraint: ast.Constraint) -> str:
+    if constraint.attribute is None:
+        # Bare default-attribute constraint.
+        return _render_value(constraint.value)
+    if constraint.op == "like":
+        # '=' against a wildcard string desugars back losslessly.
+        return f"{constraint.attribute} = {_render_value(constraint.value)}"
+    if constraint.op == "in":
+        return f"{constraint.attribute} in {_render_value(constraint.value)}"
+    return (f"{constraint.attribute} {constraint.op} "
+            f"{_render_value(constraint.value)}")
+
+
+def _render_entity(entity: ast.EntityPattern) -> str:
+    text = f"{entity.entity_type} {entity.variable}"
+    if entity.constraints:
+        inner = ", ".join(
+            _render_constraint(c) for c in entity.constraints)
+        text += f"[{inner}]"
+    return text
+
+
+def _render_header(header: ast.QueryHeader) -> list[str]:
+    lines: list[str] = []
+    if header.window is not None:
+        if header.window.duration == SECONDS_PER_DAY and (
+                header.window.start % SECONDS_PER_DAY == 0):
+            lines.append(f'(at "{_format_date(header.window.start)}")')
+        else:
+            lines.append(f'(from "{_format_date(header.window.start)}" '
+                         f'to "{_format_date(header.window.end)}")')
+    for constraint in header.constraints:
+        lines.append(_render_constraint(constraint))
+    return lines
+
+
+def _render_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.VarRef):
+        return str(expr)
+    if isinstance(expr, ast.Literal):
+        return _render_value(expr.value)
+    if isinstance(expr, ast.AggCall):
+        return str(expr)
+    if isinstance(expr, ast.HistoryRef):
+        return str(expr)
+    if isinstance(expr, ast.NotOp):
+        return f"not {_render_expr(expr.operand)}"
+    if isinstance(expr, ast.BinOp):
+        return (f"({_render_expr(expr.left)} {expr.op} "
+                f"{_render_expr(expr.right)})")
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def _render_return(items: tuple[ast.ReturnItem, ...], distinct: bool,
+                   sort_by: tuple[ast.SortKey, ...] = (),
+                   top: int | None = None) -> str:
+    rendered = []
+    for item in items:
+        text = _render_expr(item.expr)
+        if item.alias is not None:
+            text += f" as {item.alias}"
+        rendered.append(text)
+    prefix = "return distinct " if distinct else "return "
+    text = prefix + ", ".join(rendered)
+    if sort_by:
+        text += " sort by " + ", ".join(str(key) for key in sort_by)
+    if top is not None:
+        text += f" top {top}"
+    return text
+
+
+def _render_pattern(pattern: ast.EventPattern) -> str:
+    ops = " || ".join(pattern.operations)
+    return (f"{_render_entity(pattern.subject)} {ops} "
+            f"{_render_entity(pattern.object)} as {pattern.event_var}")
+
+
+def pretty(query: ast.Query) -> str:
+    """Canonical AIQL text for a parsed query."""
+    lines = _render_header(query.header)
+    if isinstance(query, ast.MultieventQuery):
+        lines.extend(_render_pattern(p) for p in query.patterns)
+        clauses = []
+        for rel in query.temporal:
+            text = f"{rel.left} {rel.relation} {rel.right}"
+            if rel.within is not None:
+                text += f" within {format_duration(rel.within)}"
+            clauses.append(text)
+        clauses.extend(str(relation) for relation in query.relations)
+        if clauses:
+            lines.append("with " + ", ".join(clauses))
+        lines.append(_render_return(query.return_items, query.distinct,
+                                    query.sort_by, query.top))
+    elif isinstance(query, ast.DependencyQuery):
+        chain = [_render_entity(query.nodes[0])]
+        for edge, node in zip(query.edges, query.nodes[1:]):
+            ops = " || ".join(edge.operations)
+            arrow = "->" if edge.subject_side == "left" else "<-"
+            chain.append(f"{arrow}[{ops}] {_render_entity(node)}")
+        lines.append(f"{query.direction}: " + " ".join(chain))
+        lines.append(_render_return(query.return_items, query.distinct,
+                                    query.sort_by, query.top))
+    elif isinstance(query, ast.AnomalyQuery):
+        lines.append(
+            f"window = {format_duration(query.window_spec.width)}, "
+            f"step = {format_duration(query.window_spec.step)}")
+        lines.extend(_render_pattern(p) for p in query.patterns)
+        lines.append(_render_return(query.return_items, False))
+        if query.group_by:
+            lines.append("group by " + ", ".join(
+                str(ref) for ref in query.group_by))
+        if query.having is not None:
+            lines.append(f"having {_render_expr(query.having)}")
+    else:
+        raise TypeError(f"unknown query node: {query!r}")
+    return "\n".join(lines)

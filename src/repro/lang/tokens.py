@@ -1,0 +1,78 @@
+"""Token definitions for the AIQL language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    IDENT = auto()
+    KEYWORD = auto()
+    STRING = auto()
+    NUMBER = auto()
+
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    COMMA = auto()
+    DOT = auto()
+    COLON = auto()
+
+    EQ = auto()          # =
+    NEQ = auto()         # !=
+    LT = auto()          # <
+    LE = auto()          # <=
+    GT = auto()          # >
+    GE = auto()          # >=
+    PLUS = auto()        # +
+    MINUS = auto()       # -
+    STAR = auto()        # *
+    SLASH = auto()       # /
+    PERCENT = auto()     # % (modulo in having expressions)
+    OROR = auto()        # || (operation alternation)
+    ARROW_RIGHT = auto() # ->
+    ARROW_LEFT = auto()  # <-
+
+    EOF = auto()
+
+
+# Reserved words, matched case-insensitively.  Entity types and clause
+# introducers are keywords; aggregate function names stay plain identifiers
+# and are resolved by the parser so new aggregates need no lexer change.
+KEYWORDS = frozenset({
+    "at", "from", "to", "as", "with", "before", "after", "within",
+    "return", "distinct", "group", "by", "having", "window", "step",
+    "forward", "backward", "and", "or", "not", "in", "like",
+    "proc", "file", "ip",
+    "sort", "top", "asc", "desc",
+})
+
+ENTITY_KEYWORDS = frozenset({"proc", "file", "ip"})
+
+COMPARISON_TOKENS = frozenset({
+    TokenType.EQ, TokenType.NEQ, TokenType.LT, TokenType.LE,
+    TokenType.GT, TokenType.GE,
+})
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position (1-based line/col)."""
+
+    type: TokenType
+    text: str
+    line: int
+    col: int
+    value: object = None
+
+    @property
+    def keyword(self) -> str | None:
+        """Lower-cased keyword text, or None for non-keywords."""
+        if self.type is TokenType.KEYWORD:
+            return self.text.lower()
+        return None
+
+    def __str__(self) -> str:
+        return f"{self.type.name}({self.text!r})@{self.line}:{self.col}"

@@ -1,0 +1,29 @@
+"""Domain data model: system entities, SVO events, attributes, and time.
+
+This is the data model of §2.1 of the paper: system monitoring data records
+interactions among system entities (processes, files, network connections)
+as timestamped system events occurring on a particular host (agent).
+"""
+
+from repro.model.entities import (ENTITY_TYPES, FILE, NETWORK, PROCESS,
+                                  DEFAULT_ATTRIBUTE, Entity, FileEntity,
+                                  NetworkEntity, ProcessEntity,
+                                  canonical_attribute, entity_attributes)
+from repro.model.events import (ALL_OPERATIONS, EVENT_ATTRIBUTES,
+                                FILE_OPERATIONS, NETWORK_OPERATIONS,
+                                OPERATIONS_BY_TYPE, PROCESS_OPERATIONS, Event,
+                                canonical_event_attribute, validate_operation)
+from repro.model.timeutil import (Window, format_duration, format_timestamp,
+                                  parse_duration, parse_timestamp,
+                                  sliding_windows)
+
+__all__ = [
+    "ENTITY_TYPES", "FILE", "NETWORK", "PROCESS", "DEFAULT_ATTRIBUTE",
+    "Entity", "FileEntity", "NetworkEntity", "ProcessEntity",
+    "canonical_attribute", "entity_attributes",
+    "ALL_OPERATIONS", "EVENT_ATTRIBUTES", "FILE_OPERATIONS",
+    "NETWORK_OPERATIONS", "OPERATIONS_BY_TYPE", "PROCESS_OPERATIONS",
+    "Event", "canonical_event_attribute", "validate_operation",
+    "Window", "format_duration", "format_timestamp", "parse_duration",
+    "parse_timestamp", "sliding_windows",
+]

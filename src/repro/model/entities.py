@@ -1,0 +1,183 @@
+"""System entities: processes, files, and network connections.
+
+The AIQL data model (§2.1 of the paper) treats system monitoring data as
+interactions among three kinds of system entities.  Each entity carries the
+critical security-related attributes the collection agents record (file
+name, process executable name, IPs, ports, ...).
+
+Entities are value-like and hashable on their *identity key* — the attribute
+tuple that the storage layer uses for deduplication (interning).  Two
+occurrences of the same process in different events intern to one entity
+record, which is one of the paper's storage optimizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DataModelError
+
+PROCESS = "proc"
+FILE = "file"
+NETWORK = "ip"
+
+ENTITY_TYPES = (PROCESS, FILE, NETWORK)
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessEntity:
+    """A process, identified per host by pid + start time.
+
+    ``exe_name`` is the executable image name (e.g. ``cmd.exe``); it is the
+    *default attribute* used by bare string constraints such as
+    ``proc p1["%cmd.exe"]``.
+    """
+
+    agentid: int
+    pid: int
+    exe_name: str
+    user: str = "system"
+    cmdline: str = ""
+    start_time: float = 0.0
+
+    entity_type = PROCESS
+
+    @property
+    def identity(self) -> tuple:
+        return (PROCESS, self.agentid, self.pid, self.start_time)
+
+    @property
+    def default_attribute(self) -> str:
+        return self.exe_name
+
+    def attribute(self, name: str) -> object:
+        return _attribute(self, name)
+
+    def __str__(self) -> str:
+        return f"proc({self.exe_name}, pid={self.pid}, agent={self.agentid})"
+
+
+@dataclass(frozen=True, slots=True)
+class FileEntity:
+    """A file, identified per host by its full path (``name``)."""
+
+    agentid: int
+    name: str
+    owner: str = "root"
+
+    entity_type = FILE
+
+    @property
+    def identity(self) -> tuple:
+        return (FILE, self.agentid, self.name)
+
+    @property
+    def default_attribute(self) -> str:
+        return self.name
+
+    def attribute(self, name: str) -> object:
+        return _attribute(self, name)
+
+    def __str__(self) -> str:
+        return f"file({self.name}, agent={self.agentid})"
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkEntity:
+    """A network connection, identified by its flow 5-tuple."""
+
+    agentid: int
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+    protocol: str = "tcp"
+
+    entity_type = NETWORK
+
+    @property
+    def identity(self) -> tuple:
+        return (NETWORK, self.agentid, self.src_ip, self.src_port,
+                self.dst_ip, self.dst_port, self.protocol)
+
+    @property
+    def default_attribute(self) -> str:
+        return self.dst_ip
+
+    def attribute(self, name: str) -> object:
+        return _attribute(self, name)
+
+    def __str__(self) -> str:
+        return (f"ip({self.src_ip}:{self.src_port} -> "
+                f"{self.dst_ip}:{self.dst_port})")
+
+
+Entity = ProcessEntity | FileEntity | NetworkEntity
+
+# Attribute aliases accepted in AIQL constraint/return position, per entity
+# type.  The paper's queries write ``dstip`` and rely on context-aware
+# shortcuts, so aliases are part of the language surface.
+_ALIASES: dict[str, dict[str, str]] = {
+    PROCESS: {
+        "name": "exe_name",
+        "exe": "exe_name",
+        "exename": "exe_name",
+        "image": "exe_name",
+        "starttime": "start_time",
+    },
+    FILE: {
+        "path": "name",
+        "filename": "name",
+    },
+    NETWORK: {
+        "dstip": "dst_ip",
+        "srcip": "src_ip",
+        "dstport": "dst_port",
+        "srcport": "src_port",
+        "dip": "dst_ip",
+        "sip": "src_ip",
+        "proto": "protocol",
+    },
+}
+
+_FIELDS: dict[str, tuple[str, ...]] = {
+    PROCESS: ("agentid", "pid", "exe_name", "user", "cmdline", "start_time"),
+    FILE: ("agentid", "name", "owner"),
+    NETWORK: ("agentid", "src_ip", "src_port", "dst_ip", "dst_port",
+              "protocol"),
+}
+
+DEFAULT_ATTRIBUTE: dict[str, str] = {
+    PROCESS: "exe_name",
+    FILE: "name",
+    NETWORK: "dst_ip",
+}
+
+
+def canonical_attribute(entity_type: str, name: str) -> str:
+    """Resolve an attribute name (or alias) for an entity type.
+
+    Raises :class:`DataModelError` when the attribute does not exist; the
+    parser surfaces this as a semantic error with the query position.
+    """
+    if entity_type not in _FIELDS:
+        raise DataModelError(f"unknown entity type: {entity_type!r}")
+    lowered = name.lower()
+    resolved = _ALIASES[entity_type].get(lowered, lowered)
+    if resolved not in _FIELDS[entity_type]:
+        raise DataModelError(
+            f"entity type {entity_type!r} has no attribute {name!r} "
+            f"(known: {', '.join(_FIELDS[entity_type])})")
+    return resolved
+
+
+def entity_attributes(entity_type: str) -> tuple[str, ...]:
+    """The canonical attribute names of an entity type."""
+    if entity_type not in _FIELDS:
+        raise DataModelError(f"unknown entity type: {entity_type!r}")
+    return _FIELDS[entity_type]
+
+
+def _attribute(entity: Entity, name: str) -> object:
+    resolved = canonical_attribute(entity.entity_type, name)
+    return getattr(entity, resolved)

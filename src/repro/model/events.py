@@ -1,0 +1,109 @@
+"""System events: the SVO (subject, operation, object) records.
+
+A system event is an interaction between two system entities observed at the
+kernel level: the *subject* is always a process; the *object* is a file,
+process, or network connection (§2.1).  Events are categorized into file
+events, process events, and network events by the type of their object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DataModelError
+from repro.model.entities import (FILE, NETWORK, PROCESS, Entity, FileEntity,
+                                  NetworkEntity, ProcessEntity)
+
+# Operations grouped by the event type they belong to.  The vocabulary covers
+# the demo paper's queries (start, read, write, connect, ...) plus the usual
+# audit-framework operations a collection agent reports.
+FILE_OPERATIONS = frozenset(
+    {"read", "write", "create", "delete", "rename", "execute", "chmod"})
+PROCESS_OPERATIONS = frozenset({"start", "end", "connect", "inject"})
+NETWORK_OPERATIONS = frozenset(
+    {"read", "write", "connect", "accept", "send", "recv"})
+
+OPERATIONS_BY_TYPE = {
+    FILE: FILE_OPERATIONS,
+    PROCESS: PROCESS_OPERATIONS,
+    NETWORK: NETWORK_OPERATIONS,
+}
+
+ALL_OPERATIONS = FILE_OPERATIONS | PROCESS_OPERATIONS | NETWORK_OPERATIONS
+
+# Event-level attributes addressable in AIQL (e.g. ``evt.amount``).
+EVENT_ATTRIBUTES = ("id", "ts", "agentid", "operation", "amount", "failcode")
+
+_EVENT_ATTRIBUTE_ALIASES = {
+    "time": "ts",
+    "timestamp": "ts",
+    "starttime": "ts",
+    "op": "operation",
+    "size": "amount",
+    "bytes": "amount",
+}
+
+
+def canonical_event_attribute(name: str) -> str:
+    """Resolve an event attribute name or alias (``evt.amount`` etc.)."""
+    lowered = name.lower()
+    resolved = _EVENT_ATTRIBUTE_ALIASES.get(lowered, lowered)
+    if resolved not in EVENT_ATTRIBUTES:
+        raise DataModelError(
+            f"events have no attribute {name!r} "
+            f"(known: {', '.join(EVENT_ATTRIBUTES)})")
+    return resolved
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One system event: ``<subject, operation, object>`` at a time, on a host.
+
+    ``amount`` is the data size in bytes for read/write/send/recv events (the
+    attribute the paper's anomaly query aggregates); it is zero for
+    operations without a payload.
+    """
+
+    id: int
+    ts: float
+    agentid: int
+    operation: str
+    subject: ProcessEntity
+    object: Entity
+    amount: int = 0
+    failcode: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.subject, ProcessEntity):
+            raise DataModelError("event subjects must be processes")
+        allowed = OPERATIONS_BY_TYPE[self.object.entity_type]
+        if self.operation not in allowed:
+            raise DataModelError(
+                f"operation {self.operation!r} is not valid for "
+                f"{self.object.entity_type} events")
+
+    @property
+    def event_type(self) -> str:
+        """``file``, ``proc``, or ``ip`` — the object's entity type."""
+        return self.object.entity_type
+
+    def attribute(self, name: str) -> object:
+        """Event-level attribute access with alias resolution."""
+        return getattr(self, canonical_event_attribute(name))
+
+    def __str__(self) -> str:
+        return (f"evt#{self.id}@{self.ts:.3f} agent={self.agentid} "
+                f"{self.subject.exe_name} {self.operation} {self.object}")
+
+
+def validate_operation(entity_type: str, operation: str) -> str:
+    """Check an operation against an object entity type; returns it lowered."""
+    lowered = operation.lower()
+    allowed = OPERATIONS_BY_TYPE.get(entity_type)
+    if allowed is None:
+        raise DataModelError(f"unknown entity type: {entity_type!r}")
+    if lowered not in allowed:
+        raise DataModelError(
+            f"operation {operation!r} is not valid for {entity_type} events "
+            f"(valid: {', '.join(sorted(allowed))})")
+    return lowered

@@ -1,0 +1,16 @@
+"""Domain-specific storage: hypertable partitions, indexes, dedup, ingest."""
+
+from repro.storage.dedup import EntityInterner, EventMerger
+from repro.storage.indexes import (PostingIndex, TimeIndex, like_match,
+                                   like_to_regex)
+from repro.storage.ingest import IngestPipeline, IngestStats
+from repro.storage.partition import Hypertable, Partition
+from repro.storage.stats import PatternProfile, estimate_total
+from repro.storage.store import EventStore
+
+__all__ = [
+    "EntityInterner", "EventMerger", "PostingIndex", "TimeIndex",
+    "like_match", "like_to_regex", "IngestPipeline", "IngestStats",
+    "Hypertable", "Partition", "PatternProfile", "estimate_total",
+    "EventStore",
+]

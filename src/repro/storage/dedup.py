@@ -1,0 +1,101 @@
+"""Data deduplication: entity interning and repeated-event merging.
+
+§2.1 lists "data deduplication and in-memory indexes" among the write-path
+optimizations.  Two mechanisms are implemented:
+
+* :class:`EntityInterner` — every entity is stored once; events reference
+  the canonical instance.  This both saves memory and makes identity joins
+  (shared entity variables across event patterns) pointer comparisons.
+* :class:`EventMerger` — consecutive events with the same
+  (subject, operation, object) within a merge window collapse into one
+  event whose ``amount`` is the sum.  This mirrors the CCS'16
+  dependency-preserving reduction the paper cites [11]: merging repeated
+  identical accesses never changes reachability in the dependency graph.
+"""
+
+from __future__ import annotations
+
+from repro.model.entities import Entity
+from repro.model.events import Event
+
+
+class EntityInterner:
+    """Canonicalizes entities on their identity key."""
+
+    __slots__ = ("_table", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._table: dict[tuple, Entity] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def intern(self, entity: Entity) -> Entity:
+        key = entity.identity
+        existing = self._table.get(key)
+        if existing is not None:
+            self.hits += 1
+            return existing
+        self._table[key] = entity
+        self.misses += 1
+        return entity
+
+    def lookup(self, identity: tuple) -> Entity | None:
+        return self._table.get(identity)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of intern calls answered from the table."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class EventMerger:
+    """Merges bursts of identical events within a time window.
+
+    The merger is streaming: feed events in rough timestamp order through
+    :meth:`push`, collect merged events, then :meth:`flush` at the end.  An
+    event is merged into a pending one when subject, object, operation, and
+    failcode all match and the gap is below ``merge_window`` seconds.
+    """
+
+    def __init__(self, merge_window: float = 1.0) -> None:
+        self.merge_window = merge_window
+        self._pending: dict[tuple, Event] = {}
+        self.merged_away = 0
+
+    def _key(self, event: Event) -> tuple:
+        return (event.agentid, event.subject.identity, event.operation,
+                event.object.identity, event.failcode)
+
+    def push(self, event: Event) -> list[Event]:
+        """Offer one event; returns events that are now final."""
+        key = self._key(event)
+        pending = self._pending.get(key)
+        emitted: list[Event] = []
+        if pending is not None:
+            if event.ts - pending.ts <= self.merge_window:
+                merged = Event(
+                    id=pending.id,
+                    ts=pending.ts,
+                    agentid=pending.agentid,
+                    operation=pending.operation,
+                    subject=pending.subject,
+                    object=pending.object,
+                    amount=pending.amount + event.amount,
+                    failcode=pending.failcode,
+                )
+                self._pending[key] = merged
+                self.merged_away += 1
+                return emitted
+            emitted.append(pending)
+        self._pending[key] = event
+        return emitted
+
+    def flush(self) -> list[Event]:
+        """Emit all still-pending events (call once at end of stream)."""
+        emitted = sorted(self._pending.values(), key=lambda e: (e.ts, e.id))
+        self._pending.clear()
+        return emitted

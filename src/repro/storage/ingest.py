@@ -1,0 +1,89 @@
+"""Batch-commit ingest pipeline.
+
+The paper's write path buffers incoming agent events and commits them in
+batches ("batch commit"), optionally running the deduplication passes first.
+:class:`IngestPipeline` reproduces that pipeline in front of an
+:class:`~repro.storage.store.EventStore`:
+
+    agent stream -> [EventMerger] -> batch buffer -> store.ingest(batch)
+
+The merger is optional because merging changes event multiplicity; the
+storage ablation benchmark toggles it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.model.events import Event
+from repro.storage.dedup import EventMerger
+from repro.storage.store import EventStore
+
+
+@dataclass
+class IngestStats:
+    """Counters for one pipeline's lifetime."""
+
+    received: int = 0
+    committed: int = 0
+    batches: int = 0
+    merged_away: int = 0
+
+
+class IngestPipeline:
+    """Buffers events and commits them to the store in batches."""
+
+    def __init__(self, store: EventStore, batch_size: int = 1000,
+                 merge_window: float | None = None) -> None:
+        if batch_size <= 0:
+            raise StorageError("batch size must be positive")
+        self._store = store
+        self._batch_size = batch_size
+        self._buffer: list[Event] = []
+        self._merger = (EventMerger(merge_window)
+                        if merge_window is not None else None)
+        self.stats = IngestStats()
+        self._closed = False
+
+    def add(self, event: Event) -> None:
+        """Accept one event from an agent; commits when a batch fills."""
+        if self._closed:
+            raise StorageError("pipeline is closed")
+        self.stats.received += 1
+        if self._merger is not None:
+            self._buffer.extend(self._merger.push(event))
+        else:
+            self._buffer.append(event)
+        if len(self._buffer) >= self._batch_size:
+            self._commit()
+
+    def add_all(self, events) -> None:
+        for event in events:
+            self.add(event)
+
+    def _commit(self) -> None:
+        if not self._buffer:
+            return
+        self._store.ingest(self._buffer)
+        self.stats.committed += len(self._buffer)
+        self.stats.batches += 1
+        self._buffer.clear()
+
+    def close(self) -> IngestStats:
+        """Flush the merger and the buffer; returns final counters."""
+        if self._closed:
+            return self.stats
+        if self._merger is not None:
+            self._buffer.extend(self._merger.flush())
+            self.stats.merged_away = self._merger.merged_away
+        self._commit()
+        self._closed = True
+        return self.stats
+
+    def __enter__(self) -> "IngestPipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()

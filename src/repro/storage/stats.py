@@ -1,0 +1,95 @@
+"""Storage statistics feeding the engine's pruning-power estimation.
+
+The optimized scheduler (§2.3) prioritizes event patterns "with higher
+pruning power".  Pruning power is the inverse of estimated match
+cardinality, and that estimate comes from the per-partition posting-index
+cardinalities collected here: how many events carry a given operation, event
+type, subject name, or object value.
+
+Estimates are exact for exact-match constraints (they read posting sizes)
+and computed by key-space matching for LIKE patterns; both are cheap because
+the distinct-value vocabulary of audit data is small relative to event
+volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.timeutil import Window
+from repro.storage.partition import Partition
+
+
+@dataclass(frozen=True, slots=True)
+class PatternProfile:
+    """The index-visible parts of one event pattern's data query.
+
+    ``subject_exact``/``subject_like`` constrain the subject executable
+    name; ``object_exact``/``object_like`` constrain the object's default
+    attribute.  ``operations`` is the allowed operation set (possibly from a
+    ``read || write`` alternation) and ``event_type`` the object type.
+    """
+
+    event_type: str | None
+    operations: frozenset[str] | None
+    subject_exact: str | None = None
+    subject_like: str | None = None
+    object_exact: str | None = None
+    object_like: str | None = None
+
+
+def estimate_partition(partition: Partition, profile: PatternProfile,
+                       window: Window | None) -> int:
+    """Estimated number of events in this partition matching the profile.
+
+    The estimate is the minimum across the independent per-index counts —
+    the tightest single-index bound, which is exactly the candidate-list
+    size the executor would fetch.  The time dimension scales the bound by
+    the window's overlap with the partition's population.
+    """
+    total = len(partition)
+    if total == 0:
+        return 0
+    bounds = [total]
+    if profile.event_type is not None and profile.operations:
+        bounds.append(sum(
+            partition.by_type_operation.count((profile.event_type, op))
+            for op in profile.operations))
+    elif profile.event_type is not None:
+        bounds.append(partition.by_type.count(profile.event_type))
+    elif profile.operations:
+        bounds.append(sum(
+            partition.by_operation.count(op) for op in profile.operations))
+    if profile.subject_exact is not None:
+        bounds.append(partition.by_subject_name.count(profile.subject_exact))
+    elif profile.subject_like is not None:
+        bounds.append(partition.by_subject_name.count_like(
+            profile.subject_like))
+    if profile.object_exact is not None and profile.event_type is not None:
+        bounds.append(partition.by_object_value.count(
+            (profile.event_type, profile.object_exact)))
+    elif profile.object_like is not None and profile.event_type is not None:
+        bounds.append(sum(
+            len(partition.by_object_value.lookup(key))
+            for key in partition.by_object_value.keys()
+            if key[0] == profile.event_type and isinstance(key[1], str)
+            and _like(profile.object_like, key[1])))
+    bound = min(bounds)
+    if window is not None and bound:
+        in_window = partition.time_index.count_range(window.start, window.end)
+        # Scale by the window's share of the partition, assuming the
+        # constrained attribute is independent of time within one bucket.
+        bound = min(bound, max(1, round(bound * in_window / total))
+                    if in_window else 0)
+    return bound
+
+
+def _like(pattern: str, value: str) -> bool:
+    from repro.storage.indexes import like_match
+    return like_match(pattern, value)
+
+
+def estimate_total(partitions: list[Partition], profile: PatternProfile,
+                   window: Window | None) -> int:
+    """Total estimated cardinality over a pruned partition list."""
+    return sum(estimate_partition(p, profile, window) for p in partitions)

@@ -1,0 +1,203 @@
+"""The EventStore: the domain-specific storage facade.
+
+This is the storage component of Figure 1 ("Optimized Databases") as a pure
+Python substrate.  It combines the hypertable (time+space partitioning),
+per-partition in-memory indexes, entity interning, and statistics, and
+exposes the two operations the engine needs:
+
+* :meth:`EventStore.candidates` — fetch the cheapest index-backed candidate
+  list for an event pattern's data query (partition pruning + best access
+  path selection);
+* :meth:`EventStore.estimate` — cardinality estimation feeding the
+  scheduler's pruning-power ordering.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import StorageError
+from repro.model.entities import Entity, ProcessEntity
+from repro.model.events import Event, validate_operation
+from repro.model.timeutil import SECONDS_PER_DAY, Window
+from repro.storage.dedup import EntityInterner
+from repro.storage.indexes import clip_to_window, like_to_regex
+from repro.storage.partition import Hypertable, Partition
+from repro.storage.stats import PatternProfile, estimate_partition
+
+
+class EventStore:
+    """In-memory, partitioned, indexed store for system monitoring data."""
+
+    def __init__(self, bucket_seconds: float = SECONDS_PER_DAY) -> None:
+        self._table = Hypertable(bucket_seconds)
+        self._interner = EntityInterner()
+        self._next_id = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def record(self, ts: float, agentid: int, operation: str,
+               subject: ProcessEntity, obj: Entity, amount: int = 0,
+               failcode: int = 0) -> Event:
+        """Build, intern, store, and return one event (agent write path)."""
+        subject = self._interner.intern(subject)
+        obj = self._interner.intern(obj)
+        operation = validate_operation(obj.entity_type, operation)
+        event = Event(id=next(self._next_id), ts=ts, agentid=agentid,
+                      operation=operation, subject=subject, object=obj,
+                      amount=amount, failcode=failcode)
+        self._table.add(event)
+        return event
+
+    def ingest(self, events: Iterable[Event]) -> int:
+        """Store pre-built events, interning their entities. Returns count."""
+        count = 0
+        for event in events:
+            subject = self._interner.intern(event.subject)
+            obj = self._interner.intern(event.object)
+            if subject is not event.subject or obj is not event.object:
+                event = Event(id=event.id, ts=event.ts, agentid=event.agentid,
+                              operation=event.operation, subject=subject,
+                              object=obj, amount=event.amount,
+                              failcode=event.failcode)
+            self._table.add(event)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def partitions(self, window: Window | None,
+                   agentids: set[int] | None) -> list[Partition]:
+        return self._table.prune(window, agentids)
+
+    def scan(self, window: Window | None = None,
+             agentids: set[int] | None = None) -> list[Event]:
+        """All events matching the spatial/temporal bounds (full scan)."""
+        events: list[Event] = []
+        for partition in self._table.prune(window, agentids):
+            if window is None:
+                events.extend(partition.events())
+            else:
+                events.extend(partition.events_in(window))
+        events.sort(key=lambda e: (e.ts, e.id))
+        return events
+
+    def candidates(self, profile: PatternProfile,
+                   window: Window | None = None,
+                   agentids: set[int] | None = None) -> list[Event]:
+        """Cheapest index-backed superset of events matching the profile.
+
+        The returned list still requires residual predicate evaluation
+        (named attribute comparisons the indexes do not cover), but it is
+        already restricted by the best single index per partition and
+        clipped to the time window.
+        """
+        out: list[Event] = []
+        for partition in self._table.prune(window, agentids):
+            fetched = _best_access_path(partition, profile)
+            if window is not None:
+                fetched = clip_to_window(fetched, window.start, window.end)
+            out.extend(fetched)
+        return out
+
+    def estimate(self, profile: PatternProfile,
+                 window: Window | None = None,
+                 agentids: set[int] | None = None) -> int:
+        """Estimated match cardinality (the pruning-power signal)."""
+        return sum(
+            estimate_partition(partition, profile, window)
+            for partition in self._table.prune(window, agentids))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def span(self) -> Window | None:
+        return self._table.span
+
+    @property
+    def agentids(self) -> set[int]:
+        return self._table.agentids
+
+    @property
+    def entity_count(self) -> int:
+        return len(self._interner)
+
+    @property
+    def dedup_ratio(self) -> float:
+        return self._interner.dedup_ratio
+
+    @property
+    def partition_count(self) -> int:
+        return self._table.partition_count
+
+    @property
+    def bucket_seconds(self) -> float:
+        return self._table.bucket_seconds
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+def _best_access_path(partition: Partition,
+                      profile: PatternProfile) -> Sequence[Event]:
+    """Pick the single cheapest index for this partition and profile.
+
+    Candidate paths are costed by their (exactly known) result sizes; the
+    smallest wins.  Falls back to the event-type posting list, then to a
+    full partition read.
+    """
+    paths: list[tuple[int, Callable[[], Sequence[Event]]]] = []
+    if profile.subject_exact is not None:
+        count = partition.by_subject_name.count(profile.subject_exact)
+        paths.append((count, lambda: partition.by_subject_name.lookup(
+            profile.subject_exact)))
+    if profile.object_exact is not None and profile.event_type is not None:
+        key = (profile.event_type, profile.object_exact)
+        paths.append((partition.by_object_value.count(key),
+                      lambda: partition.by_object_value.lookup(key)))
+    if profile.event_type is not None and profile.operations:
+        ops = sorted(profile.operations)
+        count = sum(partition.by_type_operation.count(
+            (profile.event_type, op)) for op in ops)
+
+        def _by_ops() -> list[Event]:
+            merged: list[Event] = []
+            for op in ops:
+                merged.extend(partition.by_type_operation.lookup(
+                    (profile.event_type, op)))
+            return merged
+
+        paths.append((count, _by_ops))
+    if profile.subject_like is not None:
+        count = partition.by_subject_name.count_like(profile.subject_like)
+        paths.append((count, lambda: partition.by_subject_name.lookup_like(
+            profile.subject_like)))
+    if profile.object_like is not None and profile.event_type is not None:
+        # Resolve the matching keys once: the key scan is cheap (distinct
+        # attribute values, not events) and gives the exact path cost.
+        regex = like_to_regex(profile.object_like)
+        matched_keys = [
+            key for key in partition.by_object_value.keys()
+            if key[0] == profile.event_type and isinstance(key[1], str)
+            and regex.match(key[1])]
+        count = sum(partition.by_object_value.count(key)
+                    for key in matched_keys)
+
+        def _by_object_like() -> list[Event]:
+            matched: list[Event] = []
+            for key in matched_keys:
+                matched.extend(partition.by_object_value.lookup(key))
+            return matched
+
+        paths.append((count, _by_object_like))
+    if profile.event_type is not None:
+        paths.append((partition.by_type.count(profile.event_type),
+                      lambda: partition.by_type.lookup(profile.event_type)))
+    if not paths:
+        return partition.events()
+    paths.sort(key=lambda pair: pair[0])
+    return paths[0][1]()

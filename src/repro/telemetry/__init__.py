@@ -1,0 +1,14 @@
+"""Simulated enterprise telemetry: hosts, benign workloads, APT attacks."""
+
+from repro.telemetry.collector import (SCENARIO_DATE, Scenario,
+                                       build_case2_scenario,
+                                       build_demo_scenario)
+from repro.telemetry.enterprise import (ATTACKER_IP, Enterprise, Host,
+                                        demo_enterprise)
+from repro.telemetry.factory import EventFactory
+
+__all__ = [
+    "SCENARIO_DATE", "Scenario", "build_case2_scenario",
+    "build_demo_scenario", "ATTACKER_IP", "Enterprise", "Host",
+    "demo_enterprise", "EventFactory",
+]

@@ -1,0 +1,232 @@
+"""The demo's five-step APT attack (§3, Figure 2).
+
+Each step emits the exact artifacts the investigation queries in
+:mod:`repro.investigate.figure4_queries` search for; constants are exported
+so catalogs and tests never drift from the simulator.
+
+  a1 Initial Compromise   — UnrealIRCd RCE on the web server, telnet
+                            back-connect to the attacker (CVE-2010-2075)
+  a2 Malware Infection    — malware dropped on the web server, spreading to
+                            the Windows client over the intranet
+  a3 Privilege Escalation — CVE-2015-1701, then Mimikatz/Kiwi memory dumps
+  a4 User Credentials     — PwDump7/WCE on the domain controller
+  a5 Data Exfiltration    — database dumped via OSQL, sent to the attacker
+                            by the sbblv.exe malware and a PowerShell stage
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.events import Event
+from repro.model.timeutil import SECONDS_PER_MINUTE
+from repro.telemetry.enterprise import (DATABASE_SERVER, DOMAIN_CONTROLLER,
+                                        Enterprise, LINUX_WEB_SERVER,
+                                        WINDOWS_CLIENT)
+from repro.telemetry.factory import EventFactory
+
+# ---------------------------------------------------------------------------
+# Attack artifacts (referenced by the query catalog and the tests)
+# ---------------------------------------------------------------------------
+IRC_SERVER = "unrealircd"
+SHELL = "/bin/sh"
+TELNET_PORT = 31337
+MALWARE_DROPPER = "/tmp/.rcbot/rcbot"
+MALWARE_WEB = "rcbot"
+MALWARE_CLIENT_FILE = r"C:\Windows\Temp\svchost_upd.exe"
+MALWARE_CLIENT = "svchost_upd.exe"
+EXPLOIT_DLL = r"C:\Windows\Temp\cve_2015_1701.dll"
+MIMIKATZ = "mimikatz.exe"
+KIWI = "kiwi.exe"
+LSASS_DUMP = r"C:\Windows\Temp\lsass.dmp"
+CREDS_FILE = r"C:\Windows\Temp\creds.txt"
+PWDUMP = "PwDump7.exe"
+WCE = "WCE.exe"
+NTDS_FILE = r"C:\Windows\NTDS\ntds.dit"
+DC_DUMP_FILE = r"C:\Windows\Temp\pwdump_all.txt"
+WCE_DUMP_FILE = r"C:\Windows\Temp\wce_creds.txt"
+OSQL = "osql.exe"
+SQLSERVR = "sqlservr.exe"
+CMD = "cmd.exe"
+DB_DUMP = r"C:\backup\backup1.dmp"
+DB_BAK = r"C:\backup\db.bak"
+EXFIL_MALWARE = "sbblv.exe"
+POWERSHELL = "powershell.exe"
+
+# Sub-step offsets (seconds) from the attack start.
+STEP_OFFSETS = {
+    "a1": 0.0,
+    "a2": 10 * SECONDS_PER_MINUTE,
+    "a3": 25 * SECONDS_PER_MINUTE,
+    "a4": 40 * SECONDS_PER_MINUTE,
+    "a5": 55 * SECONDS_PER_MINUTE,
+}
+
+
+@dataclass
+class AptTrace:
+    """The injected attack events plus the key timestamps per step."""
+
+    events: list[Event] = field(default_factory=list)
+    step_times: dict[str, float] = field(default_factory=dict)
+
+
+def inject_apt(factory: EventFactory, enterprise: Enterprise,
+               start_ts: float) -> AptTrace:
+    """Emit the full five-step attack starting at ``start_ts``."""
+    trace = AptTrace()
+    web = enterprise.one_by_role(LINUX_WEB_SERVER)
+    client = enterprise.one_by_role(WINDOWS_CLIENT)
+    dc = enterprise.one_by_role(DOMAIN_CONTROLLER)
+    db = enterprise.one_by_role(DATABASE_SERVER)
+    attacker = enterprise.attacker_ip
+    emit = trace.events.append
+
+    # ------------------------------------------------------------------
+    # a1: initial compromise of the web server (UnrealIRCd RCE + telnet)
+    # ------------------------------------------------------------------
+    t = start_ts + STEP_OFFSETS["a1"]
+    trace.step_times["a1"] = t
+    ircd = factory.process(web, IRC_SERVER, user="irc")
+    exploit_conn = factory.inbound(web, attacker, 6667, src_port=55555)
+    emit(factory.event(t, ircd, "accept", exploit_conn))
+    emit(factory.event(t + 1, ircd, "read", exploit_conn, amount=512))
+    shell = factory.process(web, SHELL, user="irc", start_time=t + 2,
+                            cmdline="sh -c ...")
+    emit(factory.event(t + 2, ircd, "start", shell))
+    telnet_back = factory.connection(web, attacker, TELNET_PORT,
+                                     src_port=45001)
+    emit(factory.event(t + 5, shell, "connect", telnet_back))
+    emit(factory.event(t + 6, shell, "write", telnet_back, amount=256))
+
+    # ------------------------------------------------------------------
+    # a2: malware dropped on the web server, spreading to the client
+    # ------------------------------------------------------------------
+    t = start_ts + STEP_OFFSETS["a2"]
+    trace.step_times["a2"] = t
+    dropper_file = factory.file(web, MALWARE_DROPPER, owner="irc")
+    emit(factory.event(t, shell, "read", telnet_back, amount=180224))
+    emit(factory.event(t + 2, shell, "write", dropper_file, amount=180224))
+    malware_web = factory.process(web, MALWARE_WEB, user="irc",
+                                  start_time=t + 4,
+                                  cmdline=MALWARE_DROPPER)
+    emit(factory.event(t + 4, shell, "start", malware_web))
+    emit(factory.event(t + 5, malware_web, "execute", dropper_file))
+    # Lateral movement: the web-server malware connects to a service
+    # process on the Windows client (cross-host proc connect).
+    services = factory.process(client, "services.exe")
+    emit(factory.event(t + 30, malware_web, "connect", services))
+    client_malware_file = factory.file(client, MALWARE_CLIENT_FILE)
+    emit(factory.event(t + 32, services, "write", client_malware_file,
+                       amount=180224))
+    client_malware = factory.process(client, MALWARE_CLIENT,
+                                     start_time=t + 35)
+    emit(factory.event(t + 35, services, "start", client_malware))
+
+    # ------------------------------------------------------------------
+    # a3: privilege escalation + credential dumping on the client
+    # ------------------------------------------------------------------
+    t = start_ts + STEP_OFFSETS["a3"]
+    trace.step_times["a3"] = t
+    exploit_dll = factory.file(client, EXPLOIT_DLL)
+    emit(factory.event(t, client_malware, "write", exploit_dll,
+                       amount=40960))
+    emit(factory.event(t + 1, client_malware, "execute", exploit_dll))
+    mimikatz = factory.process(client, MIMIKATZ, user="SYSTEM",
+                               start_time=t + 10)
+    emit(factory.event(t + 10, client_malware, "start", mimikatz))
+    lsass_dump = factory.file(client, LSASS_DUMP)
+    emit(factory.event(t + 12, mimikatz, "write", lsass_dump,
+                       amount=52_428_800))
+    emit(factory.event(t + 15, mimikatz, "read", lsass_dump,
+                       amount=52_428_800))
+    creds = factory.file(client, CREDS_FILE)
+    emit(factory.event(t + 18, mimikatz, "write", creds, amount=2048))
+    kiwi = factory.process(client, KIWI, user="SYSTEM", start_time=t + 30)
+    emit(factory.event(t + 30, client_malware, "start", kiwi))
+    emit(factory.event(t + 32, kiwi, "read", lsass_dump,
+                       amount=52_428_800))
+    emit(factory.event(t + 35, kiwi, "write", creds, amount=1024))
+
+    # ------------------------------------------------------------------
+    # a4: domain controller penetration + password dumping
+    # ------------------------------------------------------------------
+    t = start_ts + STEP_OFFSETS["a4"]
+    trace.step_times["a4"] = t
+    dc_lsass = factory.process(dc, "lsass.exe")
+    emit(factory.event(t, client_malware, "connect", dc_lsass))
+    dc_cmd = factory.process(dc, CMD, user="Administrator",
+                             start_time=t + 5)
+    dc_services = factory.process(dc, "services.exe")
+    emit(factory.event(t + 5, dc_services, "start", dc_cmd))
+    pwdump = factory.process(dc, PWDUMP, user="Administrator",
+                             start_time=t + 10)
+    emit(factory.event(t + 10, dc_cmd, "start", pwdump))
+    ntds = factory.file(dc, NTDS_FILE)
+    emit(factory.event(t + 12, pwdump, "read", ntds, amount=16_777_216))
+    dc_dump = factory.file(dc, DC_DUMP_FILE)
+    emit(factory.event(t + 15, pwdump, "write", dc_dump, amount=65536))
+    wce = factory.process(dc, WCE, user="Administrator", start_time=t + 30)
+    emit(factory.event(t + 30, dc_cmd, "start", wce))
+    sam = factory.file(dc, r"C:\Windows\System32\config\SAM")
+    emit(factory.event(t + 32, wce, "read", sam, amount=262144))
+    wce_dump = factory.file(dc, WCE_DUMP_FILE)
+    emit(factory.event(t + 35, wce, "write", wce_dump, amount=32768))
+
+    # ------------------------------------------------------------------
+    # a5: data exfiltration from the database server
+    # ------------------------------------------------------------------
+    t = start_ts + STEP_OFFSETS["a5"]
+    trace.step_times["a5"] = t
+    db_cmd = factory.process(db, CMD, user="Administrator",
+                             start_time=t)
+    db_services = factory.process(db, "services.exe")
+    emit(factory.event(t, client_malware, "connect", db_services))
+    emit(factory.event(t + 2, db_services, "start", db_cmd))
+    osql = factory.process(db, OSQL, user="Administrator",
+                           start_time=t + 10,
+                           cmdline="osql -E -Q \"BACKUP DATABASE ...\"")
+    emit(factory.event(t + 10, db_cmd, "start", osql))
+    sqlservr = factory.process(db, SQLSERVR)
+    osql_conn = factory.inbound(db, db.ip, 1433, src_port=52222)
+    emit(factory.event(t + 11, osql, "connect", sqlservr))
+    dump_file = factory.file(db, DB_DUMP)
+    emit(factory.event(t + 20, sqlservr, "write", dump_file,
+                       amount=734_003_200))
+    bak_file = factory.file(db, DB_BAK)
+    emit(factory.event(t + 40, sqlservr, "write", bak_file,
+                       amount=734_003_200))
+    # The sbblv.exe malware exfiltrates the OSQL dump (Query 1's pattern).
+    sbblv = factory.process(db, EXFIL_MALWARE, user="Administrator",
+                            start_time=t + 60)
+    emit(factory.event(t + 60, db_cmd, "start", sbblv))
+    emit(factory.event(t + 65, sbblv, "read", dump_file,
+                       amount=734_003_200))
+    exfil_conn = factory.connection(db, enterprise.attacker_ip, 443,
+                                    src_port=47001)
+    emit(factory.event(t + 70, sbblv, "connect", exfil_conn))
+    # Low-and-slow C2 heartbeat first (the baseline the anomaly query's
+    # moving average compares the burst against), then the bulk transfer.
+    for index in range(24):
+        emit(factory.event(t + 75 + index * 10, sbblv, "write", exfil_conn,
+                           amount=120 + (index % 3)))
+    for index in range(12):
+        emit(factory.event(t + 320 + index * 10, sbblv, "write", exfil_conn,
+                           amount=8_000_000 + index * 10_000))
+    # PowerShell stage (the demo narrative's anomaly-query finding):
+    # connect, beacon quietly, read the backup, then burst.
+    powershell = factory.process(db, POWERSHELL, user="Administrator",
+                                 start_time=t + 500)
+    emit(factory.event(t + 500, db_cmd, "start", powershell))
+    ps_conn = factory.connection(db, enterprise.attacker_ip, 8443,
+                                 src_port=47100)
+    emit(factory.event(t + 505, powershell, "connect", ps_conn))
+    for index in range(24):
+        emit(factory.event(t + 510 + index * 10, powershell, "write",
+                           ps_conn, amount=96 + (index % 5)))
+    emit(factory.event(t + 755, powershell, "read", bak_file,
+                       amount=734_003_200))
+    for index in range(18):
+        emit(factory.event(t + 760 + index * 10, powershell, "write",
+                           ps_conn, amount=12_000_000 + index * 5_000))
+    return trace

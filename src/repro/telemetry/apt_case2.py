@@ -1,0 +1,202 @@
+"""The second APT case study (Figure 5's workload, from the ATC paper).
+
+A phishing-initiated intrusion in five phases, distinct from the demo
+attack so the two benchmark workloads exercise different query shapes:
+
+  c1 Initial Compromise — phishing attachment executed on the client
+  c2 Command & Control  — stager download, C2 beaconing, host recon
+  c3 Lateral Movement   — SSH pivot to the web server, beacon implant
+  c4 Data Harvesting    — credential and database harvesting, staging
+  c5 Exfiltration       — multi-channel upload to the drop zone + cleanup
+
+Artifact names are exported for the Figure 5 query catalog and the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.events import Event
+from repro.model.timeutil import SECONDS_PER_MINUTE
+from repro.telemetry.enterprise import (Enterprise, LINUX_WEB_SERVER,
+                                        WINDOWS_CLIENT)
+from repro.telemetry.factory import EventFactory
+
+# Attack infrastructure.
+C2_IP = "198.51.100.77"
+DROPZONE_IP = "198.51.100.88"
+
+# c1 artifacts.
+PHISH_ATTACHMENT = r"C:\Users\alice\Downloads\invoice_2026.doc.exe"
+DROPPER = "invoice_2026.doc.exe"
+
+# c2 artifacts.
+STAGER_FILE = r"C:\Users\alice\AppData\Roaming\winupd.exe"
+STAGER = "winupd.exe"
+RECON_TOOLS = ("whoami.exe", "ipconfig.exe", "net.exe", "tasklist.exe")
+RECON_OUTPUT = r"C:\Users\alice\AppData\Roaming\recon.txt"
+HOSTS_FILE = r"C:\Windows\System32\drivers\etc\hosts"
+
+# c3 artifacts.
+BEACON_FILE = "/tmp/.x/beacon"
+BEACON = "beacon"
+
+# c4 artifacts.
+SHADOW_FILE = "/etc/shadow"
+PASSWD_FILE = "/etc/passwd"
+MYSQLDUMP = "mysqldump"
+DB_DUMP_SQL = "/tmp/.x/db_dump.sql"
+STAGE_TAR = "/tmp/.x/stage.tar.gz"
+CLIENT_STAGE = r"C:\Users\alice\AppData\Roaming\stage.zip"
+BROWSER_CREDS = r"C:\Users\alice\AppData\Local\Chrome\Login Data"
+
+# Phase offsets from attack start (seconds).
+PHASE_OFFSETS = {
+    "c1": 0.0,
+    "c2": 5 * SECONDS_PER_MINUTE,
+    "c3": 20 * SECONDS_PER_MINUTE,
+    "c4": 35 * SECONDS_PER_MINUTE,
+    "c5": 50 * SECONDS_PER_MINUTE,
+}
+
+
+@dataclass
+class Apt2Trace:
+    events: list[Event] = field(default_factory=list)
+    phase_times: dict[str, float] = field(default_factory=dict)
+
+
+def inject_apt_case2(factory: EventFactory, enterprise: Enterprise,
+                     start_ts: float) -> Apt2Trace:
+    """Emit the full phishing-APT attack starting at ``start_ts``."""
+    trace = Apt2Trace()
+    client = enterprise.one_by_role(WINDOWS_CLIENT)
+    web = enterprise.one_by_role(LINUX_WEB_SERVER)
+    emit = trace.events.append
+
+    # ------------------------------------------------------------------
+    # c1: phishing attachment saved and executed
+    # ------------------------------------------------------------------
+    t = start_ts + PHASE_OFFSETS["c1"]
+    trace.phase_times["c1"] = t
+    outlook = factory.process(client, "outlook.exe", user="alice")
+    attachment = factory.file(client, PHISH_ATTACHMENT, owner="alice")
+    emit(factory.event(t, outlook, "write", attachment, amount=245760))
+    explorer = factory.process(client, "explorer.exe", user="alice")
+    dropper = factory.process(client, DROPPER, user="alice",
+                              start_time=t + 30)
+    emit(factory.event(t + 30, explorer, "start", dropper))
+    emit(factory.event(t + 31, dropper, "read", attachment, amount=245760))
+
+    # ------------------------------------------------------------------
+    # c2: stager download, C2 channel, host reconnaissance
+    # ------------------------------------------------------------------
+    t = start_ts + PHASE_OFFSETS["c2"]
+    trace.phase_times["c2"] = t
+    c2_conn = factory.connection(client, C2_IP, 443, src_port=49666)
+    emit(factory.event(t, dropper, "connect", c2_conn))
+    emit(factory.event(t + 2, dropper, "read", c2_conn, amount=917504))
+    stager_file = factory.file(client, STAGER_FILE, owner="alice")
+    emit(factory.event(t + 5, dropper, "write", stager_file,
+                       amount=917504))
+    stager = factory.process(client, STAGER, user="alice",
+                             start_time=t + 10)
+    emit(factory.event(t + 10, dropper, "start", stager))
+    emit(factory.event(t + 12, stager, "connect", c2_conn))
+    # Beacon heartbeats (low and slow).
+    for index in range(10):
+        emit(factory.event(t + 20 + index * 30, stager, "write", c2_conn,
+                           amount=128))
+    cmd = factory.process(client, "cmd.exe", user="alice",
+                          start_time=t + 60)
+    emit(factory.event(t + 60, stager, "start", cmd))
+    recon_out = factory.file(client, RECON_OUTPUT, owner="alice")
+    for index, tool_name in enumerate(RECON_TOOLS):
+        tool = factory.process(client, tool_name, user="alice",
+                               start_time=t + 70 + index * 15)
+        emit(factory.event(t + 70 + index * 15, cmd, "start", tool))
+        emit(factory.event(t + 72 + index * 15, tool, "write", recon_out,
+                           amount=4096))
+    hosts = factory.file(client, HOSTS_FILE)
+    emit(factory.event(t + 140, stager, "read", hosts, amount=1024))
+    emit(factory.event(t + 150, stager, "read", recon_out, amount=16384))
+    emit(factory.event(t + 155, stager, "write", c2_conn, amount=16384))
+
+    # ------------------------------------------------------------------
+    # c3: lateral movement to the web server via SSH
+    # ------------------------------------------------------------------
+    t = start_ts + PHASE_OFFSETS["c3"]
+    trace.phase_times["c3"] = t
+    sshd = factory.process(web, "sshd", user="root")
+    emit(factory.event(t, stager, "connect", sshd))
+    shell = factory.process(web, "bash", user="ops", start_time=t + 5)
+    emit(factory.event(t + 5, sshd, "start", shell))
+    beacon_file = factory.file(web, BEACON_FILE, owner="ops")
+    emit(factory.event(t + 20, shell, "write", beacon_file, amount=327680))
+    beacon = factory.process(web, BEACON, user="ops", start_time=t + 25,
+                             cmdline=BEACON_FILE)
+    emit(factory.event(t + 25, shell, "start", beacon))
+    emit(factory.event(t + 26, beacon, "execute", beacon_file))
+
+    # ------------------------------------------------------------------
+    # c4: harvesting on both hosts
+    # ------------------------------------------------------------------
+    t = start_ts + PHASE_OFFSETS["c4"]
+    trace.phase_times["c4"] = t
+    passwd = factory.file(web, PASSWD_FILE)
+    shadow = factory.file(web, SHADOW_FILE)
+    emit(factory.event(t, beacon, "read", passwd, amount=2048))
+    emit(factory.event(t + 5, beacon, "read", shadow, amount=1024))
+    mysqldump = factory.process(web, MYSQLDUMP, user="ops",
+                                start_time=t + 20)
+    emit(factory.event(t + 20, beacon, "start", mysqldump))
+    dump_sql = factory.file(web, DB_DUMP_SQL, owner="ops")
+    emit(factory.event(t + 40, mysqldump, "write", dump_sql,
+                       amount=268_435_456))
+    tar = factory.process(web, "tar", user="ops", start_time=t + 120)
+    emit(factory.event(t + 120, beacon, "start", tar))
+    emit(factory.event(t + 125, tar, "read", dump_sql,
+                       amount=268_435_456))
+    stage_tar = factory.file(web, STAGE_TAR, owner="ops")
+    emit(factory.event(t + 180, tar, "write", stage_tar,
+                       amount=100_663_296))
+    # Client-side harvesting in parallel.
+    browser_creds = factory.file(client, BROWSER_CREDS, owner="alice")
+    emit(factory.event(t + 30, stager, "read", browser_creds,
+                       amount=524288))
+    documents = [factory.file(
+        client, rf"C:\Users\alice\Documents\report_{i}.docx",
+        owner="alice") for i in range(3)]
+    for index, document in enumerate(documents):
+        emit(factory.event(t + 50 + index * 10, stager, "read", document,
+                           amount=1_048_576))
+    client_stage = factory.file(client, CLIENT_STAGE, owner="alice")
+    emit(factory.event(t + 90, stager, "write", client_stage,
+                       amount=20_971_520))
+
+    # ------------------------------------------------------------------
+    # c5: exfiltration + cleanup
+    # ------------------------------------------------------------------
+    t = start_ts + PHASE_OFFSETS["c5"]
+    trace.phase_times["c5"] = t
+    drop_web = factory.connection(web, DROPZONE_IP, 443, src_port=46001)
+    emit(factory.event(t, beacon, "connect", drop_web))
+    emit(factory.event(t + 2, beacon, "read", stage_tar,
+                       amount=100_663_296))
+    for index in range(8):
+        emit(factory.event(t + 5 + index * 15, beacon, "write", drop_web,
+                           amount=12_582_912))
+    drop_client = factory.connection(client, DROPZONE_IP, 443,
+                                     src_port=49777)
+    emit(factory.event(t + 60, stager, "connect", drop_client))
+    emit(factory.event(t + 62, stager, "read", client_stage,
+                       amount=20_971_520))
+    for index in range(5):
+        emit(factory.event(t + 65 + index * 15, stager, "write",
+                           drop_client, amount=4_194_304))
+    # Cleanup: staged artifacts deleted, beacon terminates.
+    emit(factory.event(t + 200, beacon, "delete", stage_tar))
+    emit(factory.event(t + 205, beacon, "delete", dump_sql))
+    emit(factory.event(t + 210, stager, "delete", client_stage))
+    emit(factory.event(t + 220, shell, "end", beacon))
+    return trace

@@ -1,0 +1,270 @@
+"""Benign background workloads per host role.
+
+System monitoring data is dominated by routine activity — that skew is what
+makes the paper's pruning-power scheduling matter, so the simulator invests
+in realistic *shape*: a small vocabulary of long-lived system processes
+producing bulk events (service logs, database page writes, web requests),
+plus bursts of interactive activity.  Rates are configurable so benchmarks
+can scale event volume.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.model.events import Event
+from repro.model.timeutil import Window
+from repro.telemetry.enterprise import (DATABASE_SERVER, DOMAIN_CONTROLLER,
+                                        Enterprise, Host, LINUX_WEB_SERVER,
+                                        ROUTER, WINDOWS_CLIENT)
+from repro.telemetry.factory import EventFactory
+
+# Per-role activity mixes: (weight, activity name).  Activities map to
+# emitter methods on _HostSimulator.
+_ROLE_ACTIVITIES = {
+    WINDOWS_CLIENT: (
+        (30, "browser"), (20, "service_log"), (10, "office"),
+        (10, "email"), (10, "process_churn"), (20, "file_io"),
+    ),
+    LINUX_WEB_SERVER: (
+        (45, "web_request"), (20, "service_log"), (15, "cron"),
+        (20, "file_io"),
+    ),
+    DATABASE_SERVER: (
+        (50, "db_page_io"), (15, "db_query_net"), (15, "service_log"),
+        (10, "db_backup"), (10, "process_churn"),
+    ),
+    DOMAIN_CONTROLLER: (
+        (40, "auth_lookup"), (25, "service_log"), (20, "dns"),
+        (15, "file_io"),
+    ),
+    ROUTER: (
+        (70, "forwarding"), (30, "service_log"),
+    ),
+}
+
+_CLIENT_BROWSERS = ("chrome.exe", "firefox.exe")
+_CLIENT_SITES = ("104.18.32.7", "151.101.1.140", "142.250.65.78",
+                 "13.107.42.14")
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs for the benign event stream."""
+
+    events_per_host: int = 2000
+    seed: int = 7
+
+
+class BackgroundWorkload:
+    """Generates the benign event stream for every host in the window."""
+
+    def __init__(self, enterprise: Enterprise, window: Window,
+                 config: WorkloadConfig | None = None) -> None:
+        self._enterprise = enterprise
+        self._window = window
+        self._config = config or WorkloadConfig()
+
+    def generate(self, factory: EventFactory) -> list[Event]:
+        events: list[Event] = []
+        for host in self._enterprise.hosts:
+            rng = random.Random(self._config.seed * 10_007 + host.agentid)
+            simulator = _HostSimulator(host, self._enterprise, factory, rng)
+            events.extend(simulator.run(self._window,
+                                        self._config.events_per_host))
+        events.sort(key=lambda evt: (evt.ts, evt.id))
+        return events
+
+
+class _HostSimulator:
+    """Emits one host's benign events by sampling its role's activity mix."""
+
+    def __init__(self, host: Host, enterprise: Enterprise,
+                 factory: EventFactory, rng: random.Random) -> None:
+        self.host = host
+        self.enterprise = enterprise
+        self.factory = factory
+        self.rng = rng
+        self._procs: dict[str, object] = {}
+        activities = _ROLE_ACTIVITIES[host.role]
+        self._names = [name for _weight, name in activities]
+        self._weights = [weight for weight, _name in activities]
+
+    def _proc(self, exe_name: str, user: str = "system"):
+        proc = self._procs.get(exe_name)
+        if proc is None:
+            proc = self.factory.process(self.host, exe_name, user=user)
+            self._procs[exe_name] = proc
+        return proc
+
+    def run(self, window: Window, count: int) -> list[Event]:
+        events: list[Event] = []
+        if count <= 0:
+            return events
+        span = window.duration
+        for index in range(count):
+            # Uniform jittered spread keeps density stable across the
+            # window while remaining deterministic per seed.
+            ts = window.start + span * (index + self.rng.random()) / count
+            activity = self.rng.choices(self._names,
+                                        weights=self._weights)[0]
+            events.extend(getattr(self, f"_emit_{activity}")(ts))
+        return events
+
+    # ------------------------------------------------------------------
+    # Activity emitters (each returns a short list of events)
+    # ------------------------------------------------------------------
+    def _emit_browser(self, ts: float) -> list[Event]:
+        browser = self._proc(self.rng.choice(_CLIENT_BROWSERS), user="alice")
+        site = self.rng.choice(_CLIENT_SITES)
+        conn = self.factory.connection(self.host, site, 443,
+                                       src_port=49000 + self.rng.randrange(500))
+        cache = self.factory.file(
+            self.host,
+            rf"C:\Users\alice\AppData\cache\f_{self.rng.randrange(200):06d}")
+        return [
+            self.factory.event(ts, browser, "write", conn,
+                               amount=self.rng.randrange(300, 3000)),
+            self.factory.event(ts + 0.05, browser, "read", conn,
+                               amount=self.rng.randrange(2000, 80000)),
+            self.factory.event(ts + 0.1, browser, "write", cache,
+                               amount=self.rng.randrange(1000, 50000)),
+        ]
+
+    def _emit_service_log(self, ts: float) -> list[Event]:
+        if self.host.os == "windows":
+            service = self._proc("svchost.exe")
+            log = self.factory.file(
+                self.host, rf"C:\Windows\Logs\svc_{self.rng.randrange(20)}.log")
+        else:
+            service = self._proc("rsyslogd")
+            log = self.factory.file(
+                self.host, f"/var/log/syslog.{self.rng.randrange(5)}")
+        return [self.factory.event(ts, service, "write", log,
+                                   amount=self.rng.randrange(50, 400))]
+
+    def _emit_office(self, ts: float) -> list[Event]:
+        word = self._proc("winword.exe", user="alice")
+        doc = self.factory.file(
+            self.host,
+            rf"C:\Users\alice\Documents\report_{self.rng.randrange(30)}.docx",
+            owner="alice")
+        op = self.rng.choice(("read", "write"))
+        return [self.factory.event(ts, word, op, doc,
+                                   amount=self.rng.randrange(1000, 200000))]
+
+    def _emit_email(self, ts: float) -> list[Event]:
+        outlook = self._proc("outlook.exe", user="alice")
+        conn = self.factory.connection(self.host, "40.97.153.146", 993)
+        return [self.factory.event(ts, outlook,
+                                   self.rng.choice(("read", "write")),
+                                   conn,
+                                   amount=self.rng.randrange(500, 30000))]
+
+    def _emit_process_churn(self, ts: float) -> list[Event]:
+        if self.host.os == "windows":
+            parent = self._proc("explorer.exe", user="alice")
+            child_name = self.rng.choice(
+                ("notepad.exe", "calc.exe", "cmd.exe", "taskmgr.exe"))
+        else:
+            parent = self._proc("bash", user="ops")
+            child_name = self.rng.choice(("ls", "grep", "ps", "cat"))
+        child = self.factory.process(self.host, child_name, user="alice",
+                                     start_time=ts)
+        return [self.factory.event(ts, parent, "start", child)]
+
+    def _emit_file_io(self, ts: float) -> list[Event]:
+        if self.host.os == "windows":
+            proc = self._proc("svchost.exe")
+            name = rf"C:\Windows\Temp\tmp_{self.rng.randrange(100):04d}.dat"
+        else:
+            proc = self._proc("systemd")
+            name = f"/run/state_{self.rng.randrange(100):04d}"
+        target = self.factory.file(self.host, name)
+        op = self.rng.choice(("read", "write", "write"))
+        return [self.factory.event(ts, proc, op, target,
+                                   amount=self.rng.randrange(100, 5000))]
+
+    def _emit_web_request(self, ts: float) -> list[Event]:
+        apache = self._proc("apache2", user="www-data")
+        clients = self.enterprise.by_role(WINDOWS_CLIENT)
+        src_ip = (self.rng.choice(clients).ip if clients
+                  else "198.51.100.10")
+        conn = self.factory.inbound(self.host, src_ip, 80,
+                                    src_port=40000 + self.rng.randrange(999))
+        page = self.factory.file(
+            self.host, f"/var/www/html/page_{self.rng.randrange(40)}.html",
+            owner="www-data")
+        log = self.factory.file(self.host, "/var/log/apache2/access.log",
+                                owner="root")
+        return [
+            self.factory.event(ts, apache, "accept", conn),
+            self.factory.event(ts + 0.01, apache, "read", page,
+                               amount=self.rng.randrange(500, 20000)),
+            self.factory.event(ts + 0.02, apache, "write", conn,
+                               amount=self.rng.randrange(500, 20000)),
+            self.factory.event(ts + 0.03, apache, "write", log,
+                               amount=self.rng.randrange(80, 200)),
+        ]
+
+    def _emit_cron(self, ts: float) -> list[Event]:
+        cron = self._proc("cron")
+        job = self.factory.process(
+            self.host, self.rng.choice(("logrotate", "backup.sh",
+                                        "updatedb")),
+            start_time=ts)
+        return [self.factory.event(ts, cron, "start", job)]
+
+    def _emit_db_page_io(self, ts: float) -> list[Event]:
+        sqlservr = self._proc("sqlservr.exe")
+        data_file = self.factory.file(
+            self.host,
+            rf"C:\Data\MSSQL\enterprise_{self.rng.randrange(4)}.mdf")
+        op = self.rng.choice(("read", "read", "write"))
+        return [self.factory.event(ts, sqlservr, op, data_file,
+                                   amount=self.rng.randrange(8192, 65536))]
+
+    def _emit_db_query_net(self, ts: float) -> list[Event]:
+        sqlservr = self._proc("sqlservr.exe")
+        clients = self.enterprise.by_role(WINDOWS_CLIENT)
+        src_ip = clients[self.rng.randrange(len(clients))].ip if clients \
+            else "10.0.0.50"
+        conn = self.factory.inbound(self.host, src_ip, 1433,
+                                    src_port=51000 + self.rng.randrange(999))
+        return [
+            self.factory.event(ts, sqlservr, "accept", conn),
+            self.factory.event(ts + 0.01, sqlservr, "write", conn,
+                               amount=self.rng.randrange(200, 8000)),
+        ]
+
+    def _emit_db_backup(self, ts: float) -> list[Event]:
+        sqlservr = self._proc("sqlservr.exe")
+        backup = self.factory.file(
+            self.host,
+            rf"C:\backup\nightly_{self.rng.randrange(7)}.bak")
+        return [self.factory.event(ts, sqlservr, "write", backup,
+                                   amount=self.rng.randrange(10 ** 5,
+                                                             10 ** 6))]
+
+    def _emit_auth_lookup(self, ts: float) -> list[Event]:
+        lsass = self._proc("lsass.exe")
+        sam = self.factory.file(self.host,
+                                r"C:\Windows\System32\config\SAM")
+        return [self.factory.event(ts, lsass, "read", sam,
+                                   amount=self.rng.randrange(100, 2000))]
+
+    def _emit_dns(self, ts: float) -> list[Event]:
+        dns = self._proc("dns.exe")
+        src = f"10.0.0.{self.rng.randrange(2, 250)}"
+        conn = self.factory.inbound(self.host, src, 53, protocol="udp")
+        return [self.factory.event(ts, dns, "recv", conn,
+                                   amount=self.rng.randrange(40, 120))]
+
+    def _emit_forwarding(self, ts: float) -> list[Event]:
+        daemon = self._proc("routerd")
+        conn = self.factory.connection(
+            self.host, f"10.0.0.{self.rng.randrange(2, 250)}", 179)
+        return [self.factory.event(ts, daemon,
+                                   self.rng.choice(("send", "recv")), conn,
+                                   amount=self.rng.randrange(60, 1500))]

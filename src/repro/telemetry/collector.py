@@ -1,0 +1,96 @@
+"""Scenario assembly: agents collecting background + attack event streams.
+
+A :class:`Scenario` plays the role of the paper's deployed collection
+agents: it produces the full, timestamp-ordered event stream of the
+enterprise over a time window, with an APT attack injected into the benign
+bulk.  Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.model.events import Event
+from repro.model.timeutil import SECONDS_PER_DAY, Window, parse_timestamp
+from repro.storage.store import EventStore
+from repro.telemetry.apt import AptTrace, inject_apt
+from repro.telemetry.apt_case2 import Apt2Trace, inject_apt_case2
+from repro.telemetry.background import BackgroundWorkload, WorkloadConfig
+from repro.telemetry.enterprise import Enterprise, demo_enterprise
+from repro.telemetry.factory import EventFactory
+
+# The day the simulated attack happens; catalogs use (at "06/10/2026").
+SCENARIO_DATE = "06/10/2026"
+ATTACK_START_OFFSET = 10 * 3600.0  # attack begins at 10:00
+
+
+@dataclass
+class Scenario:
+    """One reproducible enterprise day with an injected attack."""
+
+    enterprise: Enterprise
+    window: Window
+    attack: Callable
+    attack_start: float
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    _cache: list[Event] | None = field(default=None, repr=False)
+    _trace: object | None = field(default=None, repr=False)
+
+    def events(self) -> list[Event]:
+        """The full ordered stream (generated once, then cached)."""
+        if self._cache is None:
+            factory = EventFactory()
+            background = BackgroundWorkload(self.enterprise, self.window,
+                                            self.workload)
+            events = background.generate(factory)
+            trace = self.attack(factory, self.enterprise, self.attack_start)
+            self._trace = trace
+            events.extend(trace.events)
+            events.sort(key=lambda evt: (evt.ts, evt.id))
+            self._cache = events
+        return self._cache
+
+    @property
+    def trace(self):
+        """The attack trace (step timestamps + raw attack events)."""
+        self.events()
+        return self._trace
+
+    def load(self, store: EventStore) -> int:
+        """Ingest the scenario into a store; returns the event count."""
+        return store.ingest(self.events())
+
+    @property
+    def attack_event_count(self) -> int:
+        return len(self.trace.events)  # type: ignore[union-attr]
+
+
+def _scenario_window(date_text: str = SCENARIO_DATE) -> Window:
+    return Window.for_day(date_text)
+
+
+def build_demo_scenario(events_per_host: int = 2000, seed: int = 7,
+                        extra_clients: int = 0,
+                        date_text: str = SCENARIO_DATE) -> Scenario:
+    """The Figure 2 / Figure 4 workload: the five-step demo APT."""
+    window = _scenario_window(date_text)
+    return Scenario(
+        enterprise=demo_enterprise(extra_clients),
+        window=window,
+        attack=inject_apt,
+        attack_start=window.start + ATTACK_START_OFFSET,
+        workload=WorkloadConfig(events_per_host=events_per_host, seed=seed))
+
+
+def build_case2_scenario(events_per_host: int = 2000, seed: int = 11,
+                         extra_clients: int = 0,
+                         date_text: str = SCENARIO_DATE) -> Scenario:
+    """The Figure 5 workload: the phishing-initiated APT case study."""
+    window = _scenario_window(date_text)
+    return Scenario(
+        enterprise=demo_enterprise(extra_clients),
+        window=window,
+        attack=inject_apt_case2,
+        attack_start=window.start + ATTACK_START_OFFSET,
+        workload=WorkloadConfig(events_per_host=events_per_host, seed=seed))

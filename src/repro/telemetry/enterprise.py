@@ -1,0 +1,101 @@
+"""The simulated enterprise environment (Figure 2).
+
+The demo's controlled environment contains a Windows client, a Linux web
+server, a database server, a Windows domain controller, and a router, with
+the attacker outside on the Internet.  Each host runs a monitoring agent
+identified by its ``agentid`` — the spatial dimension of the data model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DataModelError
+
+# Host roles drive which background workload generator runs on the host.
+WINDOWS_CLIENT = "windows_client"
+LINUX_WEB_SERVER = "linux_web_server"
+DATABASE_SERVER = "database_server"
+DOMAIN_CONTROLLER = "domain_controller"
+ROUTER = "router"
+
+ROLES = (WINDOWS_CLIENT, LINUX_WEB_SERVER, DATABASE_SERVER,
+         DOMAIN_CONTROLLER, ROUTER)
+
+# The attacker's host on the Internet; the paper obfuscates it as XXX.129.
+ATTACKER_IP = "203.0.113.129"
+
+
+@dataclass(frozen=True, slots=True)
+class Host:
+    """One monitored machine with its collection agent."""
+
+    agentid: int
+    hostname: str
+    role: str
+    ip: str
+
+    def __post_init__(self) -> None:
+        if self.role not in ROLES:
+            raise DataModelError(f"unknown host role {self.role!r}")
+
+    @property
+    def os(self) -> str:
+        """The host OS implies the monitoring framework (§2.1)."""
+        if self.role in (WINDOWS_CLIENT, DATABASE_SERVER,
+                         DOMAIN_CONTROLLER):
+            return "windows"   # ETW agent
+        return "linux"         # auditd agent
+
+
+@dataclass(frozen=True, slots=True)
+class Enterprise:
+    """A collection of monitored hosts plus the external attacker."""
+
+    hosts: tuple[Host, ...]
+    attacker_ip: str = ATTACKER_IP
+
+    def __post_init__(self) -> None:
+        agentids = [host.agentid for host in self.hosts]
+        if len(agentids) != len(set(agentids)):
+            raise DataModelError("duplicate agent ids in enterprise")
+
+    def host(self, agentid: int) -> Host:
+        for host in self.hosts:
+            if host.agentid == agentid:
+                return host
+        raise DataModelError(f"no host with agentid {agentid}")
+
+    def by_role(self, role: str) -> list[Host]:
+        return [host for host in self.hosts if host.role == role]
+
+    def one_by_role(self, role: str) -> Host:
+        hosts = self.by_role(role)
+        if not hosts:
+            raise DataModelError(f"no host with role {role!r}")
+        return hosts[0]
+
+    @property
+    def agentids(self) -> list[int]:
+        return [host.agentid for host in self.hosts]
+
+
+def demo_enterprise(extra_clients: int = 0) -> Enterprise:
+    """The Figure 2 topology, optionally padded with more clients.
+
+    Agent ids are stable so the investigation query catalogs can pin them:
+    1 = Windows client, 2 = Linux web server, 3 = database server,
+    4 = domain controller, 5 = router; extra clients get ids from 6.
+    """
+    hosts = [
+        Host(1, "win-client-01", WINDOWS_CLIENT, "10.0.0.11"),
+        Host(2, "web-01", LINUX_WEB_SERVER, "10.0.0.2"),
+        Host(3, "db-01", DATABASE_SERVER, "10.0.0.3"),
+        Host(4, "dc-01", DOMAIN_CONTROLLER, "10.0.0.4"),
+        Host(5, "router-01", ROUTER, "10.0.0.1"),
+    ]
+    for index in range(extra_clients):
+        agentid = 6 + index
+        hosts.append(Host(agentid, f"win-client-{agentid:02d}",
+                          WINDOWS_CLIENT, f"10.0.0.{10 + agentid}"))
+    return Enterprise(hosts=tuple(hosts))

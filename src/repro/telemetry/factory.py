@@ -1,0 +1,71 @@
+"""Event factory: the shared builder all simulators emit events through.
+
+Centralizes event-id assignment and the entity construction conventions
+(the subject's agent is the event's agent; network connection objects are
+observed from the monitoring host) so the background workloads and the
+attack scripts produce mutually consistent streams.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.model.entities import FileEntity, NetworkEntity, ProcessEntity
+from repro.model.events import Event
+from repro.telemetry.enterprise import Host
+
+
+class EventFactory:
+    """Builds events with globally unique ids and interning-friendly shapes."""
+
+    def __init__(self, start_id: int = 1) -> None:
+        self._ids = itertools.count(start_id)
+        self._pids: dict[int, itertools.count] = {}
+
+    # ------------------------------------------------------------------
+    # Entities
+    # ------------------------------------------------------------------
+    def next_pid(self, agentid: int) -> int:
+        counter = self._pids.get(agentid)
+        if counter is None:
+            counter = itertools.count(1000)
+            self._pids[agentid] = counter
+        return next(counter)
+
+    def process(self, host: Host, exe_name: str, *, pid: int | None = None,
+                user: str = "system", cmdline: str = "",
+                start_time: float = 0.0) -> ProcessEntity:
+        return ProcessEntity(agentid=host.agentid,
+                             pid=pid if pid is not None
+                             else self.next_pid(host.agentid),
+                             exe_name=exe_name, user=user, cmdline=cmdline,
+                             start_time=start_time)
+
+    def file(self, host: Host, name: str,
+             owner: str = "root") -> FileEntity:
+        return FileEntity(agentid=host.agentid, name=name, owner=owner)
+
+    def connection(self, host: Host, dst_ip: str, dst_port: int, *,
+                   src_port: int = 49152,
+                   protocol: str = "tcp") -> NetworkEntity:
+        return NetworkEntity(agentid=host.agentid, src_ip=host.ip,
+                             src_port=src_port, dst_ip=dst_ip,
+                             dst_port=dst_port, protocol=protocol)
+
+    def inbound(self, host: Host, src_ip: str, dst_port: int, *,
+                src_port: int = 49152,
+                protocol: str = "tcp") -> NetworkEntity:
+        """A connection observed arriving at the host."""
+        return NetworkEntity(agentid=host.agentid, src_ip=src_ip,
+                             src_port=src_port, dst_ip=host.ip,
+                             dst_port=dst_port, protocol=protocol)
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def event(self, ts: float, subject: ProcessEntity, operation: str,
+              obj, amount: int = 0, failcode: int = 0) -> Event:
+        """One SVO event; the subject's host is the observing agent."""
+        return Event(id=next(self._ids), ts=ts, agentid=subject.agentid,
+                     operation=operation, subject=subject, object=obj,
+                     amount=amount, failcode=failcode)

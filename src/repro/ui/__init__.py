@@ -1,0 +1,8 @@
+"""User interfaces: terminal REPL and the demo web UI."""
+
+from repro.ui.cli import Repl
+from repro.ui.render import render_status, render_table
+from repro.ui.webapp import WebApi, make_server, serve_background
+
+__all__ = ["Repl", "render_status", "render_table", "WebApi",
+           "make_server", "serve_background"]

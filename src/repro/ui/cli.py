@@ -1,0 +1,89 @@
+"""Interactive AIQL REPL.
+
+A terminal counterpart to the demo's web UI: multi-line query entry
+(terminated by a blank line), syntax highlighting, diagnostics with
+carets, ``.explain`` plans, and result tables.  Usable programmatically for
+tests via :meth:`Repl.handle`.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.session import AiqlSession
+from repro.errors import ReproError
+from repro.lang.errors import AiqlSyntaxError
+from repro.lang.highlight import highlight_ansi
+from repro.ui.render import render_table
+
+BANNER = """AIQL investigation console — type a query, finish with an
+empty line.  Commands: .help  .describe  .explain <query>  .quit"""
+
+HELP = """Commands:
+  .help              this message
+  .describe          store summary (events, entities, partitions, agents)
+  .explain <query>   show the execution plan without running
+  .quit              exit
+Any other input is executed as an AIQL query (end with a blank line)."""
+
+
+class Repl:
+    """Stateful command handler; the interactive loop is a thin wrapper."""
+
+    def __init__(self, session: AiqlSession) -> None:
+        self.session = session
+        self.done = False
+
+    def handle(self, text: str) -> str:
+        """Process one complete input; returns the text to display."""
+        stripped = text.strip()
+        if not stripped:
+            return ""
+        if stripped == ".quit":
+            self.done = True
+            return "bye"
+        if stripped == ".help":
+            return HELP
+        if stripped == ".describe":
+            return self.session.describe()
+        if stripped.startswith(".explain"):
+            query_text = stripped[len(".explain"):].strip()
+            if not query_text:
+                return "usage: .explain <query>"
+            try:
+                return self.session.explain(query_text)
+            except ReproError as exc:
+                return f"error: {exc}"
+        try:
+            result = self.session.query(stripped)
+        except AiqlSyntaxError as exc:
+            return exc.render()
+        except ReproError as exc:
+            return f"error: {exc}"
+        return render_table(result)
+
+
+def run(session: AiqlSession, stdin=None, stdout=None) -> None:
+    """The interactive loop (blank line submits the pending query)."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    repl = Repl(session)
+    print(BANNER, file=stdout)
+    pending: list[str] = []
+    for line in stdin:
+        line = line.rstrip("\n")
+        if line.strip() and not pending and line.strip().startswith("."):
+            print(repl.handle(line), file=stdout)
+            if repl.done:
+                return
+            continue
+        if line.strip():
+            pending.append(line)
+            continue
+        if pending:
+            query = "\n".join(pending)
+            pending.clear()
+            print(highlight_ansi(query), file=stdout)
+            print(repl.handle(query), file=stdout)
+            if repl.done:
+                return

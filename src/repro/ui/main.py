@@ -1,0 +1,172 @@
+"""The ``repro`` command line: simulate, query, investigate, serve.
+
+Usage (also via ``python -m repro``):
+
+    repro simulate --scenario demo --events-per-host 1000 --out day.jsonl
+    repro query day.jsonl 'proc p["%sbblv%"] write ip i as e1 return p, i'
+    repro explain day.jsonl "$(cat query.aiql)"
+    repro check 'proc p[ start proc c as e1 return c'
+    repro repl day.jsonl
+    repro serve day.jsonl --port 8080
+    repro investigate day.jsonl --catalog figure4
+
+Event files are the JSONL archive format of
+:mod:`repro.storage.serialize` (``.gz`` compressed transparently).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.session import AiqlSession
+from repro.errors import ReproError
+from repro.lang.errors import AiqlSyntaxError
+from repro.storage.serialize import load_store, write_events
+from repro.ui.render import render_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AIQL: investigate attack behaviors over system "
+                    "monitoring data")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="generate a monitored enterprise day (JSONL)")
+    simulate.add_argument("--scenario", choices=("demo", "case2"),
+                          default="demo")
+    simulate.add_argument("--events-per-host", type=int, default=1000)
+    simulate.add_argument("--seed", type=int, default=None)
+    simulate.add_argument("--out", required=True)
+
+    query = commands.add_parser("query", help="run one AIQL query")
+    query.add_argument("data", help="JSONL event file")
+    query.add_argument("aiql", help="query text (or @file)")
+    query.add_argument("--max-rows", type=int, default=50)
+
+    explain = commands.add_parser("explain", help="show the query plan")
+    explain.add_argument("data")
+    explain.add_argument("aiql")
+
+    check = commands.add_parser("check", help="syntax-check a query")
+    check.add_argument("aiql")
+
+    repl = commands.add_parser("repl", help="interactive console")
+    repl.add_argument("data")
+
+    serve = commands.add_parser("serve", help="start the web UI")
+    serve.add_argument("data")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+
+    investigate = commands.add_parser(
+        "investigate", help="replay a paper query catalog")
+    investigate.add_argument("data")
+    investigate.add_argument("--catalog", choices=("figure4", "figure5"),
+                             default="figure4")
+    return parser
+
+
+def _query_text(argument: str) -> str:
+    if argument.startswith("@"):
+        with open(argument[1:], "r", encoding="utf-8") as handle:
+            return handle.read()
+    return argument
+
+
+def _load_session(path: str) -> AiqlSession:
+    session = AiqlSession()
+    load_store(path, session.store)
+    return session
+
+
+def main(argv: list[str] | None = None, stdout=None) -> int:
+    stdout = stdout if stdout is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args, stdout)
+    except AiqlSyntaxError as exc:
+        print(exc.render(), file=stdout)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=stdout)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace, stdout) -> int:
+    if args.command == "simulate":
+        from repro.telemetry import build_case2_scenario, build_demo_scenario
+        builders = {"demo": build_demo_scenario,
+                    "case2": build_case2_scenario}
+        kwargs = {"events_per_host": args.events_per_host}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        scenario = builders[args.scenario](**kwargs)
+        count = write_events(scenario.events(), args.out)
+        print(f"wrote {count} events to {args.out}", file=stdout)
+        return 0
+
+    if args.command == "check":
+        from repro.lang.errors import check_syntax
+        error = check_syntax(_query_text(args.aiql))
+        if error is None:
+            print("syntax OK", file=stdout)
+            return 0
+        print(error.render(), file=stdout)
+        return 2
+
+    if args.command == "query":
+        session = _load_session(args.data)
+        result = session.query(_query_text(args.aiql))
+        print(render_table(result, max_rows=args.max_rows), file=stdout)
+        return 0
+
+    if args.command == "explain":
+        session = _load_session(args.data)
+        print(session.explain(_query_text(args.aiql)), file=stdout)
+        return 0
+
+    if args.command == "repl":
+        from repro.ui.cli import run
+        session = _load_session(args.data)
+        print(session.describe(), file=stdout)
+        run(session, stdout=stdout)
+        return 0
+
+    if args.command == "serve":
+        from repro.ui.webapp import make_server
+        session = _load_session(args.data)
+        server = make_server(session, args.host, args.port)
+        host, port = server.server_address
+        print(f"AIQL web UI on http://{host}:{port}/ — Ctrl-C to stop",
+              file=stdout)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            server.shutdown()
+        return 0
+
+    if args.command == "investigate":
+        from repro.investigate import FIGURE4_QUERIES, FIGURE5_QUERIES
+        catalog = (FIGURE4_QUERIES if args.catalog == "figure4"
+                   else FIGURE5_QUERIES)
+        session = _load_session(args.data)
+        print(session.describe(), file=stdout)
+        total = 0.0
+        for entry in catalog:
+            result = session.query(entry.aiql)
+            total += result.elapsed
+            print(f"[{entry.id}] {entry.title}", file=stdout)
+            print(render_table(result, max_rows=5), file=stdout)
+            print(file=stdout)
+        print(f"{len(catalog)} queries in {total * 1000:.0f} ms",
+              file=stdout)
+        return 0
+
+    raise ReproError(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Text rendering of query results (shared by the CLI and tests)."""
+
+from __future__ import annotations
+
+from repro.core.results import QueryResult
+
+MAX_CELL_WIDTH = 48
+
+
+def _cell(value: object) -> str:
+    text = "" if value is None else str(value)
+    if len(text) > MAX_CELL_WIDTH:
+        return text[:MAX_CELL_WIDTH - 1] + "…"
+    return text
+
+
+def render_table(result: QueryResult, max_rows: int = 50) -> str:
+    """An aligned ASCII table of the result, truncated to ``max_rows``."""
+    header = [_cell(column) for column in result.columns]
+    body = [[_cell(value) for value in row]
+            for row in result.rows[:max_rows]]
+    widths = [len(text) for text in header]
+    for row in body:
+        for index, text in enumerate(row):
+            widths[index] = max(widths[index], len(text))
+
+    def line(cells: list[str]) -> str:
+        return " | ".join(text.ljust(width)
+                          for text, width in zip(cells, widths))
+
+    rule = "-+-".join("-" * width for width in widths)
+    out = [line(header), rule]
+    out.extend(line(row) for row in body)
+    if len(result.rows) > max_rows:
+        out.append(f"... {len(result.rows) - max_rows} more rows")
+    out.append(f"({len(result.rows)} rows, {result.elapsed * 1000:.1f} ms)")
+    return "\n".join(out)
+
+
+def render_status(result: QueryResult) -> str:
+    """The execution-status line the web UI shows above the table."""
+    return (f"{result.kind} query: {len(result.rows)} rows in "
+            f"{result.elapsed * 1000:.1f} ms")

@@ -1,0 +1,236 @@
+"""The web UI (§3, Figure 3) on the stdlib HTTP server.
+
+Reproduces the demo's three UI elements — a query input box, an execution
+status area, and an interactive result table — plus the query-editing and
+result-analysis features: server-side syntax highlighting, syntax checking
+(``/api/check``), and sorting/searching over results (client-side on the
+rendered table, server-side via query parameters on ``/api/query``).
+
+The handler logic is separated from the socket server so tests can drive
+it without binding a port.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.core.session import AiqlSession
+from repro.errors import ReproError
+from repro.lang.errors import AiqlSyntaxError
+from repro.lang.highlight import highlight_html
+
+INDEX_HTML = """<!DOCTYPE html>
+<html><head><title>AIQL Investigation Console</title>
+<style>
+body { font-family: sans-serif; margin: 2em; background: #fafafa; }
+textarea { width: 100%; height: 10em; font-family: monospace; }
+#status { margin: 1em 0; color: #444; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #999; padding: 4px 8px; font-family: monospace; }
+th { cursor: pointer; background: #eee; }
+.aiql-kw { color: #00f; font-weight: bold; }
+.aiql-entity { color: #909; font-weight: bold; }
+.aiql-str { color: #080; }
+.aiql-num { color: #088; }
+.aiql-op { color: #a60; }
+.aiql-comment { color: #888; }
+pre.hl { background: #fff; border: 1px solid #ddd; padding: 8px; }
+</style></head>
+<body>
+<h1>AIQL Investigation Console</h1>
+<textarea id="q" placeholder="Enter an AIQL query..."></textarea><br>
+<button onclick="run()">Execute</button>
+<button onclick="check()">Check syntax</button>
+<input id="search" placeholder="search results"
+       oninput="filterRows(this.value)">
+<div id="status"></div>
+<pre class="hl" id="hl"></pre>
+<div id="results"></div>
+<script>
+async function run() {
+  const q = document.getElementById('q').value;
+  const res = await fetch('/api/query', {method: 'POST', body: q});
+  const data = await res.json();
+  document.getElementById('status').textContent = data.status;
+  document.getElementById('hl').innerHTML = data.highlighted || '';
+  const div = document.getElementById('results');
+  if (!data.ok) { div.innerHTML = '<pre>' + data.error + '</pre>'; return; }
+  let html = '<table><tr>';
+  data.columns.forEach((c, i) =>
+    html += `<th onclick="sortBy(${i})">${c}</th>`);
+  html += '</tr>';
+  data.rows.forEach(r => {
+    html += '<tr>' + r.map(v => `<td>${v}</td>`).join('') + '</tr>';
+  });
+  div.innerHTML = html + '</table>';
+}
+async function check() {
+  const q = document.getElementById('q').value;
+  const res = await fetch('/api/check', {method: 'POST', body: q});
+  const data = await res.json();
+  document.getElementById('status').textContent =
+    data.ok ? 'syntax OK' : data.error;
+}
+function sortBy(i) {
+  const table = document.querySelector('#results table');
+  const rows = Array.from(table.rows).slice(1);
+  rows.sort((a, b) => a.cells[i].textContent.localeCompare(
+    b.cells[i].textContent, undefined, {numeric: true}));
+  rows.forEach(r => table.appendChild(r));
+}
+function filterRows(text) {
+  const table = document.querySelector('#results table');
+  if (!table) return;
+  Array.from(table.rows).slice(1).forEach(r => {
+    r.style.display =
+      r.textContent.toLowerCase().includes(text.toLowerCase()) ? '' : 'none';
+  });
+}
+</script>
+</body></html>
+"""
+
+
+class WebApi:
+    """HTTP-free request handling (unit-testable)."""
+
+    def __init__(self, session: AiqlSession) -> None:
+        self.session = session
+
+    def index(self) -> tuple[int, str, str]:
+        return 200, "text/html", INDEX_HTML
+
+    def query(self, body: str, sort: str | None = None,
+              search: str | None = None) -> tuple[int, str, str]:
+        """POST /api/query — execute AIQL, return a JSON result table."""
+        try:
+            result = self.session.query(body)
+        except AiqlSyntaxError as exc:
+            payload = {"ok": False, "error": exc.render(),
+                       "status": "syntax error",
+                       "highlighted": highlight_html(body)}
+            return 400, "application/json", json.dumps(payload)
+        except ReproError as exc:
+            payload = {"ok": False, "error": str(exc),
+                       "status": "execution error",
+                       "highlighted": highlight_html(body)}
+            return 400, "application/json", json.dumps(payload)
+        if search:
+            result = result.search(search)
+        if sort:
+            result = result.sorted_by(sort)
+        payload = {
+            "ok": True,
+            "status": (f"{result.kind} query: {len(result.rows)} rows in "
+                       f"{result.elapsed * 1000:.1f} ms"),
+            "columns": result.columns,
+            "rows": [[_json_cell(v) for v in row] for row in result.rows],
+            "report": result.report,
+            "highlighted": highlight_html(body),
+        }
+        return 200, "application/json", json.dumps(payload)
+
+    def check(self, body: str) -> tuple[int, str, str]:
+        """POST /api/check — syntax checking for query debugging."""
+        error = self.session.check(body)
+        if error is None:
+            payload = {"ok": True}
+        else:
+            payload = {"ok": False, "error": error.render(),
+                       "line": error.line, "col": error.col}
+        return 200, "application/json", json.dumps(payload)
+
+    def describe(self) -> tuple[int, str, str]:
+        """GET /api/describe — store summary."""
+        return 200, "application/json", json.dumps(
+            {"ok": True, "summary": self.session.describe()})
+
+    def catalog(self, name: str) -> tuple[int, str, str]:
+        """GET /api/catalog?name=figure4 — the paper's query catalogs.
+
+        Lets the audience issue the investigation queries with one click,
+        matching the guided-demo flow of §3.
+        """
+        from repro.investigate import FIGURE4_QUERIES, FIGURE5_QUERIES
+        catalogs = {"figure4": FIGURE4_QUERIES, "figure5": FIGURE5_QUERIES}
+        catalog = catalogs.get(name)
+        if catalog is None:
+            return 404, "application/json", json.dumps(
+                {"ok": False,
+                 "error": f"unknown catalog {name!r} "
+                          f"(have: {', '.join(sorted(catalogs))})"})
+        entries = [{"id": entry.id, "step": entry.step,
+                    "title": entry.title, "kind": entry.kind,
+                    "aiql": entry.aiql,
+                    "highlighted": highlight_html(entry.aiql)}
+                   for entry in catalog]
+        return 200, "application/json", json.dumps(
+            {"ok": True, "name": name, "queries": entries})
+
+
+def _json_cell(value: object) -> object:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def make_server(session: AiqlSession, host: str = "127.0.0.1",
+                port: int = 0) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server; port 0 picks a free port."""
+    api = WebApi(session)
+
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, fmt, *args):  # quiet by default
+            pass
+
+        def _send(self, status: int, content_type: str, body: str) -> None:
+            data = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type",
+                             f"{content_type}; charset=utf-8")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def do_GET(self) -> None:
+            parsed = urllib.parse.urlparse(self.path)
+            if parsed.path in ("/", "/index.html"):
+                self._send(*api.index())
+            elif parsed.path == "/api/describe":
+                self._send(*api.describe())
+            elif parsed.path == "/api/catalog":
+                params = urllib.parse.parse_qs(parsed.query)
+                name = (params.get("name") or ["figure4"])[0]
+                self._send(*api.catalog(name))
+            else:
+                self._send(404, "text/plain", "not found")
+
+        def do_POST(self) -> None:
+            parsed = urllib.parse.urlparse(self.path)
+            length = int(self.headers.get("Content-Length", "0"))
+            body = self.rfile.read(length).decode("utf-8")
+            params = urllib.parse.parse_qs(parsed.query)
+            if parsed.path == "/api/query":
+                self._send(*api.query(
+                    body,
+                    sort=(params.get("sort") or [None])[0],
+                    search=(params.get("search") or [None])[0]))
+            elif parsed.path == "/api/check":
+                self._send(*api.check(body))
+            else:
+                self._send(404, "text/plain", "not found")
+
+    return ThreadingHTTPServer((host, port), Handler)
+
+
+def serve_background(session: AiqlSession, host: str = "127.0.0.1",
+                     port: int = 0) -> tuple[ThreadingHTTPServer,
+                                             threading.Thread]:
+    """Start the UI server on a daemon thread; returns (server, thread)."""
+    server = make_server(session, host, port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread

@@ -1,0 +1,108 @@
+"""Tests for aggregate functions and the per-group history ring."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SemanticError
+from repro.engine.aggregates import AGGREGATES, GroupHistory, aggregate
+
+
+class TestAggregateFunctions:
+    def test_basic_values(self):
+        values = [4, 1, 3, 2]
+        assert aggregate("count", values) == 4
+        assert aggregate("sum", values) == 10
+        assert aggregate("avg", values) == 2.5
+        assert aggregate("min", values) == 1
+        assert aggregate("max", values) == 4
+        assert aggregate("median", values) == 2.5
+        assert aggregate("first", values) == 4
+        assert aggregate("last", values) == 2
+
+    def test_empty_set_conventions(self):
+        assert aggregate("count", []) == 0
+        assert aggregate("sum", []) == 0
+        assert aggregate("avg", []) == 0.0
+        assert aggregate("stddev", []) == 0.0
+        for func in ("min", "max", "median", "first", "last"):
+            assert aggregate(func, []) is None
+
+    def test_stddev_population(self):
+        assert aggregate("stddev", [2, 4, 4, 4, 5, 5, 7, 9]) == 2.0
+        assert aggregate("stddev", [5]) == 0.0
+
+    def test_median_odd(self):
+        assert aggregate("median", [9, 1, 5]) == 5
+
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError, match="unknown aggregate"):
+            aggregate("mode", [1])
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                    min_size=1, max_size=50))
+    def test_avg_between_min_and_max(self, values):
+        avg = aggregate("avg", values)
+        assert aggregate("min", values) <= avg <= aggregate("max", values)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100),
+                    min_size=2, max_size=30))
+    def test_stddev_nonnegative_and_translation_invariant(self, values):
+        s1 = aggregate("stddev", values)
+        s2 = aggregate("stddev", [v + 10 for v in values])
+        assert s1 >= 0
+        assert math.isclose(s1, s2, abs_tol=1e-6)
+
+
+class TestGroupHistory:
+    def test_offset_zero_is_current(self):
+        history = GroupHistory(depth=3)
+        history.record(("g",), "amt", 1.0)
+        assert history.lookup(("g",), "amt", 0) == 1.0
+
+    def test_offsets_walk_back_in_time(self):
+        history = GroupHistory(depth=3)
+        for value in (1.0, 2.0, 3.0):
+            history.record(("g",), "amt", value)
+        assert history.lookup(("g",), "amt", 0) == 3.0
+        assert history.lookup(("g",), "amt", 1) == 2.0
+        assert history.lookup(("g",), "amt", 2) == 1.0
+
+    def test_missing_history_is_none(self):
+        history = GroupHistory(depth=3)
+        history.record(("g",), "amt", 1.0)
+        assert history.lookup(("g",), "amt", 1) is None
+        assert history.lookup(("other",), "amt", 0) is None
+
+    def test_depth_bounds_memory(self):
+        history = GroupHistory(depth=2)
+        for value in range(10):
+            history.record(("g",), "amt", value)
+        assert history.lookup(("g",), "amt", 0) == 9
+        assert history.lookup(("g",), "amt", 1) == 8
+        assert history.lookup(("g",), "amt", 2) is None
+
+    def test_groups_are_independent(self):
+        history = GroupHistory(depth=2)
+        history.record(("a",), "amt", 1.0)
+        history.record(("b",), "amt", 2.0)
+        assert history.lookup(("a",), "amt", 0) == 1.0
+        assert history.lookup(("b",), "amt", 0) == 2.0
+        assert history.known_groups() == {("a",), ("b",)}
+
+    def test_aliases_are_independent(self):
+        history = GroupHistory(depth=2)
+        history.record(("g",), "amt", 1.0)
+        history.record(("g",), "cnt", 5)
+        assert history.lookup(("g",), "cnt", 0) == 5
+        assert history.lookup(("g",), "amt", 0) == 1.0
+
+    def test_bad_depth(self):
+        with pytest.raises(SemanticError):
+            GroupHistory(depth=0)
+
+    def test_registry_is_complete(self):
+        for name in ("count", "sum", "avg", "min", "max", "stddev",
+                     "median", "first", "last"):
+            assert name in AGGREGATES

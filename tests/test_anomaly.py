@@ -1,0 +1,190 @@
+"""Tests for the sliding-window anomaly engine."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.parser import parse
+from repro.model.entities import NetworkEntity, ProcessEntity
+from repro.engine.anomaly import execute_anomaly
+from repro.storage.store import EventStore
+
+from tests.conftest import BASE_TS, DAY
+
+
+def transfer_store(amounts_by_proc: dict[str, list[tuple[float, int]]],
+                   agent: int = 3) -> EventStore:
+    """amounts_by_proc: exe_name -> [(offset seconds, amount)]."""
+    store = EventStore()
+    conn = NetworkEntity(agent, "10.0.0.3", 50000, "203.0.113.129", 443)
+    for pid, (exe, series) in enumerate(amounts_by_proc.items(), start=1):
+        proc = ProcessEntity(agent, pid, exe)
+        for offset, amount in series:
+            store.record(BASE_TS + offset, agent, "write", proc, conn,
+                         amount=amount)
+    return store
+
+
+def run(store, source: str):
+    query = parse(source)
+    return execute_anomaly(store, query)
+
+
+SPIKE_QUERY = f'''
+(at "{DAY}")
+agentid = 3
+window = 1 min, step = 10 sec
+proc p write ip i[dstip = "203.0.113.129"] as evt
+return p, avg(evt.amount) as amt
+group by p
+having (amt > 2 * (amt + amt[1] + amt[2]) / 3)
+'''
+
+
+class TestMovingAverageSpike:
+    def test_spike_after_baseline_fires(self):
+        baseline = [(i * 10.0, 100) for i in range(60)]
+        burst = [(600 + i * 10.0, 900_000) for i in range(6)]
+        store = transfer_store({"sbblv.exe": baseline + burst})
+        output = run(store, SPIKE_QUERY)
+        assert output.rows
+        assert all(row[1] == "sbblv.exe" for row in output.rows)
+
+    def test_constant_rate_never_fires(self):
+        steady = [(i * 10.0, 5000) for i in range(100)]
+        store = transfer_store({"steady.exe": steady})
+        output = run(store, SPIKE_QUERY)
+        assert output.rows == []
+
+    def test_spike_without_history_does_not_fire(self):
+        # A process whose first-ever windows are already the burst has no
+        # amt[2] history: None comparisons are false (documented).
+        burst_only = [(i * 10.0, 900_000) for i in range(3)]
+        store = transfer_store({"burst.exe": burst_only})
+        output = run(store, SPIKE_QUERY)
+        assert output.rows == []
+
+    def test_groups_are_independent(self):
+        baseline = [(i * 10.0, 100) for i in range(60)]
+        burst = [(600 + i * 10.0, 900_000) for i in range(6)]
+        store = transfer_store({
+            "quiet.exe": baseline,
+            "noisy.exe": baseline + burst,
+        })
+        output = run(store, SPIKE_QUERY)
+        names = {row[1] for row in output.rows}
+        assert names == {"noisy.exe"}
+
+
+class TestAggregationSemantics:
+    def test_count_and_sum_per_window(self):
+        store = transfer_store({"p.exe": [(0.0, 10), (5.0, 20),
+                                          (70.0, 30)]})
+        output = run(store, f'''
+(at "{DAY}")
+window = 1 min, step = 1 min
+proc p write ip i as evt
+return p, count(evt) as c, sum(evt.amount) as s
+group by p
+''')
+        # Tumbling windows: [0,60) has 2 events, [60,120) has 1; later
+        # windows report the empty-set conventions (0, 0).
+        by_window = {row[0]: (row[2], row[3]) for row in output.rows[:2]}
+        values = list(by_window.values())
+        assert values[0] == (2, 30)
+        assert values[1] == (1, 30)
+
+    def test_empty_windows_keep_group_alive(self):
+        store = transfer_store({"p.exe": [(0.0, 10)]})
+        output = run(store, f'''
+(at "{DAY}")
+window = 1 min, step = 1 min
+proc p write ip i as evt
+return p, count(evt) as c
+group by p
+having c = 0
+''')
+        # The group appears once, then is evaluated (with count 0) in
+        # every later window of the day.
+        assert len(output.rows) > 100
+
+    def test_group_by_attribute_value(self):
+        store = EventStore()
+        conn = NetworkEntity(3, "10.0.0.3", 1, "9.9.9.9", 443)
+        for pid in (1, 2):
+            proc = ProcessEntity(3, pid, "worker.exe")
+            store.record(BASE_TS + pid, 3, "write", proc, conn, amount=10)
+        output = run(store, f'''
+(at "{DAY}")
+window = 1 min, step = 1 min
+proc p write ip i as evt
+return p.exe_name, sum(evt.amount) as s
+group by p.exe_name
+having s > 0
+''')
+        # Grouping by the attribute merges the two worker pids.
+        assert output.rows[0][2] == 20
+
+    def test_bare_entity_groups_by_identity(self):
+        store = EventStore()
+        conn = NetworkEntity(3, "10.0.0.3", 1, "9.9.9.9", 443)
+        for pid in (1, 2):
+            proc = ProcessEntity(3, pid, "worker.exe")
+            store.record(BASE_TS + pid, 3, "write", proc, conn, amount=10)
+        output = run(store, f'''
+(at "{DAY}")
+window = 1 min, step = 1 min
+proc p write ip i as evt
+return p, sum(evt.amount) as s
+group by p
+having s > 0
+''')
+        # Two distinct processes with the same name: two groups.
+        assert len(output.rows) == 2
+
+    def test_having_aggregate_not_in_return(self):
+        store = transfer_store({"p.exe": [(0.0, 10), (1.0, 30)]})
+        output = run(store, f'''
+(at "{DAY}")
+window = 1 min, step = 1 min
+proc p write ip i as evt
+return p, count(evt) as c
+group by p
+having max(evt.amount) >= 30
+''')
+        assert output.rows
+        assert output.rows[0][2] == 2
+
+
+class TestValidation:
+    def test_multiple_patterns_rejected(self):
+        store = EventStore()
+        query = parse(f'''
+window = 1 min, step = 1 min
+proc p write ip i as e1
+proc q write ip j as e2
+return count(e1) as c
+''')
+        with pytest.raises(SemanticError, match="exactly one"):
+            execute_anomaly(store, query)
+
+    def test_non_grouped_return_item_rejected(self):
+        store = transfer_store({"p.exe": [(0.0, 10)]})
+        query = parse(f'''
+(at "{DAY}")
+window = 1 min, step = 1 min
+proc p write ip i as evt
+return i, count(evt) as c
+group by p
+''')
+        with pytest.raises(SemanticError, match="group by"):
+            execute_anomaly(store, query)
+
+    def test_empty_store_returns_no_rows(self):
+        store = EventStore()
+        query = parse('''
+window = 1 min, step = 1 min
+proc p write ip i as evt
+return count(evt) as c
+''')
+        output = execute_anomaly(store, query)
+        assert output.rows == []

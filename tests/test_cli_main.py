@@ -1,0 +1,103 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import io
+
+import pytest
+
+from repro.ui.main import main
+
+
+@pytest.fixture(scope="module")
+def data_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "day.jsonl"
+    out = io.StringIO()
+    code = main(["simulate", "--scenario", "demo",
+                 "--events-per-host", "200", "--out", str(path)], out)
+    assert code == 0
+    return str(path)
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out)
+    return code, out.getvalue()
+
+
+class TestSimulate:
+    def test_writes_event_file(self, data_file):
+        from repro.storage.serialize import read_events
+        events = list(read_events(data_file))
+        assert len(events) > 1000
+
+    def test_seed_changes_output(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        run_cli("simulate", "--events-per-host", "50", "--seed", "1",
+                "--out", str(a))
+        run_cli("simulate", "--events-per-host", "50", "--seed", "2",
+                "--out", str(b))
+        assert a.read_text() != b.read_text()
+
+    def test_case2_scenario(self, tmp_path):
+        path = tmp_path / "c2.jsonl"
+        code, out = run_cli("simulate", "--scenario", "case2",
+                            "--events-per-host", "50", "--out", str(path))
+        assert code == 0
+        assert "wrote" in out
+
+
+class TestQuery:
+    def test_query_finds_attack(self, data_file):
+        code, out = run_cli(
+            "query", data_file,
+            'proc p["%sbblv%"] write ip i as e1\nreturn distinct p, i')
+        assert code == 0
+        assert "sbblv.exe" in out
+
+    def test_query_from_file(self, data_file, tmp_path):
+        query_file = tmp_path / "q.aiql"
+        query_file.write_text(
+            'proc p["%mimikatz%"] write file f as e1\nreturn distinct f')
+        code, out = run_cli("query", data_file, f"@{query_file}")
+        assert code == 0
+        assert "lsass.dmp" in out or "creds.txt" in out
+
+    def test_syntax_error_exit_code(self, data_file):
+        code, out = run_cli("query", data_file, "proc p[% return p")
+        assert code == 2
+        assert "syntax error" in out
+
+    def test_execution_error_exit_code(self, data_file, tmp_path):
+        code, out = run_cli("query", str(tmp_path / "missing.jsonl"),
+                            "proc p start proc c as e1 return c")
+        assert code == 1
+        assert "error" in out
+
+
+class TestCheckAndExplain:
+    def test_check_ok(self):
+        code, out = run_cli(
+            "check", "proc p start proc c as e1 return c")
+        assert code == 0
+        assert "syntax OK" in out
+
+    def test_check_bad(self):
+        code, out = run_cli("check", "proc p[%")
+        assert code == 2
+        assert "^" in out
+
+    def test_explain(self, data_file):
+        code, out = run_cli(
+            "explain", data_file,
+            'proc p["%sbblv%"] write ip i as e1\nreturn p')
+        assert code == 0
+        assert "estimated" in out
+
+
+class TestInvestigate:
+    def test_replays_catalog(self, data_file):
+        code, out = run_cli("investigate", data_file,
+                            "--catalog", "figure4")
+        assert code == 0
+        assert "[a5-5]" in out
+        assert "20 queries" in out

@@ -1,0 +1,50 @@
+"""Tests for the interactive REPL loop (multi-line entry, commands)."""
+
+import io
+
+from repro import AiqlSession
+from repro.ui.cli import run
+
+from tests.conftest import make_exfil_store
+
+
+def drive(script: str) -> str:
+    session = AiqlSession(store=make_exfil_store(noise=50))
+    stdout = io.StringIO()
+    run(session, stdin=io.StringIO(script), stdout=stdout)
+    return stdout.getvalue()
+
+
+class TestReplLoop:
+    def test_banner_shown(self):
+        assert "AIQL investigation console" in drive("")
+
+    def test_multiline_query_submitted_on_blank_line(self):
+        out = drive('proc p["%sbblv%"] read file f as e1\n'
+                    'return p, f\n'
+                    '\n')
+        assert "sbblv.exe" in out
+        assert "backup1.dmp" in out
+
+    def test_dot_commands_are_immediate(self):
+        out = drive(".describe\n")
+        assert "events" in out
+
+    def test_quit_stops_loop(self):
+        out = drive(".quit\n.describe\n")
+        assert "bye" in out
+        assert "partitions" not in out
+
+    def test_syntax_error_shows_caret(self):
+        out = drive("proc p[%oops\n\n")
+        assert "^" in out
+
+    def test_two_queries_in_sequence(self):
+        out = drive('proc p["%cmd.exe%"] start proc c as e1\nreturn c\n\n'
+                    'proc p["%sqlservr%"] write file f as e1\nreturn f\n\n')
+        assert "osql.exe" in out
+        assert "backup1.dmp" in out
+
+    def test_input_is_highlighted(self):
+        out = drive('proc p["%cmd.exe%"] start proc c as e1\nreturn c\n\n')
+        assert "\x1b[" in out  # ANSI colors echoed

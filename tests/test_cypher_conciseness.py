@@ -1,0 +1,83 @@
+"""Tests for Cypher translation and the conciseness metrics."""
+
+import pytest
+
+from repro.baselines.cypher_translator import translate_cypher
+from repro.baselines.sql_translator import translate
+from repro.investigate.conciseness import (aiql_metrics, compare_catalog,
+                                           count_aiql_constraints,
+                                           count_cypher_constraints,
+                                           count_sql_constraints,
+                                           cypher_metrics, sql_metrics)
+from repro.investigate import FIGURE4_QUERIES
+from repro.lang.parser import parse
+
+from tests.conftest import QUERY1
+
+
+class TestCypherTranslation:
+    def test_match_elements_per_pattern(self):
+        cypher = translate_cypher(parse(QUERY1))
+        assert cypher.count("]->") == 4
+        assert "(p1:Process)-[evt1:START]->(p2:Process)" in cypher
+
+    def test_like_becomes_regex(self):
+        cypher = translate_cypher(parse(QUERY1))
+        # The Cypher string literal escapes the regex backslash: \\.
+        assert r"p1.exe_name =~ '(?i).*cmd\\.exe'" in cypher
+
+    def test_temporal_order_in_where(self):
+        cypher = translate_cypher(parse(QUERY1))
+        assert "evt1.ts < evt2.ts" in cypher
+
+    def test_return_clause(self):
+        cypher = translate_cypher(parse(QUERY1))
+        assert "RETURN DISTINCT" in cypher
+        assert "i1.dst_ip" in cypher
+
+    def test_dependency_via_rewrite(self):
+        cypher = translate_cypher(parse(
+            'forward: proc p ->[write] file f <-[read] proc q return q'))
+        assert "[dep_evt1:WRITE]" in cypher
+
+    def test_anomaly_mentions_client_side_postpass(self):
+        cypher = translate_cypher(parse(
+            '(at "06/10/2026")\nwindow = 1 min, step = 10 sec\n'
+            'proc p write ip i as evt\nreturn p, avg(evt.amount) as amt\n'
+            'group by p\nhaving amt > amt[1]'))
+        assert "client-side" in cypher
+
+
+class TestConstraintCounting:
+    def test_aiql_counts_query1(self):
+        query = parse(QUERY1)
+        count = count_aiql_constraints(query)
+        # window + agentid + 4 ops + 6 bracket constraints + 3 temporal.
+        assert count == 15
+
+    def test_sql_counts_conjuncts(self):
+        sql = translate(parse(QUERY1))
+        assert count_sql_constraints(sql) >= 30
+
+    def test_cypher_counts(self):
+        cypher = translate_cypher(parse(QUERY1))
+        assert count_cypher_constraints(cypher) > 10
+
+
+class TestMetrics:
+    def test_sql_is_less_concise_than_aiql(self):
+        aiql = aiql_metrics(QUERY1)
+        sql = sql_metrics(translate(parse(QUERY1)))
+        ratios = sql.ratio_to(aiql)
+        assert all(r > 1.5 for r in ratios)
+
+    def test_catalog_comparison_matches_paper_shape(self):
+        comparison = compare_catalog(list(FIGURE4_QUERIES)[:6])
+        constraints, words, chars = comparison.sql_ratios
+        # Paper: >= 3.0x constraints, 3.5x words, 5.2x characters.  Exact
+        # factors depend on the query mix; the shape is "well above 1".
+        assert constraints > 1.5
+        assert words > 1.5
+        assert chars > 1.5
+        cypher_ratios = comparison.cypher_ratios
+        assert all(r > 1.0 for r in cypher_ratios)

@@ -1,0 +1,90 @@
+"""Tests for entity interning and event merging."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model.entities import FileEntity, ProcessEntity
+from repro.model.events import Event
+from repro.storage.dedup import EntityInterner, EventMerger
+
+
+def proc(pid=10):
+    return ProcessEntity(1, pid, "p.exe")
+
+
+def write_event(eid, ts, amount=10, pid=10, path="/tmp/f"):
+    return Event(id=eid, ts=ts, agentid=1, operation="write",
+                 subject=proc(pid), object=FileEntity(1, path),
+                 amount=amount)
+
+
+class TestEntityInterner:
+    def test_same_identity_returns_same_object(self):
+        interner = EntityInterner()
+        a = interner.intern(proc())
+        b = interner.intern(proc())
+        assert a is b
+        assert len(interner) == 1
+        assert interner.hits == 1 and interner.misses == 1
+
+    def test_different_identity_kept_apart(self):
+        interner = EntityInterner()
+        interner.intern(proc(pid=1))
+        interner.intern(proc(pid=2))
+        assert len(interner) == 2
+        assert interner.dedup_ratio == 0.0
+
+    def test_lookup(self):
+        interner = EntityInterner()
+        entity = interner.intern(proc())
+        assert interner.lookup(entity.identity) is entity
+        assert interner.lookup(("nope",)) is None
+
+
+class TestEventMerger:
+    def test_merges_burst_and_sums_amounts(self):
+        merger = EventMerger(merge_window=1.0)
+        out = []
+        for i in range(5):
+            out.extend(merger.push(write_event(i, 0.1 * i, amount=10)))
+        out.extend(merger.flush())
+        assert len(out) == 1
+        assert out[0].amount == 50
+        assert merger.merged_away == 4
+
+    def test_gap_larger_than_window_splits(self):
+        merger = EventMerger(merge_window=1.0)
+        out = list(merger.push(write_event(1, 0.0)))
+        out.extend(merger.push(write_event(2, 5.0)))
+        out.extend(merger.flush())
+        assert len(out) == 2
+
+    def test_different_keys_never_merge(self):
+        merger = EventMerger(merge_window=10.0)
+        merger.push(write_event(1, 0.0, path="/a"))
+        merger.push(write_event(2, 0.1, path="/b"))
+        merger.push(write_event(3, 0.2, pid=99))
+        assert len(merger.flush()) == 3
+        assert merger.merged_away == 0
+
+    def test_merged_event_keeps_first_timestamp(self):
+        merger = EventMerger(merge_window=1.0)
+        merger.push(write_event(1, 3.0))
+        merger.push(write_event(2, 3.5))
+        merged = merger.flush()[0]
+        assert merged.ts == 3.0
+        assert merged.id == 1
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=1000)), max_size=50))
+    def test_amount_is_conserved(self, specs):
+        """Merging never loses bytes: total amount in == total out."""
+        specs.sort(key=lambda pair: pair[0])
+        merger = EventMerger(merge_window=2.0)
+        out = []
+        for index, (ts, amount) in enumerate(specs):
+            out.extend(merger.push(write_event(index, ts, amount=amount)))
+        out.extend(merger.flush())
+        assert sum(e.amount for e in out) == sum(a for _t, a in specs)
+        assert len(out) + merger.merged_away == len(specs)

@@ -1,0 +1,81 @@
+"""Tests for dependency query rewriting (the §2.3 compiler)."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.engine.dependency import rewrite_dependency
+
+
+def rewrite(source: str) -> ast.MultieventQuery:
+    query = parse(source)
+    assert isinstance(query, ast.DependencyQuery)
+    return rewrite_dependency(query)
+
+
+class TestRewriting:
+    def test_paper_query_2(self):
+        multi = rewrite(
+            'forward: proc p1["%cp%", agentid = 1] ->[write] file f1["%m%"]\n'
+            '<-[read] proc p2["%apache%"]\n'
+            '->[connect] proc p3[agentid=2]\n'
+            '->[write] file f2["%m%"]\n'
+            'return f1, p1, p2, p3, f2')
+        assert isinstance(multi, ast.MultieventQuery)
+        assert len(multi.patterns) == 4
+        # Arrow orientation decides subjects: ->[write] p1 writes f1;
+        # <-[read] means p2 reads f1.
+        assert multi.patterns[0].subject.variable == "p1"
+        assert multi.patterns[0].object.variable == "f1"
+        assert multi.patterns[1].subject.variable == "p2"
+        assert multi.patterns[1].object.variable == "f1"
+        assert multi.patterns[2].subject.variable == "p2"
+        assert multi.patterns[2].object.variable == "p3"
+        assert multi.patterns[3].subject.variable == "p3"
+
+    def test_forward_temporal_chain(self):
+        multi = rewrite('forward: proc p ->[write] file f <-[read] proc q '
+                        'return q')
+        assert len(multi.temporal) == 1
+        rel = multi.temporal[0]
+        assert rel.relation == "before"
+        assert rel.left == multi.patterns[0].event_var
+        assert rel.right == multi.patterns[1].event_var
+
+    def test_backward_temporal_chain_is_reversed(self):
+        multi = rewrite('backward: file f["%x%"] <-[write] proc p '
+                        '<-[start] proc q return q')
+        rel = multi.temporal[0]
+        # Backward: the later edge in the path happened earlier.
+        assert rel.left == multi.patterns[1].event_var
+        assert rel.right == multi.patterns[0].event_var
+
+    def test_event_vars_avoid_node_collisions(self):
+        query = parse('forward: proc dep_evt1 ->[write] file f return f')
+        multi = rewrite_dependency(query)
+        assert multi.patterns[0].event_var != "dep_evt1"
+
+    def test_header_and_return_preserved(self):
+        multi = rewrite('(at "06/10/2026")\nagentid = 2\n'
+                        'forward: proc p ->[write] file f return distinct f')
+        assert multi.header.agentids() == {2}
+        assert multi.distinct
+        assert multi.return_items[0].expr == ast.VarRef("f")
+
+    def test_non_process_subject_rejected(self):
+        query = ast.DependencyQuery(
+            header=ast.QueryHeader(),
+            direction="forward",
+            nodes=(ast.EntityPattern("file", "f"),
+                   ast.EntityPattern("file", "g")),
+            edges=(ast.DependencyEdge(("write",), "left"),),
+            return_items=(ast.ReturnItem(ast.VarRef("f")),))
+        with pytest.raises(SemanticError, match="must be a process"):
+            rewrite_dependency(query)
+
+    def test_rewritten_query_parses_back(self):
+        from repro.lang.pretty import pretty
+        multi = rewrite('forward: proc p ->[write] file f <-[read] proc q '
+                        'return q')
+        assert parse(pretty(multi)) == multi

@@ -1,0 +1,187 @@
+"""Tests for the ATC-AIQL language extensions: attribute relations in
+``with``, and ``sort by`` / ``top`` result management."""
+
+import pytest
+
+from repro.baselines.graph import GraphStore
+from repro.baselines.sqlite_backend import RelationalBaseline
+from repro.errors import SemanticError
+from repro.engine.executor import execute
+from repro.lang import ast
+from repro.lang.errors import AiqlSyntaxError
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.model.entities import FileEntity, ProcessEntity
+from repro.storage.store import EventStore
+
+from tests.conftest import BASE_TS
+
+
+@pytest.fixture
+def store() -> EventStore:
+    store = EventStore()
+    alice = ProcessEntity(1, 1, "editor.exe", user="alice")
+    alice2 = ProcessEntity(1, 2, "uploader.exe", user="alice")
+    bob = ProcessEntity(1, 3, "uploader.exe", user="bob")
+    shared = FileEntity(1, "/srv/shared.doc")
+    store.record(BASE_TS + 10, 1, "write", alice, shared, amount=100)
+    store.record(BASE_TS + 20, 1, "read", alice2, shared, amount=100)
+    store.record(BASE_TS + 30, 1, "read", bob, shared, amount=300)
+    for index in range(20):
+        noise = FileEntity(1, f"/tmp/{index}")
+        store.record(BASE_TS + 100 + index, 1, "write", alice, noise,
+                     amount=index)
+    return store
+
+
+class TestAttributeRelations:
+    QUERY = ('proc w["%editor%"] write file f as e1\n'
+             'proc r["%uploader%"] read file f as e2\n'
+             'with e1 before e2, w.user = r.user\n'
+             'return distinct r, r.user')
+
+    def test_parse_mixed_with_clause(self):
+        query = parse(self.QUERY)
+        assert len(query.temporal) == 1
+        assert len(query.relations) == 1
+        relation = query.relations[0]
+        assert str(relation) == "w.user = r.user"
+
+    def test_filters_joined_rows(self, store):
+        result = execute(store, parse(self.QUERY))
+        # Both uploaders read the shared file after the write, but only
+        # alice's uploader shares the writer's user.
+        assert result.rows == [("uploader.exe", "alice")]
+
+    def test_inequality_relation(self, store):
+        query = parse('proc w["%editor%"] write file f as e1\n'
+                      'proc r["%uploader%"] read file f as e2\n'
+                      'with w.user != r.user\n'
+                      'return distinct r.user')
+        assert execute(store, query).rows == [("bob",)]
+
+    def test_event_attribute_relation(self, store):
+        query = parse('proc w["%editor%"] write file f as e1\n'
+                      'proc r read file f as e2\n'
+                      'with e2.amount > e1.amount\n'
+                      'return distinct r')
+        assert execute(store, query).rows == [("uploader.exe",)]
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(AiqlSyntaxError, match="unknown variable"):
+            parse('proc a write file f as e1\nwith zz.user = a.user\n'
+                  'return f')
+
+    def test_sql_translation_agrees(self, store):
+        baseline = RelationalBaseline(optimized=True)
+        baseline.load_store(store)
+        baseline.finalize()
+        for source in (self.QUERY,
+                       'proc w["%editor%"] write file f as e1\n'
+                       'proc r read file f as e2\n'
+                       'with e2.amount >= e1.amount\nreturn distinct r'):
+            query = parse(source)
+            assert (set(baseline.run_query(query).rows)
+                    == set(execute(store, query).rows))
+
+    def test_graph_baseline_agrees(self, store):
+        graph = GraphStore()
+        graph.load_store(store)
+        query = parse(self.QUERY)
+        assert (set(graph.run_query(query).rows)
+                == set(execute(store, query).rows))
+
+    def test_pretty_roundtrip(self):
+        query = parse(self.QUERY)
+        assert parse(pretty(query)) == query
+
+
+class TestSortAndTop:
+    def test_parse(self):
+        query = parse('proc p write file f as e1\n'
+                      'return f, e1.amount sort by e1.amount desc top 3')
+        assert query.top == 3
+        assert query.sort_by == (
+            ast.SortKey(ast.VarRef("e1", "amount"), True),)
+
+    def test_sorted_execution(self, store):
+        query = parse('proc p write file f as e1\n'
+                      'return e1.amount sort by e1.amount desc')
+        amounts = [row[0] for row in execute(store, query).rows]
+        assert amounts == sorted(amounts, reverse=True)
+
+    def test_top_limits_rows(self, store):
+        query = parse('proc p write file f as e1\n'
+                      'return f sort by e1.amount desc top 5')
+        assert len(execute(store, query).rows) == 5
+
+    def test_top_applies_after_distinct(self, store):
+        query = parse('proc p["%editor%"] write file f as e1\n'
+                      'return distinct p top 1')
+        assert execute(store, query).rows == [("editor.exe",)]
+
+    def test_ascending_is_default(self, store):
+        query = parse('proc p write file f as e1\n'
+                      'return e1.amount sort by e1.amount asc')
+        amounts = [row[0] for row in execute(store, query).rows]
+        assert amounts == sorted(amounts)
+
+    def test_multi_key_sort(self, store):
+        query = parse('proc p read file f as e1\n'
+                      'return p.user, e1.amount '
+                      'sort by e1.amount desc, p.user')
+        rows = execute(store, parse(pretty(parse(pretty(query))))
+                       if False else query).rows
+        assert rows[0] == ("bob", 300)
+
+    def test_sql_translation_has_order_and_limit(self, store):
+        from repro.baselines.sql_translator import translate
+        sql = translate(parse('proc p write file f as e1\n'
+                              'return f sort by e1.amount desc top 2'))
+        assert "ORDER BY e1.amount DESC" in sql
+        assert "LIMIT 2" in sql
+
+    def test_sql_rows_agree_in_order(self, store):
+        baseline = RelationalBaseline(optimized=True)
+        baseline.load_store(store)
+        baseline.finalize()
+        query = parse('proc p write file f as e1\n'
+                      'return distinct f, e1.amount '
+                      'sort by e1.amount desc top 4')
+        assert (baseline.run_query(query).rows
+                == execute(store, query).rows)
+
+    def test_cypher_translation(self):
+        from repro.baselines.cypher_translator import translate_cypher
+        cypher = translate_cypher(parse(
+            'proc p write file f as e1\n'
+            'return f sort by e1.amount desc top 2'))
+        assert "ORDER BY e1.amount DESC" in cypher
+        assert "LIMIT 2" in cypher
+
+    def test_dependency_sort_top(self, store):
+        query = parse('forward: proc w["%editor%"] ->[write] file f '
+                      '<-[read] proc r\n'
+                      'return r sort by r top 1')
+        result = execute(store, query)
+        assert len(result.rows) == 1
+
+    def test_unknown_sort_var_rejected(self):
+        with pytest.raises(SemanticError, match="sort by"):
+            parse('proc p write file f as e1\nreturn f sort by zz')
+
+    def test_nonpositive_top_rejected(self):
+        with pytest.raises(AiqlSyntaxError, match="positive"):
+            parse('proc p write file f as e1\nreturn f top 0')
+
+    def test_anomaly_rejects_sort(self):
+        with pytest.raises(SemanticError, match="not supported"):
+            parse('window = 1 min, step = 10 sec\n'
+                  'proc p write ip i as evt\n'
+                  'return count(evt) as c sort by c')
+
+    def test_pretty_roundtrip(self):
+        source = ('proc p write file f as e1\n'
+                  'return f, e1.amount sort by e1.amount desc, f top 7')
+        query = parse(source)
+        assert parse(pretty(query)) == query

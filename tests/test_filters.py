@@ -1,0 +1,114 @@
+"""Tests for predicate compilation."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.ast import Constraint
+from repro.model.entities import FileEntity, NetworkEntity, ProcessEntity
+from repro.model.events import Event
+from repro.engine.filters import (compile_entity_constraint,
+                                  compile_global_constraint, conjunction)
+
+
+def file_event(exe="cmd.exe", path="/tmp/f", agentid=1, amount=0,
+               user="bob"):
+    subject = ProcessEntity(agentid, 10, exe, user=user)
+    return Event(id=1, ts=5.0, agentid=agentid, operation="write",
+                 subject=subject, object=FileEntity(agentid, path),
+                 amount=amount)
+
+
+def ip_event(dst="9.9.9.9", port=443):
+    subject = ProcessEntity(1, 10, "curl")
+    conn = NetworkEntity(1, "10.0.0.1", 1000, dst, port)
+    return Event(id=2, ts=6.0, agentid=1, operation="write",
+                 subject=subject, object=conn, amount=10)
+
+
+class TestEntityConstraints:
+    def test_default_attribute_like_on_subject(self):
+        predicate = compile_entity_constraint(
+            Constraint(None, "like", "%cmd.exe"), "proc", "subject")
+        assert predicate(file_event(exe="cmd.exe"))
+        assert predicate(file_event(exe=r"C:\cmd.exe"))
+        assert not predicate(file_event(exe="powershell.exe"))
+
+    def test_default_attribute_on_object_depends_on_type(self):
+        predicate = compile_entity_constraint(
+            Constraint(None, "=", "9.9.9.9"), "ip", "object")
+        assert predicate(ip_event(dst="9.9.9.9"))
+        assert not predicate(ip_event(dst="1.1.1.1"))
+
+    def test_named_comparison(self):
+        predicate = compile_entity_constraint(
+            Constraint("dst_port", ">=", 1024), "ip", "object")
+        assert predicate(ip_event(port=8080))
+        assert not predicate(ip_event(port=443))
+
+    def test_alias_resolution(self):
+        predicate = compile_entity_constraint(
+            Constraint("dstip", "=", "9.9.9.9"), "ip", "object")
+        assert predicate(ip_event())
+
+    def test_in_operator(self):
+        predicate = compile_entity_constraint(
+            Constraint("user", "in", ("bob", "eve")), "proc", "subject")
+        assert predicate(file_event(user="bob"))
+        assert not predicate(file_event(user="alice"))
+
+    def test_equality_is_case_sensitive_like_sql(self):
+        predicate = compile_entity_constraint(
+            Constraint(None, "=", "CMD.EXE"), "proc", "subject")
+        assert not predicate(file_event(exe="cmd.exe"))
+
+    def test_like_is_case_insensitive_like_sql(self):
+        predicate = compile_entity_constraint(
+            Constraint(None, "like", "CMD%"), "proc", "subject")
+        assert predicate(file_event(exe="cmd.exe"))
+
+    def test_mixed_type_ordered_comparison_is_false(self):
+        predicate = compile_entity_constraint(
+            Constraint("user", ">", 5), "proc", "subject")
+        assert not predicate(file_event())
+
+    def test_like_needs_string_pattern(self):
+        with pytest.raises(SemanticError):
+            compile_entity_constraint(Constraint(None, "like", 5),
+                                      "proc", "subject")
+
+
+class TestGlobalConstraints:
+    def test_agentid(self):
+        predicate = compile_global_constraint(Constraint("agentid", "=", 1))
+        assert predicate(file_event(agentid=1))
+        assert not predicate(file_event(agentid=2))
+
+    def test_amount_threshold(self):
+        predicate = compile_global_constraint(
+            Constraint("amount", ">", 100))
+        assert predicate(file_event(amount=500))
+        assert not predicate(file_event(amount=5))
+
+    def test_alias(self):
+        predicate = compile_global_constraint(Constraint("size", ">=", 10))
+        assert predicate(file_event(amount=10))
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_global_constraint(Constraint(None, "=", 5))
+
+
+class TestConjunction:
+    def test_empty_accepts_all(self):
+        assert conjunction([])(file_event())
+
+    def test_single_passthrough(self):
+        predicate = conjunction([lambda e: e.amount > 1])
+        assert predicate(file_event(amount=2))
+        assert not predicate(file_event(amount=0))
+
+    def test_all_must_hold(self):
+        predicate = conjunction([lambda e: e.amount > 1,
+                                 lambda e: e.agentid == 1])
+        assert predicate(file_event(amount=2, agentid=1))
+        assert not predicate(file_event(amount=2, agentid=9))

@@ -1,0 +1,74 @@
+"""Tests for the graph-database baseline (traversal matcher)."""
+
+import pytest
+
+from repro.baselines.graph import GraphStore
+from repro.errors import ExecutionError
+from repro.engine.executor import execute
+from repro.lang.parser import parse
+
+from tests.conftest import DAY, QUERY1, QUERY1_ROW, make_exfil_store
+
+
+@pytest.fixture(scope="module")
+def graph() -> tuple:
+    store = make_exfil_store()
+    graph = GraphStore()
+    graph.load_store(store)
+    return store, graph
+
+
+class TestLoading:
+    def test_counts(self, graph):
+        store, g = graph
+        assert g.edge_count == len(store)
+        assert g.node_count == store.entity_count
+
+
+class TestMatching:
+    def test_query1_rows_match_engine(self, graph):
+        store, g = graph
+        run = g.run_query(parse(QUERY1))
+        assert set(run.rows) == {QUERY1_ROW}
+        assert run.columns == ["p1", "p2", "p3", "f1", "p4", "i1"]
+        assert run.expansions > 0
+
+    def test_dependency_query(self, graph):
+        _store, g = graph
+        run = g.run_query(parse(f'''(at "{DAY}")
+forward: proc p["%sqlservr%"] ->[write] file f["%backup1%"]
+<-[read] proc q
+return p, f, q'''))
+        assert run.rows == [("sqlservr.exe", r"C:\backup\backup1.dmp",
+                             "sbblv.exe")]
+
+    def test_matches_equal_engine_on_simple_filter(self, graph):
+        store, g = graph
+        query = parse(f'(at "{DAY}")\n'
+                      'proc p["%svchost%"] write file f["%log1%"] as e1\n'
+                      'return distinct f')
+        assert set(g.run_query(query).rows) == set(
+            execute(store, query).rows)
+
+    def test_anomaly_rejected(self, graph):
+        _store, g = graph
+        with pytest.raises(ExecutionError, match="multievent"):
+            g.run_query(parse('window = 1 min, step = 10 sec\n'
+                              'proc p write ip i as evt\n'
+                              'return count(evt) as c'))
+
+    def test_step_limit_guards_explosion(self, graph):
+        _store, g = graph
+        query = parse('proc a write file f as e1\n'
+                      'proc b write file g as e2\nreturn f, g')
+        with pytest.raises(ExecutionError, match="expansions"):
+            g.run_query(query, step_limit=10)
+
+    def test_expansion_beats_scan_for_chained_patterns(self, graph):
+        _store, g = graph
+        # Anchored chain: second pattern expands from bound f1, so the
+        # expansion count stays far below edges^2.
+        chained = g.run_query(parse(
+            'proc a["%sqlservr%"] write file f1["%backup1%"] as e1\n'
+            'proc b read file f1 as e2\nreturn b'))
+        assert chained.expansions < 2 * g.edge_count

@@ -1,0 +1,71 @@
+"""Tests for syntax highlighting (web UI / CLI feature)."""
+
+from hypothesis import given, strategies as st
+
+from repro.lang.highlight import (classify, highlight_ansi, highlight_html)
+from repro.lang.lexer import tokenize
+
+QUERY = '''(at "06/10/2026") // window
+proc p1["%cmd.exe"] start proc p2 as e1
+return distinct p1'''
+
+
+class TestClassify:
+    def test_entity_keywords_get_entity_class(self):
+        tokens = tokenize("proc file ip with")
+        classes = [classify(t) for t in tokens[:-1]]
+        assert classes == ["entity", "entity", "entity", "kw"]
+
+    def test_literals(self):
+        tokens = tokenize('"x" 42')
+        assert classify(tokens[0]) == "str"
+        assert classify(tokens[1]) == "num"
+
+
+class TestAnsi:
+    def test_strips_back_to_source(self):
+        import re
+        colored = highlight_ansi(QUERY)
+        plain = re.sub(r"\x1b\[[0-9;]*m", "", colored)
+        assert plain == QUERY
+
+    def test_comment_is_grey(self):
+        assert "\x1b[90m// window" in highlight_ansi(QUERY)
+
+
+class TestHtml:
+    def test_contains_span_classes(self):
+        html = highlight_html(QUERY)
+        assert '<span class="aiql-entity">proc</span>' in html
+        assert '<span class="aiql-kw">return</span>' in html
+        assert "aiql-str" in html
+
+    def test_escapes_html(self):
+        html = highlight_html('proc p["<script>"] start proc c as e1 '
+                              'return c')
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_text_content_preserved(self):
+        import re
+        html = highlight_html(QUERY)
+        stripped = re.sub(r"</?span[^>]*>", "", html)
+        unescaped = (stripped.replace("&quot;", '"')
+                     .replace("&lt;", "<").replace("&gt;", ">")
+                     .replace("&#x27;", "'").replace("&amp;", "&"))
+        assert unescaped == QUERY
+
+
+@given(st.sampled_from([
+    QUERY,
+    'window = 1 min, step = 10 sec\nproc p write ip i as evt\n'
+    'return avg(evt.amount) as amt',
+    'forward: proc p ->[write] file f <-[read] proc q return f',
+    '// only a comment',
+    '',
+]))
+def test_highlighting_never_loses_characters(source):
+    import re
+    colored = highlight_ansi(source)
+    plain = re.sub(r"\x1b\[[0-9;]*m", "", colored)
+    assert plain == source

@@ -1,0 +1,136 @@
+"""Tests for the multi-way join of pattern matches."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.lang.parser import parse
+from repro.model.entities import FileEntity, ProcessEntity
+from repro.engine.joiner import join
+from repro.engine.planner import plan_multievent
+from repro.engine.scheduler import Scheduler
+from repro.storage.store import EventStore
+
+from tests.conftest import BASE_TS
+
+
+def build_store(records):
+    store = EventStore()
+    for ts, op, subject, obj in records:
+        store.record(BASE_TS + ts, 1, op, subject, obj)
+    return store
+
+
+def run(store, source, **scheduler_kwargs):
+    plan = plan_multievent(parse(source))
+    scheduled = Scheduler(store, **scheduler_kwargs).run(plan)
+    return plan, join(plan, scheduled)
+
+
+class TestSharedVariableJoin:
+    def test_shared_file_joins_on_identity(self):
+        a = ProcessEntity(1, 1, "a.exe")
+        b = ProcessEntity(1, 2, "b.exe")
+        f1 = FileEntity(1, "/one")
+        f2 = FileEntity(1, "/two")
+        store = build_store([
+            (0, "write", a, f1),
+            (1, "write", a, f2),
+            (2, "read", b, f1),   # joins with the /one write only
+        ])
+        _plan, rows = run(store, 'proc a["%a.exe%"] write file f as e1\n'
+                                 'proc b["%b.exe%"] read file f as e2\n'
+                                 'return f')
+        assert len(rows) == 1
+        assert rows[0]["f"].name == "/one"
+
+    def test_same_path_on_other_host_does_not_join(self):
+        a1 = ProcessEntity(1, 1, "a.exe")
+        b2 = ProcessEntity(2, 2, "b.exe")
+        store = build_store([
+            (0, "write", a1, FileEntity(1, "/same")),
+            (1, "read", b2, FileEntity(2, "/same")),
+        ])
+        _plan, rows = run(store, 'proc a write file f as e1\n'
+                                 'proc b read file f as e2\nreturn f')
+        assert rows == []
+
+    def test_cross_product_without_shared_vars(self):
+        a = ProcessEntity(1, 1, "a.exe")
+        b = ProcessEntity(1, 2, "b.exe")
+        store = build_store([
+            (0, "write", a, FileEntity(1, "/x")),
+            (1, "write", a, FileEntity(1, "/y")),
+            (2, "write", b, FileEntity(1, "/z")),
+            (3, "write", b, FileEntity(1, "/w")),
+        ])
+        _plan, rows = run(store, 'proc a["%a.exe%"] write file f as e1\n'
+                                 'proc b["%b.exe%"] write file g as e2\n'
+                                 'return f, g')
+        assert len(rows) == 4  # 2 x 2
+
+
+class TestTemporalChecks:
+    def test_before_is_strict(self):
+        a = ProcessEntity(1, 1, "a.exe")
+        b = ProcessEntity(1, 2, "b.exe")
+        f = FileEntity(1, "/f")
+        store = build_store([
+            (5, "write", a, f),
+            (5, "read", b, f),   # same timestamp: NOT before
+        ])
+        _plan, rows = run(store, 'proc a["%a.exe%"] write file f as e1\n'
+                                 'proc b["%b.exe%"] read file f as e2\n'
+                                 'with e1 before e2\nreturn f')
+        assert rows == []
+
+    def test_within_bound(self):
+        a = ProcessEntity(1, 1, "a.exe")
+        b = ProcessEntity(1, 2, "b.exe")
+        f = FileEntity(1, "/f")
+        store = build_store([
+            (0, "write", a, f),
+            (100, "read", b, f),
+            (400, "read", b, f),
+        ])
+        _plan, rows = run(
+            store,
+            'proc a["%a.exe%"] write file f as e1\n'
+            'proc b["%b.exe%"] read file f as e2\n'
+            'with e1 before e2 within 3 min\nreturn e2.ts',
+            # Disable window propagation so the joiner itself is under test.
+            propagate=False)
+        assert len(rows) == 1
+
+    def test_transitive_chain(self):
+        a = ProcessEntity(1, 1, "a.exe")
+        f = FileEntity(1, "/f")
+        store = build_store([
+            (0, "write", a, f),
+            (10, "read", a, f),
+            (5, "write", a, f),
+        ])
+        _plan, rows = run(store,
+                          'proc a write file f as e1\n'
+                          'proc a read file f as e2\n'
+                          'proc a write file g as e3\n'
+                          'with e1 before e2, e3 before e2\n'
+                          'return e1.id, e2.id, e3.id')
+        # e2 is the read at +10; e1 and e3 range over both writes.
+        assert len(rows) == 4
+
+
+class TestRowLimit:
+    def test_join_explosion_is_capped(self):
+        a = ProcessEntity(1, 1, "a.exe")
+        b = ProcessEntity(1, 2, "b.exe")
+        records = []
+        for index in range(40):
+            records.append((index, "write", a, FileEntity(1, f"/a{index}")))
+            records.append((index, "write", b, FileEntity(1, f"/b{index}")))
+        store = build_store(records)
+        plan = plan_multievent(parse(
+            'proc a["%a.exe%"] write file f as e1\n'
+            'proc b["%b.exe%"] write file g as e2\nreturn f, g'))
+        scheduled = Scheduler(store).run(plan)
+        with pytest.raises(ExecutionError, match="intermediate rows"):
+            join(plan, scheduled, row_limit=100)

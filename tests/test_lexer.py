@@ -1,0 +1,129 @@
+"""Tests for the AIQL tokenizer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lang.errors import AiqlSyntaxError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenType
+
+
+def types(source: str) -> list[TokenType]:
+    return [t.type for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_source_is_just_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("proc p1 return RETURN myreturn")
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[1].type is TokenType.IDENT
+        assert tokens[2].type is TokenType.KEYWORD
+        assert tokens[3].type is TokenType.KEYWORD  # case-insensitive
+        assert tokens[4].type is TokenType.IDENT
+
+    def test_comments_are_skipped(self):
+        assert types("proc // comment to end\n p1") == [
+            TokenType.KEYWORD, TokenType.IDENT]
+
+    def test_positions_are_tracked(self):
+        tokens = tokenize("proc\n  p1")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize('"%cmd.exe"')[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "%cmd.exe"
+
+    def test_escapes(self):
+        token = tokenize(r'"a\"b\\c"')[0]
+        assert token.value == 'a"b\\c'
+
+    def test_unterminated_string_reports_position(self):
+        with pytest.raises(AiqlSyntaxError) as excinfo:
+            tokenize('proc p["oops')
+        assert excinfo.value.line == 1
+
+    def test_newline_inside_string_rejected(self):
+        with pytest.raises(AiqlSyntaxError):
+            tokenize('"a\nb"')
+
+
+class TestNumbers:
+    def test_integer_and_float(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].value == 42
+        assert tokens[1].value == 3.14
+
+    def test_dot_without_digits_is_separate(self):
+        assert types("1.x") == [TokenType.NUMBER, TokenType.DOT,
+                                TokenType.IDENT]
+
+
+class TestOperators:
+    def test_arrows(self):
+        assert types("->[write]") == [
+            TokenType.ARROW_RIGHT, TokenType.LBRACKET, TokenType.IDENT,
+            TokenType.RBRACKET]
+        assert types("<-[read]") == [
+            TokenType.ARROW_LEFT, TokenType.LBRACKET, TokenType.IDENT,
+            TokenType.RBRACKET]
+
+    def test_left_arrow_only_before_bracket(self):
+        # 'a < -1' is a comparison with a negative number, not an arrow.
+        assert types("a < -1") == [TokenType.IDENT, TokenType.LT,
+                                   TokenType.MINUS, TokenType.NUMBER]
+
+    def test_comparisons(self):
+        assert types("<= >= != = < >") == [
+            TokenType.LE, TokenType.GE, TokenType.NEQ, TokenType.EQ,
+            TokenType.LT, TokenType.GT]
+
+    def test_alternation(self):
+        assert types("read || write") == [
+            TokenType.IDENT, TokenType.OROR, TokenType.IDENT]
+
+    def test_single_pipe_rejected_with_hint(self):
+        with pytest.raises(AiqlSyntaxError) as excinfo:
+            tokenize("read | write")
+        assert "||" in str(excinfo.value)
+
+    def test_arithmetic(self):
+        assert types("+ - * / %") == [
+            TokenType.PLUS, TokenType.MINUS, TokenType.STAR,
+            TokenType.SLASH, TokenType.PERCENT]
+
+    def test_unknown_character(self):
+        with pytest.raises(AiqlSyntaxError):
+            tokenize("proc p1 @ x")
+
+
+@given(st.text(alphabet=st.characters(
+    whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_ "),
+    max_size=30))
+def test_words_and_numbers_never_crash(text):
+    # Unicode "digits" ('٠', '²', ...) are rejected with a classified
+    # syntax error rather than lexed as numbers; anything else lexes.
+    try:
+        tokens = tokenize(text)
+    except AiqlSyntaxError:
+        return
+    assert tokens[-1].type is TokenType.EOF
+
+
+@given(st.lists(st.sampled_from(
+    ["proc", "p1", '"x%"', "42", "->", "[", "]", "(", ")", "=", "||",
+     "with", "before", ",", "."]), max_size=25))
+def test_token_stream_reconstructs_source(parts):
+    source = " ".join(parts)
+    tokens = tokenize(source)
+    # Lexing is total over well-formed fragments and preserves order.
+    rebuilt = [t.text for t in tokens[:-1]]
+    assert "".join(rebuilt).replace(" ", "") == source.replace(" ", "").replace('"x%"', 'x%')

@@ -1,0 +1,124 @@
+"""Tests for the entity/event data model (repro.model)."""
+
+import pytest
+
+from repro.errors import DataModelError
+from repro.model.attributes import (AttributeRef, default_attribute,
+                                    resolve_entity_attribute,
+                                    resolve_event_attribute)
+from repro.errors import SemanticError
+from repro.model.entities import (FILE, NETWORK, PROCESS, FileEntity,
+                                  NetworkEntity, ProcessEntity,
+                                  canonical_attribute, entity_attributes)
+from repro.model.events import (Event, canonical_event_attribute,
+                                validate_operation)
+
+
+def proc(**kw):
+    defaults = dict(agentid=1, pid=10, exe_name="x.exe")
+    defaults.update(kw)
+    return ProcessEntity(**defaults)
+
+
+class TestEntities:
+    def test_process_identity_includes_host_pid_start(self):
+        a = proc(start_time=1.0)
+        b = proc(start_time=2.0)
+        assert a.identity != b.identity
+        assert proc(start_time=1.0).identity == a.identity
+
+    def test_file_identity_is_per_host_path(self):
+        assert (FileEntity(1, "/etc/passwd").identity
+                != FileEntity(2, "/etc/passwd").identity)
+
+    def test_network_identity_is_flow_tuple(self):
+        a = NetworkEntity(1, "10.0.0.1", 1000, "10.0.0.2", 80)
+        b = NetworkEntity(1, "10.0.0.1", 1001, "10.0.0.2", 80)
+        assert a.identity != b.identity
+
+    def test_default_attributes(self):
+        assert proc().default_attribute == "x.exe"
+        assert FileEntity(1, "/tmp/a").default_attribute == "/tmp/a"
+        conn = NetworkEntity(1, "a", 1, "9.9.9.9", 2)
+        assert conn.default_attribute == "9.9.9.9"
+
+    def test_attribute_access_with_alias(self):
+        assert proc().attribute("name") == "x.exe"
+        conn = NetworkEntity(1, "a", 1, "9.9.9.9", 2)
+        assert conn.attribute("dstip") == "9.9.9.9"
+        assert conn.attribute("dst_ip") == "9.9.9.9"
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(DataModelError):
+            proc().attribute("nonsense")
+
+    def test_canonical_attribute_per_type(self):
+        assert canonical_attribute(PROCESS, "EXE") == "exe_name"
+        assert canonical_attribute(FILE, "path") == "name"
+        assert canonical_attribute(NETWORK, "srcport") == "src_port"
+        with pytest.raises(DataModelError):
+            canonical_attribute("nope", "x")
+        with pytest.raises(DataModelError):
+            canonical_attribute(FILE, "dst_ip")
+
+    def test_entity_attributes_listing(self):
+        assert "exe_name" in entity_attributes(PROCESS)
+        assert "dst_port" in entity_attributes(NETWORK)
+
+
+class TestEvents:
+    def test_subject_must_be_process(self):
+        f = FileEntity(1, "/tmp/a")
+        with pytest.raises(DataModelError):
+            Event(id=1, ts=0.0, agentid=1, operation="read",
+                  subject=f, object=f)  # type: ignore[arg-type]
+
+    def test_operation_must_match_object_type(self):
+        with pytest.raises(DataModelError):
+            Event(id=1, ts=0.0, agentid=1, operation="accept",
+                  subject=proc(), object=FileEntity(1, "/tmp/a"))
+
+    def test_event_type_follows_object(self):
+        evt = Event(id=1, ts=0.0, agentid=1, operation="read",
+                    subject=proc(), object=FileEntity(1, "/tmp/a"))
+        assert evt.event_type == FILE
+
+    def test_event_attribute_aliases(self):
+        evt = Event(id=1, ts=5.0, agentid=1, operation="read",
+                    subject=proc(), object=FileEntity(1, "/tmp/a"),
+                    amount=42)
+        assert evt.attribute("time") == 5.0
+        assert evt.attribute("size") == 42
+        assert evt.attribute("op") == "read"
+
+    def test_validate_operation(self):
+        assert validate_operation("file", "READ") == "read"
+        with pytest.raises(DataModelError):
+            validate_operation("proc", "read")
+        with pytest.raises(DataModelError):
+            validate_operation("bogus", "read")
+
+    def test_canonical_event_attribute(self):
+        assert canonical_event_attribute("timestamp") == "ts"
+        with pytest.raises(DataModelError):
+            canonical_event_attribute("exe_name")
+
+
+class TestAttributeResolution:
+    def test_bare_variable_resolves_to_default(self):
+        ref = resolve_entity_attribute("p1", PROCESS, None)
+        assert ref == AttributeRef("p1", "exe_name", "entity")
+
+    def test_alias_resolution(self):
+        ref = resolve_entity_attribute("i1", NETWORK, "dstip")
+        assert ref.attribute == "dst_ip"
+
+    def test_event_attribute(self):
+        ref = resolve_event_attribute("evt", "bytes")
+        assert ref == AttributeRef("evt", "amount", "event")
+
+    def test_errors_become_semantic(self):
+        with pytest.raises(SemanticError):
+            resolve_entity_attribute("p1", PROCESS, "dst_ip")
+        with pytest.raises(SemanticError):
+            default_attribute("bogus")

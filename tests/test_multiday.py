@@ -1,0 +1,99 @@
+"""Integration tests across partition boundaries (multi-day windows).
+
+The hypertable buckets by day; these tests pin the correctness corners:
+joins whose events span bucket boundaries, windows covering several days,
+and agent pins combined with multi-day ranges.
+"""
+
+import pytest
+
+from repro import AiqlSession
+from repro.baselines.sqlite_backend import RelationalBaseline
+from repro.model.entities import FileEntity, ProcessEntity
+from repro.model.timeutil import SECONDS_PER_DAY, parse_timestamp
+from repro.storage.store import EventStore
+
+DAY1 = parse_timestamp("06/10/2026")
+DAY2 = DAY1 + SECONDS_PER_DAY
+DAY3 = DAY2 + SECONDS_PER_DAY
+
+
+@pytest.fixture
+def store() -> EventStore:
+    store = EventStore()
+    dropper = ProcessEntity(1, 1, "dropper.exe")
+    payload = FileEntity(1, "/tmp/payload")
+    runner = ProcessEntity(1, 2, "runner.exe")
+    # Write on day 1, read on day 2: the join spans a bucket boundary.
+    store.record(DAY1 + 80_000, 1, "write", dropper, payload, amount=5)
+    store.record(DAY2 + 1_000, 1, "read", runner, payload, amount=5)
+    # Decoys entirely inside single days.
+    store.record(DAY1 + 100, 1, "write", dropper,
+                 FileEntity(1, "/tmp/other"))
+    store.record(DAY3 + 100, 1, "read", runner,
+                 FileEntity(1, "/tmp/other"))
+    # A second agent with its own same-named artifacts.
+    dropper2 = ProcessEntity(2, 1, "dropper.exe")
+    payload2 = FileEntity(2, "/tmp/payload")
+    store.record(DAY1 + 50, 2, "write", dropper2, payload2)
+    return store
+
+
+CROSS_DAY_QUERY = '''
+(from "06/10/2026" to "06/13/2026")
+proc d["%dropper%"] write file f["/tmp/payload"] as e1
+proc r["%runner%"] read file f as e2
+with e1 before e2
+return distinct d, f, r, e1.ts, e2.ts
+'''
+
+
+class TestCrossBucketJoins:
+    def test_join_spans_bucket_boundary(self, store):
+        session = AiqlSession(store=store)
+        result = session.query(CROSS_DAY_QUERY)
+        assert len(result.rows) == 1
+        row = result.first()
+        assert row["e1.ts"] < DAY2 <= row["e2.ts"]
+
+    def test_single_day_window_excludes_cross_day_match(self, store):
+        session = AiqlSession(store=store)
+        one_day = CROSS_DAY_QUERY.replace(
+            '(from "06/10/2026" to "06/13/2026")', '(at "06/10/2026")')
+        assert session.query(one_day).rows == []
+
+    def test_sql_baseline_agrees_across_days(self, store):
+        baseline = RelationalBaseline(optimized=True)
+        baseline.load_store(store)
+        baseline.finalize()
+        from repro.lang.parser import parse
+        from repro.engine.executor import execute
+        query = parse(CROSS_DAY_QUERY)
+        assert (set(baseline.run_query(query).rows)
+                == set(execute(store, query).rows))
+
+    def test_partition_count_reflects_days_and_agents(self, store):
+        # Agent 1 spans three days, agent 2 one day.
+        assert store.partition_count == 4
+
+    def test_scan_multiday_window(self, store):
+        from repro.model.timeutil import Window
+        events = store.scan(Window(DAY1, DAY3), {1})
+        assert len(events) == 3  # day-3 decoy excluded
+
+
+class TestMultidayAnomaly:
+    def test_windows_cover_the_full_range(self, store):
+        session = AiqlSession(store=store)
+        result = session.query('''
+(from "06/10/2026" to "06/12/2026")
+agentid = 1
+window = 1 day, step = 1 day
+proc p read || write file f as evt
+return p, count(evt) as c
+group by p
+having c > 0
+''')
+        # Day 1: dropper (2 writes); day 2: runner (1 read).
+        days = {row[0][:10] for row in result.rows}
+        assert days == {"2026-06-10", "2026-06-11"}

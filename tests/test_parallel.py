@@ -1,0 +1,123 @@
+"""Tests for spatial/temporal partitioning and parallel execution."""
+
+import pytest
+
+from repro.lang.parser import parse
+from repro.model.entities import FileEntity, ProcessEntity
+from repro.engine.parallel import (execute_plan, merge_reports,
+                                   spatially_partitionable,
+                                   temporally_partitionable)
+from repro.engine.planner import plan_multievent
+from repro.engine.scheduler import ExecutionReport
+from repro.storage.store import EventStore
+
+from tests.conftest import BASE_TS
+
+
+def plan_of(source: str):
+    return plan_multievent(parse(source))
+
+
+class TestPartitionability:
+    def test_connected_shared_vars_is_spatial(self):
+        plan = plan_of('proc a start proc b as e1\n'
+                       'proc b write file f as e2\n'
+                       'proc c read file f as e3\nreturn f')
+        assert spatially_partitionable(plan)
+
+    def test_disconnected_patterns_not_spatial(self):
+        plan = plan_of('proc a write file f as e1\n'
+                       'proc b write file g as e2\nreturn f, g')
+        assert not spatially_partitionable(plan)
+
+    def test_connect_operation_blocks_spatial(self):
+        plan = plan_of('proc a connect proc b as e1\n'
+                       'proc b start proc c as e2\nreturn c')
+        assert not spatially_partitionable(plan)
+
+    def test_single_pattern_is_both(self):
+        plan = plan_of('proc a write file f as e1\nreturn f')
+        assert spatially_partitionable(plan)
+        assert temporally_partitionable(plan)
+
+    def test_multi_pattern_not_temporal(self):
+        plan = plan_of('proc a write file f as e1\n'
+                       'proc a read file f as e2\nreturn f')
+        assert not temporally_partitionable(plan)
+
+
+@pytest.fixture
+def multi_agent_store() -> EventStore:
+    store = EventStore(bucket_seconds=3600)
+    for agent in (1, 2, 3):
+        writer = ProcessEntity(agent, 1, "writer.exe")
+        reader = ProcessEntity(agent, 2, "reader.exe")
+        target = FileEntity(agent, f"/data/secret{agent}")
+        store.record(BASE_TS + agent, agent, "write", writer, target)
+        store.record(BASE_TS + agent + 10, agent, "read", reader, target)
+        for index in range(30):
+            store.record(BASE_TS + 100 + index, agent, "write", writer,
+                         FileEntity(agent, f"/noise/{index}"))
+    return store
+
+
+SHARED_QUERY = ('proc w["%writer%"] write file f["%secret%"] as e1\n'
+                'proc r["%reader%"] read file f as e2\n'
+                'with e1 before e2\nreturn f')
+
+
+class TestExecutePlan:
+    def test_partitioned_equals_unpartitioned(self, multi_agent_store):
+        plan = plan_of(SHARED_QUERY)
+        with_part = execute_plan(multi_agent_store, plan, partition=True)
+        without = execute_plan(multi_agent_store, plan, partition=False)
+        key = lambda row: row["f"].name
+        assert (sorted(key(r) for r in with_part.rows)
+                == sorted(key(r) for r in without.rows))
+        assert with_part.partitions == 3
+        assert without.partitions == 1
+
+    def test_all_agents_found(self, multi_agent_store):
+        plan = plan_of(SHARED_QUERY)
+        result = execute_plan(multi_agent_store, plan)
+        names = sorted(row["f"].name for row in result.rows)
+        assert names == ["/data/secret1", "/data/secret2", "/data/secret3"]
+
+    def test_temporal_partitioning_single_pattern(self):
+        store = EventStore(bucket_seconds=100)
+        proc = ProcessEntity(1, 1, "w.exe")
+        for index in range(5):
+            store.record(BASE_TS + index * 100, 1, "write", proc,
+                         FileEntity(1, f"/f{index}"))
+        plan = plan_of('proc w write file f as e1\nreturn f')
+        result = execute_plan(store, plan, partition=True)
+        assert len(result.rows) == 5
+        assert result.partitions >= 2
+
+    def test_ablation_flags_preserve_results(self, multi_agent_store):
+        plan = plan_of(SHARED_QUERY)
+        reference = None
+        for prioritize in (True, False):
+            for propagate in (True, False):
+                for partition in (True, False):
+                    result = execute_plan(
+                        multi_agent_store, plan, prioritize=prioritize,
+                        propagate=propagate, partition=partition)
+                    rows = sorted(row["f"].name for row in result.rows)
+                    if reference is None:
+                        reference = rows
+                    assert rows == reference
+
+
+class TestMergeReports:
+    def test_single_report_passthrough(self):
+        report = ExecutionReport()
+        assert merge_reports([report]) is report
+
+    def test_merges_counts(self):
+        a, b = ExecutionReport(), ExecutionReport()
+        a.joined_rows, b.joined_rows = 2, 3
+        a.elapsed, b.elapsed = 0.5, 0.25
+        merged = merge_reports([a, b])
+        assert merged.joined_rows == 5
+        assert merged.elapsed == 0.75

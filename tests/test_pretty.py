@@ -1,0 +1,90 @@
+"""Round-trip tests for the AIQL unparser (parse . pretty == identity)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+
+EXAMPLES = [
+    # The three paper queries.
+    '''(at "06/10/2026")
+agentid = 3
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+proc p4 read || write ip i1[dstip="10.0.0.129"] as evt4
+with evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct p1, p2, p3, f1, p4, i1''',
+    '''(at "06/10/2026")
+forward: proc p1["%/bin/cp%", agentid = 1] ->[write] file f1["%mal%"]
+<-[read] proc p2["%apache%"]
+->[connect] proc p3[agentid=2]
+->[write] file f2["%mal%"]
+return f1, p1, p2, p3, f2''',
+    '''(at "06/10/2026")
+agentid = 3
+window = 1 min, step = 10 sec
+proc p write ip i[dstip="10.0.0.129"] as evt
+return p, avg(evt.amount) as amt
+group by p
+having (amt > 2 * (amt + amt[1] + amt[2]) / 3)''',
+    # Corner shapes.
+    '(from "06/10/2026" to "06/12/2026")\n'
+    'proc a start proc b as e1 return b.pid as child',
+    'proc a[exe_name in ("x.exe", "y.exe")] write file f as e1 '
+    'return distinct f, e1.amount',
+    'proc a start proc b as e1\nproc b start proc c as e2\n'
+    'with e1 before e2 within 5 min\nreturn c',
+    'backward: file f["%evil%"] <-[write] proc p return p',
+    'window = 2 min, step = 30 sec\n'
+    'proc p read || write file f as evt\n'
+    'return p, count(*) as c, max(evt.amount) as m\n'
+    'group by p\nhaving not (c < 3 and m > 100) or c = 0',
+]
+
+
+@pytest.mark.parametrize("source", EXAMPLES)
+def test_roundtrip_fixed_examples(source):
+    first = parse(source)
+    rendered = pretty(first)
+    second = parse(rendered)
+    assert first == second
+    # Idempotence: pretty of a canonical form is itself.
+    assert pretty(second) == rendered
+
+
+# Generative round-trip: build random (but valid) multievent queries.
+_name = st.sampled_from(["cmd.exe", "osql.exe", "x%", "%mal%", "a_b"])
+_entity_var = st.sampled_from(["p1", "p2", "f1", "i1"])
+
+
+@st.composite
+def multievent_query(draw):
+    pattern_count = draw(st.integers(min_value=1, max_value=3))
+    lines = []
+    event_vars = []
+    for index in range(pattern_count):
+        subject_constraint = draw(st.sampled_from(
+            ['', '["%cmd.exe"]', '[pid = 7]', '["x", user = "bob"]']))
+        object_kind = draw(st.sampled_from(["file", "ip", "proc"]))
+        operation = {"file": "write", "ip": "read || write",
+                     "proc": "start"}[object_kind]
+        object_constraint = draw(st.sampled_from(
+            ['', '["%x%"]', '[agentid = 2]']))
+        event_var = f"e{index}"
+        event_vars.append(event_var)
+        lines.append(f"proc s{index}{subject_constraint} {operation} "
+                     f"{object_kind} o{index}{object_constraint} "
+                     f"as {event_var}")
+    if len(event_vars) > 1 and draw(st.booleans()):
+        lines.append(f"with {event_vars[0]} before {event_vars[1]}")
+    distinct = "distinct " if draw(st.booleans()) else ""
+    lines.append(f"return {distinct}o0")
+    return "\n".join(lines)
+
+
+@given(multievent_query())
+def test_roundtrip_generated_multievent(source):
+    first = parse(source)
+    assert parse(pretty(first)) == first

@@ -1,0 +1,92 @@
+"""Tests for the structured experiment report + concurrent query safety."""
+
+import threading
+
+import pytest
+
+from repro.engine.executor import execute
+from repro.investigate import FIGURE4_QUERIES
+from repro.investigate.catalog import Catalog, CatalogEntry
+from repro.investigate.report import (ExperimentReport, SystemSeries,
+                                      run_experiment)
+from repro.lang.parser import parse
+
+
+def tiny_catalog() -> Catalog:
+    return Catalog("tiny", [
+        CatalogEntry("q-1", "q", "one",
+                     "proc p start proc c as e1 return c"),
+        CatalogEntry("q-2", "q", "two",
+                     "proc p write file f as e1 return f"),
+    ])
+
+
+class TestExperimentReport:
+    def _report(self) -> ExperimentReport:
+        catalog = tiny_catalog()
+        fast = {"q-1": 0.001, "q-2": 0.002}
+        slow = {"q-1": 0.010, "q-2": 0.050}
+        return ExperimentReport(
+            title="demo", catalog=catalog,
+            systems=[SystemSeries("aiql", dict(fast)),
+                     SystemSeries("sql", dict(slow))])
+
+    def test_totals_and_speedup(self):
+        report = self._report()
+        assert report.systems[0].total_seconds == pytest.approx(0.003)
+        assert report.speedup("sql") == pytest.approx(20.0)
+
+    def test_wins(self):
+        report = self._report()
+        assert report.wins("aiql") == 2
+        assert report.wins("sql") == 0
+
+    def test_log10_series(self):
+        report = self._report()
+        assert report.systems[0].log10_ms("q-1") == pytest.approx(0.0)
+        assert report.systems[1].log10_ms("q-2") == pytest.approx(1.699,
+                                                                  abs=1e-3)
+
+    def test_markdown_rendering(self):
+        text = self._report().to_markdown()
+        assert "| q-1 |" in text
+        assert "speedup aiql vs sql" in text
+        assert "20.0x" in text
+
+    def test_unknown_system(self):
+        with pytest.raises(KeyError):
+            self._report().speedup("neo4j")
+
+    def test_run_experiment_collects_all(self, exfil_store):
+        catalog = tiny_catalog()
+
+        def runner(entry):
+            return execute(exfil_store, parse(entry.aiql)).elapsed
+
+        report = run_experiment("live", catalog, {"aiql": runner})
+        assert set(report.systems[0].seconds_by_query) == {"q-1", "q-2"}
+        assert report.systems[0].total_seconds > 0
+
+
+class TestConcurrentQueries:
+    def test_parallel_readers_agree(self, demo_session):
+        """The store is safe under concurrent read-only queries."""
+        entry = FIGURE4_QUERIES.get("a5-5")
+        expected = demo_session.query(entry.aiql).rows
+        results: list = [None] * 8
+        errors: list = []
+
+        def worker(index: int) -> None:
+            try:
+                results[index] = demo_session.query(entry.aiql).rows
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert all(rows == expected for rows in results)

@@ -1,0 +1,76 @@
+"""Tests for QueryResult (the UI's sort/search features live here)."""
+
+import pytest
+
+from repro.core.results import QueryResult
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def result() -> QueryResult:
+    return QueryResult(
+        columns=["proc", "amount"],
+        rows=[("cmd.exe", 10), ("sbblv.exe", 900), ("apache2", 5)],
+        elapsed=0.01, kind="multievent")
+
+
+class TestBasics:
+    def test_len_iter_bool(self, result):
+        assert len(result) == 3
+        assert list(result)[0] == ("cmd.exe", 10)
+        assert bool(result)
+        assert not QueryResult(columns=[], rows=[], elapsed=0,
+                               kind="multievent")
+
+    def test_to_dicts(self, result):
+        assert result.to_dicts()[1] == {"proc": "sbblv.exe", "amount": 900}
+
+    def test_column(self, result):
+        assert result.column("amount") == [10, 900, 5]
+        with pytest.raises(ExecutionError, match="no column"):
+            result.column("missing")
+
+    def test_first(self, result):
+        assert result.first()["proc"] == "cmd.exe"
+        with pytest.raises(ExecutionError):
+            QueryResult(columns=["a"], rows=[], elapsed=0,
+                        kind="multievent").first()
+
+
+class TestSort:
+    def test_sorted_by_numeric(self, result):
+        ordered = result.sorted_by("amount")
+        assert [row[1] for row in ordered.rows] == [5, 10, 900]
+
+    def test_sorted_descending(self, result):
+        ordered = result.sorted_by("amount", descending=True)
+        assert ordered.rows[0][1] == 900
+
+    def test_sort_does_not_mutate(self, result):
+        result.sorted_by("amount")
+        assert result.rows[0] == ("cmd.exe", 10)
+
+    def test_sort_mixed_types_total_order(self):
+        mixed = QueryResult(columns=["x"],
+                            rows=[(None,), ("b",), (1,), ("a",), (2,)],
+                            elapsed=0, kind="multievent")
+        ordered = mixed.sorted_by("x")
+        assert ordered.rows == [(None,), (1,), (2,), ("a",), ("b",)]
+
+    def test_sort_unknown_column(self, result):
+        with pytest.raises(ExecutionError):
+            result.sorted_by("nope")
+
+
+class TestSearch:
+    def test_search_is_case_insensitive(self, result):
+        assert len(result.search("SBBLV")) == 1
+
+    def test_search_matches_any_cell(self, result):
+        assert len(result.search("900")) == 1
+
+    def test_search_no_match(self, result):
+        assert len(result.search("zzz")) == 0
+
+    def test_search_preserves_columns(self, result):
+        assert result.search("cmd").columns == result.columns

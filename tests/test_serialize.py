@@ -1,0 +1,130 @@
+"""Tests for the JSONL event archive format."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StorageError
+from repro.model.entities import FileEntity, NetworkEntity, ProcessEntity
+from repro.model.events import Event
+from repro.storage.serialize import (entity_from_dict, entity_to_dict,
+                                     event_from_dict, event_to_dict,
+                                     load_store, read_events, save_store,
+                                     write_events)
+from repro.storage.store import EventStore
+
+
+def sample_events():
+    proc = ProcessEntity(1, 10, "a.exe", user="bob", cmdline="a -x",
+                         start_time=5.0)
+    target = FileEntity(1, "/etc/passwd", owner="root")
+    conn = NetworkEntity(1, "10.0.0.1", 1000, "9.9.9.9", 443, "udp")
+    return [
+        Event(id=1, ts=10.0, agentid=1, operation="read", subject=proc,
+              object=target, amount=42),
+        Event(id=2, ts=11.0, agentid=1, operation="send", subject=proc,
+              object=conn, amount=7, failcode=3),
+        Event(id=3, ts=12.0, agentid=1, operation="start", subject=proc,
+              object=ProcessEntity(1, 11, "b.exe")),
+    ]
+
+
+class TestRoundtrip:
+    def test_event_dict_roundtrip(self):
+        for event in sample_events():
+            assert event_from_dict(event_to_dict(event)) == event
+
+    def test_dicts_are_json_safe(self):
+        for event in sample_events():
+            json.dumps(event_to_dict(event))
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events = sample_events()
+        assert write_events(events, path) == 3
+        assert list(read_events(path)) == events
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl.gz"
+        events = sample_events()
+        write_events(events, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # gzip magic
+        assert list(read_events(path)) == events
+
+    def test_store_roundtrip(self, tmp_path):
+        store = EventStore()
+        store.ingest(sample_events())
+        path = tmp_path / "archive.jsonl"
+        assert save_store(store, path) == 3
+        restored = load_store(path)
+        assert restored.scan() == store.scan()
+        assert restored.entity_count == store.entity_count
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError, match="no such event file"):
+            list(read_events(tmp_path / "nope.jsonl"))
+
+    def test_corrupt_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        valid = json.dumps(event_to_dict(sample_events()[0]))
+        path.write_text(valid + "\nnot json\n")
+        with pytest.raises(StorageError, match="bad.jsonl:2"):
+            list(read_events(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        lines = [json.dumps(event_to_dict(e)) for e in sample_events()]
+        path.write_text("\n" + lines[0] + "\n\n" + lines[1] + "\n")
+        assert len(list(read_events(path))) == 2
+
+    def test_missing_field_rejected(self):
+        data = event_to_dict(sample_events()[0])
+        del data["subject"]
+        with pytest.raises(StorageError, match="missing field"):
+            event_from_dict(data)
+
+    def test_non_process_subject_rejected(self):
+        data = event_to_dict(sample_events()[0])
+        data["subject"] = entity_to_dict(FileEntity(1, "/tmp/x"))
+        with pytest.raises(StorageError, match="subject"):
+            event_from_dict(data)
+
+    def test_unknown_entity_tag(self):
+        with pytest.raises(StorageError, match="unknown entity tag"):
+            entity_from_dict({"t": "registry"})
+
+    def test_invalid_operation_rejected_on_load(self):
+        data = event_to_dict(sample_events()[0])
+        data["op"] = "teleport"
+        with pytest.raises(Exception):
+            event_from_dict(data)
+
+
+_proc = st.builds(
+    ProcessEntity,
+    agentid=st.integers(min_value=1, max_value=9),
+    pid=st.integers(min_value=1, max_value=99999),
+    exe_name=st.text(min_size=1, max_size=20),
+    user=st.text(max_size=10),
+    cmdline=st.text(max_size=20),
+    start_time=st.floats(min_value=0, max_value=1e9))
+
+_file = st.builds(
+    FileEntity,
+    agentid=st.integers(min_value=1, max_value=9),
+    name=st.text(min_size=1, max_size=40),
+    owner=st.text(max_size=10))
+
+
+@given(_proc, _file,
+       st.floats(min_value=0, max_value=1e9),
+       st.sampled_from(["read", "write", "create", "delete"]),
+       st.integers(min_value=0, max_value=2 ** 40))
+def test_roundtrip_property(subject, obj, ts, op, amount):
+    event = Event(id=1, ts=ts, agentid=subject.agentid, operation=op,
+                  subject=subject, object=obj, amount=amount)
+    rebuilt = event_from_dict(json.loads(json.dumps(event_to_dict(event))))
+    assert rebuilt == event

@@ -1,0 +1,130 @@
+"""Tests for the SQL translator and the SQLite relational baseline."""
+
+import pytest
+
+from repro.baselines.schema import sql_quote
+from repro.baselines.sql_translator import translate
+from repro.baselines.sqlite_backend import RelationalBaseline
+from repro.errors import TranslationError
+from repro.engine.executor import execute
+from repro.lang.parser import parse
+
+from tests.conftest import DAY, QUERY1, QUERY1_ROW, make_exfil_store
+
+
+@pytest.fixture(scope="module")
+def loaded() -> tuple:
+    store = make_exfil_store()
+    baseline = RelationalBaseline(optimized=True)
+    baseline.load_store(store)
+    baseline.finalize()
+    return store, baseline
+
+
+class TestQuoting:
+    def test_strings_escaped(self):
+        assert sql_quote("it's") == "'it''s'"
+
+    def test_numbers_plain(self):
+        assert sql_quote(42) == "42"
+        assert sql_quote(2.5) == "2.5"
+
+    def test_null_and_bool(self):
+        assert sql_quote(None) == "NULL"
+        assert sql_quote(True) == "1"
+
+
+class TestTranslation:
+    def test_one_alias_per_pattern(self):
+        sql = translate(parse(QUERY1))
+        for alias in ("evt1", "evt2", "evt3", "evt4"):
+            assert f"events {alias}" in sql
+
+    def test_shared_variable_becomes_id_join(self):
+        sql = translate(parse(QUERY1))
+        assert "evt3.obj_id = evt2.obj_id" in sql
+        assert "evt4.subj_id = evt3.subj_id" in sql
+
+    def test_temporal_becomes_ts_comparison(self):
+        sql = translate(parse(QUERY1))
+        assert "evt1.ts < evt2.ts" in sql
+
+    def test_like_constraints(self):
+        sql = translate(parse(QUERY1))
+        assert "evt1.subj_exe LIKE '%cmd.exe'" in sql
+
+    def test_distinct_and_projection(self):
+        sql = translate(parse(QUERY1))
+        assert sql.startswith("SELECT DISTINCT")
+        assert "evt4.obj_dst_ip" in sql
+
+    def test_dependency_translates_via_rewrite(self):
+        sql = translate(parse(
+            'forward: proc p ->[write] file f <-[read] proc q return q'))
+        assert "dep_evt1.ts < dep_evt2.ts" in sql
+
+    def test_within_translates_to_difference_bound(self):
+        sql = translate(parse(
+            'proc a start proc b as e1\nproc b start proc c as e2\n'
+            'with e1 before e2 within 5 min\nreturn c'))
+        assert "e2.ts - e1.ts <= 300.0" in sql
+
+    def test_anomaly_uses_windows_cte_and_lag(self):
+        sql = translate(parse(f'''(at "{DAY}")
+window = 1 min, step = 10 sec
+proc p write ip i as evt
+return p, avg(evt.amount) as amt
+group by p
+having (amt > amt[1])'''))
+        assert "WITH RECURSIVE wins" in sql
+        assert "LAG(amt, 1)" in sql
+
+    def test_anomaly_without_window_rejected(self):
+        with pytest.raises(TranslationError, match="time window"):
+            translate(parse('window = 1 min, step = 10 sec\n'
+                            'proc p write ip i as evt\n'
+                            'return avg(evt.amount) as amt'))
+
+
+class TestExecutionAgainstEngine:
+    def test_query1_rows_match(self, loaded):
+        store, baseline = loaded
+        run = baseline.run_query(parse(QUERY1))
+        engine_rows = execute(store, parse(QUERY1)).rows
+        assert set(run.rows) == set(engine_rows) == {QUERY1_ROW}
+
+    def test_unoptimized_backend_same_rows(self):
+        store = make_exfil_store(noise=200)
+        baseline = RelationalBaseline(optimized=False)
+        baseline.load_store(store)
+        baseline.finalize()
+        run = baseline.run_query(parse(QUERY1))
+        assert set(run.rows) == {QUERY1_ROW}
+
+    def test_timing_recorded(self, loaded):
+        _store, baseline = loaded
+        run = baseline.run_query(parse(QUERY1))
+        assert run.elapsed > 0
+        assert run.columns
+
+    def test_in_constraint_roundtrip(self, loaded):
+        store, baseline = loaded
+        query = parse('proc p[exe_name in ("cmd.exe", "osql.exe")] start '
+                      'proc c as e1 return distinct p, c')
+        assert (set(baseline.run_query(query).rows)
+                == set(execute(store, query).rows))
+
+    def test_event_attr_projection_roundtrip(self, loaded):
+        store, baseline = loaded
+        query = parse('proc p["%sqlservr%"] write file f as e1\n'
+                      'return f, e1.amount')
+        assert (set(baseline.run_query(query).rows)
+                == set(execute(store, query).rows))
+
+    def test_context_manager_closes(self):
+        with RelationalBaseline() as baseline:
+            baseline.load_events([])
+        # Closed connections refuse further work.
+        import sqlite3
+        with pytest.raises(sqlite3.ProgrammingError):
+            baseline.run_sql("SELECT 1")

@@ -1,0 +1,116 @@
+"""Tests for the simulated enterprise and the two APT scenarios."""
+
+import pytest
+
+from repro.errors import DataModelError
+from repro.model.timeutil import Window
+from repro.telemetry import (build_case2_scenario, build_demo_scenario,
+                             demo_enterprise)
+from repro.telemetry.apt import STEP_OFFSETS
+from repro.telemetry.apt_case2 import PHASE_OFFSETS
+from repro.telemetry.enterprise import (DATABASE_SERVER, Host,
+                                        WINDOWS_CLIENT, Enterprise)
+
+
+class TestEnterprise:
+    def test_demo_topology_roles(self):
+        enterprise = demo_enterprise()
+        assert len(enterprise.hosts) == 5
+        assert enterprise.one_by_role(DATABASE_SERVER).agentid == 3
+        assert enterprise.host(1).role == WINDOWS_CLIENT
+
+    def test_extra_clients(self):
+        enterprise = demo_enterprise(extra_clients=3)
+        assert len(enterprise.by_role(WINDOWS_CLIENT)) == 4
+        assert len({h.agentid for h in enterprise.hosts}) == 8
+
+    def test_os_follows_role(self):
+        enterprise = demo_enterprise()
+        assert enterprise.host(1).os == "windows"
+        assert enterprise.host(2).os == "linux"
+
+    def test_duplicate_agentids_rejected(self):
+        host = Host(1, "a", WINDOWS_CLIENT, "10.0.0.1")
+        twin = Host(1, "b", WINDOWS_CLIENT, "10.0.0.2")
+        with pytest.raises(DataModelError):
+            Enterprise(hosts=(host, twin))
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(DataModelError):
+            Host(1, "a", "mainframe", "10.0.0.1")
+
+    def test_missing_lookups_raise(self):
+        enterprise = demo_enterprise()
+        with pytest.raises(DataModelError):
+            enterprise.host(99)
+
+
+class TestScenario:
+    def test_deterministic_given_seed(self):
+        a = build_demo_scenario(events_per_host=100).events()
+        b = build_demo_scenario(events_per_host=100).events()
+        assert [(e.ts, e.operation) for e in a] == [
+            (e.ts, e.operation) for e in b]
+
+    def test_different_seed_differs(self):
+        a = build_demo_scenario(events_per_host=100, seed=1).events()
+        b = build_demo_scenario(events_per_host=100, seed=2).events()
+        assert [(e.ts, e.operation) for e in a] != [
+            (e.ts, e.operation) for e in b]
+
+    def test_events_are_time_ordered(self, demo_scenario):
+        events = demo_scenario.events()
+        assert all(a.ts <= b.ts for a, b in zip(events, events[1:]))
+
+    def test_event_ids_unique(self, demo_scenario):
+        events = demo_scenario.events()
+        assert len({e.id for e in events}) == len(events)
+
+    def test_attack_is_small_fraction_of_stream(self, demo_scenario):
+        total = len(demo_scenario.events())
+        attack = demo_scenario.attack_event_count
+        assert attack / total < 0.2
+
+    def test_all_events_inside_window(self, demo_scenario):
+        window = demo_scenario.window
+        assert all(window.contains(e.ts)
+                   for e in demo_scenario.events())
+
+    def test_every_host_produces_events(self, demo_scenario):
+        agents = {e.agentid for e in demo_scenario.events()}
+        assert agents == set(demo_scenario.enterprise.agentids)
+
+    def test_volume_scales_with_config(self):
+        small = build_demo_scenario(events_per_host=50)
+        large = build_demo_scenario(events_per_host=200)
+        assert len(large.events()) > 2 * len(small.events())
+
+
+class TestAttackTraces:
+    def test_demo_steps_in_order(self, demo_scenario):
+        times = demo_scenario.trace.step_times
+        assert list(times) == ["a1", "a2", "a3", "a4", "a5"]
+        values = list(times.values())
+        assert values == sorted(values)
+        assert times["a2"] - times["a1"] == (STEP_OFFSETS["a2"]
+                                             - STEP_OFFSETS["a1"])
+
+    def test_demo_attack_spans_expected_hosts(self, demo_scenario):
+        agents = {e.agentid for e in demo_scenario.trace.events}
+        assert agents == {1, 2, 3, 4}  # all but the router
+
+    def test_case2_phases_in_order(self, case2_scenario):
+        times = case2_scenario.trace.phase_times
+        assert list(times) == ["c1", "c2", "c3", "c4", "c5"]
+        assert list(times.values()) == sorted(times.values())
+        assert times["c5"] - times["c1"] == PHASE_OFFSETS["c5"]
+
+    def test_case2_touches_client_and_web(self, case2_scenario):
+        agents = {e.agentid for e in case2_scenario.trace.events}
+        assert agents == {1, 2}
+
+    def test_load_into_store(self, demo_scenario):
+        from repro.storage.store import EventStore
+        store = EventStore()
+        count = demo_scenario.load(store)
+        assert count == len(store) == len(demo_scenario.events())

@@ -1,0 +1,171 @@
+"""Tests for the CLI REPL, table renderer, and web UI."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import AiqlSession
+from repro.core.results import QueryResult
+from repro.ui.cli import Repl
+from repro.ui.render import render_status, render_table
+from repro.ui.webapp import WebApi, serve_background
+
+from tests.conftest import DAY, QUERY1, make_exfil_store
+
+
+@pytest.fixture
+def session() -> AiqlSession:
+    return AiqlSession(store=make_exfil_store())
+
+
+SIMPLE = (f'(at "{DAY}")\nproc p["%sbblv%"] read file f as e1\n'
+          'return p, f')
+
+
+class TestRenderTable:
+    def test_alignment_and_footer(self):
+        result = QueryResult(columns=["a", "bee"],
+                             rows=[("x", 1), ("longer", 22)],
+                             elapsed=0.5, kind="multievent")
+        text = render_table(result)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert "(2 rows" in lines[-1]
+
+    def test_truncation(self):
+        result = QueryResult(columns=["n"],
+                             rows=[(i,) for i in range(100)],
+                             elapsed=0.0, kind="multievent")
+        text = render_table(result, max_rows=10)
+        assert "90 more rows" in text
+
+    def test_wide_cells_clipped(self):
+        result = QueryResult(columns=["x"], rows=[("y" * 200,)],
+                             elapsed=0.0, kind="multievent")
+        assert "…" in render_table(result)
+
+    def test_status_line(self):
+        result = QueryResult(columns=[], rows=[], elapsed=0.002,
+                             kind="anomaly")
+        assert "anomaly query: 0 rows" in render_status(result)
+
+
+class TestRepl:
+    def test_query_execution(self, session):
+        repl = Repl(session)
+        out = repl.handle(SIMPLE)
+        assert "sbblv.exe" in out
+        assert "1 rows" in out
+
+    def test_syntax_error_rendered_with_caret(self, session):
+        out = Repl(session).handle('proc p[% start proc c as e1\nreturn c')
+        assert "^" in out
+        assert "syntax error" in out
+
+    def test_describe(self, session):
+        assert "events" in Repl(session).handle(".describe")
+
+    def test_explain(self, session):
+        out = Repl(session).handle(f".explain {SIMPLE}")
+        assert "estimated" in out
+
+    def test_help_and_quit(self, session):
+        repl = Repl(session)
+        assert "Commands" in repl.handle(".help")
+        assert repl.handle(".quit") == "bye"
+        assert repl.done
+
+    def test_empty_input(self, session):
+        assert Repl(session).handle("   ") == ""
+
+
+class TestWebApi:
+    def test_index_served(self, session):
+        status, ctype, body = WebApi(session).index()
+        assert status == 200
+        assert "AIQL" in body
+
+    def test_query_endpoint(self, session):
+        status, _ctype, body = WebApi(session).query(SIMPLE)
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["ok"]
+        assert payload["columns"] == ["p", "f"]
+        assert payload["rows"][0][0] == "sbblv.exe"
+        assert "aiql-entity" in payload["highlighted"]
+
+    def test_query_endpoint_sort_and_search(self, session):
+        api = WebApi(session)
+        query = (f'(at "{DAY}")\nproc p write file f as e1\n'
+                 'return distinct f')
+        _s, _c, body = api.query(query, sort="f", search="log1")
+        payload = json.loads(body)
+        values = [row[0] for row in payload["rows"]]
+        assert values == sorted(values)
+        assert all("log1" in v for v in values)
+
+    def test_query_syntax_error(self, session):
+        status, _ctype, body = WebApi(session).query("proc p[%")
+        payload = json.loads(body)
+        assert status == 400
+        assert not payload["ok"]
+        assert "syntax error" in payload["error"]
+
+    def test_check_endpoint(self, session):
+        api = WebApi(session)
+        ok = json.loads(api.check(SIMPLE)[2])
+        assert ok["ok"]
+        bad = json.loads(api.check("proc p[%")[2])
+        assert not bad["ok"]
+        assert bad["line"] == 1
+
+    def test_describe_endpoint(self, session):
+        payload = json.loads(WebApi(session).describe()[2])
+        assert "events" in payload["summary"]
+
+    def test_catalog_endpoint(self, session):
+        status, _ctype, body = WebApi(session).catalog("figure4")
+        payload = json.loads(body)
+        assert status == 200
+        assert len(payload["queries"]) == 20
+        first = payload["queries"][0]
+        assert first["id"] == "a1-1"
+        assert "aiql" in first and "aiql-entity" in first["highlighted"]
+
+    def test_catalog_unknown_name(self, session):
+        status, _ctype, body = WebApi(session).catalog("figure9")
+        assert status == 404
+        assert not json.loads(body)["ok"]
+
+
+class TestHttpServer:
+    def test_real_http_roundtrip(self, session):
+        server, _thread = serve_background(session)
+        try:
+            port = server.server_address[1]
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/") as response:
+                assert b"AIQL" in response.read()
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/api/query",
+                data=SIMPLE.encode(), method="POST")
+            with urllib.request.urlopen(request) as response:
+                payload = json.loads(response.read())
+            assert payload["ok"]
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/api/describe") as response:
+                assert json.loads(response.read())["ok"]
+        finally:
+            server.shutdown()
+
+    def test_404(self, session):
+        server, _thread = serve_background(session)
+        try:
+            port = server.server_address[1]
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/nope")
+        finally:
+            server.shutdown()
