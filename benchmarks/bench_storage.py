@@ -7,20 +7,57 @@ isolates one of them:
 * ingest throughput with small vs large batch commits;
 * ingest volume with and without burst merging (dedup);
 * point-pattern lookup through the indexes vs a full partition scan;
-* partition pruning vs scanning all partitions for a pinned agent+day.
+* partition pruning vs scanning all partitions for a pinned agent+day;
+* single-pattern ``select`` (fetch + residual predicate) for a selective
+  and a scan-heavy data query.
+
+Every benchmark runs against the storage backend chosen by the
+``--backend {row,columnar,sqlite}`` selector (default ``row``), e.g.::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_storage.py --backend columnar
+
+so the same workload compares substrates directly.  The final test pits
+the columnar store's batch scan against the row store on the scan-heavy
+pattern regardless of the selector.
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
+from repro.engine.planner import DataQuery, plan_multievent
+from repro.lang.parser import parse
 from repro.model.timeutil import Window
+from repro.storage.backend import create_backend
+from repro.storage.columnar import ColumnarEventStore
 from repro.storage.ingest import IngestPipeline
 from repro.storage.stats import PatternProfile
 from repro.storage.store import EventStore
 from repro.telemetry import build_demo_scenario
 
 EVENTS_PER_HOST = 800
+
+# A selective pattern: one subject name, answerable from posting indexes.
+SELECTIVE_AIQL = '''
+proc p["sqlservr.exe"] write file f as e1
+return f
+'''
+
+# A scan-heavy pattern: every file read/write survives the indexes and the
+# residual amount filter must touch each candidate.
+SCAN_HEAVY_AIQL = '''
+amount > 5000
+proc p read || write file f as e1
+return f
+'''
+
+
+def _single_pattern(aiql: str) -> DataQuery:
+    plan = plan_multievent(parse(aiql))
+    assert len(plan.data_queries) == 1
+    return plan.data_queries[0]
 
 
 @pytest.fixture(scope="module")
@@ -30,16 +67,16 @@ def event_stream():
 
 
 @pytest.fixture(scope="module")
-def loaded_store(event_stream):
-    store = EventStore()
+def loaded_store(event_stream, backend_name):
+    store = create_backend(backend_name)
     store.ingest(event_stream)
     return store
 
 
 @pytest.mark.benchmark(group="storage-ingest")
-def test_ingest_batched(benchmark, event_stream):
+def test_ingest_batched(benchmark, event_stream, backend_name):
     def run():
-        store = EventStore()
+        store = create_backend(backend_name)
         with IngestPipeline(store, batch_size=2000) as pipeline:
             pipeline.add_all(event_stream)
         return len(store)
@@ -48,9 +85,9 @@ def test_ingest_batched(benchmark, event_stream):
 
 
 @pytest.mark.benchmark(group="storage-ingest")
-def test_ingest_unbatched(benchmark, event_stream):
+def test_ingest_unbatched(benchmark, event_stream, backend_name):
     def run():
-        store = EventStore()
+        store = create_backend(backend_name)
         with IngestPipeline(store, batch_size=1) as pipeline:
             pipeline.add_all(event_stream)
         return len(store)
@@ -59,9 +96,9 @@ def test_ingest_unbatched(benchmark, event_stream):
 
 
 @pytest.mark.benchmark(group="storage-ingest")
-def test_ingest_with_merge_dedup(benchmark, event_stream):
+def test_ingest_with_merge_dedup(benchmark, event_stream, backend_name):
     def run():
-        store = EventStore()
+        store = create_backend(backend_name)
         with IngestPipeline(store, batch_size=2000,
                             merge_window=15.0) as pipeline:
             pipeline.add_all(event_stream)
@@ -73,7 +110,7 @@ def test_ingest_with_merge_dedup(benchmark, event_stream):
 
 @pytest.mark.benchmark(group="storage-lookup")
 def test_indexed_lookup(benchmark, loaded_store):
-    """Selective pattern answered through the posting indexes."""
+    """Selective pattern answered through the backend's access paths."""
     profile = PatternProfile(event_type="file",
                              operations=frozenset({"write"}),
                              subject_exact="sqlservr.exe")
@@ -93,6 +130,31 @@ def test_full_scan_lookup(benchmark, loaded_store):
             1 for event in loaded_store.scan()
             if event.event_type == "file" and event.operation == "write"
             and event.subject.exe_name == "sqlservr.exe")
+
+    assert benchmark(run) > 0
+
+
+@pytest.mark.benchmark(group="storage-select")
+def test_select_selective_single_pattern(benchmark, loaded_store):
+    """Index-friendly select: one subject name + residual predicate."""
+    dq = _single_pattern(SELECTIVE_AIQL)
+
+    def run():
+        events, _fetched = loaded_store.select(dq.profile, dq.compiled)
+        return len(events)
+
+    assert benchmark(run) > 0
+
+
+@pytest.mark.benchmark(group="storage-select")
+def test_select_scan_heavy_single_pattern(benchmark, loaded_store):
+    """Scan-heavy select: the residual amount filter touches every
+    file read/write, so the backend's evaluation mode dominates."""
+    dq = _single_pattern(SCAN_HEAVY_AIQL)
+
+    def run():
+        events, _fetched = loaded_store.select(dq.profile, dq.compiled)
+        return len(events)
 
     assert benchmark(run) > 0
 
@@ -118,3 +180,36 @@ def test_unpruned_scan_then_filter(benchmark, loaded_store):
                    if quarter.contains(event.ts) and event.agentid == 3)
 
     benchmark(run)
+
+
+def test_columnar_beats_row_on_scan_heavy(event_stream):
+    """Acceptance check: batch predicate evaluation wins where indexes
+    cannot prune.
+
+    Timed directly (best of several warm runs, like pytest-benchmark's
+    steady state) so the comparison holds whatever ``--backend`` selected.
+    The two backends must also return identical matches.
+    """
+    row = EventStore()
+    row.ingest(event_stream)
+    columnar = ColumnarEventStore()
+    columnar.ingest(event_stream)
+    dq = _single_pattern(SCAN_HEAVY_AIQL)
+
+    def best_of(store, rounds: int = 7) -> tuple[float, set[int]]:
+        timings = []
+        matched: set[int] = set()
+        for _ in range(rounds):
+            started = time.perf_counter()
+            events, _fetched = store.select(dq.profile, dq.compiled)
+            timings.append(time.perf_counter() - started)
+            matched = {event.id for event in events}
+        return min(timings), matched
+
+    row_time, row_ids = best_of(row)
+    columnar_time, columnar_ids = best_of(columnar)
+    assert columnar_ids == row_ids and row_ids
+    print(f"\nscan-heavy select: row {row_time * 1000:.2f} ms, "
+          f"columnar {columnar_time * 1000:.2f} ms "
+          f"({row_time / columnar_time:.1f}x)")
+    assert columnar_time < row_time

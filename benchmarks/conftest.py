@@ -31,6 +31,18 @@ FIG4_EVENTS = int(os.environ.get("REPRO_BENCH_EVENTS", "8000"))
 FIG5_EVENTS = int(os.environ.get("REPRO_BENCH_EVENTS2", "2500"))
 
 
+def pytest_addoption(parser):
+    from repro.storage.backend import BUILTIN_BACKENDS
+    parser.addoption(
+        "--backend", choices=BUILTIN_BACKENDS, default="row",
+        help="storage backend the storage benchmarks run against")
+
+
+@pytest.fixture(scope="session")
+def backend_name(request) -> str:
+    return request.config.getoption("--backend")
+
+
 @dataclass
 class BenchEnv:
     """One scenario loaded into every backend under comparison."""

@@ -1,6 +1,16 @@
 """The relational baseline: SQLite standing in for PostgreSQL.
 
-Two storage configurations reproduce the paper's two comparisons:
+Two roles live here.  :class:`SqliteEventStore` is a full
+:class:`~repro.storage.backend.StorageBackend` implementation (the
+``sqlite`` registry entry): an indexed events table that the *optimized
+engine* drives through the candidates/estimate/select surface, letting the
+scheduler's pruning-power ordering and binding propagation run on top of a
+relational substrate.  :class:`RelationalBaseline` is the paper's
+evaluation baseline, which instead executes the *monolithic* translated
+SQL join query.
+
+For the baseline, two storage configurations reproduce the paper's two
+comparisons:
 
 * ``optimized=True`` — "PostgreSQL w/ our optimized storage" (Figure 4):
   the events table gets the composite spatial/temporal index plus
@@ -19,17 +29,28 @@ methodology of the paper's evaluation.
 
 from __future__ import annotations
 
+import json
 import sqlite3
+import threading
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
-from repro.errors import TranslationError
+from repro.errors import StorageError, TranslationError
 from repro.lang.ast import Query
-from repro.model.entities import (FileEntity, NetworkEntity, ProcessEntity)
-from repro.model.events import Event
+from repro.model.entities import (Entity, FileEntity, NetworkEntity,
+                                  ProcessEntity)
+from repro.model.events import Event, validate_operation
+from repro.model.timeutil import SECONDS_PER_DAY, Window
 from repro.baselines.schema import CREATE_EVENTS_SQL, OPTIMIZED_INDEX_SQL
 from repro.baselines.sql_translator import translate
-from repro.storage.store import EventStore
+from repro.storage.backend import StorageBackend, select_via_candidates
+from repro.storage.dedup import EntityInterner
+from repro.storage.serialize import entity_from_dict, entity_to_dict
+from repro.storage.stats import PatternProfile
+
+if TYPE_CHECKING:
+    from repro.engine.filters import CompiledPredicate
 
 
 @dataclass
@@ -77,7 +98,7 @@ class RelationalBaseline:
         self._loaded += len(rows)
         return len(rows)
 
-    def load_store(self, store: EventStore) -> int:
+    def load_store(self, store: StorageBackend) -> int:
         return self.load_events(store.scan())
 
     def finalize(self) -> None:
@@ -138,3 +159,293 @@ class RelationalBaseline:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+# ---------------------------------------------------------------------------
+# SqliteEventStore: the ``sqlite`` StorageBackend
+# ---------------------------------------------------------------------------
+
+_BACKEND_SCHEMA = """
+CREATE TABLE IF NOT EXISTS backend_events (
+    id INTEGER NOT NULL,
+    ts REAL NOT NULL,
+    agentid INTEGER NOT NULL,
+    etype TEXT NOT NULL,
+    op TEXT NOT NULL,
+    subject_name TEXT NOT NULL,
+    object_value TEXT,
+    payload TEXT NOT NULL
+)
+"""
+
+def _aiql_like(pattern: str, value: object) -> bool:
+    """SQL-callable LIKE with the engine's exact (Unicode) semantics."""
+    from repro.storage.indexes import like_to_regex
+    return (isinstance(value, str)
+            and like_to_regex(pattern).match(value) is not None)
+
+
+_BACKEND_INDEXES = (
+    "CREATE INDEX IF NOT EXISTS be_agent_ts ON backend_events(agentid, ts)",
+    "CREATE INDEX IF NOT EXISTS be_ts ON backend_events(ts)",
+    "CREATE INDEX IF NOT EXISTS be_type_op ON backend_events(etype, op)",
+    "CREATE INDEX IF NOT EXISTS be_subject ON backend_events(subject_name)",
+    "CREATE INDEX IF NOT EXISTS be_object "
+    "ON backend_events(etype, object_value)",
+)
+
+
+class SqliteEventStore:
+    """An indexed SQLite events table behind the StorageBackend surface.
+
+    The index-visible parts of a pattern profile compile to a SQL
+    ``WHERE`` clause (the relational analogue of the row store's
+    best-access-path selection); the fused residual predicate then runs
+    per candidate, exactly as for the row store.  Events round-trip
+    through the JSONL wire format in a ``payload`` column, with entities
+    re-interned on materialization so identity joins stay canonical.
+    """
+
+    backend_name = "sqlite"
+
+    def __init__(self, bucket_seconds: float = SECONDS_PER_DAY,
+                 path: str = ":memory:") -> None:
+        if bucket_seconds <= 0:
+            raise StorageError("bucket size must be positive")
+        self._bucket_seconds = bucket_seconds
+        # The parallel executor issues sub-queries from worker threads;
+        # SQLite connections are not thread-safe, so serialize access.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._lock = threading.Lock()
+        with self._lock:
+            self._conn.execute(_BACKEND_SCHEMA)
+            for statement in _BACKEND_INDEXES:
+                self._conn.execute(statement)
+            # AIQL-LIKE with exact engine semantics (Unicode case folding),
+            # so LIKE pushdown can never drop rows SQL LIKE would miss.
+            self._conn.create_function(
+                "aiql_like", 2, _aiql_like, deterministic=True)
+        self._interner = EntityInterner()
+        # A persistent path may reopen an existing table: resume counters
+        # from it so len()/span stay truthful and new ids never collide.
+        row = self._conn.execute(
+            "SELECT COUNT(*), MAX(id) FROM backend_events").fetchone()
+        self._count = int(row[0])
+        self._max_id = int(row[1]) if row[1] is not None else 0
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def record(self, ts: float, agentid: int, operation: str,
+               subject: ProcessEntity, obj: Entity, amount: int = 0,
+               failcode: int = 0) -> Event:
+        subject = self._interner.intern(subject)
+        obj = self._interner.intern(obj)
+        operation = validate_operation(obj.entity_type, operation)
+        event = Event(id=self._max_id + 1, ts=ts, agentid=agentid,
+                      operation=operation, subject=subject, object=obj,
+                      amount=amount, failcode=failcode)
+        self._insert([event])
+        return event
+
+    def ingest(self, events: Iterable[Event],
+               chunk_size: int = 1000) -> int:
+        """Stream events into the table in bounded executemany chunks."""
+        batch: list[Event] = []
+        count = 0
+        for event in events:
+            subject = self._interner.intern(event.subject)
+            obj = self._interner.intern(event.object)
+            if subject is not event.subject or obj is not event.object:
+                event = Event(id=event.id, ts=event.ts,
+                              agentid=event.agentid,
+                              operation=event.operation, subject=subject,
+                              object=obj, amount=event.amount,
+                              failcode=event.failcode)
+            batch.append(event)
+            if len(batch) >= chunk_size:
+                self._insert(batch)
+                count += len(batch)
+                batch.clear()
+        if batch:
+            self._insert(batch)
+            count += len(batch)
+        return count
+
+    def _insert(self, events: list[Event]) -> None:
+        rows = [(event.id, event.ts, event.agentid, event.event_type,
+                 event.operation, event.subject.exe_name,
+                 event.object.default_attribute,
+                 json.dumps(self._payload(event), separators=(",", ":")))
+                for event in events]
+        with self._lock:
+            self._conn.executemany(
+                "INSERT INTO backend_events VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                rows)
+            self._conn.commit()
+        self._count += len(rows)
+        for event in events:
+            if event.id > self._max_id:
+                self._max_id = event.id
+
+    @staticmethod
+    def _payload(event: Event) -> dict:
+        return {"amount": event.amount, "failcode": event.failcode,
+                "subject": entity_to_dict(event.subject),
+                "object": entity_to_dict(event.object)}
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def _materialize(self, row: tuple) -> Event:
+        eid, ts, agentid, operation, payload_text = row
+        payload = json.loads(payload_text)
+        subject = self._interner.intern(entity_from_dict(payload["subject"]))
+        obj = self._interner.intern(entity_from_dict(payload["object"]))
+        assert isinstance(subject, ProcessEntity)
+        return Event(id=eid, ts=ts, agentid=agentid, operation=operation,
+                     subject=subject, object=obj,
+                     amount=payload.get("amount", 0),
+                     failcode=payload.get("failcode", 0))
+
+    @staticmethod
+    def _bounds(window: Window | None, agentids: set[int] | None,
+                ) -> tuple[list[str], list[object]]:
+        clauses: list[str] = []
+        params: list[object] = []
+        if window is not None:
+            clauses.append("ts >= ? AND ts < ?")
+            params.extend((window.start, window.end))
+        if agentids is not None:
+            if not agentids:
+                clauses.append("0")
+            else:
+                marks = ", ".join("?" for _ in agentids)
+                clauses.append(f"agentid IN ({marks})")
+                params.extend(sorted(agentids))
+        return clauses, params
+
+    @staticmethod
+    def _profile_clauses(profile: PatternProfile,
+                         ) -> tuple[list[str], list[object]]:
+        clauses: list[str] = []
+        params: list[object] = []
+        if profile.event_type is not None:
+            clauses.append("etype = ?")
+            params.append(profile.event_type)
+        if profile.operations:
+            marks = ", ".join("?" for _ in profile.operations)
+            clauses.append(f"op IN ({marks})")
+            params.extend(sorted(profile.operations))
+        # LIKE goes through the registered aiql_like() function, not SQL
+        # LIKE: SQL LIKE is only ASCII case-insensitive while AIQL LIKE
+        # folds full Unicode (on the data side too), and a narrower
+        # pushdown would drop true matches from the candidate superset.
+        if profile.subject_exact is not None:
+            clauses.append("subject_name = ?")
+            params.append(profile.subject_exact)
+        elif profile.subject_like is not None:
+            clauses.append("aiql_like(?, subject_name)")
+            params.append(profile.subject_like)
+        if profile.event_type is not None:
+            if profile.object_exact is not None:
+                clauses.append("object_value = ?")
+                params.append(profile.object_exact)
+            elif profile.object_like is not None:
+                clauses.append("aiql_like(?, object_value)")
+                params.append(profile.object_like)
+        return clauses, params
+
+    def _fetch(self, sql: str, params: list[object]) -> list[tuple]:
+        with self._lock:
+            return self._conn.execute(sql, params).fetchall()
+
+    def scan(self, window: Window | None = None,
+             agentids: set[int] | None = None) -> list[Event]:
+        clauses, params = self._bounds(window, agentids)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        rows = self._fetch(
+            "SELECT id, ts, agentid, op, payload FROM backend_events"
+            + where + " ORDER BY ts, id", params)
+        return [self._materialize(row) for row in rows]
+
+    def candidates(self, profile: PatternProfile,
+                   window: Window | None = None,
+                   agentids: set[int] | None = None) -> list[Event]:
+        clauses, params = self._bounds(window, agentids)
+        profile_clauses, profile_params = self._profile_clauses(profile)
+        clauses += profile_clauses
+        params += profile_params
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        rows = self._fetch(
+            "SELECT id, ts, agentid, op, payload FROM backend_events"
+            + where, params)
+        return [self._materialize(row) for row in rows]
+
+    def select(self, profile: PatternProfile,
+               predicate: "CompiledPredicate",
+               window: Window | None = None,
+               agentids: set[int] | None = None) -> tuple[list[Event], int]:
+        return select_via_candidates(self, profile, predicate, window,
+                                     agentids)
+
+    def estimate(self, profile: PatternProfile,
+                 window: Window | None = None,
+                 agentids: set[int] | None = None) -> int:
+        clauses, params = self._bounds(window, agentids)
+        profile_clauses, profile_params = self._profile_clauses(profile)
+        clauses += profile_clauses
+        params += profile_params
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        rows = self._fetch(
+            "SELECT COUNT(*) FROM backend_events" + where, params)
+        return int(rows[0][0])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def span(self) -> Window | None:
+        rows = self._fetch(
+            "SELECT MIN(ts), MAX(ts) FROM backend_events", [])
+        low, high = rows[0]
+        if low is None:
+            return None
+        return Window(low, high + 0.001)
+
+    @property
+    def agentids(self) -> set[int]:
+        rows = self._fetch(
+            "SELECT DISTINCT agentid FROM backend_events", [])
+        return {row[0] for row in rows}
+
+    @property
+    def entity_count(self) -> int:
+        return len(self._interner)
+
+    @property
+    def dedup_ratio(self) -> float:
+        return self._interner.dedup_ratio
+
+    @property
+    def partition_count(self) -> int:
+        # CAST truncates toward zero; the correction term makes it floor
+        # division so negative timestamps bucket exactly like the row and
+        # columnar hypertables (int(ts // bucket)).
+        bucket = ("CAST(ts / :b AS INTEGER) "
+                  "- (ts / :b < CAST(ts / :b AS INTEGER))")
+        rows = self._fetch(
+            f"SELECT COUNT(*) FROM (SELECT DISTINCT agentid, {bucket} "
+            "FROM backend_events)", {"b": self._bucket_seconds})
+        return int(rows[0][0])
+
+    @property
+    def bucket_seconds(self) -> float:
+        return self._bucket_seconds
+
+    def __len__(self) -> int:
+        return self._count
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

@@ -1,11 +1,12 @@
 """AiqlSession: the library's public facade.
 
-A session owns an :class:`~repro.storage.store.EventStore` and exposes the
-full investigation loop the demo walks through: ingest monitoring data,
+A session owns a :class:`~repro.storage.backend.StorageBackend` and exposes
+the full investigation loop the demo walks through: ingest monitoring data,
 issue AIQL queries (all three classes), inspect plans, and check syntax.
 
 >>> from repro import AiqlSession
->>> session = AiqlSession()
+>>> session = AiqlSession()                  # row store by default
+>>> session = AiqlSession(backend="columnar")  # batch-scanning store
 >>> # ... ingest events (see repro.telemetry) ...
 >>> result = session.query('proc p["%cmd.exe"] start proc c as e1 return c')
 """
@@ -21,18 +22,19 @@ from repro.lang.errors import AiqlSyntaxError, check_syntax
 from repro.lang.parser import parse
 from repro.model.events import Event
 from repro.model.timeutil import SECONDS_PER_DAY
+from repro.storage.backend import StorageBackend, create_backend
 from repro.storage.ingest import IngestPipeline, IngestStats
-from repro.storage.store import EventStore
 
 
 class AiqlSession:
-    """One investigation session over one event store."""
+    """One investigation session over one storage backend."""
 
-    def __init__(self, store: EventStore | None = None,
+    def __init__(self, store: StorageBackend | None = None,
                  options: EngineOptions = DEFAULT_OPTIONS,
-                 bucket_seconds: float = SECONDS_PER_DAY) -> None:
-        self.store = store if store is not None else EventStore(
-            bucket_seconds)
+                 bucket_seconds: float = SECONDS_PER_DAY,
+                 backend: str = "row") -> None:
+        self.store = store if store is not None else create_backend(
+            backend, bucket_seconds)
         self.options = options
 
     # ------------------------------------------------------------------
@@ -79,10 +81,16 @@ class AiqlSession:
     def entity_count(self) -> int:
         return self.store.entity_count
 
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the active storage backend."""
+        return getattr(self.store, "backend_name", type(self.store).__name__)
+
     def describe(self) -> str:
         """One-line store summary for the UI status area."""
         span = self.store.span
         span_text = str(span) if span is not None else "(empty)"
         return (f"{len(self.store)} events, {self.store.entity_count} "
                 f"entities, {self.store.partition_count} partitions, "
-                f"agents={sorted(self.store.agentids)}, span={span_text}")
+                f"agents={sorted(self.store.agentids)}, span={span_text}, "
+                f"backend={self.backend_name}")

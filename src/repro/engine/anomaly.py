@@ -40,7 +40,7 @@ from repro.engine.aggregates import GroupHistory, aggregate
 from repro.engine.parallel import execute_plan, merge_reports
 from repro.engine.planner import plan_multievent
 from repro.engine.scheduler import ExecutionReport
-from repro.storage.store import EventStore
+from repro.storage.backend import StorageBackend
 
 
 @dataclass
@@ -50,7 +50,7 @@ class AnomalyOutput:
     report: ExecutionReport
 
 
-def execute_anomaly(store: EventStore, query: AnomalyQuery, *,
+def execute_anomaly(store: StorageBackend, query: AnomalyQuery, *,
                     prioritize: bool = True, propagate: bool = True,
                     partition: bool = True,
                     max_workers: int = 4) -> AnomalyOutput:
@@ -141,7 +141,7 @@ def execute_anomaly(store: EventStore, query: AnomalyQuery, *,
 # Event fetching (reuses the multievent machinery on a 1-pattern plan)
 # ---------------------------------------------------------------------------
 
-def _fetch_events(store: EventStore, query: AnomalyQuery, *,
+def _fetch_events(store: StorageBackend, query: AnomalyQuery, *,
                   prioritize: bool, propagate: bool, partition: bool,
                   max_workers: int) -> list[Event]:
     pattern = query.patterns[0]

@@ -24,7 +24,7 @@ from repro.engine.dependency import rewrite_dependency
 from repro.engine.joiner import Binding
 from repro.engine.parallel import execute_plan, merge_reports
 from repro.engine.planner import QueryPlan, plan_multievent
-from repro.storage.store import EventStore
+from repro.storage.backend import StorageBackend
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,7 +45,7 @@ class EngineOptions:
 DEFAULT_OPTIONS = EngineOptions()
 
 
-def execute(store: EventStore, query: Query,
+def execute(store: StorageBackend, query: Query,
             options: EngineOptions = DEFAULT_OPTIONS) -> QueryResult:
     """Execute a parsed AIQL query and return its result table."""
     if isinstance(query, MultieventQuery):
@@ -67,7 +67,7 @@ def execute(store: EventStore, query: Query,
     raise SemanticError(f"unknown query type: {type(query).__name__}")
 
 
-def explain(store: EventStore, query: Query,
+def explain(store: StorageBackend, query: Query,
             options: EngineOptions = DEFAULT_OPTIONS) -> str:
     """Describe how the engine would execute a query (plan + estimates)."""
     if isinstance(query, DependencyQuery):
@@ -104,7 +104,7 @@ def explain(store: EventStore, query: Query,
 # Multievent execution + projection
 # ---------------------------------------------------------------------------
 
-def _execute_multievent(store: EventStore, query: MultieventQuery,
+def _execute_multievent(store: StorageBackend, query: MultieventQuery,
                         options: EngineOptions) -> QueryResult:
     started = time.perf_counter()
     plan = plan_multievent(query)

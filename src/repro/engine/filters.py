@@ -5,6 +5,15 @@ subject, entity brackets on its object, and global header clauses — and all
 compile to plain callables over :class:`~repro.model.events.Event` so the
 executor evaluates one fused residual predicate per candidate event.
 
+Batch-compilation mode: every constraint also lowers to a structured
+:class:`Atom` (``<target.attribute> <op> <value>``), and a pattern's full
+residual predicate is a :class:`CompiledPredicate` — the atom conjunction
+plus the fused per-event callable derived from it.  Storage backends that
+evaluate column batches (the columnar store) consume the atoms directly;
+row-at-a-time backends call the fused form.  Both derive from the same
+:func:`value_test` per atom, so the two evaluation modes agree by
+construction.
+
 Comparison semantics match SQLite (the relational baseline) so differential
 tests agree: ``=`` on strings is case-sensitive, ``like`` is
 case-insensitive, ordered comparisons between a number and a string are
@@ -13,7 +22,8 @@ False rather than an error.
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from repro.errors import SemanticError
 from repro.lang.ast import Constraint
@@ -22,6 +32,7 @@ from repro.model.events import Event, canonical_event_attribute
 from repro.storage.indexes import like_to_regex
 
 EventPredicate = Callable[[Event], bool]
+ValueTest = Callable[[object], bool]
 
 _NUMERIC = (int, float)
 
@@ -51,51 +62,127 @@ def _compare(op: str, left: object, right: object) -> bool:
     raise SemanticError(f"unknown comparison operator {op!r}")
 
 
-def _value_getter(entity_type: str, attribute: str | None,
-                  role: str) -> Callable[[Event], object]:
-    """Build an accessor for a constraint's left-hand side.
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """One batchable conjunct: ``<target.attribute> <op> <value>``.
 
-    ``role`` is ``"subject"`` or ``"object"``; ``agentid`` on an entity
-    resolves to the entity's own agent id (which for network objects is the
-    observing host).
+    ``target`` names where the left-hand side lives: ``"event"`` for
+    event-level attributes (including the virtual ``event_type``),
+    ``"subject"``/``"object"`` for entity attributes.  An atom is pure
+    data — backends decide how to evaluate it (per event, per distinct
+    dictionary value, or per column batch).
     """
+
+    target: str      # "event" | "subject" | "object"
+    attribute: str   # canonical attribute name
+    op: str
+    value: object
+
+    def make_test(self) -> ValueTest:
+        """The value-level test this atom applies to its left-hand side."""
+        return value_test(self.op, self.value)
+
+
+def value_test(op: str, value: object) -> ValueTest:
+    """Compile ``<op> <value>`` to a test over candidate left-hand values.
+
+    This is the single source of comparison semantics: the per-event
+    predicates and the columnar batch evaluator both call tests built here,
+    which is what keeps the two execution modes in exact agreement.
+    """
+    if op == "like":
+        if not isinstance(value, str):
+            raise SemanticError("like patterns must be strings")
+        regex = like_to_regex(value)
+        return lambda candidate: (isinstance(candidate, str)
+                                  and regex.match(candidate) is not None)
+    return lambda candidate: _compare(op, candidate, value)
+
+
+def atom_predicate(atom: Atom) -> EventPredicate:
+    """Lower one atom to a per-event callable (row-at-a-time mode)."""
+    test = atom.make_test()
+    attribute = atom.attribute
+    if atom.target == "subject":
+        return lambda event: test(getattr(event.subject, attribute))
+    if atom.target == "object":
+        # Unguarded on purpose: the pattern's type-guard atom runs first in
+        # the fused conjunction, so the object is of the expected type by
+        # the time this atom evaluates.
+        return lambda event: test(getattr(event.object, attribute))
+    if atom.target != "event":
+        raise SemanticError(f"unknown atom target {atom.target!r}")
+    return lambda event: test(getattr(event, attribute))
+
+
+def entity_atom(constraint: Constraint, entity_type: str, role: str) -> Atom:
+    """Lower one bracket constraint on the subject or object to an atom."""
+    attribute = constraint.attribute
     if attribute is None:
         attribute = DEFAULT_ATTRIBUTE[entity_type]
     else:
         attribute = canonical_attribute(entity_type, attribute)
-    if role == "subject":
-        return lambda event: getattr(event.subject, attribute)
-    return lambda event: getattr(event.object, attribute)
+    if constraint.op == "like" and not isinstance(constraint.value, str):
+        raise SemanticError("like patterns must be strings")
+    return Atom(target=role, attribute=attribute, op=constraint.op,
+                value=constraint.value)
+
+
+def global_atom(constraint: Constraint) -> Atom:
+    """Lower a header constraint (applies to the event itself) to an atom."""
+    if constraint.attribute is None:
+        raise SemanticError("global constraints need an attribute name")
+    attribute = canonical_event_attribute(constraint.attribute)
+    if constraint.op == "like" and not isinstance(constraint.value, str):
+        raise SemanticError("like patterns must be strings")
+    return Atom(target="event", attribute=attribute, op=constraint.op,
+                value=constraint.value)
+
+
+def type_operation_atoms(event_type: str,
+                         operations: frozenset[str]) -> tuple[Atom, Atom]:
+    """The guard every pattern predicate starts with.
+
+    The store's best access path may be a subject-name index whose posting
+    lists span all event types, so the residual must re-check both.
+    """
+    return (Atom("event", "event_type", "=", event_type),
+            Atom("event", "operation", "in", operations))
 
 
 def compile_entity_constraint(constraint: Constraint, entity_type: str,
                               role: str) -> EventPredicate:
     """Compile one bracket constraint against the subject or object."""
-    getter = _value_getter(entity_type, constraint.attribute, role)
-    if constraint.op == "like":
-        if not isinstance(constraint.value, str):
-            raise SemanticError("like patterns must be strings")
-        regex = like_to_regex(constraint.value)
-        return lambda event: (isinstance(value := getter(event), str)
-                              and regex.match(value) is not None)
-    op, value = constraint.op, constraint.value
-    return lambda event: _compare(op, getter(event), value)
+    return atom_predicate(entity_atom(constraint, entity_type, role))
 
 
 def compile_global_constraint(constraint: Constraint) -> EventPredicate:
     """Compile a header constraint (applies to the event itself)."""
-    if constraint.attribute is None:
-        raise SemanticError("global constraints need an attribute name")
-    attribute = canonical_event_attribute(constraint.attribute)
-    if constraint.op == "like":
-        if not isinstance(constraint.value, str):
-            raise SemanticError("like patterns must be strings")
-        regex = like_to_regex(constraint.value)
-        return lambda event: (isinstance(
-            value := getattr(event, attribute), str)
-            and regex.match(value) is not None)
-    op, value = constraint.op, constraint.value
-    return lambda event: _compare(op, getattr(event, attribute), value)
+    return atom_predicate(global_atom(constraint))
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledPredicate:
+    """A pattern's full residual predicate in both evaluation modes.
+
+    ``atoms`` is the structured conjunction for batch evaluation;
+    ``event_predicate`` the fused per-event form.  The two are built from
+    the same atoms and always agree.
+    """
+
+    atoms: tuple[Atom, ...]
+    event_predicate: EventPredicate
+
+    def __call__(self, event: Event) -> bool:
+        return self.event_predicate(event)
+
+
+def compile_atoms(atoms: Sequence[Atom]) -> CompiledPredicate:
+    """Fuse an atom conjunction into a :class:`CompiledPredicate`."""
+    atoms = tuple(atoms)
+    return CompiledPredicate(
+        atoms=atoms,
+        event_predicate=conjunction([atom_predicate(a) for a in atoms]))
 
 
 def conjunction(predicates: list[EventPredicate]) -> EventPredicate:

@@ -30,7 +30,7 @@ from repro.model.timeutil import Window
 from repro.engine.joiner import Binding, join
 from repro.engine.planner import QueryPlan
 from repro.engine.scheduler import ExecutionReport, Scheduler
-from repro.storage.store import EventStore
+from repro.storage.backend import StorageBackend
 
 DEFAULT_WORKERS = 4
 
@@ -71,7 +71,7 @@ class ParallelResult:
     partitions: int
 
 
-def execute_plan(store: EventStore, plan: QueryPlan, *,
+def execute_plan(store: StorageBackend, plan: QueryPlan, *,
                  prioritize: bool = True, propagate: bool = True,
                  partition: bool = True, max_workers: int = DEFAULT_WORKERS,
                  row_limit: int | None = None) -> ParallelResult:

@@ -26,15 +26,21 @@ from repro.lang.ast import (AttributeRelation, Constraint, EventPattern,
 from repro.model.entities import DEFAULT_ATTRIBUTE, canonical_attribute
 from repro.model.events import canonical_event_attribute, validate_operation
 from repro.model.timeutil import Window
-from repro.engine.filters import (EventPredicate, _compare,
-                                  compile_entity_constraint,
-                                  compile_global_constraint, conjunction)
+from repro.engine.filters import (CompiledPredicate, EventPredicate,
+                                  _compare, compile_atoms, entity_atom,
+                                  global_atom, type_operation_atoms)
 from repro.storage.stats import PatternProfile
 
 
 @dataclass(frozen=True, slots=True)
 class DataQuery:
-    """Everything needed to fetch and filter one pattern's matches."""
+    """Everything needed to fetch and filter one pattern's matches.
+
+    ``compiled`` carries the residual predicate in both evaluation modes
+    (structured atoms for batch backends, fused per-event callable for
+    row-at-a-time backends); ``predicate`` is the fused form, kept as its
+    own field for direct per-event use.
+    """
 
     index: int                       # position in the query's pattern list
     pattern: EventPattern
@@ -42,6 +48,7 @@ class DataQuery:
     operations: frozenset[str]
     profile: PatternProfile
     predicate: EventPredicate
+    compiled: CompiledPredicate
     agentids: frozenset[int] | None  # spatial pruning for this pattern
     subject_var: str
     object_var: str
@@ -169,9 +176,8 @@ def plan_multievent(query: MultieventQuery) -> QueryPlan:
     """Build the execution plan for a multievent query."""
     header = query.header
     global_agents = header.agentids()
-    global_predicates = [compile_global_constraint(c)
-                         for c in header.constraints
-                         if not _is_agent_pin(c)]
+    global_atoms = [global_atom(c) for c in header.constraints
+                    if not _is_agent_pin(c)]
     merged = _merge_variable_constraints(query.patterns)
     data_queries: list[DataQuery] = []
     for index, pattern in enumerate(query.patterns):
@@ -183,17 +189,16 @@ def plan_multievent(query: MultieventQuery) -> QueryPlan:
                 f"got {subject_type!r} for {pattern.subject.variable!r}")
         operations = frozenset(
             validate_operation(object_type, op) for op in pattern.operations)
-        # The fused residual predicate must re-check event type and
-        # operation: the store's best access path may be a subject-name
-        # index whose posting lists span all event types.
-        predicates = [_type_operation_guard(object_type, operations)]
-        predicates.extend(global_predicates)
-        predicates.extend(
-            compile_entity_constraint(c, "proc", "subject")
-            for c in subject_constraints)
-        predicates.extend(
-            compile_entity_constraint(c, object_type, "object")
-            for c in object_constraints)
+        # The residual predicate must re-check event type and operation:
+        # the store's best access path may be a subject-name index whose
+        # posting lists span all event types.
+        atoms = list(type_operation_atoms(object_type, operations))
+        atoms.extend(global_atoms)
+        atoms.extend(entity_atom(c, "proc", "subject")
+                     for c in subject_constraints)
+        atoms.extend(entity_atom(c, object_type, "object")
+                     for c in object_constraints)
+        compiled = compile_atoms(atoms)
         subject_pin, _ = _split_agent_pin(subject_constraints)
         agentids = _combine_agents(global_agents, subject_pin)
         profile = _index_profile(object_type, operations,
@@ -201,7 +206,7 @@ def plan_multievent(query: MultieventQuery) -> QueryPlan:
         data_queries.append(DataQuery(
             index=index, pattern=pattern, event_type=object_type,
             operations=operations, profile=profile,
-            predicate=conjunction(predicates),
+            predicate=compiled.event_predicate, compiled=compiled,
             agentids=agentids,
             subject_var=pattern.subject.variable,
             object_var=pattern.object.variable))
@@ -258,14 +263,6 @@ def _compile_relation(relation: AttributeRelation,
     return RelationCheck(left_var=relation.left.variable,
                          right_var=relation.right.variable,
                          predicate=predicate)
-
-
-def _type_operation_guard(event_type: str, operations: frozenset[str]):
-    def guard(event) -> bool:
-        return (event.event_type == event_type
-                and event.operation in operations)
-
-    return guard
 
 
 def _is_agent_pin(constraint: Constraint) -> bool:

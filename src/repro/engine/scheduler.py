@@ -27,7 +27,7 @@ from repro.errors import ExecutionError
 from repro.model.events import Event
 from repro.model.timeutil import Window
 from repro.engine.planner import DataQuery, QueryPlan
-from repro.storage.store import EventStore
+from repro.storage.backend import StorageBackend
 
 
 @dataclass
@@ -75,9 +75,15 @@ class ScheduledMatches:
 
 
 class Scheduler:
-    """Executes a plan's data queries in pruning-power order."""
+    """Executes a plan's data queries in pruning-power order.
 
-    def __init__(self, store: EventStore, *, prioritize: bool = True,
+    Works against any :class:`~repro.storage.backend.StorageBackend`; each
+    pattern's fetch-and-filter goes through the backend's ``select`` so a
+    batch-evaluating substrate can push the residual predicate into its
+    scan.
+    """
+
+    def __init__(self, store: StorageBackend, *, prioritize: bool = True,
                  propagate: bool = True) -> None:
         self._store = store
         self._prioritize = prioritize
@@ -114,11 +120,8 @@ class Scheduler:
             step_started = time.perf_counter()
             effective = self._narrow_window(dq, plan, base_window, ts_bounds,
                                             matches)
-            candidates = self._store.candidates(
-                dq.profile, effective, _agents(dq, agentids))
-            fetched = len(candidates)
-            predicate = dq.predicate
-            survivors = [evt for evt in candidates if predicate(evt)]
+            survivors, fetched = self._store.select(
+                dq.profile, dq.compiled, effective, _agents(dq, agentids))
             if self._propagate:
                 survivors = self._apply_identity_bindings(
                     dq, survivors, identity_sets)

@@ -1,5 +1,16 @@
-"""Domain-specific storage: hypertable partitions, indexes, dedup, ingest."""
+"""Domain-specific storage: pluggable backends over hypertable partitions.
 
+The :class:`~repro.storage.backend.StorageBackend` protocol is the seam;
+``row`` (:class:`EventStore`) and ``columnar``
+(:class:`repro.storage.columnar.ColumnarEventStore`) are the in-memory
+implementations, with ``sqlite`` provided by
+:mod:`repro.baselines.sqlite_backend`.  The columnar store is imported
+lazily through the registry to keep this package import-light.
+"""
+
+from repro.storage.backend import (StorageBackend, available_backends,
+                                   create_backend, register_backend,
+                                   select_via_candidates)
 from repro.storage.dedup import EntityInterner, EventMerger
 from repro.storage.indexes import (PostingIndex, TimeIndex, like_match,
                                    like_to_regex)
@@ -9,6 +20,8 @@ from repro.storage.stats import PatternProfile, estimate_total
 from repro.storage.store import EventStore
 
 __all__ = [
+    "StorageBackend", "available_backends", "create_backend",
+    "register_backend", "select_via_candidates",
     "EntityInterner", "EventMerger", "PostingIndex", "TimeIndex",
     "like_match", "like_to_regex", "IngestPipeline", "IngestStats",
     "Hypertable", "Partition", "PatternProfile", "estimate_total",

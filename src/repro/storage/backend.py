@@ -1,0 +1,160 @@
+"""The pluggable storage seam: the :class:`StorageBackend` protocol.
+
+The paper's claim (Figure 1) is that interactive attack investigation
+requires co-designing the storage substrate with the execution engine.  To
+compare substrates fairly — and to let future PRs add sharded, async, or
+multi-process stores — every engine component depends on this protocol
+instead of a concrete store.  Three first-class implementations ship:
+
+* ``row`` — :class:`repro.storage.store.EventStore`, the original
+  row-oriented in-memory hypertable with per-partition posting indexes;
+* ``columnar`` — :class:`repro.storage.columnar.ColumnarEventStore`,
+  struct-of-arrays partitions with zone maps and batch predicate scans;
+* ``sqlite`` — :class:`repro.baselines.sqlite_backend.SqliteEventStore`,
+  an indexed SQLite table behind the same surface.
+
+Backends register by name in a factory registry; sessions, the CLI, and
+the benchmarks all select one through :func:`create_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import (TYPE_CHECKING, Callable, Iterable, Protocol,
+                    runtime_checkable)
+
+from repro.errors import StorageError
+from repro.model.entities import Entity, ProcessEntity
+from repro.model.events import Event
+from repro.model.timeutil import SECONDS_PER_DAY, Window
+from repro.storage.stats import PatternProfile
+
+if TYPE_CHECKING:
+    from repro.engine.filters import CompiledPredicate
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """What the engine needs from a storage substrate.
+
+    The surface is the four operations of the paper's storage tier — the
+    agent write path (``record``/``ingest``), the index-backed candidate
+    fetch, cardinality estimation for pruning-power scheduling, and full
+    scans — plus ``select``, the fused fetch-and-filter entry point that
+    lets a backend evaluate a pattern's residual predicate its own way
+    (per event, or over column batches).
+    """
+
+    backend_name: str
+
+    # Write path -------------------------------------------------------
+    def record(self, ts: float, agentid: int, operation: str,
+               subject: ProcessEntity, obj: Entity, amount: int = 0,
+               failcode: int = 0) -> Event: ...
+
+    def ingest(self, events: Iterable[Event]) -> int: ...
+
+    # Read path --------------------------------------------------------
+    def scan(self, window: Window | None = None,
+             agentids: set[int] | None = None) -> list[Event]: ...
+
+    def candidates(self, profile: PatternProfile,
+                   window: Window | None = None,
+                   agentids: set[int] | None = None) -> list[Event]: ...
+
+    def select(self, profile: PatternProfile,
+               predicate: "CompiledPredicate",
+               window: Window | None = None,
+               agentids: set[int] | None = None,
+               ) -> tuple[list[Event], int]: ...
+
+    def estimate(self, profile: PatternProfile,
+                 window: Window | None = None,
+                 agentids: set[int] | None = None) -> int: ...
+
+    # Introspection ----------------------------------------------------
+    @property
+    def span(self) -> Window | None: ...
+
+    @property
+    def agentids(self) -> set[int]: ...
+
+    @property
+    def entity_count(self) -> int: ...
+
+    @property
+    def dedup_ratio(self) -> float: ...
+
+    @property
+    def partition_count(self) -> int: ...
+
+    @property
+    def bucket_seconds(self) -> float: ...
+
+    def __len__(self) -> int: ...
+
+
+def select_via_candidates(backend: StorageBackend, profile: PatternProfile,
+                          predicate: "CompiledPredicate",
+                          window: Window | None = None,
+                          agentids: set[int] | None = None,
+                          ) -> tuple[list[Event], int]:
+    """Default ``select``: candidate fetch + fused per-event residual.
+
+    Row-at-a-time backends share this implementation; batch backends
+    override ``select`` entirely.  Returns ``(survivors, fetched)`` where
+    ``fetched`` is the candidate-list size (for execution reports).
+    """
+    fetched = backend.candidates(profile, window, agentids)
+    test = predicate.event_predicate
+    return [event for event in fetched if test(event)], len(fetched)
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+
+BackendFactory = Callable[[float], StorageBackend]
+
+#: The backends that ship with the repo.  A static tuple so surfaces that
+#: only need the names (CLI ``--backend`` choices) avoid importing the
+#: implementations.
+BUILTIN_BACKENDS = ("row", "columnar", "sqlite")
+
+_FACTORIES: dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register a backend factory (``factory(bucket_seconds) -> backend``)."""
+    _FACTORIES[name] = factory
+
+
+def _ensure_builtins() -> None:
+    # Imported lazily: the concrete stores import engine/baseline modules
+    # that must not load just because the protocol module did.
+    if "row" not in _FACTORIES:
+        from repro.storage.store import EventStore
+        register_backend("row", EventStore)
+    if "columnar" not in _FACTORIES:
+        from repro.storage.columnar import ColumnarEventStore
+        register_backend("columnar", ColumnarEventStore)
+    if "sqlite" not in _FACTORIES:
+        from repro.baselines.sqlite_backend import SqliteEventStore
+        register_backend("sqlite", SqliteEventStore)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names (builtin ones always included)."""
+    _ensure_builtins()
+    return tuple(sorted(_FACTORIES))
+
+
+def create_backend(name: str,
+                   bucket_seconds: float = SECONDS_PER_DAY) -> StorageBackend:
+    """Instantiate a backend by registry name."""
+    _ensure_builtins()
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise StorageError(
+            f"unknown storage backend {name!r} "
+            f"(available: {', '.join(sorted(_FACTORIES))})")
+    return factory(bucket_seconds)

@@ -1,0 +1,633 @@
+"""Columnar event store: struct-of-arrays partitions + batch predicate scans.
+
+The second first-class implementation of the
+:class:`~repro.storage.backend.StorageBackend` protocol.  Where the row
+store answers data queries through per-partition posting indexes and then
+filters surviving :class:`~repro.model.events.Event` objects one at a time,
+the columnar store keeps each ``(agentid, time bucket)`` partition as
+struct-of-arrays columns —
+
+    ids | ts | op codes | event-type codes | subject codes | object codes
+        | amounts | failcodes
+
+— with entities, operations, and event types dictionary-encoded against
+store-level vocabularies.  A pattern's residual predicate (the
+:class:`~repro.engine.filters.CompiledPredicate` atom conjunction) is
+evaluated *column-at-a-time*:
+
+1. atoms over dictionary-encoded columns are evaluated once per **distinct
+   value** (the audit-data vocabulary is tiny relative to event volume),
+   yielding allowed-code sets;
+2. per-partition zone maps (ts and amount min/max, codes present) prune
+   partitions that cannot match;
+3. a code-generated fused row loop — plain integer set-membership plus the
+   few residual numeric tests — selects matching row indexes;
+4. only survivors are materialized back into :class:`Event` objects.
+
+Both evaluation modes build their value tests from
+:func:`repro.engine.filters.value_test`, so batch results agree exactly
+with the row store's per-event evaluation.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from array import array
+from collections import Counter
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import StorageError
+from repro.model.entities import (DEFAULT_ATTRIBUTE, ENTITY_TYPES, Entity,
+                                  ProcessEntity)
+from repro.model.events import Event, validate_operation
+from repro.model.timeutil import SECONDS_PER_DAY, Window
+from repro.storage.dedup import EntityInterner
+from repro.storage.indexes import like_to_regex
+from repro.storage.stats import PatternProfile
+from repro.engine.filters import Atom, CompiledPredicate
+
+_ETYPE_CODE: dict[str, int] = {name: code
+                               for code, name in enumerate(ENTITY_TYPES)}
+_ETYPE_NAME: tuple[str, ...] = tuple(ENTITY_TYPES)
+_MISSING = object()
+
+# Event-level numeric/scalar attributes stored as plain columns; the
+# remaining event atoms (operation, event_type, agentid) are dictionary- or
+# partition-encoded and handled separately.
+_EVENT_COLUMN = {"id": "ids", "ts": "ts", "amount": "amounts",
+                 "failcode": "failcodes"}
+
+
+class ColumnarPartition:
+    """One agent/bucket's events as parallel columns, lazily time-sorted."""
+
+    __slots__ = ("agentid", "bucket", "ids", "ts", "ops", "etypes",
+                 "subjects", "objects", "amounts", "failcodes", "_sorted",
+                 "_sort_lock", "min_ts", "max_ts", "min_amount",
+                 "max_amount", "type_op", "by_type", "by_op",
+                 "subject_name", "object_value", "materialized")
+
+    def __init__(self, agentid: int, bucket: int) -> None:
+        self.agentid = agentid
+        self.bucket = bucket
+        # Survivor cache: event id -> materialized Event.  Keyed by id (not
+        # row) so the lazy time-sort never invalidates it; repeated queries
+        # over hot rows skip re-materialization.
+        self.materialized: dict[int, Event] = {}
+        # The parallel executor reads partitions from worker threads; the
+        # lazy resort must not run twice concurrently.
+        self._sort_lock = threading.Lock()
+        self.ids = array("q")
+        self.ts = array("d")
+        self.ops = array("i")
+        self.etypes = array("b")
+        self.subjects = array("q")
+        self.objects = array("q")
+        self.amounts = array("q")
+        self.failcodes = array("q")
+        self._sorted = True
+        self.min_ts = float("inf")
+        self.max_ts = float("-inf")
+        self.min_amount = 0
+        self.max_amount = 0
+        # Zone statistics: per-value cardinalities for pruning-power
+        # estimation (the columnar analogue of posting-list sizes).
+        self.type_op: Counter = Counter()
+        self.by_type: Counter = Counter()
+        self.by_op: Counter = Counter()
+        self.subject_name: Counter = Counter()
+        self.object_value: Counter = Counter()
+
+    def append(self, eid: int, ts: float, op_code: int, etype_code: int,
+               subject_code: int, object_code: int, amount: int,
+               failcode: int, subject_name: str,
+               object_value: object) -> None:
+        if self.ts and ts < self.ts[-1]:
+            self._sorted = False
+        self.ids.append(eid)
+        self.ts.append(ts)
+        self.ops.append(op_code)
+        self.etypes.append(etype_code)
+        self.subjects.append(subject_code)
+        self.objects.append(object_code)
+        self.amounts.append(amount)
+        self.failcodes.append(failcode)
+        if ts < self.min_ts:
+            self.min_ts = ts
+        if ts > self.max_ts:
+            self.max_ts = ts
+        if len(self.ids) == 1:
+            self.min_amount = self.max_amount = amount
+        else:
+            if amount < self.min_amount:
+                self.min_amount = amount
+            if amount > self.max_amount:
+                self.max_amount = amount
+        self.type_op[(etype_code, op_code)] += 1
+        self.by_type[etype_code] += 1
+        self.by_op[op_code] += 1
+        self.subject_name[subject_name] += 1
+        self.object_value[(etype_code, object_value)] += 1
+
+    def _ensure_sorted(self) -> None:
+        if self._sorted:
+            return
+        with self._sort_lock:
+            if self._sorted:
+                return
+            order = sorted(range(len(self.ids)),
+                           key=lambda i: (self.ts[i], self.ids[i]))
+            for name in ("ids", "ts", "ops", "etypes", "subjects",
+                         "objects", "amounts", "failcodes"):
+                column = getattr(self, name)
+                setattr(self, name, array(column.typecode,
+                                          (column[i] for i in order)))
+            self._sorted = True
+
+    def row_range(self, window: Window | None) -> tuple[int, int]:
+        """Row span ``[lo, hi)`` intersecting the window (sorted order)."""
+        if window is None:
+            return 0, len(self.ids)
+        self._ensure_sorted()
+        lo = bisect.bisect_left(self.ts, window.start)
+        hi = bisect.bisect_left(self.ts, window.end)
+        return lo, hi
+
+    def count_range(self, start: float, end: float) -> int:
+        self._ensure_sorted()
+        return (bisect.bisect_left(self.ts, end)
+                - bisect.bisect_left(self.ts, start))
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+class _ScanPlan:
+    """One predicate lowered against the store's dictionaries.
+
+    ``dim_sets`` maps column name -> allowed code set; ``value_checks``
+    are residual ``(column, atom)`` tests on plain numeric columns;
+    ``agent_tests`` evaluate once per partition (agentid is constant
+    inside one).  ``empty`` marks an unsatisfiable conjunction.
+    """
+
+    __slots__ = ("dim_sets", "value_checks", "agent_tests", "row_filter",
+                 "empty")
+
+    def __init__(self) -> None:
+        self.dim_sets: dict[str, set[int]] = {}
+        self.value_checks: list[tuple[str, Atom]] = []
+        self.agent_tests: list[Callable[[object], bool]] = []
+        self.row_filter: Callable | None = None
+        self.empty = False
+
+
+_INLINE_OPS = {"=": "==", "!=": "!=", "<": "<", "<=": "<=",
+               ">": ">", ">=": ">="}
+
+
+def _compile_row_filter(dim_items, value_items) -> Callable:
+    """Generate the fused per-partition row loop for one scan plan.
+
+    The generated function is a single list comprehension whose condition
+    is integer set-membership per dictionary column plus the residual
+    numeric tests — the batch-evaluation hot loop, with no per-row
+    attribute access or Event construction.  Comparisons against numeric
+    literals inline as native operators (``amounts[i] > _v0``), which
+    matches :func:`repro.engine.filters._compare` exactly because the
+    numeric event columns always hold numbers; anything else falls back to
+    the atom's :func:`~repro.engine.filters.value_test`.
+    """
+    conds: list[str] = []
+    namespace: dict[str, object] = {}
+    for index, (column, allowed) in enumerate(dim_items):
+        namespace[f"_s{index}"] = allowed
+        conds.append(f"{column}[i] in _s{index}")
+    for index, (column, atom) in enumerate(value_items):
+        value = atom.value
+        if (atom.op in _INLINE_OPS
+                and isinstance(value, (int, float))
+                and not isinstance(value, bool)):
+            namespace[f"_v{index}"] = value
+            conds.append(f"{column}[i] {_INLINE_OPS[atom.op]} _v{index}")
+        elif atom.op == "in":
+            namespace[f"_v{index}"] = value
+            conds.append(f"{column}[i] in _v{index}")
+        else:
+            namespace[f"_t{index}"] = atom.make_test()
+            conds.append(f"_t{index}({column}[i])")
+    condition = " and ".join(conds) if conds else "True"
+    source = ("def _row_filter(lo, hi, ids, ts, ops, etypes, subjects, "
+              "objects, amounts, failcodes):\n"
+              f"    return [i for i in range(lo, hi) if {condition}]\n")
+    exec(source, namespace)  # noqa: S102 - trusted, locally generated
+    return namespace["_row_filter"]  # type: ignore[return-value]
+
+
+def _range_excludes(op: str, value: object, lo: float, hi: float) -> bool:
+    """Zone-map check: can ``column <op> value`` match within [lo, hi]?"""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return False
+    if op == "=":
+        return value < lo or value > hi
+    if op == "<":
+        return lo >= value
+    if op == "<=":
+        return lo > value
+    if op == ">":
+        return hi <= value
+    if op == ">=":
+        return hi < value
+    return False
+
+
+class ColumnarEventStore:
+    """Columnar, partitioned, dictionary-encoded store (``columnar``)."""
+
+    backend_name = "columnar"
+
+    def __init__(self, bucket_seconds: float = SECONDS_PER_DAY) -> None:
+        if bucket_seconds <= 0:
+            raise StorageError("bucket size must be positive")
+        self._bucket_seconds = bucket_seconds
+        self._interner = EntityInterner()
+        self._entities: list[Entity] = []         # code -> canonical entity
+        self._entity_code: dict[tuple, int] = {}  # identity -> code
+        self._ops: list[str] = []
+        self._op_code: dict[str, int] = {}
+        self._partitions: dict[tuple[int, int], ColumnarPartition] = {}
+        self._max_id = 0
+        self._count = 0
+        self._min_ts = float("inf")
+        self._max_ts = float("-inf")
+        # Allowed-code sets per atom, invalidated when vocabularies grow.
+        self._atom_cache: dict[Atom, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Dictionary encoding
+    # ------------------------------------------------------------------
+    def _entity_code_for(self, entity: Entity) -> tuple[Entity, int]:
+        canonical = self._interner.intern(entity)
+        code = self._entity_code.get(canonical.identity)
+        if code is None:
+            code = len(self._entities)
+            self._entities.append(canonical)
+            self._entity_code[canonical.identity] = code
+            self._atom_cache.clear()
+        return canonical, code
+
+    def _op_code_for(self, operation: str) -> int:
+        code = self._op_code.get(operation)
+        if code is None:
+            code = len(self._ops)
+            self._ops.append(operation)
+            self._op_code[operation] = code
+            self._atom_cache.clear()
+        return code
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def record(self, ts: float, agentid: int, operation: str,
+               subject: ProcessEntity, obj: Entity, amount: int = 0,
+               failcode: int = 0) -> Event:
+        """Build, intern, store, and return one event (agent write path)."""
+        subject, subject_code = self._entity_code_for(subject)
+        obj, object_code = self._entity_code_for(obj)
+        operation = validate_operation(obj.entity_type, operation)
+        # _max_id tracks ingested ids too, so recorded ids never collide
+        # with archived events (the materialization cache is id-keyed).
+        event = Event(id=self._max_id + 1, ts=ts, agentid=agentid,
+                      operation=operation, subject=subject, object=obj,
+                      amount=amount, failcode=failcode)
+        self._append(event, subject, subject_code, obj, object_code)
+        return event
+
+    def ingest(self, events: Iterable[Event]) -> int:
+        """Store pre-built events, interning their entities."""
+        count = 0
+        for event in events:
+            self._add(event)
+            count += 1
+        return count
+
+    def _add(self, event: Event) -> None:
+        subject, subject_code = self._entity_code_for(event.subject)
+        obj, object_code = self._entity_code_for(event.object)
+        self._append(event, subject, subject_code, obj, object_code)
+
+    def _append(self, event: Event, subject: ProcessEntity,
+                subject_code: int, obj: Entity, object_code: int) -> None:
+        key = (event.agentid, int(event.ts // self._bucket_seconds))
+        partition = self._partitions.get(key)
+        if partition is None:
+            partition = ColumnarPartition(*key)
+            self._partitions[key] = partition
+        partition.append(event.id, event.ts,
+                         self._op_code_for(event.operation),
+                         _ETYPE_CODE[obj.entity_type],
+                         subject_code, object_code, event.amount,
+                         event.failcode, subject.exe_name,
+                         obj.default_attribute)
+        self._count += 1
+        if event.id > self._max_id:
+            self._max_id = event.id
+        if event.ts < self._min_ts:
+            self._min_ts = event.ts
+        if event.ts > self._max_ts:
+            self._max_ts = event.ts
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def _pruned(self, window: Window | None,
+                agentids: set[int] | None) -> Iterator[ColumnarPartition]:
+        for (agentid, bucket), partition in self._partitions.items():
+            if agentids is not None and agentid not in agentids:
+                continue
+            if window is not None:
+                if (partition.max_ts < window.start
+                        or partition.min_ts >= window.end):
+                    continue
+            yield partition
+
+    def _event_at(self, partition: ColumnarPartition, row: int,
+                  cache: bool = True) -> Event:
+        eid = partition.ids[row]
+        event = partition.materialized.get(eid)
+        # The ts guard keeps a duplicate id in a pathological ingest stream
+        # from aliasing a different row's cached event.
+        if event is None or event.ts != partition.ts[row]:
+            event = Event(id=eid, ts=partition.ts[row],
+                          agentid=partition.agentid,
+                          operation=self._ops[partition.ops[row]],
+                          subject=self._entities[partition.subjects[row]],
+                          object=self._entities[partition.objects[row]],
+                          amount=partition.amounts[row],
+                          failcode=partition.failcodes[row])
+            if cache:
+                partition.materialized[eid] = event
+        return event
+
+    def scan(self, window: Window | None = None,
+             agentids: set[int] | None = None) -> list[Event]:
+        """All events matching the spatial/temporal bounds (full scan).
+
+        Scans read through the materialization cache but do not populate
+        it: a full scan would otherwise pin every row as an Event object
+        and erase the columnar memory advantage.  Only batch-select
+        survivors (the hot rows) are cached.
+        """
+        events: list[Event] = []
+        for partition in self._pruned(window, agentids):
+            lo, hi = partition.row_range(window)
+            events.extend(self._event_at(partition, row, cache=False)
+                          for row in range(lo, hi))
+        events.sort(key=lambda e: (e.ts, e.id))
+        return events
+
+    def candidates(self, profile: PatternProfile,
+                   window: Window | None = None,
+                   agentids: set[int] | None = None) -> list[Event]:
+        """Batch-scan superset of events matching the profile."""
+        events, _fetched = self._batch_select(
+            self._profile_atoms(profile), window, agentids)
+        return events
+
+    def select(self, profile: PatternProfile,
+               predicate: CompiledPredicate,
+               window: Window | None = None,
+               agentids: set[int] | None = None) -> tuple[list[Event], int]:
+        """Evaluate the full residual predicate column-at-a-time.
+
+        Unlike the row store — candidate fetch through one posting index,
+        then the fused per-event predicate — the whole atom conjunction is
+        pushed into the batch scan, so no non-matching Event object is
+        ever materialized.
+        """
+        return self._batch_select(predicate.atoms, window, agentids)
+
+    def estimate(self, profile: PatternProfile,
+                 window: Window | None = None,
+                 agentids: set[int] | None = None) -> int:
+        """Estimated match cardinality (the pruning-power signal)."""
+        return sum(self._estimate_partition(partition, profile, window)
+                   for partition in self._pruned(window, agentids))
+
+    # ------------------------------------------------------------------
+    # Batch evaluation
+    # ------------------------------------------------------------------
+    def _profile_atoms(self, profile: PatternProfile) -> list[Atom]:
+        """Lower a PatternProfile to the equivalent atom conjunction."""
+        atoms: list[Atom] = []
+        if profile.event_type is not None:
+            atoms.append(Atom("event", "event_type", "=",
+                              profile.event_type))
+        if profile.operations:
+            atoms.append(Atom("event", "operation", "in",
+                              frozenset(profile.operations)))
+        if profile.subject_exact is not None:
+            atoms.append(Atom("subject", "exe_name", "=",
+                              profile.subject_exact))
+        elif profile.subject_like is not None:
+            atoms.append(Atom("subject", "exe_name", "like",
+                              profile.subject_like))
+        if profile.event_type is not None:
+            attribute = DEFAULT_ATTRIBUTE[profile.event_type]
+            if profile.object_exact is not None:
+                atoms.append(Atom("object", attribute, "=",
+                                  profile.object_exact))
+            elif profile.object_like is not None:
+                atoms.append(Atom("object", attribute, "like",
+                                  profile.object_like))
+        return atoms
+
+    def _allowed_codes(self, atom: Atom,
+                       vocabulary: Iterable[object]) -> set[int]:
+        """Codes of distinct dictionary values satisfying one atom."""
+        try:
+            cached = self._atom_cache.get(atom)
+        except TypeError:          # unhashable constraint value
+            cached = None
+        if cached is not None:
+            return cached
+        test = atom.make_test()
+        if atom.target == "event":
+            allowed = {code for code, value in enumerate(vocabulary)
+                       if test(value)}
+        else:
+            allowed = set()
+            attribute = atom.attribute
+            for code, entity in enumerate(vocabulary):
+                value = getattr(entity, attribute, _MISSING)
+                if value is not _MISSING and test(value):
+                    allowed.add(code)
+        try:
+            self._atom_cache[atom] = allowed
+        except TypeError:
+            pass
+        return allowed
+
+    def _scan_plan(self, atoms: Iterable[Atom]) -> _ScanPlan:
+        plan = _ScanPlan()
+
+        def narrow(column: str, allowed: set[int]) -> None:
+            existing = plan.dim_sets.get(column)
+            plan.dim_sets[column] = (allowed if existing is None
+                                     else existing & allowed)
+
+        for atom in atoms:
+            if atom.target == "subject":
+                narrow("subjects", self._allowed_codes(atom, self._entities))
+            elif atom.target == "object":
+                narrow("objects", self._allowed_codes(atom, self._entities))
+            elif atom.attribute == "operation":
+                narrow("ops", self._allowed_codes(atom, self._ops))
+            elif atom.attribute == "event_type":
+                narrow("etypes", self._allowed_codes(atom, _ETYPE_NAME))
+            elif atom.attribute == "agentid":
+                plan.agent_tests.append(atom.make_test())
+            else:
+                column = _EVENT_COLUMN[atom.attribute]
+                plan.value_checks.append((column, atom))
+        if any(not allowed for allowed in plan.dim_sets.values()):
+            plan.empty = True
+            return plan
+        # Cheapest dimensions first: type/op sets are tiny, entity sets
+        # larger, residual numeric tests (Python calls) last.
+        ordered = [(column, plan.dim_sets[column])
+                   for column in ("etypes", "ops", "subjects", "objects")
+                   if column in plan.dim_sets]
+        plan.row_filter = _compile_row_filter(ordered, plan.value_checks)
+        return plan
+
+    def _zone_excluded(self, partition: ColumnarPartition,
+                       plan: _ScanPlan) -> bool:
+        for column, allowed in plan.dim_sets.items():
+            if column == "etypes":
+                if not (allowed & set(partition.by_type)):
+                    return True
+            elif column == "ops":
+                if not (allowed & set(partition.by_op)):
+                    return True
+        return False
+
+    def _batch_select(self, atoms: Iterable[Atom], window: Window | None,
+                      agentids: set[int] | None) -> tuple[list[Event], int]:
+        atoms = list(atoms)
+        plan = self._scan_plan(atoms)
+        if plan.empty:
+            return [], 0
+        # Zone-map range pruning for ordered atoms on ts/amount.
+        range_atoms = [atom for atom in atoms
+                       if atom.target == "event"
+                       and atom.attribute in ("ts", "amount")]
+        events: list[Event] = []
+        fetched = 0
+        for partition in self._pruned(window, agentids):
+            if plan.agent_tests and not all(test(partition.agentid)
+                                            for test in plan.agent_tests):
+                continue
+            if self._zone_excluded(partition, plan):
+                continue
+            excluded = False
+            for atom in range_atoms:
+                lo_value, hi_value = (
+                    (partition.min_ts, partition.max_ts)
+                    if atom.attribute == "ts"
+                    else (partition.min_amount, partition.max_amount))
+                if _range_excludes(atom.op, atom.value, lo_value, hi_value):
+                    excluded = True
+                    break
+            if excluded:
+                continue
+            lo, hi = partition.row_range(window)
+            if lo >= hi:
+                continue
+            fetched += hi - lo
+            rows = plan.row_filter(lo, hi, partition.ids, partition.ts,
+                                   partition.ops, partition.etypes,
+                                   partition.subjects, partition.objects,
+                                   partition.amounts, partition.failcodes)
+            events.extend(self._event_at(partition, row) for row in rows)
+        return events, fetched
+
+    # ------------------------------------------------------------------
+    # Estimation (counter-based analogue of stats.estimate_partition)
+    # ------------------------------------------------------------------
+    def _estimate_partition(self, partition: ColumnarPartition,
+                            profile: PatternProfile,
+                            window: Window | None) -> int:
+        total = len(partition)
+        if total == 0:
+            return 0
+        bounds = [total]
+        etype = (_ETYPE_CODE.get(profile.event_type)
+                 if profile.event_type is not None else None)
+        if etype is not None and profile.operations:
+            bounds.append(sum(
+                partition.type_op.get((etype, self._op_code[op]), 0)
+                for op in profile.operations if op in self._op_code))
+        elif etype is not None:
+            bounds.append(partition.by_type.get(etype, 0))
+        elif profile.operations:
+            bounds.append(sum(
+                partition.by_op.get(self._op_code[op], 0)
+                for op in profile.operations if op in self._op_code))
+        if profile.subject_exact is not None:
+            bounds.append(partition.subject_name.get(profile.subject_exact,
+                                                     0))
+        elif profile.subject_like is not None:
+            regex = like_to_regex(profile.subject_like)
+            bounds.append(sum(
+                count for name, count in partition.subject_name.items()
+                if isinstance(name, str) and regex.match(name)))
+        if profile.object_exact is not None and etype is not None:
+            bounds.append(partition.object_value.get(
+                (etype, profile.object_exact), 0))
+        elif profile.object_like is not None and etype is not None:
+            regex = like_to_regex(profile.object_like)
+            bounds.append(sum(
+                count for (value_etype, value), count
+                in partition.object_value.items()
+                if value_etype == etype and isinstance(value, str)
+                and regex.match(value)))
+        bound = min(bounds)
+        if window is not None and bound:
+            in_window = partition.count_range(window.start, window.end)
+            bound = min(bound, max(1, round(bound * in_window / total))
+                        if in_window else 0)
+        return bound
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def span(self) -> Window | None:
+        if self._count == 0:
+            return None
+        return Window(self._min_ts, self._max_ts + 0.001)
+
+    @property
+    def agentids(self) -> set[int]:
+        return {agentid for agentid, _bucket in self._partitions}
+
+    @property
+    def entity_count(self) -> int:
+        return len(self._interner)
+
+    @property
+    def dedup_ratio(self) -> float:
+        return self._interner.dedup_ratio
+
+    @property
+    def partition_count(self) -> int:
+        return len(self._partitions)
+
+    @property
+    def bucket_seconds(self) -> float:
+        return self._bucket_seconds
+
+    def __len__(self) -> int:
+        return self._count

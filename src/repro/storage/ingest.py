@@ -2,8 +2,8 @@
 
 The paper's write path buffers incoming agent events and commits them in
 batches ("batch commit"), optionally running the deduplication passes first.
-:class:`IngestPipeline` reproduces that pipeline in front of an
-:class:`~repro.storage.store.EventStore`:
+:class:`IngestPipeline` reproduces that pipeline in front of any
+:class:`~repro.storage.backend.StorageBackend`:
 
     agent stream -> [EventMerger] -> batch buffer -> store.ingest(batch)
 
@@ -17,8 +17,8 @@ from dataclasses import dataclass, field
 
 from repro.errors import StorageError
 from repro.model.events import Event
+from repro.storage.backend import StorageBackend
 from repro.storage.dedup import EventMerger
-from repro.storage.store import EventStore
 
 
 @dataclass
@@ -34,7 +34,7 @@ class IngestStats:
 class IngestPipeline:
     """Buffers events and commits them to the store in batches."""
 
-    def __init__(self, store: EventStore, batch_size: int = 1000,
+    def __init__(self, store: StorageBackend, batch_size: int = 1000,
                  merge_window: float | None = None) -> None:
         if batch_size <= 0:
             raise StorageError("batch size must be positive")

@@ -22,7 +22,7 @@ from repro.errors import StorageError
 from repro.model.entities import (Entity, FileEntity, NetworkEntity,
                                   ProcessEntity)
 from repro.model.events import Event
-from repro.storage.store import EventStore
+from repro.storage.backend import StorageBackend, create_backend
 
 FORMAT_VERSION = 1
 
@@ -140,13 +140,14 @@ def read_events(path: str | Path) -> Iterator[Event]:
 
 
 def load_store(path: str | Path,
-               store: EventStore | None = None) -> EventStore:
-    """Read a JSONL archive into a (new) EventStore."""
-    store = store if store is not None else EventStore()
+               store: StorageBackend | None = None,
+               backend: str = "row") -> StorageBackend:
+    """Read a JSONL archive into a (new) storage backend."""
+    store = store if store is not None else create_backend(backend)
     store.ingest(read_events(path))
     return store
 
 
-def save_store(store: EventStore, path: str | Path) -> int:
+def save_store(store: StorageBackend, path: str | Path) -> int:
     """Archive a store's full contents as JSONL."""
     return write_events(store.scan(), path)

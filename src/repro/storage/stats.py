@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.model.timeutil import Window
+from repro.storage.indexes import like_match
 from repro.storage.partition import Partition
 
 
@@ -73,7 +74,7 @@ def estimate_partition(partition: Partition, profile: PatternProfile,
             len(partition.by_object_value.lookup(key))
             for key in partition.by_object_value.keys()
             if key[0] == profile.event_type and isinstance(key[1], str)
-            and _like(profile.object_like, key[1])))
+            and like_match(profile.object_like, key[1])))
     bound = min(bounds)
     if window is not None and bound:
         in_window = partition.time_index.count_range(window.start, window.end)
@@ -82,11 +83,6 @@ def estimate_partition(partition: Partition, profile: PatternProfile,
         bound = min(bound, max(1, round(bound * in_window / total))
                     if in_window else 0)
     return bound
-
-
-def _like(pattern: str, value: str) -> bool:
-    from repro.storage.indexes import like_match
-    return like_match(pattern, value)
 
 
 def estimate_total(partitions: list[Partition], profile: PatternProfile,

@@ -14,8 +14,7 @@ exposes the two operations the engine needs:
 
 from __future__ import annotations
 
-import itertools
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.errors import StorageError
 from repro.model.entities import Entity, ProcessEntity
@@ -26,14 +25,23 @@ from repro.storage.indexes import clip_to_window, like_to_regex
 from repro.storage.partition import Hypertable, Partition
 from repro.storage.stats import PatternProfile, estimate_partition
 
+if TYPE_CHECKING:
+    from repro.engine.filters import CompiledPredicate
+
 
 class EventStore:
-    """In-memory, partitioned, indexed store for system monitoring data."""
+    """In-memory, partitioned, indexed store for system monitoring data.
+
+    This is the ``row`` implementation of the
+    :class:`~repro.storage.backend.StorageBackend` protocol.
+    """
+
+    backend_name = "row"
 
     def __init__(self, bucket_seconds: float = SECONDS_PER_DAY) -> None:
         self._table = Hypertable(bucket_seconds)
         self._interner = EntityInterner()
-        self._next_id = itertools.count(1)
+        self._max_id = 0
 
     # ------------------------------------------------------------------
     # Write path
@@ -45,10 +53,13 @@ class EventStore:
         subject = self._interner.intern(subject)
         obj = self._interner.intern(obj)
         operation = validate_operation(obj.entity_type, operation)
-        event = Event(id=next(self._next_id), ts=ts, agentid=agentid,
+        # _max_id also tracks ingested ids, so recorded events never reuse
+        # an archived event's id (all backends allocate this way).
+        event = Event(id=self._max_id + 1, ts=ts, agentid=agentid,
                       operation=operation, subject=subject, object=obj,
                       amount=amount, failcode=failcode)
         self._table.add(event)
+        self._max_id = event.id
         return event
 
     def ingest(self, events: Iterable[Event]) -> int:
@@ -63,6 +74,8 @@ class EventStore:
                               object=obj, amount=event.amount,
                               failcode=event.failcode)
             self._table.add(event)
+            if event.id > self._max_id:
+                self._max_id = event.id
             count += 1
         return count
 
@@ -102,6 +115,15 @@ class EventStore:
                 fetched = clip_to_window(fetched, window.start, window.end)
             out.extend(fetched)
         return out
+
+    def select(self, profile: PatternProfile,
+               predicate: "CompiledPredicate",
+               window: Window | None = None,
+               agentids: set[int] | None = None) -> tuple[list[Event], int]:
+        """Fetch candidates and apply the fused residual predicate."""
+        from repro.storage.backend import select_via_candidates
+        return select_via_candidates(self, profile, predicate, window,
+                                     agentids)
 
     def estimate(self, profile: PatternProfile,
                  window: Window | None = None,

@@ -13,7 +13,7 @@ from typing import Callable
 
 from repro.model.events import Event
 from repro.model.timeutil import SECONDS_PER_DAY, Window, parse_timestamp
-from repro.storage.store import EventStore
+from repro.storage.backend import StorageBackend
 from repro.telemetry.apt import AptTrace, inject_apt
 from repro.telemetry.apt_case2 import Apt2Trace, inject_apt_case2
 from repro.telemetry.background import BackgroundWorkload, WorkloadConfig
@@ -57,7 +57,7 @@ class Scenario:
         self.events()
         return self._trace
 
-    def load(self, store: EventStore) -> int:
+    def load(self, store: StorageBackend) -> int:
         """Ingest the scenario into a store; returns the event count."""
         return store.ingest(self.events())
 

@@ -17,11 +17,12 @@ from repro.lang.highlight import highlight_ansi
 from repro.ui.render import render_table
 
 BANNER = """AIQL investigation console — type a query, finish with an
-empty line.  Commands: .help  .describe  .explain <query>  .quit"""
+empty line.  Commands: .help  .describe  .backend  .explain <query>  .quit"""
 
 HELP = """Commands:
   .help              this message
   .describe          store summary (events, entities, partitions, agents)
+  .backend           active storage backend (and the available ones)
   .explain <query>   show the execution plan without running
   .quit              exit
 Any other input is executed as an AIQL query (end with a blank line)."""
@@ -46,6 +47,10 @@ class Repl:
             return HELP
         if stripped == ".describe":
             return self.session.describe()
+        if stripped == ".backend":
+            from repro.storage.backend import available_backends
+            return (f"backend: {self.session.backend_name} "
+                    f"(available: {', '.join(available_backends())})")
         if stripped.startswith(".explain"):
             query_text = stripped[len(".explain"):].strip()
             if not query_text:

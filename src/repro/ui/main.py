@@ -4,11 +4,15 @@ Usage (also via ``python -m repro``):
 
     repro simulate --scenario demo --events-per-host 1000 --out day.jsonl
     repro query day.jsonl 'proc p["%sbblv%"] write ip i as e1 return p, i'
+    repro query day.jsonl --backend columnar 'proc p write file f as e1 return f'
     repro explain day.jsonl "$(cat query.aiql)"
     repro check 'proc p[ start proc c as e1 return c'
     repro repl day.jsonl
     repro serve day.jsonl --port 8080
     repro investigate day.jsonl --catalog figure4
+
+Every data-loading command accepts ``--backend {row,columnar,sqlite}`` to
+pick the storage substrate the engine runs on (default: row).
 
 Event files are the JSONL archive format of
 :mod:`repro.storage.serialize` (``.gz`` compressed transparently).
@@ -22,6 +26,7 @@ import sys
 from repro.core.session import AiqlSession
 from repro.errors import ReproError
 from repro.lang.errors import AiqlSyntaxError
+from repro.storage.backend import BUILTIN_BACKENDS
 from repro.storage.serialize import load_store, write_events
 from repro.ui.render import render_table
 
@@ -66,6 +71,11 @@ def _build_parser() -> argparse.ArgumentParser:
     investigate.add_argument("data")
     investigate.add_argument("--catalog", choices=("figure4", "figure5"),
                              default="figure4")
+
+    for loader in (query, explain, repl, serve, investigate):
+        loader.add_argument("--backend", choices=BUILTIN_BACKENDS,
+                            default="row",
+                            help="storage substrate to load events into")
     return parser
 
 
@@ -76,8 +86,8 @@ def _query_text(argument: str) -> str:
     return argument
 
 
-def _load_session(path: str) -> AiqlSession:
-    session = AiqlSession()
+def _load_session(path: str, backend: str = "row") -> AiqlSession:
+    session = AiqlSession(backend=backend)
     load_store(path, session.store)
     return session
 
@@ -118,26 +128,26 @@ def _dispatch(args: argparse.Namespace, stdout) -> int:
         return 2
 
     if args.command == "query":
-        session = _load_session(args.data)
+        session = _load_session(args.data, args.backend)
         result = session.query(_query_text(args.aiql))
         print(render_table(result, max_rows=args.max_rows), file=stdout)
         return 0
 
     if args.command == "explain":
-        session = _load_session(args.data)
+        session = _load_session(args.data, args.backend)
         print(session.explain(_query_text(args.aiql)), file=stdout)
         return 0
 
     if args.command == "repl":
         from repro.ui.cli import run
-        session = _load_session(args.data)
+        session = _load_session(args.data, args.backend)
         print(session.describe(), file=stdout)
         run(session, stdout=stdout)
         return 0
 
     if args.command == "serve":
         from repro.ui.webapp import make_server
-        session = _load_session(args.data)
+        session = _load_session(args.data, args.backend)
         server = make_server(session, args.host, args.port)
         host, port = server.server_address
         print(f"AIQL web UI on http://{host}:{port}/ — Ctrl-C to stop",
@@ -152,7 +162,7 @@ def _dispatch(args: argparse.Namespace, stdout) -> int:
         from repro.investigate import FIGURE4_QUERIES, FIGURE5_QUERIES
         catalog = (FIGURE4_QUERIES if args.catalog == "figure4"
                    else FIGURE5_QUERIES)
-        session = _load_session(args.data)
+        session = _load_session(args.data, args.backend)
         print(session.describe(), file=stdout)
         total = 0.0
         for entry in catalog:

@@ -1,0 +1,259 @@
+"""Backend conformance: one contract, three substrates.
+
+Every :class:`~repro.storage.backend.StorageBackend` implementation must
+answer the same candidate/estimate/select/ingest assertions, and — the
+strongest check — produce byte-identical query results through the full
+engine.  The suite is parametrized over the registry so a future backend
+joins the contract by adding its name.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AiqlSession
+from repro.engine.planner import plan_multievent
+from repro.errors import StorageError
+from repro.lang.parser import parse
+from repro.model.entities import FileEntity, NetworkEntity, ProcessEntity
+from repro.model.events import Event
+from repro.model.timeutil import Window
+from repro.storage.backend import (StorageBackend, available_backends,
+                                   create_backend)
+from repro.storage.stats import PatternProfile
+
+from tests.conftest import AGENT, BASE_TS, QUERY1, QUERY1_ROW
+
+BACKENDS = ("row", "columnar", "sqlite")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend_name(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def store(backend_name):
+    store = create_backend(backend_name, bucket_seconds=1000)
+    writer = ProcessEntity(1, 10, "writer.exe")
+    reader = ProcessEntity(1, 11, "reader.exe")
+    remote = ProcessEntity(2, 12, "remote.exe")
+    for i in range(50):
+        store.record(float(i), 1, "write", writer,
+                     FileEntity(1, f"/data/{i % 5}.txt"), amount=100)
+    for i in range(10):
+        store.record(100.0 + i, 1, "read", reader,
+                     FileEntity(1, "/data/0.txt"), amount=10)
+    store.record(500.0, 2, "write", remote,
+                 NetworkEntity(2, "10.0.0.2", 1, "8.8.8.8", 53))
+    return store
+
+
+def test_registry_knows_all_builtins():
+    assert set(BACKENDS) <= set(available_backends())
+    with pytest.raises(StorageError):
+        create_backend("no-such-backend")
+
+
+def test_protocol_conformance(store):
+    assert isinstance(store, StorageBackend)
+    assert store.backend_name in BACKENDS
+
+
+class TestRecordAndScan:
+    def test_record_interns_entities(self, store):
+        assert store.entity_count < 70
+        assert store.dedup_ratio > 0.5
+
+    def test_scan_orders_by_time(self, store):
+        events = store.scan()
+        assert len(events) == 61
+        assert [(e.ts, e.id) for e in events] == sorted(
+            (e.ts, e.id) for e in events)
+
+    def test_scan_with_window_and_agent(self, store):
+        got = store.scan(Window(100.0, 200.0), {1})
+        assert len(got) == 10
+        assert all(e.operation == "read" for e in got)
+
+    def test_span_agentids_partitions(self, store):
+        assert store.agentids == {1, 2}
+        assert store.span.contains(500.0)
+        assert store.partition_count >= 2
+        assert store.bucket_seconds == 1000
+
+
+class TestCandidatesAndEstimates:
+    def test_exact_subject_candidates(self, store):
+        profile = PatternProfile(event_type="file",
+                                 operations=frozenset({"read"}),
+                                 subject_exact="reader.exe")
+        matching = [e for e in store.candidates(profile)
+                    if e.subject.exe_name == "reader.exe"
+                    and e.operation == "read"]
+        assert len(matching) == 10
+
+    def test_candidates_superset_of_matches(self, store):
+        profile = PatternProfile(event_type="file",
+                                 operations=frozenset({"write"}),
+                                 object_like="%/data/0%")
+        candidate_ids = {e.id for e in store.candidates(profile)}
+        for event in store.scan():
+            if (event.event_type == "file" and event.operation == "write"
+                    and event.object.name == "/data/0.txt"):
+                assert event.id in candidate_ids
+
+    def test_candidates_clipped_to_window(self, store):
+        profile = PatternProfile(event_type="file",
+                                 operations=frozenset({"write"}))
+        got = store.candidates(profile, Window(0.0, 10.0))
+        assert {e.id for e in got} == {
+            e.id for e in store.scan(Window(0.0, 10.0))
+            if e.operation == "write"}
+
+    def test_estimate_upper_bounds_truth(self, store):
+        profile = PatternProfile(event_type="file",
+                                 operations=frozenset({"read"}),
+                                 subject_exact="reader.exe")
+        assert store.estimate(profile) >= 10
+
+    def test_estimate_zero_for_absent_agent(self, store):
+        profile = PatternProfile(event_type="file",
+                                 operations=frozenset({"read"}))
+        assert store.estimate(profile, agentids={99}) == 0
+
+    def test_estimate_zero_implies_no_matches(self, store):
+        profile = PatternProfile(event_type="ip",
+                                 operations=frozenset({"connect"}))
+        if store.estimate(profile) == 0:
+            assert store.candidates(profile) == []
+
+
+class TestSelect:
+    SCAN_AIQL = ("amount >= 100\n"
+                 "proc p write file f as e1 return f")
+
+    def test_select_equals_scan_plus_filter(self, store):
+        dq = plan_multievent(parse(self.SCAN_AIQL)).data_queries[0]
+        events, fetched = store.select(dq.profile, dq.compiled)
+        expected = {e.id for e in store.scan() if dq.predicate(e)}
+        assert {e.id for e in events} == expected
+        assert fetched >= len(events)
+
+    def test_select_respects_window_and_agents(self, store):
+        dq = plan_multievent(parse(self.SCAN_AIQL)).data_queries[0]
+        window = Window(10.0, 30.0)
+        events, _fetched = store.select(dq.profile, dq.compiled, window, {1})
+        expected = {e.id for e in store.scan(window, {1})
+                    if dq.predicate(e)}
+        assert {e.id for e in events} == expected
+
+
+class TestIngest:
+    def _event(self, eid: int, ts: float) -> Event:
+        return Event(id=eid, ts=ts, agentid=1, operation="write",
+                     subject=ProcessEntity(1, 1, "w"),
+                     object=FileEntity(1, "/f"), amount=1)
+
+    def test_ingest_preserves_ids_and_count(self, backend_name):
+        store = create_backend(backend_name)
+        events = [self._event(100 + i, float(i)) for i in range(20)]
+        assert store.ingest(events) == 20
+        assert len(store) == 20
+        assert [e.id for e in store.scan()] == [100 + i for i in range(20)]
+
+    def test_ingest_interns_entities(self, backend_name):
+        store = create_backend(backend_name)
+        store.ingest(self._event(i, float(i)) for i in range(10))
+        assert store.entity_count == 2
+        assert store.dedup_ratio > 0.5
+
+    def test_record_after_ingest_never_reuses_ids(self, backend_name):
+        store = create_backend(backend_name)
+        store.ingest([self._event(7, 1.0)])
+        recorded = store.record(2.0, 1, "read", ProcessEntity(1, 2, "r"),
+                                FileEntity(1, "/g"))
+        assert recorded.id == 8
+        events = store.scan()
+        assert len(events) == 2
+        assert {e.operation for e in events} == {"write", "read"}
+
+
+class TestLikeSemantics:
+    def test_unicode_case_folding_is_not_lost(self, backend_name):
+        # U+212A KELVIN SIGN folds to 'k' under the engine's re.IGNORECASE
+        # but not under SQL LIKE; candidates must stay a superset.
+        store = create_backend(backend_name)
+        store.record(1.0, 1, "write",
+                     ProcessEntity(1, 1, "Kelvin.exe"),
+                     FileEntity(1, "/f"))
+        profile = PatternProfile(event_type="file",
+                                 operations=frozenset({"write"}),
+                                 subject_like="k%")
+        assert len(store.candidates(profile)) == 1
+        assert store.estimate(profile) >= 1
+
+
+def test_sqlite_backend_reopens_persistent_path(tmp_path):
+    from repro.baselines.sqlite_backend import SqliteEventStore
+    path = str(tmp_path / "events.db")
+    first = SqliteEventStore(path=path)
+    first.record(5.0, 1, "write", ProcessEntity(1, 1, "p"),
+                 FileEntity(1, "/f"))
+    first.close()
+    reopened = SqliteEventStore(path=path)
+    try:
+        assert len(reopened) == 1
+        assert reopened.span is not None and reopened.span.contains(5.0)
+        recorded = reopened.record(6.0, 1, "read", ProcessEntity(1, 2, "q"),
+                                   FileEntity(1, "/f"))
+        assert recorded.id == 2
+        assert len(reopened.scan()) == 2
+    finally:
+        reopened.close()
+
+
+class TestFullEngineAgreement:
+    """The decisive contract: identical rows through the whole engine."""
+
+    def _attack_session(self, backend_name: str) -> AiqlSession:
+        session = AiqlSession(backend=backend_name)
+        cmd = ProcessEntity(AGENT, 100, "cmd.exe", start_time=BASE_TS)
+        osql = ProcessEntity(AGENT, 101, "osql.exe",
+                             start_time=BASE_TS + 10)
+        sqlservr = ProcessEntity(AGENT, 50, "sqlservr.exe",
+                                 start_time=BASE_TS - 1000)
+        sbblv = ProcessEntity(AGENT, 102, "sbblv.exe",
+                              start_time=BASE_TS + 20)
+        dump = FileEntity(AGENT, r"C:\backup\backup1.dmp")
+        conn = NetworkEntity(AGENT, "10.0.0.3", 50000, "203.0.113.129", 443)
+        store = session.store
+        store.record(BASE_TS + 10, AGENT, "start", cmd, osql)
+        store.record(BASE_TS + 60, AGENT, "write", sqlservr, dump,
+                     amount=500_000)
+        store.record(BASE_TS + 120, AGENT, "read", sbblv, dump,
+                     amount=500_000)
+        store.record(BASE_TS + 150, AGENT, "write", sbblv, conn,
+                     amount=500_000)
+        svchost = ProcessEntity(AGENT, 200, "svchost.exe",
+                                start_time=BASE_TS)
+        for index in range(120):
+            log = FileEntity(AGENT, rf"C:\Windows\log{index % 40}.txt")
+            store.record(BASE_TS + 300 + index, AGENT, "write", svchost,
+                         log, amount=10)
+        return session
+
+    def test_query1_attack_chain(self, backend_name):
+        session = self._attack_session(backend_name)
+        result = session.query(QUERY1)
+        assert result.rows == [QUERY1_ROW]
+
+    def test_anomaly_query_agrees_with_row(self, backend_name):
+        aiql = ('window = 1 min, step = 1 min\n'
+                'proc p write file f as evt\n'
+                'return p, sum(evt.amount) as total\n'
+                'group by p\n'
+                'having total > 1000')
+        rows = self._attack_session(backend_name).query(aiql).rows
+        expected = self._attack_session("row").query(aiql).rows
+        assert rows == expected

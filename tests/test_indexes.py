@@ -48,6 +48,14 @@ class TestLike:
         assert like_match("a+b", "a+b")
         assert not like_match("a+b", "aab")
 
+    def test_compiled_patterns_are_cached(self):
+        # Repeated filter evaluation must not recompile the regex: the
+        # lru_cache hands back the identical compiled pattern object.
+        from repro.storage.indexes import like_to_regex
+        assert like_to_regex("%cache-me%") is like_to_regex("%cache-me%")
+        info = like_to_regex.cache_info()
+        assert info.maxsize and info.hits >= 1
+
 
 class TestPostingIndex:
     def test_lookup_exact(self):
