@@ -7,6 +7,11 @@ Scale knobs (environment variables):
   smaller because the unoptimized-SQL and graph baselines are deliberately
   slow, which is the point of that figure)
 
+The Figure-4/5 environments build their optimized-engine store on the
+backend selected by ``--backend {row,columnar,sqlite}`` (default ``row``),
+so the paper figures can be replicated per storage substrate; the SQL and
+graph baselines load the same event stream regardless.
+
 Absolute times will not match the paper's 150-host deployment; the harness
 reports the same *series* (per-query log10 execution time, totals, speedup
 factors) so the shape can be compared directly.
@@ -24,18 +29,26 @@ from repro.baselines.graph import GraphStore
 from repro.baselines.sqlite_backend import RelationalBaseline
 from repro.engine.executor import EngineOptions, execute
 from repro.lang.parser import parse
-from repro.storage.store import EventStore
+from repro.storage.backend import StorageBackend, create_backend
 from repro.telemetry import build_case2_scenario, build_demo_scenario
 
 FIG4_EVENTS = int(os.environ.get("REPRO_BENCH_EVENTS", "8000"))
 FIG5_EVENTS = int(os.environ.get("REPRO_BENCH_EVENTS2", "2500"))
+
+#: Benchmarks pin the sub-query pool so timings are comparable across
+#: machines whatever ``os.cpu_count()`` says.
+BENCH_WORKERS = 4
+
+#: The engine configuration every timed AIQL run uses (explicit worker
+#: count; all optimizations at their defaults).
+BENCH_OPTIONS = EngineOptions(max_workers=BENCH_WORKERS)
 
 
 def pytest_addoption(parser):
     from repro.storage.backend import BUILTIN_BACKENDS
     parser.addoption(
         "--backend", choices=BUILTIN_BACKENDS, default="row",
-        help="storage backend the storage benchmarks run against")
+        help="storage backend the storage and figure benchmarks run against")
 
 
 @pytest.fixture(scope="session")
@@ -47,7 +60,7 @@ def backend_name(request) -> str:
 class BenchEnv:
     """One scenario loaded into every backend under comparison."""
 
-    store: EventStore
+    store: StorageBackend
     relational: RelationalBaseline
     graph: GraphStore | None
     catalog: list
@@ -57,7 +70,7 @@ class BenchEnv:
         self.timings.setdefault(system, {})[query_id] = seconds
 
     def run_aiql(self, entry) -> float:
-        result = execute(self.store, parse(entry.aiql))
+        result = execute(self.store, parse(entry.aiql), BENCH_OPTIONS)
         self.record("aiql", entry.id, result.elapsed)
         return result.elapsed
 
@@ -74,8 +87,8 @@ class BenchEnv:
 
 
 def build_env(scenario, catalog, *, optimized_storage: bool,
-              with_graph: bool) -> BenchEnv:
-    store = EventStore()
+              with_graph: bool, backend: str = "row") -> BenchEnv:
+    store = create_backend(backend)
     scenario.load(store)
     relational = RelationalBaseline(optimized=optimized_storage)
     relational.load_store(store)
@@ -89,19 +102,19 @@ def build_env(scenario, catalog, *, optimized_storage: bool,
 
 
 @pytest.fixture(scope="session")
-def fig4_env() -> BenchEnv:
+def fig4_env(backend_name) -> BenchEnv:
     from repro.investigate import FIGURE4_QUERIES
     scenario = build_demo_scenario(events_per_host=FIG4_EVENTS)
     return build_env(scenario, FIGURE4_QUERIES, optimized_storage=True,
-                     with_graph=False)
+                     with_graph=False, backend=backend_name)
 
 
 @pytest.fixture(scope="session")
-def fig5_env() -> BenchEnv:
+def fig5_env(backend_name) -> BenchEnv:
     from repro.investigate import FIGURE5_QUERIES
     scenario = build_case2_scenario(events_per_host=FIG5_EVENTS)
     return build_env(scenario, FIGURE5_QUERIES, optimized_storage=False,
-                     with_graph=True)
+                     with_graph=True, backend=backend_name)
 
 
 def log10_ms(seconds: float) -> float:

@@ -44,7 +44,8 @@ from repro.model.events import Event, validate_operation
 from repro.model.timeutil import SECONDS_PER_DAY, Window
 from repro.baselines.schema import CREATE_EVENTS_SQL, OPTIMIZED_INDEX_SQL
 from repro.baselines.sql_translator import translate
-from repro.storage.backend import StorageBackend, select_via_candidates
+from repro.storage.backend import (IdentityBindings, StorageBackend,
+                                   select_via_candidates)
 from repro.storage.dedup import EntityInterner
 from repro.storage.serialize import entity_from_dict, entity_to_dict
 from repro.storage.stats import PatternProfile
@@ -174,15 +175,40 @@ CREATE TABLE IF NOT EXISTS backend_events (
     op TEXT NOT NULL,
     subject_name TEXT NOT NULL,
     object_value TEXT,
-    payload TEXT NOT NULL
+    payload TEXT NOT NULL,
+    subject_key TEXT NOT NULL DEFAULT '',
+    object_key TEXT NOT NULL DEFAULT ''
 )
 """
+
+_BACKEND_COLUMNS = ("id", "ts", "agentid", "etype", "op", "subject_name",
+                    "object_value", "payload", "subject_key", "object_key")
+
 
 def _aiql_like(pattern: str, value: object) -> bool:
     """SQL-callable LIKE with the engine's exact (Unicode) semantics."""
     from repro.storage.indexes import like_to_regex
     return (isinstance(value, str)
             and like_to_regex(pattern).match(value) is not None)
+
+
+def identity_key(identity: tuple) -> str:
+    """Canonical text form of an entity identity tuple.
+
+    Identity tuples are flat sequences of JSON scalars, so the compact
+    JSON list is a stable, persistent key — the column the identity
+    pushdown's ``IN (...)`` predicates compare against.  Numbers are
+    normalized to float first: Python compares ``0 == 0.0`` (so the
+    engine's identity joins and the ``admits`` fallback treat them as the
+    same identity) but their JSON texts differ, and a textual mismatch
+    here would silently drop true matches from the pushdown.
+    """
+    return json.dumps(
+        [float(value)
+         if isinstance(value, (int, float)) and not isinstance(value, bool)
+         else value
+         for value in identity],
+        separators=(",", ":"))
 
 
 _BACKEND_INDEXES = (
@@ -192,6 +218,10 @@ _BACKEND_INDEXES = (
     "CREATE INDEX IF NOT EXISTS be_subject ON backend_events(subject_name)",
     "CREATE INDEX IF NOT EXISTS be_object "
     "ON backend_events(etype, object_value)",
+    "CREATE INDEX IF NOT EXISTS be_subject_key "
+    "ON backend_events(subject_key)",
+    "CREATE INDEX IF NOT EXISTS be_object_key "
+    "ON backend_events(object_key)",
 )
 
 
@@ -219,6 +249,7 @@ class SqliteEventStore:
         self._lock = threading.Lock()
         with self._lock:
             self._conn.execute(_BACKEND_SCHEMA)
+            self._migrate_identity_keys()
             for statement in _BACKEND_INDEXES:
                 self._conn.execute(statement)
             # AIQL-LIKE with exact engine semantics (Unicode case folding),
@@ -232,6 +263,46 @@ class SqliteEventStore:
             "SELECT COUNT(*), MAX(id) FROM backend_events").fetchone()
         self._count = int(row[0])
         self._max_id = int(row[1]) if row[1] is not None else 0
+
+    def _migrate_identity_keys(self) -> None:
+        """Upgrade a pre-pushdown persistent table in place.
+
+        Databases written before the identity-key columns existed lack
+        ``subject_key``/``object_key``; add them and backfill from the
+        payload so ``IN (...)`` pushdown works against old archives too.
+        Caller holds the lock.
+        """
+        columns = {row[1] for row in self._conn.execute(
+            "PRAGMA table_info(backend_events)")}
+        if "subject_key" in columns:
+            return
+        for name in ("subject_key", "object_key"):
+            self._conn.execute(
+                f"ALTER TABLE backend_events "
+                f"ADD COLUMN {name} TEXT NOT NULL DEFAULT ''")
+        # Backfill in bounded rowid-keyed chunks: a large archive never
+        # pulls every payload into memory, and each SELECT completes
+        # before its chunk's UPDATEs run.
+        last_rowid = 0
+        while True:
+            rows = self._conn.execute(
+                "SELECT rowid, payload FROM backend_events "
+                "WHERE rowid > ? ORDER BY rowid LIMIT 10000",
+                (last_rowid,)).fetchall()
+            if not rows:
+                break
+            updates = []
+            for rowid, payload_text in rows:
+                payload = json.loads(payload_text)
+                subject = entity_from_dict(payload["subject"])
+                obj = entity_from_dict(payload["object"])
+                updates.append((identity_key(subject.identity),
+                                identity_key(obj.identity), rowid))
+            self._conn.executemany(
+                "UPDATE backend_events SET subject_key = ?, object_key = ? "
+                "WHERE rowid = ?", updates)
+            last_rowid = rows[-1][0]
+        self._conn.commit()
 
     # ------------------------------------------------------------------
     # Write path
@@ -276,11 +347,15 @@ class SqliteEventStore:
         rows = [(event.id, event.ts, event.agentid, event.event_type,
                  event.operation, event.subject.exe_name,
                  event.object.default_attribute,
-                 json.dumps(self._payload(event), separators=(",", ":")))
+                 json.dumps(self._payload(event), separators=(",", ":")),
+                 identity_key(event.subject.identity),
+                 identity_key(event.object.identity))
                 for event in events]
+        columns = ", ".join(_BACKEND_COLUMNS)
+        marks = ", ".join("?" for _ in _BACKEND_COLUMNS)
         with self._lock:
             self._conn.executemany(
-                "INSERT INTO backend_events VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                f"INSERT INTO backend_events ({columns}) VALUES ({marks})",
                 rows)
             self._conn.commit()
         self._count += len(rows)
@@ -356,6 +431,36 @@ class SqliteEventStore:
                 params.append(profile.object_like)
         return clauses, params
 
+    #: Combined host-parameter budget for the binding ``IN (...)`` lists
+    #: of one statement.  SQLite caps host parameters (999 on builds
+    #: before 3.32); a side that does not fit the remaining budget is
+    #: dropped and the scheduler's exact post-filter takes over, which is
+    #: always sound.
+    MAX_BINDING_PARAMS = 500
+
+    @classmethod
+    def _binding_clauses(cls, bindings: "IdentityBindings | None",
+                         ) -> tuple[list[str], list[object]]:
+        """Compile identity bindings into indexed ``IN (...)`` predicates."""
+        clauses: list[str] = []
+        params: list[object] = []
+        if bindings is None or not bindings:
+            return clauses, params
+        budget = cls.MAX_BINDING_PARAMS
+        for column, identities in (("subject_key", bindings.subjects),
+                                   ("object_key", bindings.objects)):
+            if identities is None or len(identities) > budget:
+                continue
+            if not identities:
+                clauses.append("0")
+                continue
+            keys = sorted(identity_key(identity) for identity in identities)
+            marks = ", ".join("?" for _ in keys)
+            clauses.append(f"{column} IN ({marks})")
+            params.extend(keys)
+            budget -= len(keys)
+        return clauses, params
+
     def _fetch(self, sql: str, params: list[object]) -> list[tuple]:
         with self._lock:
             return self._conn.execute(sql, params).fetchall()
@@ -371,11 +476,13 @@ class SqliteEventStore:
 
     def candidates(self, profile: PatternProfile,
                    window: Window | None = None,
-                   agentids: set[int] | None = None) -> list[Event]:
+                   agentids: set[int] | None = None,
+                   bindings: "IdentityBindings | None" = None) -> list[Event]:
         clauses, params = self._bounds(window, agentids)
         profile_clauses, profile_params = self._profile_clauses(profile)
-        clauses += profile_clauses
-        params += profile_params
+        binding_clauses, binding_params = self._binding_clauses(bindings)
+        clauses += profile_clauses + binding_clauses
+        params += profile_params + binding_params
         where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
         rows = self._fetch(
             "SELECT id, ts, agentid, op, payload FROM backend_events"
@@ -385,17 +492,21 @@ class SqliteEventStore:
     def select(self, profile: PatternProfile,
                predicate: "CompiledPredicate",
                window: Window | None = None,
-               agentids: set[int] | None = None) -> tuple[list[Event], int]:
+               agentids: set[int] | None = None,
+               bindings: "IdentityBindings | None" = None,
+               ) -> tuple[list[Event], int]:
         return select_via_candidates(self, profile, predicate, window,
-                                     agentids)
+                                     agentids, bindings)
 
     def estimate(self, profile: PatternProfile,
                  window: Window | None = None,
-                 agentids: set[int] | None = None) -> int:
+                 agentids: set[int] | None = None,
+                 bindings: "IdentityBindings | None" = None) -> int:
         clauses, params = self._bounds(window, agentids)
         profile_clauses, profile_params = self._profile_clauses(profile)
-        clauses += profile_clauses
-        params += profile_params
+        binding_clauses, binding_params = self._binding_clauses(bindings)
+        clauses += profile_clauses + binding_clauses
+        params += profile_params + binding_params
         where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
         rows = self._fetch(
             "SELECT COUNT(*) FROM backend_events" + where, params)

@@ -13,6 +13,7 @@ issue AIQL queries (all three classes), inspect plans, and check syntax.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Iterable
 
 from repro.core.results import QueryResult
@@ -32,9 +33,15 @@ class AiqlSession:
     def __init__(self, store: StorageBackend | None = None,
                  options: EngineOptions = DEFAULT_OPTIONS,
                  bucket_seconds: float = SECONDS_PER_DAY,
-                 backend: str = "row") -> None:
+                 backend: str = "row",
+                 max_workers: int | None = None) -> None:
         self.store = store if store is not None else create_backend(
             backend, bucket_seconds)
+        # ``max_workers`` overrides the option set's worker count (None in
+        # the defaults means size-to-machine); benchmarks and the CLI use
+        # it to pin the sub-query fan-out explicitly.
+        if max_workers is not None:
+            options = replace(options, max_workers=max_workers)
         self.options = options
 
     # ------------------------------------------------------------------

@@ -52,8 +52,8 @@ class AnomalyOutput:
 
 def execute_anomaly(store: StorageBackend, query: AnomalyQuery, *,
                     prioritize: bool = True, propagate: bool = True,
-                    partition: bool = True,
-                    max_workers: int = 4) -> AnomalyOutput:
+                    partition: bool = True, pushdown: bool = True,
+                    max_workers: int | None = None) -> AnomalyOutput:
     """Run an anomaly query against the store."""
     if len(query.patterns) != 1:
         raise SemanticError(
@@ -63,7 +63,7 @@ def execute_anomaly(store: StorageBackend, query: AnomalyQuery, *,
 
     events = _fetch_events(store, query, prioritize=prioritize,
                            propagate=propagate, partition=partition,
-                           max_workers=max_workers)
+                           pushdown=pushdown, max_workers=max_workers)
     events.sort(key=lambda evt: (evt.ts, evt.id))
     timestamps = [evt.ts for evt in events]
 
@@ -143,7 +143,7 @@ def execute_anomaly(store: StorageBackend, query: AnomalyQuery, *,
 
 def _fetch_events(store: StorageBackend, query: AnomalyQuery, *,
                   prioritize: bool, propagate: bool, partition: bool,
-                  max_workers: int) -> list[Event]:
+                  pushdown: bool, max_workers: int | None) -> list[Event]:
     pattern = query.patterns[0]
     wrapper = MultieventQuery(
         header=query.header, patterns=query.patterns, temporal=(),
@@ -151,7 +151,7 @@ def _fetch_events(store: StorageBackend, query: AnomalyQuery, *,
     plan = plan_multievent(wrapper)
     result = execute_plan(store, plan, prioritize=prioritize,
                           propagate=propagate, partition=partition,
-                          max_workers=max_workers)
+                          pushdown=pushdown, max_workers=max_workers)
     return [binding[pattern.event_var] for binding in result.rows]  # type: ignore
 
 

@@ -33,12 +33,18 @@ class EngineOptions:
 
     Defaults are the paper's configuration; the ablation benchmark flips
     individual flags to measure each optimization's contribution.
+    ``pushdown`` controls whether propagated identity bindings are handed
+    to the storage backend as scan hints (on) or applied by post-filtering
+    survivors in the engine (off); results are identical either way.
+    ``max_workers`` of ``None`` sizes the sub-query pool to the machine
+    (:data:`repro.engine.parallel.DEFAULT_WORKERS`).
     """
 
     prioritize: bool = True      # pruning-power pattern ordering
     propagate: bool = True       # binding propagation between patterns
     partition: bool = True       # spatial/temporal sub-query parallelism
-    max_workers: int = 4
+    pushdown: bool = True        # identity bindings pushed into backend scans
+    max_workers: int | None = None
     row_limit: int | None = None
 
 
@@ -60,7 +66,7 @@ def execute(store: StorageBackend, query: Query,
         output = execute_anomaly(
             store, query, prioritize=options.prioritize,
             propagate=options.propagate, partition=options.partition,
-            max_workers=options.max_workers)
+            pushdown=options.pushdown, max_workers=options.max_workers)
         return QueryResult(columns=output.columns, rows=output.rows,
                            elapsed=output.report.elapsed, kind="anomaly",
                            report=output.report.describe())
@@ -111,7 +117,8 @@ def _execute_multievent(store: StorageBackend, query: MultieventQuery,
     parallel = execute_plan(
         store, plan, prioritize=options.prioritize,
         propagate=options.propagate, partition=options.partition,
-        max_workers=options.max_workers, row_limit=options.row_limit)
+        pushdown=options.pushdown, max_workers=options.max_workers,
+        row_limit=options.row_limit)
     columns, rows = project_bindings(plan, query, parallel.rows)
     report = merge_reports(parallel.reports)
     report.joined_rows = len(parallel.rows)

@@ -23,6 +23,7 @@ earlier short-circuits; the ablation benchmark quantifies it honestly.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -32,7 +33,21 @@ from repro.engine.planner import QueryPlan
 from repro.engine.scheduler import ExecutionReport, Scheduler
 from repro.storage.backend import StorageBackend
 
-DEFAULT_WORKERS = 4
+#: Sub-query fan-out sized to the machine.  CPython threads add no CPU
+#: parallelism, so wide pools only buy overlap of working-set-bounded
+#: scans; cap at 8 and never go below 2 so single-core containers still
+#: overlap I/O-ish work.  Benchmarks pass an explicit ``max_workers`` to
+#: stay deterministic across hosts.
+DEFAULT_WORKERS = max(2, min(8, os.cpu_count() or 2))
+
+
+def resolve_workers(max_workers: int | None) -> int:
+    """Map the engine's ``max_workers`` option (None = auto) to a count."""
+    if max_workers is None:
+        return DEFAULT_WORKERS
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    return max_workers
 
 
 def spatially_partitionable(plan: QueryPlan) -> bool:
@@ -73,10 +88,12 @@ class ParallelResult:
 
 def execute_plan(store: StorageBackend, plan: QueryPlan, *,
                  prioritize: bool = True, propagate: bool = True,
-                 partition: bool = True, max_workers: int = DEFAULT_WORKERS,
+                 partition: bool = True, pushdown: bool = True,
+                 max_workers: int | None = None,
                  row_limit: int | None = None) -> ParallelResult:
     """Run a planned multievent query, partitioned when sound."""
-    scheduler = Scheduler(store, prioritize=prioritize, propagate=propagate)
+    scheduler = Scheduler(store, prioritize=prioritize, propagate=propagate,
+                          pushdown=pushdown)
     join_kwargs = {} if row_limit is None else {"row_limit": row_limit}
 
     def run_one(window: Window | None,
@@ -104,7 +121,7 @@ def execute_plan(store: StorageBackend, plan: QueryPlan, *,
 
     all_rows: list[Binding] = []
     reports: list[ExecutionReport] = []
-    workers = min(max_workers, len(tasks))
+    workers = min(resolve_workers(max_workers), len(tasks))
     with ThreadPoolExecutor(max_workers=workers) as pool:
         for rows, report in pool.map(
                 lambda task: run_one(task[0], task[1]), tasks):

@@ -20,6 +20,7 @@ can measure their contribution.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -27,7 +28,7 @@ from repro.errors import ExecutionError
 from repro.model.events import Event
 from repro.model.timeutil import Window
 from repro.engine.planner import DataQuery, QueryPlan
-from repro.storage.backend import StorageBackend
+from repro.storage.backend import IdentityBindings, StorageBackend
 
 
 @dataclass
@@ -81,13 +82,22 @@ class Scheduler:
     pattern's fetch-and-filter goes through the backend's ``select`` so a
     batch-evaluating substrate can push the residual predicate into its
     scan.
+
+    With ``pushdown`` enabled (the default), propagated identity-binding
+    sets travel *into* the backend as
+    :class:`~repro.storage.backend.IdentityBindings` hints, pruning
+    candidates inside the scan; the in-engine post-filter stays as a
+    correctness fallback for backends that ignore the hint.  Remaining
+    patterns are also re-estimated under the current bindings after each
+    step, so pruning-power ordering reacts to propagation.
     """
 
     def __init__(self, store: StorageBackend, *, prioritize: bool = True,
-                 propagate: bool = True) -> None:
+                 propagate: bool = True, pushdown: bool = True) -> None:
         self._store = store
         self._prioritize = prioritize
         self._propagate = propagate
+        self._pushdown = pushdown
 
     def run(self, plan: QueryPlan,
             window: Window | None = None,
@@ -109,22 +119,27 @@ class Scheduler:
         ordered = list(plan.data_queries)
         if self._prioritize:
             ordered.sort(key=lambda dq: (estimates[dq.index], dq.index))
-        report.order = [dq.event_var for dq in ordered]
 
         # Binding state threaded through pattern executions.
         identity_sets: dict[str, set[tuple]] = {}
         ts_bounds: dict[str, tuple[float, float]] = {}
         matches: dict[int, list[Event]] = {}
 
-        for dq in ordered:
+        for position, dq in enumerate(ordered):
             step_started = time.perf_counter()
             effective = self._narrow_window(dq, plan, base_window, ts_bounds,
                                             matches)
+            bindings = (self._bindings_for(dq, identity_sets)
+                        if self._propagate else None)
             survivors, fetched = self._store.select(
-                dq.profile, dq.compiled, effective, _agents(dq, agentids))
-            if self._propagate:
-                survivors = self._apply_identity_bindings(
-                    dq, survivors, identity_sets)
+                dq.profile, dq.compiled, effective, _agents(dq, agentids),
+                bindings if self._pushdown else None)
+            if bindings is not None:
+                # Correctness fallback: exact even when the backend
+                # ignored (or only partially applied) the pushdown hint.
+                admits = bindings.admits
+                survivors = [event for event in survivors
+                             if admits(event)]
             matches[dq.index] = survivors
             report.patterns.append(PatternExecution(
                 event_var=dq.event_var, estimate=estimates[dq.index],
@@ -132,6 +147,7 @@ class Scheduler:
                 elapsed=time.perf_counter() - step_started))
             if not survivors:
                 report.short_circuited = True
+                report.order = [d.event_var for d in ordered]
                 report.elapsed = time.perf_counter() - started
                 return ScheduledMatches(order=ordered, events={
                     d.index: matches.get(d.index, [])
@@ -139,8 +155,44 @@ class Scheduler:
             if self._propagate:
                 self._update_bindings(dq, survivors, identity_sets,
                                       ts_bounds)
+                self._reorder_remaining(ordered, position, dq, estimates,
+                                        base_window, agentids,
+                                        identity_sets)
+        report.order = [dq.event_var for dq in ordered]
         report.elapsed = time.perf_counter() - started
         return ScheduledMatches(order=ordered, events=matches, report=report)
+
+    def _reorder_remaining(self, ordered: list[DataQuery], position: int,
+                           executed: DataQuery, estimates: dict[int, int],
+                           base_window: Window | None,
+                           agentids: frozenset[int] | None,
+                           identity_sets: dict[str, set[tuple]]) -> None:
+        """Re-estimate unexecuted patterns under the current bindings.
+
+        Binding propagation changes pruning power mid-flight: a pattern
+        that looked expensive upfront may be nearly free once its entity
+        variables are pinned.  Only the patterns sharing a variable the
+        just-executed pattern bound can have changed cost, so only those
+        are re-estimated.  Only worth re-sorting when at least two
+        patterns remain, and only meaningful when the backend sees the
+        bindings (``pushdown``).
+        """
+        remaining = ordered[position + 1:]
+        if not (self._prioritize and self._pushdown and len(remaining) > 1):
+            return
+        updated_vars = {executed.subject_var, executed.object_var}
+        changed = False
+        for dq in remaining:
+            if updated_vars.isdisjoint(dq.variables):
+                continue
+            estimates[dq.index] = self._store.estimate(
+                dq.profile, base_window, _agents(dq, agentids),
+                self._bindings_for(dq, identity_sets))
+            changed = True
+        if not changed:
+            return
+        remaining.sort(key=lambda dq: (estimates[dq.index], dq.index))
+        ordered[position + 1:] = remaining
 
     # ------------------------------------------------------------------
     # Binding propagation
@@ -157,6 +209,13 @@ class Scheduler:
         possible partners); symmetrically once v has matched with latest
         timestamp t1, u needs ``ts < t1``.  ``within d`` tightens the other
         side of the interval.
+
+        Inclusivity matters at the edges: windows are half-open, so an
+        *exclusive* bound (strict ``before``) maps onto the window end
+        directly, while the *inclusive* ``within`` bound
+        (``v.ts - u.ts <= d``) must nudge the end one ulp up — otherwise a
+        partner event exactly at ``t1 + d`` is silently dropped and the
+        optimization changes results.
         """
         if not self._propagate:
             return base
@@ -167,7 +226,8 @@ class Scheduler:
                 partner_lo, partner_hi = ts_bounds[rel.left]
                 lo = max(lo, partner_lo)
                 if rel.within is not None:
-                    hi = min(hi, partner_hi + rel.within)
+                    hi = min(hi, math.nextafter(partner_hi + rel.within,
+                                                math.inf))
             elif rel.left == var and rel.right in ts_bounds:
                 partner_lo, partner_hi = ts_bounds[rel.right]
                 hi = min(hi, partner_hi)
@@ -191,23 +251,18 @@ class Scheduler:
                 return Window(lo, lo)
         return Window(lo, hi)
 
-    def _apply_identity_bindings(self, dq: DataQuery, events: list[Event],
-                                 identity_sets: dict[str, set[tuple]],
-                                 ) -> list[Event]:
-        subject_allowed = identity_sets.get(dq.subject_var)
-        object_allowed = identity_sets.get(dq.object_var)
-        if subject_allowed is None and object_allowed is None:
-            return events
-        filtered = []
-        for event in events:
-            if (subject_allowed is not None
-                    and event.subject.identity not in subject_allowed):
-                continue
-            if (object_allowed is not None
-                    and event.object.identity not in object_allowed):
-                continue
-            filtered.append(event)
-        return filtered
+    @staticmethod
+    def _bindings_for(dq: DataQuery,
+                      identity_sets: dict[str, set[tuple]],
+                      ) -> IdentityBindings | None:
+        """Pushdown hint for one pattern from the propagated binding state."""
+        subjects = identity_sets.get(dq.subject_var)
+        objects = identity_sets.get(dq.object_var)
+        if subjects is None and objects is None:
+            return None
+        return IdentityBindings(
+            subjects=frozenset(subjects) if subjects is not None else None,
+            objects=frozenset(objects) if objects is not None else None)
 
     def _update_bindings(self, dq: DataQuery, events: list[Event],
                          identity_sets: dict[str, set[tuple]],

@@ -19,6 +19,7 @@ the benchmarks all select one through :func:`create_backend`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import (TYPE_CHECKING, Callable, Iterable, Protocol,
                     runtime_checkable)
 
@@ -32,6 +33,46 @@ if TYPE_CHECKING:
     from repro.engine.filters import CompiledPredicate
 
 
+@dataclass(frozen=True, slots=True)
+class IdentityBindings:
+    """Propagated entity-identity restrictions for one data query.
+
+    The scheduler's binding propagation (§2.3) restricts a pattern's
+    subject/object to entity identities already seen by executed partner
+    patterns.  Passing the sets *into* the backend lets the restriction
+    prune during the scan — via identity posting lists (row store),
+    dictionary-code membership in the fused batch loop (columnar store),
+    or compiled ``IN (...)`` predicates (SQLite) — instead of
+    post-filtering materialized survivors.
+
+    ``None`` on a side means unrestricted; an *empty* set means the
+    propagated variable has no admissible identity, so no event can match
+    and backends short-circuit without touching a partition.
+    """
+
+    subjects: frozenset[tuple] | None = None
+    objects: frozenset[tuple] | None = None
+
+    def __bool__(self) -> bool:
+        return self.subjects is not None or self.objects is not None
+
+    @property
+    def unsatisfiable(self) -> bool:
+        """True when a bound side admits no identity at all."""
+        return (self.subjects is not None and not self.subjects
+                or self.objects is not None and not self.objects)
+
+    def admits(self, event: Event) -> bool:
+        """Exact per-event membership test (the post-filter fallback)."""
+        if (self.subjects is not None
+                and event.subject.identity not in self.subjects):
+            return False
+        if (self.objects is not None
+                and event.object.identity not in self.objects):
+            return False
+        return True
+
+
 @runtime_checkable
 class StorageBackend(Protocol):
     """What the engine needs from a storage substrate.
@@ -42,6 +83,14 @@ class StorageBackend(Protocol):
     scans — plus ``select``, the fused fetch-and-filter entry point that
     lets a backend evaluate a pattern's residual predicate its own way
     (per event, or over column batches).
+
+    ``candidates``/``select``/``estimate`` accept an optional
+    :class:`IdentityBindings` hint.  Backends *may* use it to prune during
+    the scan; they are allowed to ignore it because the scheduler keeps an
+    exact post-filter as a correctness fallback.  ``select`` results must
+    respect the bindings exactly (the shared
+    :func:`select_via_candidates` already guarantees this for
+    row-at-a-time backends).
     """
 
     backend_name: str
@@ -59,17 +108,20 @@ class StorageBackend(Protocol):
 
     def candidates(self, profile: PatternProfile,
                    window: Window | None = None,
-                   agentids: set[int] | None = None) -> list[Event]: ...
+                   agentids: set[int] | None = None,
+                   bindings: IdentityBindings | None = None) -> list[Event]: ...
 
     def select(self, profile: PatternProfile,
                predicate: "CompiledPredicate",
                window: Window | None = None,
                agentids: set[int] | None = None,
+               bindings: IdentityBindings | None = None,
                ) -> tuple[list[Event], int]: ...
 
     def estimate(self, profile: PatternProfile,
                  window: Window | None = None,
-                 agentids: set[int] | None = None) -> int: ...
+                 agentids: set[int] | None = None,
+                 bindings: IdentityBindings | None = None) -> int: ...
 
     # Introspection ----------------------------------------------------
     @property
@@ -97,16 +149,26 @@ def select_via_candidates(backend: StorageBackend, profile: PatternProfile,
                           predicate: "CompiledPredicate",
                           window: Window | None = None,
                           agentids: set[int] | None = None,
+                          bindings: IdentityBindings | None = None,
                           ) -> tuple[list[Event], int]:
     """Default ``select``: candidate fetch + fused per-event residual.
 
     Row-at-a-time backends share this implementation; batch backends
     override ``select`` entirely.  Returns ``(survivors, fetched)`` where
     ``fetched`` is the candidate-list size (for execution reports).
+    Identity bindings short-circuit when unsatisfiable and are enforced
+    exactly on the survivors, whatever the backend's ``candidates`` chose
+    to do with the hint.
     """
-    fetched = backend.candidates(profile, window, agentids)
+    if bindings is not None and bindings.unsatisfiable:
+        return [], 0
+    fetched = backend.candidates(profile, window, agentids, bindings)
     test = predicate.event_predicate
-    return [event for event in fetched if test(event)], len(fetched)
+    if bindings is None or not bindings:
+        return [event for event in fetched if test(event)], len(fetched)
+    admits = bindings.admits
+    return ([event for event in fetched if admits(event) and test(event)],
+            len(fetched))
 
 
 # ---------------------------------------------------------------------------

@@ -35,7 +35,7 @@ import bisect
 import threading
 from array import array
 from collections import Counter
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.model.entities import (DEFAULT_ATTRIBUTE, ENTITY_TYPES, Entity,
@@ -46,6 +46,9 @@ from repro.storage.dedup import EntityInterner
 from repro.storage.indexes import like_to_regex
 from repro.storage.stats import PatternProfile
 from repro.engine.filters import Atom, CompiledPredicate
+
+if TYPE_CHECKING:
+    from repro.storage.backend import IdentityBindings
 
 _ETYPE_CODE: dict[str, int] = {name: code
                                for code, name in enumerate(ENTITY_TYPES)}
@@ -66,6 +69,7 @@ class ColumnarPartition:
                  "subjects", "objects", "amounts", "failcodes", "_sorted",
                  "_sort_lock", "min_ts", "max_ts", "min_amount",
                  "max_amount", "type_op", "by_type", "by_op",
+                 "by_subject", "by_object",
                  "subject_name", "object_value", "materialized")
 
     def __init__(self, agentid: int, bucket: int) -> None:
@@ -96,6 +100,10 @@ class ColumnarPartition:
         self.type_op: Counter = Counter()
         self.by_type: Counter = Counter()
         self.by_op: Counter = Counter()
+        # Per-entity-code cardinalities: estimation and zone pruning for
+        # identity-binding pushdown (codes present <=> key in counter).
+        self.by_subject: Counter = Counter()
+        self.by_object: Counter = Counter()
         self.subject_name: Counter = Counter()
         self.object_value: Counter = Counter()
 
@@ -127,6 +135,8 @@ class ColumnarPartition:
         self.type_op[(etype_code, op_code)] += 1
         self.by_type[etype_code] += 1
         self.by_op[op_code] += 1
+        self.by_subject[subject_code] += 1
+        self.by_object[object_code] += 1
         self.subject_name[subject_name] += 1
         self.object_value[(etype_code, object_value)] += 1
 
@@ -161,6 +171,34 @@ class ColumnarPartition:
 
     def __len__(self) -> int:
         return len(self.ids)
+
+
+#: Maximum allowed-code-set size the zone check will probe against a
+#: partition's per-code counters.  Binding-propagated sets are tiny;
+#: constraint-derived sets (a broad LIKE) can cover most of the
+#: vocabulary, where probing would cost more than the scan saves.
+_ZONE_PROBE_LIMIT = 64
+
+
+class _BindingCodes:
+    """Identity bindings translated to dictionary-code sets.
+
+    ``None`` on a side means unrestricted, mirroring
+    :class:`~repro.storage.backend.IdentityBindings`.
+    """
+
+    __slots__ = ("subjects", "objects")
+
+    def __init__(self, subjects: set[int] | None,
+                 objects: set[int] | None) -> None:
+        self.subjects = subjects
+        self.objects = objects
+
+    @property
+    def empty(self) -> bool:
+        """True when a bound side admits no stored entity at all."""
+        return (self.subjects is not None and not self.subjects
+                or self.objects is not None and not self.objects)
 
 
 class _ScanPlan:
@@ -389,35 +427,67 @@ class ColumnarEventStore:
 
     def candidates(self, profile: PatternProfile,
                    window: Window | None = None,
-                   agentids: set[int] | None = None) -> list[Event]:
+                   agentids: set[int] | None = None,
+                   bindings: "IdentityBindings | None" = None) -> list[Event]:
         """Batch-scan superset of events matching the profile."""
         events, _fetched = self._batch_select(
-            self._profile_atoms(profile), window, agentids)
+            self._profile_atoms(profile), window, agentids, bindings)
         return events
 
     def select(self, profile: PatternProfile,
                predicate: CompiledPredicate,
                window: Window | None = None,
-               agentids: set[int] | None = None) -> tuple[list[Event], int]:
+               agentids: set[int] | None = None,
+               bindings: "IdentityBindings | None" = None,
+               ) -> tuple[list[Event], int]:
         """Evaluate the full residual predicate column-at-a-time.
 
         Unlike the row store — candidate fetch through one posting index,
         then the fused per-event predicate — the whole atom conjunction is
         pushed into the batch scan, so no non-matching Event object is
-        ever materialized.
+        ever materialized.  Identity bindings translate to dictionary-code
+        sets and join the fused membership tests, so binding propagation
+        prunes *before* survivor materialization too.
         """
-        return self._batch_select(predicate.atoms, window, agentids)
+        return self._batch_select(predicate.atoms, window, agentids,
+                                  bindings)
 
     def estimate(self, profile: PatternProfile,
                  window: Window | None = None,
-                 agentids: set[int] | None = None) -> int:
+                 agentids: set[int] | None = None,
+                 bindings: "IdentityBindings | None" = None) -> int:
         """Estimated match cardinality (the pruning-power signal)."""
-        return sum(self._estimate_partition(partition, profile, window)
+        binding_codes = self._binding_codes(bindings)
+        if binding_codes is not None and binding_codes.empty:
+            return 0
+        return sum(self._estimate_partition(partition, profile, window,
+                                            binding_codes)
                    for partition in self._pruned(window, agentids))
 
     # ------------------------------------------------------------------
     # Batch evaluation
     # ------------------------------------------------------------------
+    def _binding_codes(self,
+                       bindings: "IdentityBindings | None",
+                       ) -> "_BindingCodes | None":
+        """Translate identity-binding sets to dictionary-code sets.
+
+        Identities the store has never interned have no code and simply
+        drop out; a bound side that ends up empty (empty binding set, or
+        all identities unknown) makes the scan unsatisfiable.
+        """
+        if bindings is None or not bindings:
+            return None
+        code = self._entity_code
+        subjects = objects = None
+        if bindings.subjects is not None:
+            subjects = {code[identity] for identity in bindings.subjects
+                        if identity in code}
+        if bindings.objects is not None:
+            objects = {code[identity] for identity in bindings.objects
+                       if identity in code}
+        return _BindingCodes(subjects, objects)
+
     def _profile_atoms(self, profile: PatternProfile) -> list[Atom]:
         """Lower a PatternProfile to the equivalent atom conjunction."""
         atoms: list[Atom] = []
@@ -469,7 +539,8 @@ class ColumnarEventStore:
             pass
         return allowed
 
-    def _scan_plan(self, atoms: Iterable[Atom]) -> _ScanPlan:
+    def _scan_plan(self, atoms: Iterable[Atom],
+                   binding_codes: "_BindingCodes | None" = None) -> _ScanPlan:
         plan = _ScanPlan()
 
         def narrow(column: str, allowed: set[int]) -> None:
@@ -477,6 +548,11 @@ class ColumnarEventStore:
             plan.dim_sets[column] = (allowed if existing is None
                                      else existing & allowed)
 
+        if binding_codes is not None:
+            if binding_codes.subjects is not None:
+                narrow("subjects", binding_codes.subjects)
+            if binding_codes.objects is not None:
+                narrow("objects", binding_codes.objects)
         for atom in atoms:
             if atom.target == "subject":
                 narrow("subjects", self._allowed_codes(atom, self._entities))
@@ -511,12 +587,27 @@ class ColumnarEventStore:
             elif column == "ops":
                 if not (allowed & set(partition.by_op)):
                     return True
+            elif column in ("subjects", "objects"):
+                # Entity-code sets can be large (LIKE over a big
+                # vocabulary); only probe when small — that is the
+                # binding-propagation case, where whole partitions
+                # typically drop.
+                if len(allowed) <= _ZONE_PROBE_LIMIT:
+                    present = (partition.by_subject if column == "subjects"
+                               else partition.by_object)
+                    if not any(code in present for code in allowed):
+                        return True
         return False
 
     def _batch_select(self, atoms: Iterable[Atom], window: Window | None,
-                      agentids: set[int] | None) -> tuple[list[Event], int]:
+                      agentids: set[int] | None,
+                      bindings: "IdentityBindings | None" = None,
+                      ) -> tuple[list[Event], int]:
         atoms = list(atoms)
-        plan = self._scan_plan(atoms)
+        binding_codes = self._binding_codes(bindings)
+        if binding_codes is not None and binding_codes.empty:
+            return [], 0
+        plan = self._scan_plan(atoms, binding_codes)
         if plan.empty:
             return [], 0
         # Zone-map range pruning for ordered atoms on ts/amount.
@@ -558,11 +649,20 @@ class ColumnarEventStore:
     # ------------------------------------------------------------------
     def _estimate_partition(self, partition: ColumnarPartition,
                             profile: PatternProfile,
-                            window: Window | None) -> int:
+                            window: Window | None,
+                            binding_codes: "_BindingCodes | None" = None,
+                            ) -> int:
         total = len(partition)
         if total == 0:
             return 0
         bounds = [total]
+        if binding_codes is not None:
+            if binding_codes.subjects is not None:
+                bounds.append(sum(partition.by_subject.get(code, 0)
+                                  for code in binding_codes.subjects))
+            if binding_codes.objects is not None:
+                bounds.append(sum(partition.by_object.get(code, 0)
+                                  for code in binding_codes.objects))
         etype = (_ETYPE_CODE.get(profile.event_type)
                  if profile.event_type is not None else None)
         if etype is not None and profile.operations:

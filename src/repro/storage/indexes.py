@@ -80,9 +80,32 @@ class PostingIndex:
                 matched.extend(events)
         return matched
 
+    def lookup_many(self, keys: Iterable[object]) -> list[Event]:
+        """Union of posting lists for a set of exact keys.
+
+        The access path behind identity-binding pushdown: propagated
+        binding sets are usually tiny, so the merged lists are the
+        cheapest superset the partition can offer.  The merge is sorted
+        by ``(ts, id)`` so the result never depends on the iteration
+        order of the (hash-ordered) key set — candidate order feeds the
+        joiner and must be deterministic across processes.
+        """
+        merged: list[Event] = []
+        for key in keys:
+            events = self._postings.get(key)
+            if events:
+                merged.extend(events)
+        merged.sort(key=lambda event: (event.ts, event.id))
+        return merged
+
     def count(self, key: object) -> int:
         events = self._postings.get(key)
         return len(events) if events is not None else 0
+
+    def count_many(self, keys: Iterable[object]) -> int:
+        """Total posting size over a set of exact keys (path costing)."""
+        postings = self._postings
+        return sum(len(postings[key]) for key in keys if key in postings)
 
     def count_like(self, pattern: str) -> int:
         """Match count for a LIKE pattern without materializing events."""

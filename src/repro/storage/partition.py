@@ -30,7 +30,8 @@ class Partition:
     """All events of one agent within one time bucket, fully indexed."""
 
     __slots__ = ("key", "time_index", "by_operation", "by_type",
-                 "by_type_operation", "by_subject_name", "by_object_value")
+                 "by_type_operation", "by_subject_name", "by_object_value",
+                 "by_subject_id", "by_object_id")
 
     def __init__(self, key: PartitionKey) -> None:
         self.key = key
@@ -42,6 +43,10 @@ class Partition:
         # Keyed by (event_type, value) because the default attribute differs
         # per object type (file name vs destination IP vs exe name).
         self.by_object_value = PostingIndex()
+        # Keyed by entity identity tuples: the access paths behind the
+        # scheduler's identity-binding pushdown.
+        self.by_subject_id = PostingIndex()
+        self.by_object_id = PostingIndex()
 
     def add(self, event: Event) -> None:
         self.time_index.add(event)
@@ -52,6 +57,8 @@ class Partition:
         self.by_subject_name.add(event.subject.exe_name, event)
         self.by_object_value.add((etype, event.object.default_attribute),
                                  event)
+        self.by_subject_id.add(event.subject.identity, event)
+        self.by_object_id.add(event.object.identity, event)
 
     def events(self) -> list[Event]:
         return self.time_index.all()

@@ -15,10 +15,14 @@ volume.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.model.timeutil import Window
 from repro.storage.indexes import like_match
 from repro.storage.partition import Partition
+
+if TYPE_CHECKING:
+    from repro.storage.backend import IdentityBindings
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,18 +44,28 @@ class PatternProfile:
 
 
 def estimate_partition(partition: Partition, profile: PatternProfile,
-                       window: Window | None) -> int:
+                       window: Window | None,
+                       bindings: "IdentityBindings | None" = None) -> int:
     """Estimated number of events in this partition matching the profile.
 
     The estimate is the minimum across the independent per-index counts —
     the tightest single-index bound, which is exactly the candidate-list
     size the executor would fetch.  The time dimension scales the bound by
-    the window's overlap with the partition's population.
+    the window's overlap with the partition's population.  Propagated
+    identity bindings contribute their exact posting counts, so
+    pruning-power ordering reacts to binding propagation.
     """
     total = len(partition)
     if total == 0:
         return 0
     bounds = [total]
+    if bindings is not None:
+        if bindings.subjects is not None:
+            bounds.append(partition.by_subject_id.count_many(
+                bindings.subjects))
+        if bindings.objects is not None:
+            bounds.append(partition.by_object_id.count_many(
+                bindings.objects))
     if profile.event_type is not None and profile.operations:
         bounds.append(sum(
             partition.by_type_operation.count((profile.event_type, op))
@@ -86,6 +100,8 @@ def estimate_partition(partition: Partition, profile: PatternProfile,
 
 
 def estimate_total(partitions: list[Partition], profile: PatternProfile,
-                   window: Window | None) -> int:
+                   window: Window | None,
+                   bindings: "IdentityBindings | None" = None) -> int:
     """Total estimated cardinality over a pruned partition list."""
-    return sum(estimate_partition(p, profile, window) for p in partitions)
+    return sum(estimate_partition(p, profile, window, bindings)
+               for p in partitions)

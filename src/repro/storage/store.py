@@ -27,6 +27,7 @@ from repro.storage.stats import PatternProfile, estimate_partition
 
 if TYPE_CHECKING:
     from repro.engine.filters import CompiledPredicate
+    from repro.storage.backend import IdentityBindings
 
 
 class EventStore:
@@ -100,17 +101,22 @@ class EventStore:
 
     def candidates(self, profile: PatternProfile,
                    window: Window | None = None,
-                   agentids: set[int] | None = None) -> list[Event]:
+                   agentids: set[int] | None = None,
+                   bindings: "IdentityBindings | None" = None) -> list[Event]:
         """Cheapest index-backed superset of events matching the profile.
 
         The returned list still requires residual predicate evaluation
         (named attribute comparisons the indexes do not cover), but it is
         already restricted by the best single index per partition and
-        clipped to the time window.
+        clipped to the time window.  Identity bindings add the per-identity
+        posting lists as candidate access paths — after propagation those
+        sets are tiny, so they usually win the costing outright.
         """
+        if bindings is not None and bindings.unsatisfiable:
+            return []
         out: list[Event] = []
         for partition in self._table.prune(window, agentids):
-            fetched = _best_access_path(partition, profile)
+            fetched = _best_access_path(partition, profile, bindings)
             if window is not None:
                 fetched = clip_to_window(fetched, window.start, window.end)
             out.extend(fetched)
@@ -119,18 +125,23 @@ class EventStore:
     def select(self, profile: PatternProfile,
                predicate: "CompiledPredicate",
                window: Window | None = None,
-               agentids: set[int] | None = None) -> tuple[list[Event], int]:
+               agentids: set[int] | None = None,
+               bindings: "IdentityBindings | None" = None,
+               ) -> tuple[list[Event], int]:
         """Fetch candidates and apply the fused residual predicate."""
         from repro.storage.backend import select_via_candidates
         return select_via_candidates(self, profile, predicate, window,
-                                     agentids)
+                                     agentids, bindings)
 
     def estimate(self, profile: PatternProfile,
                  window: Window | None = None,
-                 agentids: set[int] | None = None) -> int:
+                 agentids: set[int] | None = None,
+                 bindings: "IdentityBindings | None" = None) -> int:
         """Estimated match cardinality (the pruning-power signal)."""
+        if bindings is not None and bindings.unsatisfiable:
+            return 0
         return sum(
-            estimate_partition(partition, profile, window)
+            estimate_partition(partition, profile, window, bindings)
             for partition in self._table.prune(window, agentids))
 
     # ------------------------------------------------------------------
@@ -164,8 +175,9 @@ class EventStore:
         return len(self._table)
 
 
-def _best_access_path(partition: Partition,
-                      profile: PatternProfile) -> Sequence[Event]:
+def _best_access_path(partition: Partition, profile: PatternProfile,
+                      bindings: "IdentityBindings | None" = None,
+                      ) -> Sequence[Event]:
     """Pick the single cheapest index for this partition and profile.
 
     Candidate paths are costed by their (exactly known) result sizes; the
@@ -173,6 +185,17 @@ def _best_access_path(partition: Partition,
     full partition read.
     """
     paths: list[tuple[int, Callable[[], Sequence[Event]]]] = []
+    if bindings is not None:
+        if bindings.subjects is not None:
+            subject_ids = bindings.subjects
+            paths.append((partition.by_subject_id.count_many(subject_ids),
+                          lambda: partition.by_subject_id.lookup_many(
+                              subject_ids)))
+        if bindings.objects is not None:
+            object_ids = bindings.objects
+            paths.append((partition.by_object_id.count_many(object_ids),
+                          lambda: partition.by_object_id.lookup_many(
+                              object_ids)))
     if profile.subject_exact is not None:
         count = partition.by_subject_name.count(profile.subject_exact)
         paths.append((count, lambda: partition.by_subject_name.lookup(

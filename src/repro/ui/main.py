@@ -12,7 +12,9 @@ Usage (also via ``python -m repro``):
     repro investigate day.jsonl --catalog figure4
 
 Every data-loading command accepts ``--backend {row,columnar,sqlite}`` to
-pick the storage substrate the engine runs on (default: row).
+pick the storage substrate the engine runs on (default: row) and
+``--workers N`` to pin the sub-query thread pool (default: sized to the
+machine's CPU count).
 
 Event files are the JSONL archive format of
 :mod:`repro.storage.serialize` (``.gz`` compressed transparently).
@@ -29,6 +31,14 @@ from repro.lang.errors import AiqlSyntaxError
 from repro.storage.backend import BUILTIN_BACKENDS
 from repro.storage.serialize import load_store, write_events
 from repro.ui.render import render_table
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -76,6 +86,10 @@ def _build_parser() -> argparse.ArgumentParser:
         loader.add_argument("--backend", choices=BUILTIN_BACKENDS,
                             default="row",
                             help="storage substrate to load events into")
+        loader.add_argument("--workers", type=_positive_int, default=None,
+                            metavar="N",
+                            help="sub-query thread-pool size (default: "
+                                 "sized to the machine's CPU count)")
     return parser
 
 
@@ -86,8 +100,9 @@ def _query_text(argument: str) -> str:
     return argument
 
 
-def _load_session(path: str, backend: str = "row") -> AiqlSession:
-    session = AiqlSession(backend=backend)
+def _load_session(path: str, backend: str = "row",
+                  workers: int | None = None) -> AiqlSession:
+    session = AiqlSession(backend=backend, max_workers=workers)
     load_store(path, session.store)
     return session
 
@@ -128,26 +143,26 @@ def _dispatch(args: argparse.Namespace, stdout) -> int:
         return 2
 
     if args.command == "query":
-        session = _load_session(args.data, args.backend)
+        session = _load_session(args.data, args.backend, args.workers)
         result = session.query(_query_text(args.aiql))
         print(render_table(result, max_rows=args.max_rows), file=stdout)
         return 0
 
     if args.command == "explain":
-        session = _load_session(args.data, args.backend)
+        session = _load_session(args.data, args.backend, args.workers)
         print(session.explain(_query_text(args.aiql)), file=stdout)
         return 0
 
     if args.command == "repl":
         from repro.ui.cli import run
-        session = _load_session(args.data, args.backend)
+        session = _load_session(args.data, args.backend, args.workers)
         print(session.describe(), file=stdout)
         run(session, stdout=stdout)
         return 0
 
     if args.command == "serve":
         from repro.ui.webapp import make_server
-        session = _load_session(args.data, args.backend)
+        session = _load_session(args.data, args.backend, args.workers)
         server = make_server(session, args.host, args.port)
         host, port = server.server_address
         print(f"AIQL web UI on http://{host}:{port}/ — Ctrl-C to stop",
@@ -162,7 +177,7 @@ def _dispatch(args: argparse.Namespace, stdout) -> int:
         from repro.investigate import FIGURE4_QUERIES, FIGURE5_QUERIES
         catalog = (FIGURE4_QUERIES if args.catalog == "figure4"
                    else FIGURE5_QUERIES)
-        session = _load_session(args.data, args.backend)
+        session = _load_session(args.data, args.backend, args.workers)
         print(session.describe(), file=stdout)
         total = 0.0
         for entry in catalog:

@@ -9,22 +9,32 @@ joins the contract by adding its name.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import AiqlSession
+from repro.engine.executor import EngineOptions
 from repro.engine.planner import plan_multievent
 from repro.errors import StorageError
 from repro.lang.parser import parse
 from repro.model.entities import FileEntity, NetworkEntity, ProcessEntity
 from repro.model.events import Event
 from repro.model.timeutil import Window
-from repro.storage.backend import (StorageBackend, available_backends,
-                                   create_backend)
+from repro.storage.backend import (IdentityBindings, StorageBackend,
+                                   available_backends, create_backend)
 from repro.storage.stats import PatternProfile
 
 from tests.conftest import AGENT, BASE_TS, QUERY1, QUERY1_ROW
 
-BACKENDS = ("row", "columnar", "sqlite")
+ALL_BACKENDS = ("row", "columnar", "sqlite")
+
+# CI's backend matrix restricts each leg to one substrate; name-based -k
+# selection would mis-select tests whose ids mention another backend.
+BACKENDS = tuple(
+    name for name in os.environ.get("REPRO_CONTRACT_BACKENDS",
+                                    ",".join(ALL_BACKENDS)).split(",")
+    if name) or ALL_BACKENDS
 
 
 @pytest.fixture(params=BACKENDS)
@@ -149,6 +159,181 @@ class TestSelect:
         assert {e.id for e in events} == expected
 
 
+class TestIdentityPushdown:
+    """Tentpole contract: identity bindings pushed into the scan prune
+    candidates but never change ``select`` results — with the empty set
+    short-circuiting and unknown identities matching nothing."""
+
+    SCAN_AIQL = "proc p read || write file f as e1 return f"
+
+    WRITER_ID = ProcessEntity(1, 10, "writer.exe").identity
+    READER_ID = ProcessEntity(1, 11, "reader.exe").identity
+    FILE0_ID = FileEntity(1, "/data/0.txt").identity
+
+    def _dq(self):
+        return plan_multievent(parse(self.SCAN_AIQL)).data_queries[0]
+
+    @pytest.mark.parametrize("bindings", [
+        IdentityBindings(subjects=frozenset({WRITER_ID})),
+        IdentityBindings(objects=frozenset({FILE0_ID})),
+        IdentityBindings(subjects=frozenset({WRITER_ID, READER_ID}),
+                         objects=frozenset({FILE0_ID})),
+    ], ids=["subject", "object", "both"])
+    def test_pushdown_equals_post_filter(self, store, bindings):
+        dq = self._dq()
+        pushed, fetched = store.select(dq.profile, dq.compiled,
+                                       bindings=bindings)
+        baseline, baseline_fetched = store.select(dq.profile, dq.compiled)
+        filtered = [e for e in baseline if bindings.admits(e)]
+        assert [(e.id, e.ts) for e in sorted(pushed, key=lambda e: e.id)] \
+            == [(e.id, e.ts) for e in sorted(filtered, key=lambda e: e.id)]
+        assert fetched <= baseline_fetched
+
+    def test_empty_binding_set_short_circuits(self, store):
+        dq = self._dq()
+        empty = IdentityBindings(subjects=frozenset())
+        assert store.select(dq.profile, dq.compiled,
+                            bindings=empty) == ([], 0)
+        assert store.estimate(dq.profile, bindings=empty) == 0
+        assert store.candidates(dq.profile, bindings=empty) == []
+
+    def test_unknown_identities_match_nothing(self, store):
+        dq = self._dq()
+        ghost = ProcessEntity(9, 999, "ghost.exe").identity
+        bindings = IdentityBindings(subjects=frozenset({ghost}))
+        survivors, _fetched = store.select(dq.profile, dq.compiled,
+                                           bindings=bindings)
+        assert survivors == []
+        assert store.estimate(dq.profile, bindings=bindings) == 0
+
+    def test_estimate_reacts_to_bindings(self, store):
+        dq = self._dq()
+        unrestricted = store.estimate(dq.profile)
+        bound = store.estimate(dq.profile, bindings=IdentityBindings(
+            subjects=frozenset({self.READER_ID})))
+        assert 0 < bound <= unrestricted
+        # 10 reader events exist; the binding bound must be tight enough
+        # to reorder scheduling (strictly below the 60 file events).
+        assert bound < unrestricted or unrestricted == bound == 10
+
+    def test_candidates_keep_true_matches(self, store):
+        dq = self._dq()
+        bindings = IdentityBindings(objects=frozenset({self.FILE0_ID}))
+        candidate_ids = {e.id for e in store.candidates(dq.profile,
+                                                        bindings=bindings)}
+        for event in store.scan():
+            if (dq.predicate(event) and bindings.admits(event)):
+                assert event.id in candidate_ids
+
+    def test_bindings_compose_with_window_and_agents(self, store):
+        dq = self._dq()
+        window = Window(0.0, 30.0)
+        bindings = IdentityBindings(subjects=frozenset({self.WRITER_ID}))
+        survivors, _fetched = store.select(dq.profile, dq.compiled, window,
+                                           {1}, bindings)
+        expected = {e.id for e in store.scan(window, {1})
+                    if dq.predicate(e) and bindings.admits(e)}
+        assert {e.id for e in survivors} == expected
+
+
+class TestEstimateParity:
+    """Satellite lock-in: all backends honor agentids and window bounds
+    identically at partition edges (half-open, inclusive start)."""
+
+    BUCKET = 100.0
+
+    @pytest.fixture
+    def edge_store(self, backend_name):
+        store = create_backend(backend_name, bucket_seconds=self.BUCKET)
+        proc = ProcessEntity(1, 1, "edge.exe")
+        # One event exactly on a partition boundary, one just inside the
+        # previous bucket, one in another agent's partition.
+        store.record(100.0, 1, "write", proc, FileEntity(1, "/edge"))
+        store.record(99.0, 1, "write", proc, FileEntity(1, "/inside"))
+        store.record(100.0, 2, "write", ProcessEntity(2, 2, "other.exe"),
+                     FileEntity(2, "/other"))
+        return store
+
+    PROFILE = PatternProfile(event_type="file",
+                             operations=frozenset({"write"}))
+
+    def test_window_start_is_inclusive_at_partition_edge(self, edge_store):
+        window = Window(100.0, 100.0001)
+        assert edge_store.estimate(self.PROFILE, window, {1}) >= 1
+        got = edge_store.candidates(self.PROFILE, window, {1})
+        assert [e.ts for e in got] == [100.0]
+
+    def test_window_end_is_exclusive_at_partition_edge(self, edge_store):
+        window = Window(0.0, 100.0)
+        got = edge_store.candidates(self.PROFILE, window, {1})
+        assert [e.ts for e in got] == [99.0]
+        # estimate may over-approximate but must not claim the pruned
+        # boundary event once nothing is in-window.
+        assert edge_store.estimate(self.PROFILE, Window(99.5, 100.0),
+                                   {1}) <= 1
+
+    def test_estimate_honors_agent_restriction(self, edge_store):
+        assert edge_store.estimate(self.PROFILE, agentids={2}) >= 1
+        assert edge_store.estimate(self.PROFILE, agentids={99}) == 0
+        assert edge_store.estimate(self.PROFILE, agentids=set()) == 0
+        assert edge_store.candidates(self.PROFILE, agentids=set()) == []
+
+    def test_zero_estimate_implies_no_candidates(self, edge_store):
+        for window in (None, Window(0.0, 100.0), Window(100.0, 200.0),
+                       Window(100.0, 100.0), Window(50.0, 150.0)):
+            for agents in (None, {1}, {2}, set()):
+                if edge_store.estimate(self.PROFILE, window, agents) == 0:
+                    assert edge_store.candidates(self.PROFILE, window,
+                                                 agents) == []
+
+
+class TestTemporalBoundary:
+    """Satellite lock-in: an event exactly at the propagated (inclusive)
+    ``within`` edge must survive window narrowing on every backend."""
+
+    AIQL = ('proc p["a.exe"] write file f as e1\n'
+            'proc q read file f as e2\n'
+            'with e1 before e2 within 10 sec\n'
+            'return f')
+
+    def _session(self, backend_name: str) -> AiqlSession:
+        session = AiqlSession(backend=backend_name)
+        writer = ProcessEntity(1, 10, "a.exe")
+        reader = ProcessEntity(1, 11, "b.exe")
+        shared = FileEntity(1, "/x")
+        session.store.record(100.0, 1, "write", writer, shared)
+        # Exactly at the inclusive 'within' bound: 110 - 100 == 10.
+        session.store.record(110.0, 1, "read", reader, shared)
+        # Just past the bound: must stay excluded.
+        session.store.record(110.0001, 1, "read", reader, shared)
+        return session
+
+    @pytest.mark.parametrize("propagate", [True, False])
+    @pytest.mark.parametrize("pushdown", [True, False])
+    def test_within_edge_event_survives(self, backend_name, propagate,
+                                        pushdown):
+        session = self._session(backend_name)
+        options = EngineOptions(propagate=propagate, pushdown=pushdown)
+        assert session.query(self.AIQL, options).rows == [("/x",)]
+
+    def test_strict_before_bound_stays_exclusive(self, backend_name):
+        session = AiqlSession(backend=backend_name)
+        writer = ProcessEntity(1, 10, "a.exe")
+        reader = ProcessEntity(1, 11, "b.exe")
+        shared = FileEntity(1, "/x")
+        # Simultaneous events: 'before' is strict, so no match — narrowing
+        # must not widen into including ties.
+        session.store.record(100.0, 1, "read", reader, shared)
+        session.store.record(100.0, 1, "write", writer, shared)
+        aiql = ('proc p["a.exe"] write file f as e1\n'
+                'proc q read file f as e2\n'
+                'with e1 before e2\nreturn f')
+        for propagate in (True, False):
+            rows = session.query(
+                aiql, EngineOptions(propagate=propagate)).rows
+            assert rows == []
+
+
 class TestIngest:
     def _event(self, eid: int, ts: float) -> Event:
         return Event(id=eid, ts=ts, agentid=1, operation="write",
@@ -192,6 +377,52 @@ class TestLikeSemantics:
                                  subject_like="k%")
         assert len(store.candidates(profile)) == 1
         assert store.estimate(profile) >= 1
+
+
+def test_sqlite_backend_migrates_pre_pushdown_archive(tmp_path):
+    """A persistent table written before the identity-key columns existed
+    is upgraded in place, and pushdown works against the backfilled keys."""
+    import json
+    import sqlite3
+
+    from repro.baselines.sqlite_backend import SqliteEventStore
+    from repro.storage.serialize import entity_to_dict
+
+    path = str(tmp_path / "old.db")
+    subject = ProcessEntity(1, 7, "old.exe")
+    obj = FileEntity(1, "/archived")
+    payload = json.dumps({"amount": 5, "failcode": 0,
+                          "subject": entity_to_dict(subject),
+                          "object": entity_to_dict(obj)},
+                         separators=(",", ":"))
+    conn = sqlite3.connect(path)
+    conn.execute("""
+        CREATE TABLE backend_events (
+            id INTEGER NOT NULL, ts REAL NOT NULL, agentid INTEGER NOT NULL,
+            etype TEXT NOT NULL, op TEXT NOT NULL,
+            subject_name TEXT NOT NULL, object_value TEXT,
+            payload TEXT NOT NULL)
+    """)
+    conn.execute(
+        "INSERT INTO backend_events VALUES (1, 2.0, 1, 'file', 'write', "
+        "'old.exe', '/archived', ?)", (payload,))
+    conn.commit()
+    conn.close()
+
+    store = SqliteEventStore(path=path)
+    try:
+        assert len(store) == 1
+        profile = PatternProfile(event_type="file",
+                                 operations=frozenset({"write"}))
+        from repro.storage.backend import IdentityBindings
+        hit = store.candidates(profile, bindings=IdentityBindings(
+            subjects=frozenset({subject.identity})))
+        assert [e.id for e in hit] == [1]
+        miss = store.candidates(profile, bindings=IdentityBindings(
+            subjects=frozenset({ProcessEntity(1, 8, "new.exe").identity})))
+        assert miss == []
+    finally:
+        store.close()
 
 
 def test_sqlite_backend_reopens_persistent_path(tmp_path):
@@ -247,6 +478,13 @@ class TestFullEngineAgreement:
         session = self._attack_session(backend_name)
         result = session.query(QUERY1)
         assert result.rows == [QUERY1_ROW]
+
+    def test_query1_pushdown_matches_post_filter(self, backend_name):
+        """Binding pushdown vs survivor post-filtering: identical rows."""
+        session = self._attack_session(backend_name)
+        pushed = session.query(QUERY1, EngineOptions(pushdown=True)).rows
+        filtered = session.query(QUERY1, EngineOptions(pushdown=False)).rows
+        assert pushed == filtered == [QUERY1_ROW]
 
     def test_anomaly_query_agrees_with_row(self, backend_name):
         aiql = ('window = 1 min, step = 1 min\n'

@@ -4,7 +4,8 @@ import pytest
 
 from repro.lang.parser import parse
 from repro.model.entities import FileEntity, ProcessEntity
-from repro.engine.parallel import (execute_plan, merge_reports,
+from repro.engine.parallel import (DEFAULT_WORKERS, execute_plan,
+                                   merge_reports, resolve_workers,
                                    spatially_partitionable,
                                    temporally_partitionable)
 from repro.engine.planner import plan_multievent
@@ -100,13 +101,35 @@ class TestExecutePlan:
         for prioritize in (True, False):
             for propagate in (True, False):
                 for partition in (True, False):
-                    result = execute_plan(
-                        multi_agent_store, plan, prioritize=prioritize,
-                        propagate=propagate, partition=partition)
-                    rows = sorted(row["f"].name for row in result.rows)
-                    if reference is None:
-                        reference = rows
-                    assert rows == reference
+                    for pushdown in (True, False):
+                        result = execute_plan(
+                            multi_agent_store, plan, prioritize=prioritize,
+                            propagate=propagate, partition=partition,
+                            pushdown=pushdown)
+                        rows = sorted(row["f"].name for row in result.rows)
+                        if reference is None:
+                            reference = rows
+                        assert rows == reference
+
+    def test_explicit_worker_override(self, multi_agent_store):
+        plan = plan_of(SHARED_QUERY)
+        result = execute_plan(multi_agent_store, plan, max_workers=1)
+        assert result.partitions == 3
+
+
+class TestWorkerSizing:
+    def test_default_derived_from_cpu_count_is_bounded(self):
+        assert 2 <= DEFAULT_WORKERS <= 8
+
+    def test_resolve_none_is_machine_default(self):
+        assert resolve_workers(None) == DEFAULT_WORKERS
+
+    def test_resolve_explicit_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    def test_resolve_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
 
 
 class TestMergeReports:

@@ -100,6 +100,61 @@ class TestPropagation:
         assert fetched.get("e2") is None
 
 
+class TestPushdown:
+    def test_pushdown_matches_post_filter(self, store):
+        plan = plan_multievent(parse(QUERY))
+        pushed = Scheduler(store, pushdown=True).run(plan)
+        filtered = Scheduler(store, pushdown=False).run(plan)
+        for dq in plan.data_queries:
+            assert ({e.id for e in pushed.events[dq.index]}
+                    == {e.id for e in filtered.events[dq.index]})
+
+    def test_pushdown_shrinks_fetch(self, store):
+        """With pushdown the backend never fetches the 301 writes that the
+        post-filter variant materializes before discarding."""
+        plan = plan_multievent(parse(QUERY))
+        pushed = Scheduler(store, pushdown=True).run(plan)
+        filtered = Scheduler(store, pushdown=False).run(plan)
+        fetched_pushed = {t.event_var: t.fetched
+                          for t in pushed.report.patterns}
+        fetched_filtered = {t.event_var: t.fetched
+                            for t in filtered.report.patterns}
+        assert fetched_pushed["e1"] < fetched_filtered["e1"]
+
+    def test_bindings_reorder_remaining_patterns(self):
+        """Re-estimation under propagated bindings flips the order of the
+        not-yet-executed patterns when propagation changed their cost."""
+        store = EventStore()
+        agent = 1
+        rare = ProcessEntity(agent, 1, "rare.exe")
+        noisy = ProcessEntity(agent, 2, "noisy.exe")
+        busy = ProcessEntity(agent, 3, "busy.exe")
+        secret = FileEntity(agent, "/secret")
+        store.record(BASE_TS, agent, "read", rare, secret)
+        store.record(BASE_TS + 1, agent, "write", busy, secret)
+        for index in range(200):
+            store.record(BASE_TS + 2 + index, agent, "write", noisy,
+                         FileEntity(agent, f"/noise/{index}"))
+        for index in range(300):
+            store.record(BASE_TS + 300 + index, agent, "write", busy,
+                         FileEntity(agent, f"/busy/{index}"))
+        plan = plan_multievent(parse(
+            'proc r["%rare%"] read file f as e1\n'
+            'proc n["%noisy%"] write file g as e2\n'
+            'proc b["%busy%"] write file f as e3\n'
+            'return f'))
+        # Upfront estimates: e1=1, e2=200, e3=301 — but once e1 pins f to
+        # /secret, e3 collapses to 1 and must jump ahead of e2.
+        adaptive = Scheduler(store).run(plan)
+        assert adaptive.report.order == ["e1", "e3", "e2"]
+        static = Scheduler(store, pushdown=False).run(plan)
+        assert static.report.order == ["e1", "e2", "e3"]
+        # Either order produces the same per-pattern matches.
+        for dq in plan.data_queries:
+            assert ({e.id for e in adaptive.events[dq.index]}
+                    == {e.id for e in static.events[dq.index]})
+
+
 class TestReport:
     def test_report_describes_execution(self, store):
         plan = plan_multievent(parse(QUERY))
