@@ -5,6 +5,10 @@ engine's cost model.  The steady-state fast path (cached having decisions
 for groups in long empty streaks) is what keeps whole-day windows at
 10-second steps tractable; the sweep shows cost growth with step
 granularity and with the number of active groups.
+
+Like the figure harnesses, the sweep runs against the backend selected by
+``--backend {row,columnar,sqlite}`` (default ``row``), so the anomaly
+engine's cost model can be compared per storage substrate.
 """
 
 from __future__ import annotations
@@ -15,14 +19,14 @@ from repro.engine.anomaly import execute_anomaly
 from repro.lang.parser import parse
 from repro.model.entities import NetworkEntity, ProcessEntity
 from repro.model.timeutil import parse_timestamp
-from repro.storage.store import EventStore
+from repro.storage.backend import StorageBackend, create_backend
 
 BASE = parse_timestamp("06/10/2026")
 
 
-def transfer_store(groups: int, events_per_group: int,
-                   spacing: float = 120.0) -> EventStore:
-    store = EventStore()
+def transfer_store(backend: str, groups: int, events_per_group: int,
+                   spacing: float = 120.0) -> StorageBackend:
+    store = create_backend(backend)
     conn = NetworkEntity(3, "10.0.0.3", 50000, "203.0.113.129", 443)
     for pid in range(1, groups + 1):
         proc = ProcessEntity(3, pid, f"worker{pid}.exe")
@@ -46,9 +50,9 @@ having (amt > 2 * (amt + amt[1] + amt[2]) / 3)'''
                                          ("1 min", "1 min"),
                                          ("10 min", "10 min")])
 @pytest.mark.benchmark(group="anomaly-step")
-def test_step_granularity(benchmark, window, step):
+def test_step_granularity(benchmark, backend_name, window, step):
     """Whole-day sweep: finer steps mean more windows."""
-    store = transfer_store(groups=3, events_per_group=60)
+    store = transfer_store(backend_name, groups=3, events_per_group=60)
     query = parse(anomaly_query(window, step))
     output = benchmark(lambda: execute_anomaly(store, query))
     assert output.rows  # the burst is found at every granularity
@@ -56,9 +60,9 @@ def test_step_granularity(benchmark, window, step):
 
 @pytest.mark.parametrize("groups", [1, 10, 50])
 @pytest.mark.benchmark(group="anomaly-groups")
-def test_group_count(benchmark, groups):
+def test_group_count(benchmark, backend_name, groups):
     """Cost growth with the number of concurrently tracked groups."""
-    store = transfer_store(groups=groups, events_per_group=40)
+    store = transfer_store(backend_name, groups=groups, events_per_group=40)
     query = parse(anomaly_query("1 min", "30 sec"))
     output = benchmark(lambda: execute_anomaly(store, query))
     assert output.rows

@@ -30,6 +30,7 @@ methodology of the paper's evaluation.
 from __future__ import annotations
 
 import json
+import math
 import sqlite3
 import threading
 import time
@@ -45,7 +46,7 @@ from repro.model.timeutil import SECONDS_PER_DAY, Window
 from repro.baselines.schema import CREATE_EVENTS_SQL, OPTIMIZED_INDEX_SQL
 from repro.baselines.sql_translator import translate
 from repro.storage.backend import (IdentityBindings, StorageBackend,
-                                   select_via_candidates)
+                                   TemporalBounds, select_via_candidates)
 from repro.storage.dedup import EntityInterner
 from repro.storage.serialize import entity_from_dict, entity_to_dict
 from repro.storage.stats import PatternProfile
@@ -461,6 +462,37 @@ class SqliteEventStore:
             budget -= len(keys)
         return clauses, params
 
+    @staticmethod
+    def _bounds_clauses(bounds: "TemporalBounds | None",
+                        ) -> tuple[list[str], list[object]]:
+        """Compile temporal bounds into indexed ts predicates.
+
+        An inclusive two-sided interval becomes ``ts BETWEEN ? AND ?``;
+        strict sides fall back to plain comparisons.  Either shape drives
+        the ``be_ts`` (or composite ``be_agent_ts``) index, so the
+        narrowed interval is a range scan instead of a post-filter.
+        """
+        clauses: list[str] = []
+        params: list[object] = []
+        if bounds is None or not bounds:
+            return clauses, params
+        if bounds.unsatisfiable:
+            return ["0"], []
+        lo_finite = bounds.lo != -math.inf
+        hi_finite = bounds.hi != math.inf
+        if (lo_finite and hi_finite
+                and not bounds.lo_strict and not bounds.hi_strict):
+            clauses.append("ts BETWEEN ? AND ?")
+            params.extend((bounds.lo, bounds.hi))
+            return clauses, params
+        if lo_finite:
+            clauses.append("ts > ?" if bounds.lo_strict else "ts >= ?")
+            params.append(bounds.lo)
+        if hi_finite:
+            clauses.append("ts < ?" if bounds.hi_strict else "ts <= ?")
+            params.append(bounds.hi)
+        return clauses, params
+
     def _fetch(self, sql: str, params: list[object]) -> list[tuple]:
         with self._lock:
             return self._conn.execute(sql, params).fetchall()
@@ -477,12 +509,10 @@ class SqliteEventStore:
     def candidates(self, profile: PatternProfile,
                    window: Window | None = None,
                    agentids: set[int] | None = None,
-                   bindings: "IdentityBindings | None" = None) -> list[Event]:
-        clauses, params = self._bounds(window, agentids)
-        profile_clauses, profile_params = self._profile_clauses(profile)
-        binding_clauses, binding_params = self._binding_clauses(bindings)
-        clauses += profile_clauses + binding_clauses
-        params += profile_params + binding_params
+                   bindings: "IdentityBindings | None" = None,
+                   bounds: "TemporalBounds | None" = None) -> list[Event]:
+        clauses, params = self._where_parts(profile, window, agentids,
+                                            bindings, bounds)
         where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
         rows = self._fetch(
             "SELECT id, ts, agentid, op, payload FROM backend_events"
@@ -494,23 +524,39 @@ class SqliteEventStore:
                window: Window | None = None,
                agentids: set[int] | None = None,
                bindings: "IdentityBindings | None" = None,
+               bounds: "TemporalBounds | None" = None,
                ) -> tuple[list[Event], int]:
         return select_via_candidates(self, profile, predicate, window,
-                                     agentids, bindings)
+                                     agentids, bindings, bounds)
 
     def estimate(self, profile: PatternProfile,
                  window: Window | None = None,
                  agentids: set[int] | None = None,
-                 bindings: "IdentityBindings | None" = None) -> int:
-        clauses, params = self._bounds(window, agentids)
-        profile_clauses, profile_params = self._profile_clauses(profile)
-        binding_clauses, binding_params = self._binding_clauses(bindings)
-        clauses += profile_clauses + binding_clauses
-        params += profile_params + binding_params
+                 bindings: "IdentityBindings | None" = None,
+                 bounds: "TemporalBounds | None" = None) -> int:
+        clauses, params = self._where_parts(profile, window, agentids,
+                                            bindings, bounds)
         where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
         rows = self._fetch(
             "SELECT COUNT(*) FROM backend_events" + where, params)
         return int(rows[0][0])
+
+    def _where_parts(self, profile: PatternProfile, window: Window | None,
+                     agentids: set[int] | None,
+                     bindings: "IdentityBindings | None",
+                     bounds: "TemporalBounds | None",
+                     ) -> tuple[list[str], list[object]]:
+        """One WHERE compilation shared by ``candidates`` and ``estimate``
+        — parity by construction: the count the scheduler orders on is the
+        count of exactly the rows the scan would return."""
+        clauses, params = self._bounds(window, agentids)
+        for extra_clauses, extra_params in (
+                self._profile_clauses(profile),
+                self._binding_clauses(bindings),
+                self._bounds_clauses(bounds)):
+            clauses += extra_clauses
+            params += extra_params
+        return clauses, params
 
     # ------------------------------------------------------------------
     # Introspection

@@ -53,6 +53,8 @@ class AnomalyOutput:
 def execute_anomaly(store: StorageBackend, query: AnomalyQuery, *,
                     prioritize: bool = True, propagate: bool = True,
                     partition: bool = True, pushdown: bool = True,
+                    temporal_pushdown: bool = True,
+                    bitmap_bindings: bool = True,
                     max_workers: int | None = None) -> AnomalyOutput:
     """Run an anomaly query against the store."""
     if len(query.patterns) != 1:
@@ -63,7 +65,10 @@ def execute_anomaly(store: StorageBackend, query: AnomalyQuery, *,
 
     events = _fetch_events(store, query, prioritize=prioritize,
                            propagate=propagate, partition=partition,
-                           pushdown=pushdown, max_workers=max_workers)
+                           pushdown=pushdown,
+                           temporal_pushdown=temporal_pushdown,
+                           bitmap_bindings=bitmap_bindings,
+                           max_workers=max_workers)
     events.sort(key=lambda evt: (evt.ts, evt.id))
     timestamps = [evt.ts for evt in events]
 
@@ -143,7 +148,9 @@ def execute_anomaly(store: StorageBackend, query: AnomalyQuery, *,
 
 def _fetch_events(store: StorageBackend, query: AnomalyQuery, *,
                   prioritize: bool, propagate: bool, partition: bool,
-                  pushdown: bool, max_workers: int | None) -> list[Event]:
+                  pushdown: bool, temporal_pushdown: bool,
+                  bitmap_bindings: bool,
+                  max_workers: int | None) -> list[Event]:
     pattern = query.patterns[0]
     wrapper = MultieventQuery(
         header=query.header, patterns=query.patterns, temporal=(),
@@ -151,7 +158,10 @@ def _fetch_events(store: StorageBackend, query: AnomalyQuery, *,
     plan = plan_multievent(wrapper)
     result = execute_plan(store, plan, prioritize=prioritize,
                           propagate=propagate, partition=partition,
-                          pushdown=pushdown, max_workers=max_workers)
+                          pushdown=pushdown,
+                          temporal_pushdown=temporal_pushdown,
+                          bitmap_bindings=bitmap_bindings,
+                          max_workers=max_workers)
     return [binding[pattern.event_var] for binding in result.rows]  # type: ignore
 
 

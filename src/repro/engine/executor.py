@@ -33,17 +33,25 @@ class EngineOptions:
 
     Defaults are the paper's configuration; the ablation benchmark flips
     individual flags to measure each optimization's contribution.
-    ``pushdown`` controls whether propagated identity bindings are handed
-    to the storage backend as scan hints (on) or applied by post-filtering
-    survivors in the engine (off); results are identical either way.
-    ``max_workers`` of ``None`` sizes the sub-query pool to the machine
+    ``pushdown`` controls whether propagated identity bindings and
+    temporal bounds are handed to the storage backend as scan hints (on)
+    or applied by post-filtering survivors in the engine (off); results
+    are identical either way.  ``temporal_pushdown`` and
+    ``bitmap_bindings`` are finer-grained levers under ``pushdown``: the
+    first isolates the temporal-bounds scan pushdown (off = exact
+    post-filtering of the propagated bounds), the second the dense
+    bitmap/intersection representation of large binding sets (off =
+    per-element set probes).  ``max_workers`` of ``None`` sizes the
+    sub-query pool to the machine
     (:data:`repro.engine.parallel.DEFAULT_WORKERS`).
     """
 
     prioritize: bool = True      # pruning-power pattern ordering
     propagate: bool = True       # binding propagation between patterns
     partition: bool = True       # spatial/temporal sub-query parallelism
-    pushdown: bool = True        # identity bindings pushed into backend scans
+    pushdown: bool = True        # bindings/bounds pushed into backend scans
+    temporal_pushdown: bool = True   # temporal bounds as scan predicates
+    bitmap_bindings: bool = True     # bitmap large-binding-set compaction
     max_workers: int | None = None
     row_limit: int | None = None
 
@@ -66,7 +74,10 @@ def execute(store: StorageBackend, query: Query,
         output = execute_anomaly(
             store, query, prioritize=options.prioritize,
             propagate=options.propagate, partition=options.partition,
-            pushdown=options.pushdown, max_workers=options.max_workers)
+            pushdown=options.pushdown,
+            temporal_pushdown=options.temporal_pushdown,
+            bitmap_bindings=options.bitmap_bindings,
+            max_workers=options.max_workers)
         return QueryResult(columns=output.columns, rows=output.rows,
                            elapsed=output.report.elapsed, kind="anomaly",
                            report=output.report.describe())
@@ -117,7 +128,10 @@ def _execute_multievent(store: StorageBackend, query: MultieventQuery,
     parallel = execute_plan(
         store, plan, prioritize=options.prioritize,
         propagate=options.propagate, partition=options.partition,
-        pushdown=options.pushdown, max_workers=options.max_workers,
+        pushdown=options.pushdown,
+        temporal_pushdown=options.temporal_pushdown,
+        bitmap_bindings=options.bitmap_bindings,
+        max_workers=options.max_workers,
         row_limit=options.row_limit)
     columns, rows = project_bindings(plan, query, parallel.rows)
     report = merge_reports(parallel.reports)

@@ -89,11 +89,15 @@ class ParallelResult:
 def execute_plan(store: StorageBackend, plan: QueryPlan, *,
                  prioritize: bool = True, propagate: bool = True,
                  partition: bool = True, pushdown: bool = True,
+                 temporal_pushdown: bool = True,
+                 bitmap_bindings: bool = True,
                  max_workers: int | None = None,
                  row_limit: int | None = None) -> ParallelResult:
     """Run a planned multievent query, partitioned when sound."""
     scheduler = Scheduler(store, prioritize=prioritize, propagate=propagate,
-                          pushdown=pushdown)
+                          pushdown=pushdown,
+                          temporal_pushdown=temporal_pushdown,
+                          bitmap_bindings=bitmap_bindings)
     join_kwargs = {} if row_limit is None else {"row_limit": row_limit}
 
     def run_one(window: Window | None,

@@ -15,6 +15,7 @@ its bracket constraints to every occurrence.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from typing import Callable
@@ -93,6 +94,58 @@ class QueryPlan:
             for variable in set(data_query.variables):
                 shared.setdefault(variable, []).append(data_query.index)
         return {var: idxs for var, idxs in shared.items() if len(idxs) > 1}
+
+    def temporal_closure(self) -> dict[tuple[str, str], float]:
+        """Transitive closure of the plan's ``before`` constraint graph.
+
+        ``(u, v) -> d`` means u's event must precede v's (strictly) with
+        ``v.ts - u.ts <= d``; ``d`` is ``inf`` when every path between
+        them has an unbounded hop.  Each direct ``u before v [within d]``
+        is an edge of weight ``d`` (or ``inf``); a chain composes because
+        the deltas add — ``u before v within d1`` and ``v before w within
+        d2`` force ``0 < w.ts - u.ts <= d1 + d2`` for any complete match,
+        even though u and w share no relation (or variable).  The closure
+        is the all-pairs *shortest* path, so the tightest derivable bound
+        survives when multiple chains connect a pair.
+
+        This is what lets the scheduler narrow *every* reachable
+        pattern's bounds from one executed pattern, not just its direct
+        temporal partners.
+        """
+        return temporal_closure(self.temporal)
+
+
+def temporal_closure(temporal: tuple[TemporalRelation, ...],
+                     ) -> dict[tuple[str, str], float]:
+    """All-pairs shortest ``within`` totals over normalized before-edges.
+
+    Floyd–Warshall over the (tiny) event-variable graph.  Presence of a
+    key means precedence is derivable; the value is the minimal summed
+    ``within`` across connecting paths, ``inf`` when unbounded.
+    """
+    dist: dict[tuple[str, str], float] = {}
+    nodes: set[str] = set()
+    for rel in temporal:
+        nodes.add(rel.left)
+        nodes.add(rel.right)
+        weight = rel.within if rel.within is not None else math.inf
+        key = (rel.left, rel.right)
+        if key not in dist or weight < dist[key]:
+            dist[key] = weight
+    for via in nodes:
+        for src in nodes:
+            first = dist.get((src, via))
+            if first is None:
+                continue
+            for dst in nodes:
+                second = dist.get((via, dst))
+                if second is None:
+                    continue
+                key = (src, dst)
+                total = first + second
+                if key not in dist or total < dist[key]:
+                    dist[key] = total
+    return dist
 
 
 def _merge_variable_constraints(

@@ -28,7 +28,8 @@ from repro.errors import ExecutionError
 from repro.model.events import Event
 from repro.model.timeutil import Window
 from repro.engine.planner import DataQuery, QueryPlan
-from repro.storage.backend import IdentityBindings, StorageBackend
+from repro.storage.backend import (IdentityBindings, StorageBackend,
+                                   TemporalBounds)
 
 
 @dataclass
@@ -85,19 +86,34 @@ class Scheduler:
 
     With ``pushdown`` enabled (the default), propagated identity-binding
     sets travel *into* the backend as
-    :class:`~repro.storage.backend.IdentityBindings` hints, pruning
-    candidates inside the scan; the in-engine post-filter stays as a
-    correctness fallback for backends that ignore the hint.  Remaining
-    patterns are also re-estimated under the current bindings after each
-    step, so pruning-power ordering reacts to propagation.
+    :class:`~repro.storage.backend.IdentityBindings` hints and propagated
+    temporal bounds as :class:`~repro.storage.backend.TemporalBounds`,
+    pruning candidates inside the scan; the in-engine post-filters stay
+    as a correctness fallback for backends that ignore the hints.
+    Remaining patterns are also re-estimated under the current bindings
+    and bounds after each step, so pruning-power ordering reacts to
+    propagation.
+
+    Temporal bounds are *transitive*: a chain ``e1 before e2``, ``e2
+    before e3`` narrows e3 the moment e1 executes, even though they share
+    no relation or variable, via the plan's shortest-path closure over
+    the temporal-constraint graph.  ``temporal_pushdown`` and
+    ``bitmap_bindings`` (both subordinate to ``pushdown``) let the
+    ablation benchmark isolate the temporal-bounds scan pushdown and the
+    large-binding-set bitmap representation; with either off, the exact
+    post-filters carry the full restriction and results are identical.
     """
 
     def __init__(self, store: StorageBackend, *, prioritize: bool = True,
-                 propagate: bool = True, pushdown: bool = True) -> None:
+                 propagate: bool = True, pushdown: bool = True,
+                 temporal_pushdown: bool = True,
+                 bitmap_bindings: bool = True) -> None:
         self._store = store
         self._prioritize = prioritize
         self._propagate = propagate
         self._pushdown = pushdown
+        self._temporal = pushdown and temporal_pushdown
+        self._bitmap = pushdown and bitmap_bindings
 
     def run(self, plan: QueryPlan,
             window: Window | None = None,
@@ -121,25 +137,34 @@ class Scheduler:
             ordered.sort(key=lambda dq: (estimates[dq.index], dq.index))
 
         # Binding state threaded through pattern executions.
+        closure = plan.temporal_closure() if self._propagate else {}
         identity_sets: dict[str, set[tuple]] = {}
         ts_bounds: dict[str, tuple[float, float]] = {}
         matches: dict[int, list[Event]] = {}
 
         for position, dq in enumerate(ordered):
             step_started = time.perf_counter()
-            effective = self._narrow_window(dq, plan, base_window, ts_bounds,
-                                            matches)
+            bounds = (self._bounds_for(dq, closure, ts_bounds)
+                      if self._propagate else None)
             bindings = (self._bindings_for(dq, identity_sets)
                         if self._propagate else None)
             survivors, fetched = self._store.select(
-                dq.profile, dq.compiled, effective, _agents(dq, agentids),
-                bindings if self._pushdown else None)
+                dq.profile, dq.compiled, base_window,
+                _agents(dq, agentids),
+                bindings if self._pushdown else None,
+                bounds if self._temporal else None)
             if bindings is not None:
                 # Correctness fallback: exact even when the backend
                 # ignored (or only partially applied) the pushdown hint.
                 admits = bindings.admits
                 survivors = [event for event in survivors
                              if admits(event)]
+            if bounds is not None:
+                # Same fallback for the temporal hint — and the entire
+                # restriction when temporal pushdown is ablated off.
+                in_bounds = bounds.admits
+                survivors = [event for event in survivors
+                             if in_bounds(event.ts)]
             matches[dq.index] = survivors
             report.patterns.append(PatternExecution(
                 event_var=dq.event_var, estimate=estimates[dq.index],
@@ -157,7 +182,7 @@ class Scheduler:
                                       ts_bounds)
                 self._reorder_remaining(ordered, position, dq, estimates,
                                         base_window, agentids,
-                                        identity_sets)
+                                        identity_sets, closure, ts_bounds)
         report.order = [dq.event_var for dq in ordered]
         report.elapsed = time.perf_counter() - started
         return ScheduledMatches(order=ordered, events=matches, report=report)
@@ -166,28 +191,39 @@ class Scheduler:
                            executed: DataQuery, estimates: dict[int, int],
                            base_window: Window | None,
                            agentids: frozenset[int] | None,
-                           identity_sets: dict[str, set[tuple]]) -> None:
-        """Re-estimate unexecuted patterns under the current bindings.
+                           identity_sets: dict[str, set[tuple]],
+                           closure: dict[tuple[str, str], float],
+                           ts_bounds: dict[str, tuple[float, float]],
+                           ) -> None:
+        """Re-estimate unexecuted patterns under bindings and bounds.
 
         Binding propagation changes pruning power mid-flight: a pattern
         that looked expensive upfront may be nearly free once its entity
-        variables are pinned.  Only the patterns sharing a variable the
-        just-executed pattern bound can have changed cost, so only those
-        are re-estimated.  Only worth re-sorting when at least two
-        patterns remain, and only meaningful when the backend sees the
-        bindings (``pushdown``).
+        variables are pinned or its time interval collapses.  Only the
+        patterns sharing a variable the just-executed pattern bound — or
+        reachable from it through the temporal closure — can have changed
+        cost, so only those are re-estimated.  Only worth re-sorting when
+        at least two patterns remain, and only meaningful when the
+        backend sees the hints (``pushdown``).
         """
         remaining = ordered[position + 1:]
         if not (self._prioritize and self._pushdown and len(remaining) > 1):
             return
         updated_vars = {executed.subject_var, executed.object_var}
+        executed_var = executed.event_var
         changed = False
         for dq in remaining:
-            if updated_vars.isdisjoint(dq.variables):
+            temporally_linked = (
+                self._temporal
+                and ((executed_var, dq.event_var) in closure
+                     or (dq.event_var, executed_var) in closure))
+            if updated_vars.isdisjoint(dq.variables) and not temporally_linked:
                 continue
             estimates[dq.index] = self._store.estimate(
                 dq.profile, base_window, _agents(dq, agentids),
-                self._bindings_for(dq, identity_sets))
+                self._bindings_for(dq, identity_sets),
+                (self._bounds_for(dq, closure, ts_bounds)
+                 if self._temporal else None))
             changed = True
         if not changed:
             return
@@ -197,62 +233,49 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Binding propagation
     # ------------------------------------------------------------------
-    def _narrow_window(self, dq: DataQuery, plan: QueryPlan,
-                       base: Window | None,
-                       ts_bounds: dict[str, tuple[float, float]],
-                       matches: dict[int, list[Event]],
-                       ) -> Window | None:
-        """Clip this pattern's window using executed temporal partners.
-
-        For ``u before v``: once u has matched with earliest timestamp t0,
-        v's candidates need ``ts > t0`` (weakest sound bound over all
-        possible partners); symmetrically once v has matched with latest
-        timestamp t1, u needs ``ts < t1``.  ``within d`` tightens the other
-        side of the interval.
-
-        Inclusivity matters at the edges: windows are half-open, so an
-        *exclusive* bound (strict ``before``) maps onto the window end
-        directly, while the *inclusive* ``within`` bound
-        (``v.ts - u.ts <= d``) must nudge the end one ulp up — otherwise a
-        partner event exactly at ``t1 + d`` is silently dropped and the
-        optimization changes results.
-        """
-        if not self._propagate:
-            return base
-        lo, hi = (-float("inf"), float("inf"))
-        var = dq.event_var
-        for rel in plan.temporal:
-            if rel.right == var and rel.left in ts_bounds:
-                partner_lo, partner_hi = ts_bounds[rel.left]
-                lo = max(lo, partner_lo)
-                if rel.within is not None:
-                    hi = min(hi, math.nextafter(partner_hi + rel.within,
-                                                math.inf))
-            elif rel.left == var and rel.right in ts_bounds:
-                partner_lo, partner_hi = ts_bounds[rel.right]
-                hi = min(hi, partner_hi)
-                if rel.within is not None:
-                    lo = max(lo, partner_lo - rel.within)
-        if lo == -float("inf") and hi == float("inf"):
-            return base
-        if base is not None:
-            lo = max(lo, base.start)
-            hi = min(hi, base.end)
-        if lo >= hi:
-            # Empty window: no event can satisfy the temporal constraints.
-            return Window(lo, lo)
-        if lo == -float("inf") or hi == float("inf"):
-            span = self._store.span
-            if span is None:
-                return base
-            lo = max(lo, span.start)
-            hi = min(hi, span.end)
-            if lo >= hi:
-                return Window(lo, lo)
-        return Window(lo, hi)
-
     @staticmethod
-    def _bindings_for(dq: DataQuery,
+    def _bounds_for(dq: DataQuery,
+                    closure: dict[tuple[str, str], float],
+                    ts_bounds: dict[str, tuple[float, float]],
+                    ) -> TemporalBounds | None:
+        """Timestamp bounds for this pattern from executed partners.
+
+        For every executed pattern u reachable through the temporal
+        closure: if u precedes this pattern (total ``within`` D over the
+        tightest chain), candidates need ``ts > u_min`` — the weakest
+        sound bound over all possible partner events — and, when D is
+        finite, ``ts <= u_max + D`` (the ``within`` bound is inclusive).
+        Symmetrically when this pattern precedes u: ``ts < u_max`` and,
+        with finite D, ``ts >= u_min - D``.
+
+        Inclusivity is carried per side instead of being folded into a
+        half-open window here, so each backend lowers it exactly — a
+        partner event exactly at ``u_max + D`` must survive, one exactly
+        at ``u_min`` must not.  Equal bound values keep the *strict*
+        variant (the tighter of the two sound restrictions).
+        """
+        lo, hi = -math.inf, math.inf
+        lo_strict = hi_strict = False
+        var = dq.event_var
+        for partner, (partner_lo, partner_hi) in ts_bounds.items():
+            delay = closure.get((partner, var))
+            if delay is not None:      # partner (transitively) before var
+                if partner_lo > lo or (partner_lo == lo and not lo_strict):
+                    lo, lo_strict = partner_lo, True
+                if delay != math.inf and partner_hi + delay < hi:
+                    hi, hi_strict = partner_hi + delay, False
+            delay = closure.get((var, partner))
+            if delay is not None:      # var (transitively) before partner
+                if partner_hi < hi or (partner_hi == hi and not hi_strict):
+                    hi, hi_strict = partner_hi, True
+                if delay != math.inf and partner_lo - delay > lo:
+                    lo, lo_strict = partner_lo - delay, False
+        if lo == -math.inf and hi == math.inf:
+            return None
+        return TemporalBounds(lo=lo, hi=hi, lo_strict=lo_strict,
+                              hi_strict=hi_strict)
+
+    def _bindings_for(self, dq: DataQuery,
                       identity_sets: dict[str, set[tuple]],
                       ) -> IdentityBindings | None:
         """Pushdown hint for one pattern from the propagated binding state."""
@@ -262,7 +285,8 @@ class Scheduler:
             return None
         return IdentityBindings(
             subjects=frozenset(subjects) if subjects is not None else None,
-            objects=frozenset(objects) if objects is not None else None)
+            objects=frozenset(objects) if objects is not None else None,
+            compact=self._bitmap)
 
     def _update_bindings(self, dq: DataQuery, events: list[Event],
                          identity_sets: dict[str, set[tuple]],

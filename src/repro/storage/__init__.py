@@ -8,7 +8,8 @@ implementations, with ``sqlite`` provided by
 lazily through the registry to keep this package import-light.
 """
 
-from repro.storage.backend import (StorageBackend, available_backends,
+from repro.storage.backend import (Bitmap, IdentityBindings, StorageBackend,
+                                   TemporalBounds, available_backends,
                                    create_backend, register_backend,
                                    select_via_candidates)
 from repro.storage.dedup import EntityInterner, EventMerger
@@ -20,7 +21,8 @@ from repro.storage.stats import PatternProfile, estimate_total
 from repro.storage.store import EventStore
 
 __all__ = [
-    "StorageBackend", "available_backends", "create_backend",
+    "Bitmap", "IdentityBindings", "StorageBackend", "TemporalBounds",
+    "available_backends", "create_backend",
     "register_backend", "select_via_candidates",
     "EntityInterner", "EventMerger", "PostingIndex", "TimeIndex",
     "like_match", "like_to_regex", "IngestPipeline", "IngestStats",

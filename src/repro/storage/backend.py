@@ -19,6 +19,7 @@ the benchmarks all select one through :func:`create_backend`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import (TYPE_CHECKING, Callable, Iterable, Protocol,
                     runtime_checkable)
@@ -31,6 +32,122 @@ from repro.storage.stats import PatternProfile
 
 if TYPE_CHECKING:
     from repro.engine.filters import CompiledPredicate
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalBounds:
+    """Propagated timestamp bounds for one data query.
+
+    The scheduler's temporal propagation (§2.3) derives, from the
+    temporal relations and the timestamp ranges of already-executed
+    partner patterns, an interval every useful candidate of a pattern
+    must fall into.  Passing that interval *into* the backend lets the
+    restriction prune during the scan — zone-map partition skipping and
+    a binary-searched clamp of the sorted ts column (columnar), a costed
+    time-index range scan (row store), or indexed ``BETWEEN``/comparison
+    predicates (SQLite) — instead of post-filtering materialized
+    survivors.
+
+    Unlike a half-open :class:`~repro.model.timeutil.Window`, each side
+    carries its own inclusivity: a strict ``before`` derives an
+    *exclusive* bound (``ts > lo``) while the ``within d`` bound is
+    *inclusive* (``ts <= hi``).  Keeping inclusivity first-class means
+    the edges are exact; backends that prefer window arithmetic convert
+    with :meth:`clamp_window`, which nudges by one ulp exactly where the
+    half-open convention requires it.
+
+    Bounds are a *hint*: backends may ignore them because the scheduler
+    keeps an exact per-event post-filter as a correctness fallback.
+    """
+
+    lo: float = -math.inf
+    hi: float = math.inf
+    lo_strict: bool = False   # True: ts > lo, False: ts >= lo
+    hi_strict: bool = False   # True: ts < hi, False: ts <= hi
+
+    def __bool__(self) -> bool:
+        return self.lo != -math.inf or self.hi != math.inf
+
+    @property
+    def unsatisfiable(self) -> bool:
+        """True when no timestamp can satisfy the bounds."""
+        return (self.lo > self.hi
+                or (self.lo == self.hi
+                    and (self.lo_strict or self.hi_strict)))
+
+    def admits(self, ts: float) -> bool:
+        """Exact per-event test (the post-filter fallback)."""
+        if ts < self.lo or (ts == self.lo and self.lo_strict):
+            return False
+        if ts > self.hi or (ts == self.hi and self.hi_strict):
+            return False
+        return True
+
+    def clamp_window(self, window: Window | None) -> Window | None:
+        """Tightest half-open window covering ``bounds ∩ window``.
+
+        This is the shared lowering used by backends whose scan machinery
+        is window-shaped (partition pruning, sorted-column binary search):
+        a strict lower bound becomes the next representable float (``ts >
+        lo`` ⇔ ``ts >= nextafter(lo)``), an inclusive upper bound nudges
+        the half-open end one ulp up.  Returns ``None`` when nothing
+        constrains the scan, and a zero-length window when the
+        combination is empty.
+        """
+        start = self.lo
+        if self.lo_strict and start != -math.inf:
+            start = math.nextafter(start, math.inf)
+        end = self.hi
+        if not self.hi_strict and end != math.inf:
+            end = math.nextafter(end, math.inf)
+        if window is not None:
+            start = max(start, window.start)
+            end = min(end, window.end)
+        if start == -math.inf and end == math.inf:
+            return None
+        if start >= end:
+            point = (start if math.isfinite(start)
+                     else end if math.isfinite(end) else 0.0)
+            return Window(point, point)
+        return Window(start, end)
+
+
+#: Binding sets at or below this size keep plain set probes; larger sets
+#: are compacted into a :class:`Bitmap` (columnar batch loop) or answered
+#: by posting-key intersection (row store).  Per-element probing a huge
+#: set inside the hot loop pays a hash per row; the dense representation
+#: pays one O(vocabulary) build instead.
+BITMAP_THRESHOLD = 256
+
+
+class Bitmap:
+    """Dense membership flags over dictionary codes.
+
+    The compact representation large :class:`IdentityBindings` sets (and
+    broad LIKE-derived code sets) collapse into: one flag per code of the
+    backing vocabulary, so the columnar batch loop tests membership with
+    a single index (``flags[code]``) instead of hashing into a large set.
+    A byte per code trades 8x the space of a packed bitset for the
+    fastest pure-Python probe.
+    """
+
+    __slots__ = ("flags", "size")
+
+    def __init__(self, codes: Iterable[int], size: int) -> None:
+        flags = bytearray(size)
+        count = 0
+        for code in codes:
+            if not flags[code]:
+                flags[code] = 1
+                count += 1
+        self.flags = flags
+        self.size = count
+
+    def __contains__(self, code: int) -> bool:
+        return bool(self.flags[code])
+
+    def __len__(self) -> int:
+        return self.size
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,10 +165,17 @@ class IdentityBindings:
     ``None`` on a side means unrestricted; an *empty* set means the
     propagated variable has no admissible identity, so no event can match
     and backends short-circuit without touching a partition.
+
+    ``compact`` permits backends to swap per-element set probes for the
+    dense representations above :data:`BITMAP_THRESHOLD` — dictionary-code
+    :class:`Bitmap` membership in the columnar batch loop, posting-key
+    intersection in the row store.  The ablation benchmark's ``no_bitmap``
+    configuration turns it off; results are identical either way.
     """
 
     subjects: frozenset[tuple] | None = None
     objects: frozenset[tuple] | None = None
+    compact: bool = True
 
     def __bool__(self) -> bool:
         return self.subjects is not None or self.objects is not None
@@ -84,13 +208,16 @@ class StorageBackend(Protocol):
     lets a backend evaluate a pattern's residual predicate its own way
     (per event, or over column batches).
 
-    ``candidates``/``select``/``estimate`` accept an optional
-    :class:`IdentityBindings` hint.  Backends *may* use it to prune during
-    the scan; they are allowed to ignore it because the scheduler keeps an
-    exact post-filter as a correctness fallback.  ``select`` results must
-    respect the bindings exactly (the shared
-    :func:`select_via_candidates` already guarantees this for
-    row-at-a-time backends).
+    ``candidates``/``select``/``estimate`` accept optional
+    :class:`IdentityBindings` and :class:`TemporalBounds` hints.  Backends
+    *may* use either to prune during the scan; they are allowed to ignore
+    them because the scheduler keeps exact post-filters as a correctness
+    fallback.  ``select`` results must respect both hints exactly (the
+    shared :func:`select_via_candidates` already guarantees this for
+    row-at-a-time backends).  ``estimate`` must honor the hints
+    consistently with ``candidates`` — the scheduler re-orders patterns
+    on these estimates, and a divergence would make ordering decisions
+    about scans that return something else.
     """
 
     backend_name: str
@@ -109,19 +236,22 @@ class StorageBackend(Protocol):
     def candidates(self, profile: PatternProfile,
                    window: Window | None = None,
                    agentids: set[int] | None = None,
-                   bindings: IdentityBindings | None = None) -> list[Event]: ...
+                   bindings: IdentityBindings | None = None,
+                   bounds: TemporalBounds | None = None) -> list[Event]: ...
 
     def select(self, profile: PatternProfile,
                predicate: "CompiledPredicate",
                window: Window | None = None,
                agentids: set[int] | None = None,
                bindings: IdentityBindings | None = None,
+               bounds: TemporalBounds | None = None,
                ) -> tuple[list[Event], int]: ...
 
     def estimate(self, profile: PatternProfile,
                  window: Window | None = None,
                  agentids: set[int] | None = None,
-                 bindings: IdentityBindings | None = None) -> int: ...
+                 bindings: IdentityBindings | None = None,
+                 bounds: TemporalBounds | None = None) -> int: ...
 
     # Introspection ----------------------------------------------------
     @property
@@ -150,24 +280,31 @@ def select_via_candidates(backend: StorageBackend, profile: PatternProfile,
                           window: Window | None = None,
                           agentids: set[int] | None = None,
                           bindings: IdentityBindings | None = None,
+                          bounds: TemporalBounds | None = None,
                           ) -> tuple[list[Event], int]:
     """Default ``select``: candidate fetch + fused per-event residual.
 
     Row-at-a-time backends share this implementation; batch backends
     override ``select`` entirely.  Returns ``(survivors, fetched)`` where
     ``fetched`` is the candidate-list size (for execution reports).
-    Identity bindings short-circuit when unsatisfiable and are enforced
-    exactly on the survivors, whatever the backend's ``candidates`` chose
-    to do with the hint.
+    Identity bindings and temporal bounds short-circuit when unsatisfiable
+    and are enforced exactly on the survivors, whatever the backend's
+    ``candidates`` chose to do with the hints.
     """
     if bindings is not None and bindings.unsatisfiable:
         return [], 0
-    fetched = backend.candidates(profile, window, agentids, bindings)
+    if bounds is not None and bounds.unsatisfiable:
+        return [], 0
+    fetched = backend.candidates(profile, window, agentids, bindings, bounds)
     test = predicate.event_predicate
+    survivors = fetched
+    if bounds is not None and bounds:
+        in_bounds = bounds.admits
+        survivors = [event for event in survivors if in_bounds(event.ts)]
     if bindings is None or not bindings:
-        return [event for event in fetched if test(event)], len(fetched)
+        return ([event for event in survivors if test(event)], len(fetched))
     admits = bindings.admits
-    return ([event for event in fetched if admits(event) and test(event)],
+    return ([event for event in survivors if admits(event) and test(event)],
             len(fetched))
 
 

@@ -48,7 +48,7 @@ from repro.storage.stats import PatternProfile
 from repro.engine.filters import Atom, CompiledPredicate
 
 if TYPE_CHECKING:
-    from repro.storage.backend import IdentityBindings
+    from repro.storage.backend import IdentityBindings, TemporalBounds
 
 _ETYPE_CODE: dict[str, int] = {name: code
                                for code, name in enumerate(ENTITY_TYPES)}
@@ -184,15 +184,18 @@ class _BindingCodes:
     """Identity bindings translated to dictionary-code sets.
 
     ``None`` on a side means unrestricted, mirroring
-    :class:`~repro.storage.backend.IdentityBindings`.
+    :class:`~repro.storage.backend.IdentityBindings`.  ``compact``
+    carries the bindings' permission to compact large code sets into a
+    :class:`~repro.storage.backend.Bitmap` for the fused loop.
     """
 
-    __slots__ = ("subjects", "objects")
+    __slots__ = ("subjects", "objects", "compact")
 
     def __init__(self, subjects: set[int] | None,
-                 objects: set[int] | None) -> None:
+                 objects: set[int] | None, compact: bool = True) -> None:
         self.subjects = subjects
         self.objects = objects
+        self.compact = compact
 
     @property
     def empty(self) -> bool:
@@ -236,12 +239,22 @@ def _compile_row_filter(dim_items, value_items) -> Callable:
     matches :func:`repro.engine.filters._compare` exactly because the
     numeric event columns always hold numbers; anything else falls back to
     the atom's :func:`~repro.engine.filters.value_test`.
+
+    An allowed-code collection handed over as a
+    :class:`~repro.storage.backend.Bitmap` compiles to a dense flag
+    lookup (``_s0[subjects[i]]``) instead of a set probe — one index into
+    a bytearray per row, no hashing, whatever the code-set size.
     """
+    from repro.storage.backend import Bitmap
     conds: list[str] = []
     namespace: dict[str, object] = {}
     for index, (column, allowed) in enumerate(dim_items):
-        namespace[f"_s{index}"] = allowed
-        conds.append(f"{column}[i] in _s{index}")
+        if isinstance(allowed, Bitmap):
+            namespace[f"_s{index}"] = allowed.flags
+            conds.append(f"_s{index}[{column}[i]]")
+        else:
+            namespace[f"_s{index}"] = allowed
+            conds.append(f"{column}[i] in _s{index}")
     for index, (column, atom) in enumerate(value_items):
         value = atom.value
         if (atom.op in _INLINE_OPS
@@ -261,6 +274,22 @@ def _compile_row_filter(dim_items, value_items) -> Callable:
               f"    return [i for i in range(lo, hi) if {condition}]\n")
     exec(source, namespace)  # noqa: S102 - trusted, locally generated
     return namespace["_row_filter"]  # type: ignore[return-value]
+
+
+def _count_codes(counter: Counter, codes: set[int],
+                 compact: bool = True) -> int:
+    """Total per-code count, iterating whichever side is smaller.
+
+    Binding-propagated code sets can dwarf a partition's distinct-code
+    vocabulary; flipping the iteration bounds the estimation work by
+    ``min(|codes|, |vocabulary|)`` — the counter-side analogue of the
+    row store's posting-key intersection, gated by the same ``compact``
+    flag so the ``no_bitmap`` ablation disables it uniformly.
+    """
+    if compact and len(codes) > len(counter):
+        return sum(count for code, count in counter.items()
+                   if code in codes)
+    return sum(counter.get(code, 0) for code in codes)
 
 
 def _range_excludes(op: str, value: object, lo: float, hi: float) -> bool:
@@ -428,10 +457,12 @@ class ColumnarEventStore:
     def candidates(self, profile: PatternProfile,
                    window: Window | None = None,
                    agentids: set[int] | None = None,
-                   bindings: "IdentityBindings | None" = None) -> list[Event]:
+                   bindings: "IdentityBindings | None" = None,
+                   bounds: "TemporalBounds | None" = None) -> list[Event]:
         """Batch-scan superset of events matching the profile."""
         events, _fetched = self._batch_select(
-            self._profile_atoms(profile), window, agentids, bindings)
+            self._profile_atoms(profile), window, agentids, bindings,
+            bounds)
         return events
 
     def select(self, profile: PatternProfile,
@@ -439,6 +470,7 @@ class ColumnarEventStore:
                window: Window | None = None,
                agentids: set[int] | None = None,
                bindings: "IdentityBindings | None" = None,
+               bounds: "TemporalBounds | None" = None,
                ) -> tuple[list[Event], int]:
         """Evaluate the full residual predicate column-at-a-time.
 
@@ -446,20 +478,30 @@ class ColumnarEventStore:
         then the fused per-event predicate — the whole atom conjunction is
         pushed into the batch scan, so no non-matching Event object is
         ever materialized.  Identity bindings translate to dictionary-code
-        sets and join the fused membership tests, so binding propagation
-        prunes *before* survivor materialization too.
+        sets and join the fused membership tests, and temporal bounds
+        clamp the scan itself — zone maps skip whole partitions, a binary
+        search over the sorted ts column bounds the fused loop's row range
+        — so binding propagation prunes *before* survivor materialization
+        too.
         """
         return self._batch_select(predicate.atoms, window, agentids,
-                                  bindings)
+                                  bindings, bounds)
 
     def estimate(self, profile: PatternProfile,
                  window: Window | None = None,
                  agentids: set[int] | None = None,
-                 bindings: "IdentityBindings | None" = None) -> int:
+                 bindings: "IdentityBindings | None" = None,
+                 bounds: "TemporalBounds | None" = None) -> int:
         """Estimated match cardinality (the pruning-power signal)."""
         binding_codes = self._binding_codes(bindings)
         if binding_codes is not None and binding_codes.empty:
             return 0
+        if bounds is not None:
+            if bounds.unsatisfiable:
+                return 0
+            # Identical tightening to the one _batch_select applies, so
+            # the estimate stays consistent with the scan it predicts.
+            window = bounds.clamp_window(window)
         return sum(self._estimate_partition(partition, profile, window,
                                             binding_codes)
                    for partition in self._pruned(window, agentids))
@@ -486,7 +528,7 @@ class ColumnarEventStore:
         if bindings.objects is not None:
             objects = {code[identity] for identity in bindings.objects
                        if identity in code}
-        return _BindingCodes(subjects, objects)
+        return _BindingCodes(subjects, objects, bindings.compact)
 
     def _profile_atoms(self, profile: PatternProfile) -> list[Atom]:
         """Lower a PatternProfile to the equivalent atom conjunction."""
@@ -572,11 +614,31 @@ class ColumnarEventStore:
             return plan
         # Cheapest dimensions first: type/op sets are tiny, entity sets
         # larger, residual numeric tests (Python calls) last.
-        ordered = [(column, plan.dim_sets[column])
+        compact = binding_codes.compact if binding_codes is not None else True
+        vocab_sizes = {"etypes": len(_ETYPE_NAME), "ops": len(self._ops),
+                       "subjects": len(self._entities),
+                       "objects": len(self._entities)}
+        ordered = [(column, self._compacted(plan.dim_sets[column],
+                                            vocab_sizes[column], compact))
                    for column in ("etypes", "ops", "subjects", "objects")
                    if column in plan.dim_sets]
         plan.row_filter = _compile_row_filter(ordered, plan.value_checks)
         return plan
+
+    @staticmethod
+    def _compacted(allowed: set[int], vocab_size: int, compact: bool):
+        """Large allowed-code sets become dense bitmaps for the hot loop.
+
+        ``compact`` comes from the bindings hint when one is present (the
+        ``no_bitmap`` ablation lever); a scan without propagated bindings
+        always compacts its constraint-derived (broad LIKE) sets — that
+        is a backend-internal representation choice, not part of the
+        propagation machinery under ablation.
+        """
+        from repro.storage.backend import BITMAP_THRESHOLD, Bitmap
+        if compact and len(allowed) > BITMAP_THRESHOLD:
+            return Bitmap(allowed, vocab_size)
+        return allowed
 
     def _zone_excluded(self, partition: ColumnarPartition,
                        plan: _ScanPlan) -> bool:
@@ -602,11 +664,20 @@ class ColumnarEventStore:
     def _batch_select(self, atoms: Iterable[Atom], window: Window | None,
                       agentids: set[int] | None,
                       bindings: "IdentityBindings | None" = None,
+                      bounds: "TemporalBounds | None" = None,
                       ) -> tuple[list[Event], int]:
         atoms = list(atoms)
         binding_codes = self._binding_codes(bindings)
         if binding_codes is not None and binding_codes.empty:
             return [], 0
+        if bounds is not None:
+            if bounds.unsatisfiable:
+                return [], 0
+            # Lower the bounds onto the window machinery: _pruned tests
+            # the tightened window against each partition's ts zone map,
+            # and row_range binary-searches the sorted ts column so the
+            # fused loop only walks the clamped row span.
+            window = bounds.clamp_window(window)
         plan = self._scan_plan(atoms, binding_codes)
         if plan.empty:
             return [], 0
@@ -658,11 +729,13 @@ class ColumnarEventStore:
         bounds = [total]
         if binding_codes is not None:
             if binding_codes.subjects is not None:
-                bounds.append(sum(partition.by_subject.get(code, 0)
-                                  for code in binding_codes.subjects))
+                bounds.append(_count_codes(partition.by_subject,
+                                           binding_codes.subjects,
+                                           binding_codes.compact))
             if binding_codes.objects is not None:
-                bounds.append(sum(partition.by_object.get(code, 0)
-                                  for code in binding_codes.objects))
+                bounds.append(_count_codes(partition.by_object,
+                                           binding_codes.objects,
+                                           binding_codes.compact))
         etype = (_ETYPE_CODE.get(profile.event_type)
                  if profile.event_type is not None else None)
         if etype is not None and profile.operations:

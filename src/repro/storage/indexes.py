@@ -80,7 +80,8 @@ class PostingIndex:
                 matched.extend(events)
         return matched
 
-    def lookup_many(self, keys: Iterable[object]) -> list[Event]:
+    def lookup_many(self, keys: Iterable[object], *,
+                    compact: bool = True) -> list[Event]:
         """Union of posting lists for a set of exact keys.
 
         The access path behind identity-binding pushdown: propagated
@@ -89,23 +90,40 @@ class PostingIndex:
         by ``(ts, id)`` so the result never depends on the iteration
         order of the (hash-ordered) key set — candidate order feeds the
         joiner and must be deterministic across processes.
+
+        With ``compact`` (the default), a key set larger than the
+        partition's distinct-key vocabulary is answered by intersecting
+        the posting keys with the set instead of probing per element —
+        the row-store analogue of the columnar bitmap, bounding the work
+        by ``min(|keys|, |vocabulary|)`` however large the propagated
+        binding set grows.
         """
         merged: list[Event] = []
-        for key in keys:
+        for key in self._probe_keys(keys, compact):
             events = self._postings.get(key)
             if events:
                 merged.extend(events)
         merged.sort(key=lambda event: (event.ts, event.id))
         return merged
 
+    def _probe_keys(self, keys: Iterable[object],
+                    compact: bool) -> Iterable[object]:
+        if (compact and isinstance(keys, (set, frozenset))
+                and len(keys) > len(self._postings)):
+            return self._postings.keys() & keys
+        return keys
+
     def count(self, key: object) -> int:
         events = self._postings.get(key)
         return len(events) if events is not None else 0
 
-    def count_many(self, keys: Iterable[object]) -> int:
+    def count_many(self, keys: Iterable[object], *,
+                   compact: bool = True) -> int:
         """Total posting size over a set of exact keys (path costing)."""
         postings = self._postings
-        return sum(len(postings[key]) for key in keys if key in postings)
+        return sum(len(postings[key])
+                   for key in self._probe_keys(keys, compact)
+                   if key in postings)
 
     def count_like(self, pattern: str) -> int:
         """Match count for a LIKE pattern without materializing events."""
@@ -132,18 +150,27 @@ class TimeIndex:
     and re-sorts lazily on first lookup after out-of-order inserts.
     """
 
-    __slots__ = ("_timestamps", "_events", "_sorted")
+    __slots__ = ("_timestamps", "_events", "_sorted", "min_ts", "max_ts")
 
     def __init__(self) -> None:
         self._timestamps: list[float] = []
         self._events: list[Event] = []
         self._sorted = True
+        # Zone map over the stored timestamps: lets partition pruning test
+        # a narrowed window against the *actual* data span, not just the
+        # bucket boundaries.
+        self.min_ts = float("inf")
+        self.max_ts = float("-inf")
 
     def add(self, event: Event) -> None:
         if self._timestamps and event.ts < self._timestamps[-1]:
             self._sorted = False
         self._timestamps.append(event.ts)
         self._events.append(event)
+        if event.ts < self.min_ts:
+            self.min_ts = event.ts
+        if event.ts > self.max_ts:
+            self.max_ts = event.ts
 
     def _ensure_sorted(self) -> None:
         if self._sorted:

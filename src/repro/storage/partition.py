@@ -66,6 +66,14 @@ class Partition:
     def events_in(self, window: Window) -> list[Event]:
         return self.time_index.range(window.start, window.end)
 
+    @property
+    def min_ts(self) -> float:
+        return self.time_index.min_ts
+
+    @property
+    def max_ts(self) -> float:
+        return self.time_index.max_ts
+
     def __len__(self) -> int:
         return len(self.time_index)
 
@@ -118,7 +126,11 @@ class Hypertable:
 
         This is the partition-pruning step every data query starts with:
         only partitions whose agent is allowed and whose time bucket
-        intersects the window are consulted.
+        intersects the window are consulted.  Inside an overlapping
+        bucket, the time index's min/max zone map prunes partitions whose
+        *actual* data span still misses the window — the case propagated
+        temporal bounds create, narrowing a query to a sliver of one
+        bucket.
         """
         selected: list[Partition] = []
         for (agentid, bucket), partition in self._partitions.items():
@@ -128,6 +140,9 @@ class Hypertable:
                 bucket_start = bucket * self.bucket_seconds
                 bucket_end = bucket_start + self.bucket_seconds
                 if bucket_end <= window.start or bucket_start >= window.end:
+                    continue
+                if (partition.max_ts < window.start
+                        or partition.min_ts >= window.end):
                     continue
             selected.append(partition)
         return selected

@@ -62,10 +62,10 @@ def estimate_partition(partition: Partition, profile: PatternProfile,
     if bindings is not None:
         if bindings.subjects is not None:
             bounds.append(partition.by_subject_id.count_many(
-                bindings.subjects))
+                bindings.subjects, compact=bindings.compact))
         if bindings.objects is not None:
             bounds.append(partition.by_object_id.count_many(
-                bindings.objects))
+                bindings.objects, compact=bindings.compact))
     if profile.event_type is not None and profile.operations:
         bounds.append(sum(
             partition.by_type_operation.count((profile.event_type, op))

@@ -27,7 +27,7 @@ from repro.storage.stats import PatternProfile, estimate_partition
 
 if TYPE_CHECKING:
     from repro.engine.filters import CompiledPredicate
-    from repro.storage.backend import IdentityBindings
+    from repro.storage.backend import IdentityBindings, TemporalBounds
 
 
 class EventStore:
@@ -102,7 +102,8 @@ class EventStore:
     def candidates(self, profile: PatternProfile,
                    window: Window | None = None,
                    agentids: set[int] | None = None,
-                   bindings: "IdentityBindings | None" = None) -> list[Event]:
+                   bindings: "IdentityBindings | None" = None,
+                   bounds: "TemporalBounds | None" = None) -> list[Event]:
         """Cheapest index-backed superset of events matching the profile.
 
         The returned list still requires residual predicate evaluation
@@ -110,13 +111,21 @@ class EventStore:
         already restricted by the best single index per partition and
         clipped to the time window.  Identity bindings add the per-identity
         posting lists as candidate access paths — after propagation those
-        sets are tiny, so they usually win the costing outright.
+        sets are tiny, so they usually win the costing outright.  Temporal
+        bounds tighten the window (partition zone pruning) and add the
+        binary-searched time-index range scan as its own costed access
+        path, so a narrowed sliver of a bucket never pays for a broad
+        posting list.
         """
         if bindings is not None and bindings.unsatisfiable:
             return []
+        if bounds is not None:
+            if bounds.unsatisfiable:
+                return []
+            window = bounds.clamp_window(window)
         out: list[Event] = []
         for partition in self._table.prune(window, agentids):
-            fetched = _best_access_path(partition, profile, bindings)
+            fetched = _best_access_path(partition, profile, bindings, window)
             if window is not None:
                 fetched = clip_to_window(fetched, window.start, window.end)
             out.extend(fetched)
@@ -127,19 +136,27 @@ class EventStore:
                window: Window | None = None,
                agentids: set[int] | None = None,
                bindings: "IdentityBindings | None" = None,
+               bounds: "TemporalBounds | None" = None,
                ) -> tuple[list[Event], int]:
         """Fetch candidates and apply the fused residual predicate."""
         from repro.storage.backend import select_via_candidates
         return select_via_candidates(self, profile, predicate, window,
-                                     agentids, bindings)
+                                     agentids, bindings, bounds)
 
     def estimate(self, profile: PatternProfile,
                  window: Window | None = None,
                  agentids: set[int] | None = None,
-                 bindings: "IdentityBindings | None" = None) -> int:
+                 bindings: "IdentityBindings | None" = None,
+                 bounds: "TemporalBounds | None" = None) -> int:
         """Estimated match cardinality (the pruning-power signal)."""
         if bindings is not None and bindings.unsatisfiable:
             return 0
+        if bounds is not None:
+            if bounds.unsatisfiable:
+                return 0
+            # The same window tightening ``candidates`` applies, so the
+            # estimate never diverges from what the scan would fetch.
+            window = bounds.clamp_window(window)
         return sum(
             estimate_partition(partition, profile, window, bindings)
             for partition in self._table.prune(window, agentids))
@@ -177,25 +194,33 @@ class EventStore:
 
 def _best_access_path(partition: Partition, profile: PatternProfile,
                       bindings: "IdentityBindings | None" = None,
-                      ) -> Sequence[Event]:
+                      window: Window | None = None) -> Sequence[Event]:
     """Pick the single cheapest index for this partition and profile.
 
     Candidate paths are costed by their (exactly known) result sizes; the
     smallest wins.  Falls back to the event-type posting list, then to a
-    full partition read.
+    full partition read.  A time window adds the binary-searched
+    time-index range scan as a path of its own, so a narrowed temporal
+    bound beats every posting list once it covers fewer events.
     """
     paths: list[tuple[int, Callable[[], Sequence[Event]]]] = []
+    if window is not None:
+        count = partition.time_index.count_range(window.start, window.end)
+        paths.append((count, lambda: partition.events_in(window)))
     if bindings is not None:
+        compact = bindings.compact
         if bindings.subjects is not None:
             subject_ids = bindings.subjects
-            paths.append((partition.by_subject_id.count_many(subject_ids),
+            paths.append((partition.by_subject_id.count_many(
+                              subject_ids, compact=compact),
                           lambda: partition.by_subject_id.lookup_many(
-                              subject_ids)))
+                              subject_ids, compact=compact)))
         if bindings.objects is not None:
             object_ids = bindings.objects
-            paths.append((partition.by_object_id.count_many(object_ids),
+            paths.append((partition.by_object_id.count_many(
+                              object_ids, compact=compact),
                           lambda: partition.by_object_id.lookup_many(
-                              object_ids)))
+                              object_ids, compact=compact)))
     if profile.subject_exact is not None:
         count = partition.by_subject_name.count(profile.subject_exact)
         paths.append((count, lambda: partition.by_subject_name.lookup(

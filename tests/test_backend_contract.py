@@ -22,7 +22,8 @@ from repro.model.entities import FileEntity, NetworkEntity, ProcessEntity
 from repro.model.events import Event
 from repro.model.timeutil import Window
 from repro.storage.backend import (IdentityBindings, StorageBackend,
-                                   available_backends, create_backend)
+                                   TemporalBounds, available_backends,
+                                   create_backend)
 from repro.storage.stats import PatternProfile
 
 from tests.conftest import AGENT, BASE_TS, QUERY1, QUERY1_ROW
@@ -236,6 +237,99 @@ class TestIdentityPushdown:
         assert {e.id for e in survivors} == expected
 
 
+class TestTemporalBoundsPushdown:
+    """Tentpole contract: temporal bounds pushed into the scan prune
+    candidates but never change ``select`` results — with per-side
+    inclusivity exact at the window edges and the empty interval
+    short-circuiting."""
+
+    SCAN_AIQL = "proc p read || write file f as e1 return f"
+
+    WRITER_ID = ProcessEntity(1, 10, "writer.exe").identity
+    FILE0_ID = FileEntity(1, "/data/0.txt").identity
+
+    def _dq(self):
+        return plan_multievent(parse(self.SCAN_AIQL)).data_queries[0]
+
+    @pytest.mark.parametrize("bounds", [
+        TemporalBounds(lo=10.0, lo_strict=True),
+        TemporalBounds(lo=10.0, lo_strict=False),
+        TemporalBounds(hi=104.0, hi_strict=True),
+        TemporalBounds(hi=104.0, hi_strict=False),
+        TemporalBounds(lo=5.0, hi=103.0, lo_strict=True),
+        TemporalBounds(lo=100.0, hi=100.0),   # single admissible instant
+    ], ids=["lo-strict", "lo-inclusive", "hi-strict", "hi-inclusive",
+            "two-sided", "point"])
+    def test_bounds_equal_post_filter(self, store, bounds):
+        dq = self._dq()
+        pushed, fetched = store.select(dq.profile, dq.compiled,
+                                       bounds=bounds)
+        baseline, baseline_fetched = store.select(dq.profile, dq.compiled)
+        filtered = [e for e in baseline if bounds.admits(e.ts)]
+        assert sorted((e.id, e.ts) for e in pushed) \
+            == sorted((e.id, e.ts) for e in filtered)
+        assert fetched <= baseline_fetched
+
+    def test_inclusive_hi_keeps_edge_event(self, store):
+        """The ``within`` bound is inclusive: an event exactly at ``hi``
+        must survive the pushdown (the edge the half-open window
+        convention silently dropped before inclusivity was first-class).
+        """
+        dq = self._dq()
+        bounds = TemporalBounds(lo=100.0, lo_strict=True, hi=101.0)
+        survivors, _fetched = store.select(dq.profile, dq.compiled,
+                                           bounds=bounds)
+        assert sorted(e.ts for e in survivors) == [101.0]
+
+    def test_strict_bounds_drop_edge_events(self, store):
+        dq = self._dq()
+        bounds = TemporalBounds(lo=100.0, lo_strict=True,
+                                hi=102.0, hi_strict=True)
+        survivors, _fetched = store.select(dq.profile, dq.compiled,
+                                           bounds=bounds)
+        assert sorted(e.ts for e in survivors) == [101.0]
+
+    def test_empty_interval_short_circuits(self, store):
+        dq = self._dq()
+        for bounds in (TemporalBounds(lo=50.0, hi=40.0),
+                       TemporalBounds(lo=50.0, hi=50.0, lo_strict=True),
+                       TemporalBounds(lo=50.0, hi=50.0, hi_strict=True)):
+            assert bounds.unsatisfiable
+            assert store.select(dq.profile, dq.compiled,
+                                bounds=bounds) == ([], 0)
+            assert store.estimate(dq.profile, bounds=bounds) == 0
+            assert store.candidates(dq.profile, bounds=bounds) == []
+
+    def test_bounds_compose_with_window_and_bindings(self, store):
+        dq = self._dq()
+        window = Window(0.0, 120.0)
+        bindings = IdentityBindings(subjects=frozenset({self.WRITER_ID}))
+        bounds = TemporalBounds(lo=10.0, lo_strict=True, hi=30.0)
+        survivors, _fetched = store.select(dq.profile, dq.compiled, window,
+                                           {1}, bindings, bounds)
+        expected = {e.id for e in store.scan(window, {1})
+                    if dq.predicate(e) and bindings.admits(e)
+                    and bounds.admits(e.ts)}
+        assert {e.id for e in survivors} == expected
+        assert expected  # the combination must actually select something
+
+    def test_candidates_keep_true_matches_under_bounds(self, store):
+        dq = self._dq()
+        bounds = TemporalBounds(lo=3.0, hi=105.0, lo_strict=True)
+        candidate_ids = {e.id for e in store.candidates(dq.profile,
+                                                        bounds=bounds)}
+        for event in store.scan():
+            if dq.predicate(event) and bounds.admits(event.ts):
+                assert event.id in candidate_ids
+
+    def test_estimate_reacts_to_bounds(self, store):
+        dq = self._dq()
+        unrestricted = store.estimate(dq.profile)
+        bounded = store.estimate(dq.profile,
+                                 bounds=TemporalBounds(lo=100.0, hi=104.0))
+        assert 0 < bounded <= unrestricted
+
+
 class TestEstimateParity:
     """Satellite lock-in: all backends honor agentids and window bounds
     identically at partition edges (half-open, inclusive start)."""
@@ -285,6 +379,42 @@ class TestEstimateParity:
                 if edge_store.estimate(self.PROFILE, window, agents) == 0:
                     assert edge_store.candidates(self.PROFILE, window,
                                                  agents) == []
+
+    def test_estimate_honors_bounds_like_candidates(self, edge_store):
+        """``estimate`` must apply a ``TemporalBounds`` hint exactly as
+        ``candidates`` does — the scheduler re-orders patterns on these
+        counts, and a divergence would rank scans against numbers that
+        describe a different fetch."""
+        cases = (
+            TemporalBounds(lo=99.0, hi=99.0),            # inclusive point
+            TemporalBounds(lo=99.0, lo_strict=True),     # drops ts=99
+            TemporalBounds(hi=99.0, hi_strict=True),     # drops ts=99
+            TemporalBounds(lo=100.0, hi=100.0),          # partition edge
+            TemporalBounds(lo=98.0, hi=98.5),            # miss inside span
+            TemporalBounds(lo=200.0, hi=100.0),          # unsatisfiable
+        )
+        for bounds in cases:
+            for agents in (None, {1}, {2}):
+                got = edge_store.candidates(self.PROFILE, None, agents,
+                                            None, bounds)
+                estimate = edge_store.estimate(self.PROFILE, None, agents,
+                                               None, bounds)
+                if estimate == 0:
+                    assert got == [], bounds
+                if got:
+                    assert estimate >= 1, bounds
+                assert all(bounds.admits(e.ts) for e in got), bounds
+
+    def test_bounds_window_equivalence(self, edge_store):
+        """Bounds expressible as a half-open window give the same
+        candidates as passing that window directly."""
+        bounds = TemporalBounds(lo=99.0, hi=100.0, hi_strict=True)
+        via_bounds = edge_store.candidates(self.PROFILE, None, {1},
+                                           None, bounds)
+        via_window = edge_store.candidates(self.PROFILE,
+                                           Window(99.0, 100.0), {1})
+        assert ([(e.id, e.ts) for e in via_bounds]
+                == [(e.id, e.ts) for e in via_window])
 
 
 class TestTemporalBoundary:

@@ -130,6 +130,56 @@ class TestRowFilterCodegen:
         fn = _compile_row_filter([], [])
         assert fn(0, 3, [], [], [], [], [], [], [], []) == [0, 1, 2]
 
+    def test_bitmap_dimension_compiles_to_flag_lookup(self):
+        from repro.storage.backend import Bitmap
+        fn = _compile_row_filter([("subjects", Bitmap({0, 2}, 4))], [])
+        subjects = [0, 1, 2, 3]
+        rows = fn(0, 4, [0] * 4, [0.0] * 4, [0] * 4, [0] * 4,
+                  subjects, [0] * 4, [0] * 4, [0] * 4)
+        assert rows == [0, 2]
+
+
+class TestBitmapBindings:
+    """Binding sets above BITMAP_THRESHOLD compact into a dense Bitmap in
+    the fused loop — and produce exactly the set-probe results."""
+
+    def _wide_store(self) -> ColumnarEventStore:
+        store = ColumnarEventStore(bucket_seconds=10_000)
+        for index in range(400):
+            store.record(float(index), 1, "write",
+                         ProcessEntity(1, index + 10, f"proc{index}.exe"),
+                         FileEntity(1, f"/data/{index}"))
+        return store
+
+    def test_large_binding_set_matches_post_filter(self):
+        from repro.storage.backend import (BITMAP_THRESHOLD,
+                                           IdentityBindings)
+        store = self._wide_store()
+        identities = frozenset(
+            ProcessEntity(1, index + 10, f"proc{index}.exe").identity
+            for index in range(300))
+        assert len(identities) > BITMAP_THRESHOLD
+        profile = PatternProfile(event_type="file",
+                                 operations=frozenset({"write"}))
+        dq = plan_multievent(parse(
+            "proc p write file f as e1 return f")).data_queries[0]
+        for compact in (True, False):
+            bindings = IdentityBindings(subjects=identities,
+                                        compact=compact)
+            survivors, _fetched = store.select(dq.profile, dq.compiled,
+                                               bindings=bindings)
+            assert len(survivors) == 300, compact
+            assert all(bindings.admits(e) for e in survivors), compact
+        assert store.estimate(profile, bindings=IdentityBindings(
+            subjects=identities)) == 300
+
+    def test_bitmap_class_membership(self):
+        from repro.storage.backend import Bitmap
+        bitmap = Bitmap({1, 5, 5, 9}, 12)
+        assert len(bitmap) == 3
+        assert 5 in bitmap and 9 in bitmap
+        assert 0 not in bitmap and 11 not in bitmap
+
 
 @settings(max_examples=25, deadline=None)
 @given(st.lists(st.tuples(

@@ -42,9 +42,21 @@ class TestHypertable:
 
     def test_prune_keeps_partially_overlapping_buckets(self):
         table = Hypertable(bucket_seconds=100)
-        table.add(make_event(1, 50, 1))
+        table.add(make_event(1, 99.5, 1))
         assert table.prune(Window(99, 101), None)
         assert not table.prune(Window(100, 200), None)
+
+    def test_prune_zone_map_skips_miss_within_overlapping_bucket(self):
+        # The bucket [0, 100) overlaps the window, but the actual data
+        # span (one event at ts=50) does not: the time-index zone map
+        # prunes the partition, which bucket-boundary pruning alone kept.
+        table = Hypertable(bucket_seconds=100)
+        table.add(make_event(1, 50, 1))
+        assert not table.prune(Window(99, 101), None)
+        assert table.prune(Window(50, 51), None)
+        # Inclusive start / exclusive end at the zone edges.
+        assert table.prune(Window(50, 100), None)
+        assert not table.prune(Window(0, 50), None)
 
     def test_span_covers_all_events(self):
         table = Hypertable()

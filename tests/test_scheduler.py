@@ -100,6 +100,123 @@ class TestPropagation:
         assert fetched.get("e2") is None
 
 
+class TestTransitiveNarrowing:
+    """A match on one pattern tightens every *reachable* pattern's bounds
+    through chains of ``before``/``within`` relations — not just its
+    direct temporal partners."""
+
+    def _chain_store(self) -> EventStore:
+        store = EventStore()
+        agent = 1
+        rare = ProcessEntity(agent, 1, "rare.exe")
+        mid = ProcessEntity(agent, 2, "mid.exe")
+        tail = ProcessEntity(agent, 3, "tail.exe")
+        secret = FileEntity(agent, "/secret")
+        # The selective anchor: e1 matches exactly once, at +1000.
+        store.record(BASE_TS + 1000, agent, "read", rare, secret)
+        # e3 candidates on both sides of the anchor; only the late one
+        # can transitively follow e1 (e1 before e2, e2 before e3).
+        store.record(BASE_TS + 500, agent, "write", tail, secret)
+        store.record(BASE_TS + 1500, agent, "write", tail, secret)
+        # e2 partners so the chain joins — plus enough noise that e2
+        # stays the most expensive pattern and executes *last*: e3's
+        # narrowing must then come from e1 through the unexecuted e2.
+        store.record(BASE_TS + 1200, agent, "write", mid,
+                     FileEntity(agent, "/mid"))
+        for index in range(50):
+            store.record(BASE_TS + 2000 + index, agent, "write", mid,
+                         FileEntity(agent, f"/noise/{index}"))
+        return store
+
+    CHAIN = ('proc r["%rare%"] read file f as e1\n'
+             'proc m["%mid%"] write file g as e2\n'
+             'proc t["%tail%"] write file f as e3\n'
+             'with e1 before e2, e2 before e3\n'
+             'return f')
+
+    def test_chain_narrows_unrelated_middle_hop(self):
+        store = self._chain_store()
+        plan = plan_multievent(parse(self.CHAIN))
+        scheduled = Scheduler(store).run(plan)
+        # e1 (1 match) executes first and e3 (2 matches) second; noisy e2
+        # goes last.  At e3's execution its only temporal path to e1 goes
+        # *through the unexecuted e2* — only the transitive closure can
+        # derive e3.ts > e1.ts and drop the +500 decoy.
+        assert scheduled.report.order == ["e1", "e3", "e2"]
+        e3_matches = scheduled.events[2]
+        assert [e.ts for e in e3_matches] == [BASE_TS + 1500]
+
+    def test_chain_narrowing_never_changes_results(self):
+        store = self._chain_store()
+        plan = plan_multievent(parse(self.CHAIN))
+        for pushdown in (True, False):
+            for temporal_pushdown in (True, False):
+                scheduled = Scheduler(
+                    store, pushdown=pushdown,
+                    temporal_pushdown=temporal_pushdown).run(plan)
+                assert ([e.ts for e in scheduled.events[2]]
+                        == [BASE_TS + 1500]), (pushdown, temporal_pushdown)
+
+    def test_within_delays_add_along_the_chain(self):
+        """``e1 before e2 within 10`` + ``e2 before e3 within 10`` bounds
+        e3 to ``(e1.ts, e1.ts + 20]`` — the summed inclusive edge must
+        survive exactly, one ulp later must not."""
+        store = EventStore()
+        agent = 1
+        rare = ProcessEntity(agent, 1, "rare.exe")
+        mid = ProcessEntity(agent, 2, "mid.exe")
+        tail = ProcessEntity(agent, 3, "tail.exe")
+        secret = FileEntity(agent, "/secret")
+        store.record(BASE_TS, agent, "read", rare, secret)
+        store.record(BASE_TS + 10, agent, "write", mid,
+                     FileEntity(agent, "/mid"))
+        # Noise *inside* e2's narrowed interval keeps e2 the most
+        # expensive pattern even after temporal re-estimation, so e3
+        # executes before it and e3's bound is the transitive sum, not
+        # e2's direct one.
+        for index in range(50):
+            store.record(BASE_TS + 1 + index * 0.15, agent, "write", mid,
+                         FileEntity(agent, f"/noise/{index}"))
+        # Exactly at the summed inclusive bound (+20), and just past it.
+        store.record(BASE_TS + 20, agent, "write", tail, secret)
+        store.record(BASE_TS + 20.0001, agent, "write", tail, secret)
+        plan = plan_multievent(parse(
+            'proc r["%rare%"] read file f as e1\n'
+            'proc m["%mid%"] write file g as e2\n'
+            'proc t["%tail%"] write file f as e3\n'
+            'with e1 before e2 within 10 sec, e2 before e3 within 10 sec\n'
+            'return f'))
+        scheduled = Scheduler(store).run(plan)
+        assert scheduled.report.order == ["e1", "e3", "e2"]
+        assert [e.ts for e in scheduled.events[2]] == [BASE_TS + 20]
+
+    def test_closure_takes_tightest_path(self):
+        """Two chains between the same pair: the shortest-path closure
+        must keep the tighter summed ``within``."""
+        from repro.engine.planner import temporal_closure
+        from repro.lang.ast import TemporalRelation
+        closure = temporal_closure((
+            TemporalRelation("e1", "before", "e2", 100.0),
+            TemporalRelation("e2", "before", "e4", 100.0),
+            TemporalRelation("e1", "before", "e3", 5.0),
+            TemporalRelation("e3", "before", "e4", 5.0),
+        ))
+        assert closure[("e1", "e4")] == 10.0
+        assert closure[("e1", "e2")] == 100.0
+        assert ("e4", "e1") not in closure
+
+    def test_unbounded_hop_keeps_precedence_only(self):
+        from repro.engine.planner import temporal_closure
+        from repro.lang.ast import TemporalRelation
+        import math
+        closure = temporal_closure((
+            TemporalRelation("e1", "before", "e2", 5.0),
+            TemporalRelation("e2", "before", "e3", None),
+        ))
+        assert closure[("e1", "e3")] == math.inf
+        assert closure[("e1", "e2")] == 5.0
+
+
 class TestPushdown:
     def test_pushdown_matches_post_filter(self, store):
         plan = plan_multievent(parse(QUERY))
