@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Compare two pytest-benchmark JSON files config-by-config.
+
+CI runs the scheduler-ablation benchmark on every push and uploads
+``BENCH_ablation.json``; this script diffs a fresh run against the
+previous upload and fails (exit 1) when any shared configuration's mean
+regressed past the threshold.  Configurations present in only one file
+are reported but never fail the build (they are new or retired levers,
+not regressions).
+
+Usage::
+
+    python benchmarks/compare_ablation.py OLD.json NEW.json [--threshold 1.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict[str, float]:
+    """Per-configuration best-round runtime from a pytest-benchmark JSON.
+
+    ``min`` rather than ``mean``: with few rounds on shared CI runners the
+    mean soaks up scheduler noise, while the best round tracks the actual
+    cost of the code — the thing a regression gate should compare.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    means: dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        params = bench.get("params") or {}
+        name = params.get("name") or bench.get("name", "?")
+        stats = bench.get("stats") or {}
+        best = stats.get("min", stats.get("mean"))
+        if best is not None:
+            means[str(name)] = float(best)
+    return means
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", help="previous BENCH_ablation.json")
+    parser.add_argument("new", help="freshly produced BENCH_ablation.json")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="fail when new_min > old_min * threshold "
+                             "(default 1.25 = >25%% regression)")
+    args = parser.parse_args(argv)
+
+    old = load_means(args.old)
+    new = load_means(args.new)
+    if not old or not new:
+        print("nothing to compare (empty benchmark file); skipping")
+        return 0
+
+    failed = []
+    print(f"{'config':24} {'old (ms)':>10} {'new (ms)':>10} {'ratio':>7}")
+    for name in sorted(old.keys() | new.keys()):
+        if name not in old or name not in new:
+            side = "new" if name not in old else "retired"
+            print(f"{name:24} {'-':>10} {'-':>10} {side:>7}")
+            continue
+        ratio = new[name] / old[name] if old[name] else float("inf")
+        flag = "  <-- REGRESSION" if ratio > args.threshold else ""
+        print(f"{name:24} {old[name] * 1000:10.2f} {new[name] * 1000:10.2f} "
+              f"{ratio:6.2f}x{flag}")
+        if ratio > args.threshold:
+            failed.append((name, ratio))
+
+    if failed:
+        worst = ", ".join(f"{name} ({ratio:.2f}x)" for name, ratio in failed)
+        print(f"\nFAIL: >{(args.threshold - 1) * 100:.0f}% regression in: "
+              f"{worst}")
+        return 1
+    print("\nOK: no configuration regressed past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

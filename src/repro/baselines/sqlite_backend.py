@@ -45,9 +45,12 @@ from repro.model.events import Event, validate_operation
 from repro.model.timeutil import SECONDS_PER_DAY, Window
 from repro.baselines.schema import CREATE_EVENTS_SQL, OPTIMIZED_INDEX_SQL
 from repro.baselines.sql_translator import translate
-from repro.storage.backend import (IdentityBindings, StorageBackend,
-                                   TemporalBounds, select_via_candidates)
+from repro.storage.backend import (AccessPathInfo, IdentityBindings,
+                                   ScanSpec, StorageBackend,
+                                   TemporalBounds, resolve_spec,
+                                   select_via_candidates)
 from repro.storage.dedup import EntityInterner
+from repro.storage.scanstats import FrequencySketch
 from repro.storage.serialize import entity_from_dict, entity_to_dict
 from repro.storage.stats import PatternProfile
 
@@ -258,6 +261,11 @@ class SqliteEventStore:
             self._conn.create_function(
                 "aiql_like", 2, _aiql_like, deterministic=True)
         self._interner = EntityInterner()
+        # Identity-key frequency sketches: built lazily on first use (a
+        # reopened archive back-fills them with one key scan), updated
+        # incrementally on insert.  They cap estimates for binding sets
+        # too large to compile into an ``IN (...)`` predicate.
+        self._sketches: tuple[FrequencySketch, FrequencySketch] | None = None
         # A persistent path may reopen an existing table: resume counters
         # from it so len()/span stay truthful and new ids never collide.
         row = self._conn.execute(
@@ -360,6 +368,11 @@ class SqliteEventStore:
                 rows)
             self._conn.commit()
         self._count += len(rows)
+        if self._sketches is not None:
+            subject_sketch, object_sketch = self._sketches
+            for row in rows:
+                subject_sketch.add(row[8])
+                object_sketch.add(row[9])
         for event in events:
             if event.id > self._max_id:
                 self._max_id = event.id
@@ -441,16 +454,27 @@ class SqliteEventStore:
 
     @classmethod
     def _binding_clauses(cls, bindings: "IdentityBindings | None",
-                         ) -> tuple[list[str], list[object]]:
-        """Compile identity bindings into indexed ``IN (...)`` predicates."""
+                         ) -> tuple[list[str], list[object],
+                                    list[tuple[str, frozenset]]]:
+        """Compile identity bindings into indexed ``IN (...)`` predicates.
+
+        Returns ``(clauses, params, dropped)`` where ``dropped`` lists
+        the sides that blew the host-parameter budget — the scan falls
+        back to the engine's exact post-filter for those, and ``estimate``
+        caps their cardinality with the identity-key frequency sketches.
+        """
         clauses: list[str] = []
         params: list[object] = []
+        dropped: list[tuple[str, frozenset]] = []
         if bindings is None or not bindings:
-            return clauses, params
+            return clauses, params, dropped
         budget = cls.MAX_BINDING_PARAMS
         for column, identities in (("subject_key", bindings.subjects),
                                    ("object_key", bindings.objects)):
-            if identities is None or len(identities) > budget:
+            if identities is None:
+                continue
+            if len(identities) > budget:
+                dropped.append((column, identities))
                 continue
             if not identities:
                 clauses.append("0")
@@ -460,7 +484,7 @@ class SqliteEventStore:
             clauses.append(f"{column} IN ({marks})")
             params.extend(keys)
             budget -= len(keys)
-        return clauses, params
+        return clauses, params, dropped
 
     @staticmethod
     def _bounds_clauses(bounds: "TemporalBounds | None",
@@ -507,12 +531,11 @@ class SqliteEventStore:
         return [self._materialize(row) for row in rows]
 
     def candidates(self, profile: PatternProfile,
-                   window: Window | None = None,
-                   agentids: set[int] | None = None,
-                   bindings: "IdentityBindings | None" = None,
-                   bounds: "TemporalBounds | None" = None) -> list[Event]:
-        clauses, params = self._where_parts(profile, window, agentids,
-                                            bindings, bounds)
+                   spec: ScanSpec | None = None) -> list[Event]:
+        spec = resolve_spec(spec)
+        if spec.unsatisfiable:
+            return []
+        clauses, params, _dropped = self._where_parts(profile, spec)
         where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
         rows = self._fetch(
             "SELECT id, ts, agentid, op, payload FROM backend_events"
@@ -521,42 +544,99 @@ class SqliteEventStore:
 
     def select(self, profile: PatternProfile,
                predicate: "CompiledPredicate",
-               window: Window | None = None,
-               agentids: set[int] | None = None,
-               bindings: "IdentityBindings | None" = None,
-               bounds: "TemporalBounds | None" = None,
-               ) -> tuple[list[Event], int]:
-        return select_via_candidates(self, profile, predicate, window,
-                                     agentids, bindings, bounds)
+               spec: ScanSpec | None = None) -> tuple[list[Event], int]:
+        return select_via_candidates(self, profile, predicate, spec)
 
     def estimate(self, profile: PatternProfile,
-                 window: Window | None = None,
-                 agentids: set[int] | None = None,
-                 bindings: "IdentityBindings | None" = None,
-                 bounds: "TemporalBounds | None" = None) -> int:
-        clauses, params = self._where_parts(profile, window, agentids,
-                                            bindings, bounds)
+                 spec: ScanSpec | None = None) -> int:
+        spec = resolve_spec(spec)
+        if spec.unsatisfiable:
+            return 0
+        clauses, params, dropped = self._where_parts(profile, spec)
         where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
         rows = self._fetch(
             "SELECT COUNT(*) FROM backend_events" + where, params)
-        return int(rows[0][0])
+        count = int(rows[0][0])
+        if count and dropped:
+            # A binding side too large for SQL still bounds the result:
+            # the frequency sketch answers in O(|keys|) without touching
+            # the table, and never under-counts, so a zero stays sound.
+            subject_sketch, object_sketch = self._frequency_sketches()
+            for column, identities in dropped:
+                sketch = (subject_sketch if column == "subject_key"
+                          else object_sketch)
+                count = min(count, sketch.estimate_total(
+                    identity_key(identity) for identity in identities))
+        return count
 
-    def _where_parts(self, profile: PatternProfile, window: Window | None,
-                     agentids: set[int] | None,
-                     bindings: "IdentityBindings | None",
-                     bounds: "TemporalBounds | None",
-                     ) -> tuple[list[str], list[object]]:
+    def access_path(self, profile: PatternProfile,
+                    spec: ScanSpec | None = None) -> AccessPathInfo:
+        """Describe the indexed SQL predicate the scan compiles to."""
+        spec = resolve_spec(spec)
+        if spec.unsatisfiable:
+            return AccessPathInfo("unsatisfiable", 0)
+        tags: list[str] = []
+        if spec.window is not None:
+            tags.append("ts")
+        if spec.bounds is not None and spec.bounds:
+            tags.append("ts-bounds")
+        if spec.agentids is not None:
+            tags.append("agent")
+        if profile.event_type is not None or profile.operations:
+            tags.append("etype+op")
+        if profile.subject_exact is not None:
+            tags.append("subject")
+        elif profile.subject_like is not None:
+            tags.append("subject-like")
+        if profile.event_type is not None:
+            if profile.object_exact is not None:
+                tags.append("object")
+            elif profile.object_like is not None:
+                tags.append("object-like")
+        bindings = spec.bindings
+        if bindings is not None and bindings:
+            _clauses, _params, dropped = self._binding_clauses(bindings)
+            dropped_columns = {column for column, _ids in dropped}
+            if (bindings.subjects is not None
+                    and "subject_key" not in dropped_columns):
+                tags.append("subject-key")
+            if (bindings.objects is not None
+                    and "object_key" not in dropped_columns):
+                tags.append("object-key")
+        name = f"sql-index({','.join(tags)})" if tags else "sql-scan"
+        rows = self.estimate(profile, spec)
+        return AccessPathInfo(name=name, rows=rows,
+                              considered=(("sql-scan", len(self)),
+                                          (name, rows)))
+
+    def _frequency_sketches(self) -> tuple[FrequencySketch, FrequencySketch]:
+        if self._sketches is None:
+            subject_sketch, object_sketch = FrequencySketch(), \
+                FrequencySketch()
+            rows = self._fetch(
+                "SELECT subject_key, object_key FROM backend_events", [])
+            for subject_key, object_key in rows:
+                subject_sketch.add(subject_key)
+                object_sketch.add(object_key)
+            self._sketches = (subject_sketch, object_sketch)
+        return self._sketches
+
+    def _where_parts(self, profile: PatternProfile, spec: ScanSpec,
+                     ) -> tuple[list[str], list[object],
+                                list[tuple[str, frozenset]]]:
         """One WHERE compilation shared by ``candidates`` and ``estimate``
         — parity by construction: the count the scheduler orders on is the
         count of exactly the rows the scan would return."""
-        clauses, params = self._bounds(window, agentids)
+        clauses, params = self._bounds(spec.window, spec.agentids)
+        binding_clauses, binding_params, dropped = self._binding_clauses(
+            spec.bindings)
         for extra_clauses, extra_params in (
                 self._profile_clauses(profile),
-                self._binding_clauses(bindings),
-                self._bounds_clauses(bounds)):
+                (binding_clauses, binding_params),
+                self._bounds_clauses(spec.bounds)):
             clauses += extra_clauses
             params += extra_params
-        return clauses, params
+        return clauses, params, dropped
 
     # ------------------------------------------------------------------
     # Introspection

@@ -37,6 +37,7 @@ from repro.model.entities import DEFAULT_ATTRIBUTE, canonical_attribute
 from repro.model.events import Event, canonical_event_attribute
 from repro.model.timeutil import Window, format_timestamp, sliding_windows
 from repro.engine.aggregates import GroupHistory, aggregate
+from repro.engine.options import DEFAULT_OPTIONS, EngineOptions
 from repro.engine.parallel import execute_plan, merge_reports
 from repro.engine.planner import plan_multievent
 from repro.engine.scheduler import ExecutionReport
@@ -50,12 +51,9 @@ class AnomalyOutput:
     report: ExecutionReport
 
 
-def execute_anomaly(store: StorageBackend, query: AnomalyQuery, *,
-                    prioritize: bool = True, propagate: bool = True,
-                    partition: bool = True, pushdown: bool = True,
-                    temporal_pushdown: bool = True,
-                    bitmap_bindings: bool = True,
-                    max_workers: int | None = None) -> AnomalyOutput:
+def execute_anomaly(store: StorageBackend, query: AnomalyQuery,
+                    options: EngineOptions = DEFAULT_OPTIONS,
+                    ) -> AnomalyOutput:
     """Run an anomaly query against the store."""
     if len(query.patterns) != 1:
         raise SemanticError(
@@ -63,12 +61,7 @@ def execute_anomaly(store: StorageBackend, query: AnomalyQuery, *,
     pattern = query.patterns[0]
     started = time.perf_counter()
 
-    events = _fetch_events(store, query, prioritize=prioritize,
-                           propagate=propagate, partition=partition,
-                           pushdown=pushdown,
-                           temporal_pushdown=temporal_pushdown,
-                           bitmap_bindings=bitmap_bindings,
-                           max_workers=max_workers)
+    events = _fetch_events(store, query, options)
     events.sort(key=lambda evt: (evt.ts, evt.id))
     timestamps = [evt.ts for evt in events]
 
@@ -146,22 +139,18 @@ def execute_anomaly(store: StorageBackend, query: AnomalyQuery, *,
 # Event fetching (reuses the multievent machinery on a 1-pattern plan)
 # ---------------------------------------------------------------------------
 
-def _fetch_events(store: StorageBackend, query: AnomalyQuery, *,
-                  prioritize: bool, propagate: bool, partition: bool,
-                  pushdown: bool, temporal_pushdown: bool,
-                  bitmap_bindings: bool,
-                  max_workers: int | None) -> list[Event]:
+def _fetch_events(store: StorageBackend, query: AnomalyQuery,
+                  options: EngineOptions) -> list[Event]:
     pattern = query.patterns[0]
     wrapper = MultieventQuery(
         header=query.header, patterns=query.patterns, temporal=(),
         return_items=(ReturnItem(VarRef(pattern.event_var)),))
     plan = plan_multievent(wrapper)
-    result = execute_plan(store, plan, prioritize=prioritize,
-                          propagate=propagate, partition=partition,
-                          pushdown=pushdown,
-                          temporal_pushdown=temporal_pushdown,
-                          bitmap_bindings=bitmap_bindings,
-                          max_workers=max_workers)
+    if options.row_limit is not None:
+        # The limit applies to windowed anomaly rows, not the raw fetch.
+        from dataclasses import replace
+        options = replace(options, row_limit=None)
+    result = execute_plan(store, plan, options)
     return [binding[pattern.event_var] for binding in result.rows]  # type: ignore
 
 

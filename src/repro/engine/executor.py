@@ -10,7 +10,6 @@ the context-aware shortcuts of §2.2.1.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import SemanticError
@@ -22,41 +21,14 @@ from repro.core.results import QueryResult
 from repro.engine.anomaly import execute_anomaly
 from repro.engine.dependency import rewrite_dependency
 from repro.engine.joiner import Binding
+from repro.engine.options import DEFAULT_OPTIONS, EngineOptions
 from repro.engine.parallel import execute_plan, merge_reports
 from repro.engine.planner import QueryPlan, plan_multievent
+from repro.engine.scheduler import Scheduler
 from repro.storage.backend import StorageBackend
 
-
-@dataclass(frozen=True, slots=True)
-class EngineOptions:
-    """Feature toggles for the engine's optimizations.
-
-    Defaults are the paper's configuration; the ablation benchmark flips
-    individual flags to measure each optimization's contribution.
-    ``pushdown`` controls whether propagated identity bindings and
-    temporal bounds are handed to the storage backend as scan hints (on)
-    or applied by post-filtering survivors in the engine (off); results
-    are identical either way.  ``temporal_pushdown`` and
-    ``bitmap_bindings`` are finer-grained levers under ``pushdown``: the
-    first isolates the temporal-bounds scan pushdown (off = exact
-    post-filtering of the propagated bounds), the second the dense
-    bitmap/intersection representation of large binding sets (off =
-    per-element set probes).  ``max_workers`` of ``None`` sizes the
-    sub-query pool to the machine
-    (:data:`repro.engine.parallel.DEFAULT_WORKERS`).
-    """
-
-    prioritize: bool = True      # pruning-power pattern ordering
-    propagate: bool = True       # binding propagation between patterns
-    partition: bool = True       # spatial/temporal sub-query parallelism
-    pushdown: bool = True        # bindings/bounds pushed into backend scans
-    temporal_pushdown: bool = True   # temporal bounds as scan predicates
-    bitmap_bindings: bool = True     # bitmap large-binding-set compaction
-    max_workers: int | None = None
-    row_limit: int | None = None
-
-
-DEFAULT_OPTIONS = EngineOptions()
+__all__ = ["DEFAULT_OPTIONS", "EngineOptions", "execute", "explain",
+           "project_bindings"]
 
 
 def execute(store: StorageBackend, query: Query,
@@ -71,13 +43,7 @@ def execute(store: StorageBackend, query: Query,
                            elapsed=result.elapsed, kind="dependency",
                            report=result.report)
     if isinstance(query, AnomalyQuery):
-        output = execute_anomaly(
-            store, query, prioritize=options.prioritize,
-            propagate=options.propagate, partition=options.partition,
-            pushdown=options.pushdown,
-            temporal_pushdown=options.temporal_pushdown,
-            bitmap_bindings=options.bitmap_bindings,
-            max_workers=options.max_workers)
+        output = execute_anomaly(store, query, options)
         return QueryResult(columns=output.columns, rows=output.rows,
                            elapsed=output.report.elapsed, kind="anomaly",
                            report=output.report.describe())
@@ -86,7 +52,13 @@ def execute(store: StorageBackend, query: Query,
 
 def explain(store: StorageBackend, query: Query,
             options: EngineOptions = DEFAULT_OPTIONS) -> str:
-    """Describe how the engine would execute a query (plan + estimates)."""
+    """Describe how the engine would execute a query (plan + estimates).
+
+    Per pattern, the statistics-based estimate and the access path the
+    backend would choose for the scan — the static half of the
+    ``--explain`` surface.  Actual per-pattern row counts come from
+    executing with ``options.explain`` on and reading the report.
+    """
     if isinstance(query, DependencyQuery):
         inner = rewrite_dependency(query)
         return ("dependency query compiled to multievent query:\n"
@@ -97,15 +69,13 @@ def explain(store: StorageBackend, query: Query,
                 f"step={spec.step:.0f}s, sliding-window aggregation")
     plan = plan_multievent(query)
     lines = ["multievent query plan:"]
-    estimates = []
-    for dq in plan.data_queries:
-        estimate = store.estimate(dq.profile, plan.window,
-                                  set(dq.agentids) if dq.agentids else None)
-        estimates.append((estimate, dq))
-    for estimate, dq in sorted(estimates, key=lambda pair: pair[0]):
+    decisions = Scheduler(store, options).explain(plan)
+    for dq, estimate, info in sorted(decisions,
+                                     key=lambda entry: (entry[1],
+                                                        entry[0].index)):
         ops = "||".join(sorted(dq.operations))
         lines.append(f"  {dq.event_var}: {dq.event_type}/{ops} "
-                     f"estimated {estimate} events")
+                     f"estimated {estimate} events via {info.name}")
     from repro.engine.parallel import (spatially_partitionable,
                                        temporally_partitionable)
     if spatially_partitionable(plan):
@@ -125,14 +95,7 @@ def _execute_multievent(store: StorageBackend, query: MultieventQuery,
                         options: EngineOptions) -> QueryResult:
     started = time.perf_counter()
     plan = plan_multievent(query)
-    parallel = execute_plan(
-        store, plan, prioritize=options.prioritize,
-        propagate=options.propagate, partition=options.partition,
-        pushdown=options.pushdown,
-        temporal_pushdown=options.temporal_pushdown,
-        bitmap_bindings=options.bitmap_bindings,
-        max_workers=options.max_workers,
-        row_limit=options.row_limit)
+    parallel = execute_plan(store, plan, options)
     columns, rows = project_bindings(plan, query, parallel.rows)
     report = merge_reports(parallel.reports)
     report.joined_rows = len(parallel.rows)

@@ -1,0 +1,50 @@
+"""Engine feature toggles, shared by every execution layer.
+
+One frozen options object travels from the session facade through the
+executor, the parallel partitioner, the anomaly engine, and the scheduler
+— instead of an ever-growing keyword tail duplicated at each hop.  The
+ablation benchmark flips individual flags to measure each optimization's
+contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class EngineOptions:
+    """Feature toggles for the engine's optimizations.
+
+    Defaults are the paper's configuration.  ``pushdown`` controls whether
+    propagated identity bindings and temporal bounds are handed to the
+    storage backend inside the :class:`~repro.storage.backend.ScanSpec`
+    (on) or applied by post-filtering survivors in the engine (off);
+    results are identical either way.  ``temporal_pushdown`` and
+    ``bitmap_bindings`` are finer-grained levers under ``pushdown``: the
+    first isolates the temporal-bounds scan pushdown (off = exact
+    post-filtering of the propagated bounds), the second the dense
+    bitmap/bloom/intersection representation of large binding sets (off =
+    per-element set probes).  ``histogram_estimates`` selects the
+    per-partition equi-depth timestamp histograms for windowed
+    cardinality estimates (off = the old uniform-time scaling; ordering
+    may differ, results never do).  ``explain`` makes the scheduler record
+    the chosen access path per pattern in the execution report (the
+    ``repro query --explain`` surface).  ``max_workers`` of ``None``
+    sizes the sub-query pool to the machine
+    (:data:`repro.engine.parallel.DEFAULT_WORKERS`).
+    """
+
+    prioritize: bool = True      # pruning-power pattern ordering
+    propagate: bool = True       # binding propagation between patterns
+    partition: bool = True       # spatial/temporal sub-query parallelism
+    pushdown: bool = True        # bindings/bounds pushed into backend scans
+    temporal_pushdown: bool = True   # temporal bounds as scan predicates
+    bitmap_bindings: bool = True     # bitmap/bloom large-binding-set tiers
+    histogram_estimates: bool = True  # equi-depth ts histograms in estimates
+    explain: bool = False        # record access paths in execution reports
+    max_workers: int | None = None
+    row_limit: int | None = None
+
+
+DEFAULT_OPTIONS = EngineOptions()

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 from repro.model.timeutil import Window
 from repro.engine.joiner import Binding, join
+from repro.engine.options import DEFAULT_OPTIONS, EngineOptions
 from repro.engine.planner import QueryPlan
 from repro.engine.scheduler import ExecutionReport, Scheduler
 from repro.storage.backend import StorageBackend
@@ -86,19 +87,18 @@ class ParallelResult:
     partitions: int
 
 
-def execute_plan(store: StorageBackend, plan: QueryPlan, *,
-                 prioritize: bool = True, propagate: bool = True,
-                 partition: bool = True, pushdown: bool = True,
-                 temporal_pushdown: bool = True,
-                 bitmap_bindings: bool = True,
-                 max_workers: int | None = None,
-                 row_limit: int | None = None) -> ParallelResult:
-    """Run a planned multievent query, partitioned when sound."""
-    scheduler = Scheduler(store, prioritize=prioritize, propagate=propagate,
-                          pushdown=pushdown,
-                          temporal_pushdown=temporal_pushdown,
-                          bitmap_bindings=bitmap_bindings)
-    join_kwargs = {} if row_limit is None else {"row_limit": row_limit}
+def execute_plan(store: StorageBackend, plan: QueryPlan,
+                 options: EngineOptions = DEFAULT_OPTIONS) -> ParallelResult:
+    """Run a planned multievent query, partitioned when sound.
+
+    One :class:`~repro.engine.options.EngineOptions` value carries every
+    toggle down through the scheduler and into the backend scans —
+    the hint plumbing that used to be a per-flag keyword tail.
+    """
+    scheduler = Scheduler(store, options)
+    partition = options.partition
+    join_kwargs = ({} if options.row_limit is None
+                   else {"row_limit": options.row_limit})
 
     def run_one(window: Window | None,
                 agents: frozenset[int] | None) -> tuple[list[Binding],
@@ -125,7 +125,7 @@ def execute_plan(store: StorageBackend, plan: QueryPlan, *,
 
     all_rows: list[Binding] = []
     reports: list[ExecutionReport] = []
-    workers = min(resolve_workers(max_workers), len(tasks))
+    workers = min(resolve_workers(options.max_workers), len(tasks))
     with ThreadPoolExecutor(max_workers=workers) as pool:
         for rows, report in pool.map(
                 lambda task: run_one(task[0], task[1]), tasks):

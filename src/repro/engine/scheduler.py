@@ -24,12 +24,12 @@ import math
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import ExecutionError
 from repro.model.events import Event
 from repro.model.timeutil import Window
+from repro.engine.options import DEFAULT_OPTIONS, EngineOptions
 from repro.engine.planner import DataQuery, QueryPlan
-from repro.storage.backend import (IdentityBindings, StorageBackend,
-                                   TemporalBounds)
+from repro.storage.backend import (IdentityBindings, ScanSpec,
+                                   StorageBackend, TemporalBounds)
 
 
 @dataclass
@@ -41,6 +41,7 @@ class PatternExecution:
     fetched: int
     matched: int
     elapsed: float
+    path: str = ""          # chosen access path (explain mode only)
 
 
 @dataclass
@@ -56,8 +57,9 @@ class ExecutionReport:
     def describe(self) -> str:
         lines = [f"pattern order: {' -> '.join(self.order) or '(none)'}"]
         for trace in self.patterns:
+            path = f" path={trace.path}" if trace.path else ""
             lines.append(
-                f"  {trace.event_var}: estimate={trace.estimate} "
+                f"  {trace.event_var}:{path} estimate={trace.estimate} "
                 f"fetched={trace.fetched} matched={trace.matched} "
                 f"({trace.elapsed * 1000:.1f} ms)")
         if self.short_circuited:
@@ -82,13 +84,13 @@ class Scheduler:
     Works against any :class:`~repro.storage.backend.StorageBackend`; each
     pattern's fetch-and-filter goes through the backend's ``select`` so a
     batch-evaluating substrate can push the residual predicate into its
-    scan.
+    scan.  One :class:`~repro.engine.options.EngineOptions` value carries
+    every toggle — the scan-facing ones are lowered into the
+    :class:`~repro.storage.backend.ScanSpec` each scan receives.
 
     With ``pushdown`` enabled (the default), propagated identity-binding
-    sets travel *into* the backend as
-    :class:`~repro.storage.backend.IdentityBindings` hints and propagated
-    temporal bounds as :class:`~repro.storage.backend.TemporalBounds`,
-    pruning candidates inside the scan; the in-engine post-filters stay
+    sets and temporal bounds travel *into* the backend inside the spec,
+    pruning candidates during the scan; the in-engine post-filters stay
     as a correctness fallback for backends that ignore the hints.
     Remaining patterns are also re-estimated under the current bindings
     and bounds after each step, so pruning-power ordering reacts to
@@ -97,23 +99,37 @@ class Scheduler:
     Temporal bounds are *transitive*: a chain ``e1 before e2``, ``e2
     before e3`` narrows e3 the moment e1 executes, even though they share
     no relation or variable, via the plan's shortest-path closure over
-    the temporal-constraint graph.  ``temporal_pushdown`` and
-    ``bitmap_bindings`` (both subordinate to ``pushdown``) let the
-    ablation benchmark isolate the temporal-bounds scan pushdown and the
-    large-binding-set bitmap representation; with either off, the exact
-    post-filters carry the full restriction and results are identical.
+    the temporal-constraint graph.  Narrowing is also *two-sided*: after
+    each execution the recorded span of every already-executed pattern is
+    re-tightened against its partners' spans (an executed broad pattern
+    shrinks retroactively once a later anchor pins the chain), so the
+    bounds derived from it stop covering events that can no longer pair.
+    ``temporal_pushdown`` and ``bitmap_bindings`` (both subordinate to
+    ``pushdown``) let the ablation benchmark isolate the temporal-bounds
+    scan pushdown and the large-binding-set bitmap/bloom representation;
+    with either off, the exact post-filters carry the full restriction
+    and results are identical.
     """
 
-    def __init__(self, store: StorageBackend, *, prioritize: bool = True,
-                 propagate: bool = True, pushdown: bool = True,
-                 temporal_pushdown: bool = True,
-                 bitmap_bindings: bool = True) -> None:
+    def __init__(self, store: StorageBackend,
+                 options: EngineOptions = DEFAULT_OPTIONS) -> None:
         self._store = store
-        self._prioritize = prioritize
-        self._propagate = propagate
-        self._pushdown = pushdown
-        self._temporal = pushdown and temporal_pushdown
-        self._bitmap = pushdown and bitmap_bindings
+        self._options = options
+        self._prioritize = options.prioritize
+        self._propagate = options.propagate
+        self._pushdown = options.pushdown
+        self._temporal = options.pushdown and options.temporal_pushdown
+        self._bitmap = options.pushdown and options.bitmap_bindings
+        self._histograms = options.histogram_estimates
+        self._explain = options.explain
+
+    def _spec(self, window: Window | None,
+              agentids: set[int] | None,
+              bindings: IdentityBindings | None = None,
+              bounds: TemporalBounds | None = None) -> ScanSpec:
+        return ScanSpec(window=window, agentids=agentids,
+                        bindings=bindings, bounds=bounds,
+                        histograms=self._histograms)
 
     def run(self, plan: QueryPlan,
             window: Window | None = None,
@@ -129,7 +145,7 @@ class Scheduler:
 
         estimates = {
             dq.index: self._store.estimate(
-                dq.profile, base_window, _agents(dq, agentids))
+                dq.profile, self._spec(base_window, _agents(dq, agentids)))
             for dq in plan.data_queries
         }
         ordered = list(plan.data_queries)
@@ -141,6 +157,7 @@ class Scheduler:
         identity_sets: dict[str, set[tuple]] = {}
         ts_bounds: dict[str, tuple[float, float]] = {}
         matches: dict[int, list[Event]] = {}
+        executed: list[tuple[DataQuery, list[Event]]] = []
 
         for position, dq in enumerate(ordered):
             step_started = time.perf_counter()
@@ -148,11 +165,11 @@ class Scheduler:
                       if self._propagate else None)
             bindings = (self._bindings_for(dq, identity_sets)
                         if self._propagate else None)
+            spec = self._spec(base_window, _agents(dq, agentids),
+                              bindings if self._pushdown else None,
+                              bounds if self._temporal else None)
             survivors, fetched = self._store.select(
-                dq.profile, dq.compiled, base_window,
-                _agents(dq, agentids),
-                bindings if self._pushdown else None,
-                bounds if self._temporal else None)
+                dq.profile, dq.compiled, spec)
             if bindings is not None:
                 # Correctness fallback: exact even when the backend
                 # ignored (or only partially applied) the pushdown hint.
@@ -166,10 +183,16 @@ class Scheduler:
                 survivors = [event for event in survivors
                              if in_bounds(event.ts)]
             matches[dq.index] = survivors
+            step_elapsed = time.perf_counter() - step_started
+            # Path introspection happens off the clock: it re-costs the
+            # scan (a COUNT on sqlite) and must not pollute the timing
+            # the explain surface reports.
+            path = (self._store.access_path(dq.profile, spec).name
+                    if self._explain else "")
             report.patterns.append(PatternExecution(
                 event_var=dq.event_var, estimate=estimates[dq.index],
                 fetched=fetched, matched=len(survivors),
-                elapsed=time.perf_counter() - step_started))
+                elapsed=step_elapsed, path=path))
             if not survivors:
                 report.short_circuited = True
                 report.order = [d.event_var for d in ordered]
@@ -178,14 +201,39 @@ class Scheduler:
                     d.index: matches.get(d.index, [])
                     for d in plan.data_queries}, report=report)
             if self._propagate:
+                executed.append((dq, survivors))
                 self._update_bindings(dq, survivors, identity_sets,
                                       ts_bounds)
+                self._narrow_executed_spans(closure, ts_bounds, executed)
                 self._reorder_remaining(ordered, position, dq, estimates,
                                         base_window, agentids,
                                         identity_sets, closure, ts_bounds)
         report.order = [dq.event_var for dq in ordered]
         report.elapsed = time.perf_counter() - started
         return ScheduledMatches(order=ordered, events=matches, report=report)
+
+    def explain(self, plan: QueryPlan,
+                window: Window | None = None,
+                agentids: frozenset[int] | None = None,
+                ) -> list[tuple[DataQuery, int, "object"]]:
+        """Static per-pattern scan decisions, without executing.
+
+        Returns ``(data query, statistics-based estimate, access path)``
+        triples — the plan half of the ``explain()`` surface; the
+        execution half (actual rows) comes from running with
+        ``options.explain`` on.
+        """
+        base_window = window if window is not None else plan.window
+        decisions = []
+        for dq in plan.data_queries:
+            spec = self._spec(base_window, _agents(dq, agentids))
+            # Diagnostic path: estimate and access_path may re-cost the
+            # same scan (sqlite answers both with a COUNT); explain is
+            # explicitly requested and never on the execution hot path.
+            estimate = self._store.estimate(dq.profile, spec)
+            info = self._store.access_path(dq.profile, spec)
+            decisions.append((dq, estimate, info))
+        return decisions
 
     def _reorder_remaining(self, ordered: list[DataQuery], position: int,
                            executed: DataQuery, estimates: dict[int, int],
@@ -220,10 +268,11 @@ class Scheduler:
             if updated_vars.isdisjoint(dq.variables) and not temporally_linked:
                 continue
             estimates[dq.index] = self._store.estimate(
-                dq.profile, base_window, _agents(dq, agentids),
-                self._bindings_for(dq, identity_sets),
-                (self._bounds_for(dq, closure, ts_bounds)
-                 if self._temporal else None))
+                dq.profile, self._spec(
+                    base_window, _agents(dq, agentids),
+                    self._bindings_for(dq, identity_sets),
+                    (self._bounds_for(dq, closure, ts_bounds)
+                     if self._temporal else None)))
             changed = True
         if not changed:
             return
@@ -258,6 +307,8 @@ class Scheduler:
         lo_strict = hi_strict = False
         var = dq.event_var
         for partner, (partner_lo, partner_hi) in ts_bounds.items():
+            if partner == var:
+                continue
             delay = closure.get((partner, var))
             if delay is not None:      # partner (transitively) before var
                 if partner_lo > lo or (partner_lo == lo and not lo_strict):
@@ -274,6 +325,61 @@ class Scheduler:
             return None
         return TemporalBounds(lo=lo, hi=hi, lo_strict=lo_strict,
                               hi_strict=hi_strict)
+
+    def _narrow_executed_spans(self, closure: dict[tuple[str, str], float],
+                               ts_bounds: dict[str, tuple[float, float]],
+                               executed: list[tuple[DataQuery, list[Event]]],
+                               ) -> None:
+        """Two-sided interval narrowing over the executed patterns.
+
+        The bounds a remaining pattern derives from an executed partner u
+        use u's recorded ``(min ts, max ts)`` span — but a pattern that
+        executed *later* can invalidate much of that span.  With ``e1
+        before e2 within d`` and e2 executed first over a broad interval,
+        e1's single match at t pins e2's *usable* events to ``(t, t+d]``;
+        any bound still derived from e2's full span is sound but loose.
+
+        After each execution, re-tighten every executed pattern's span to
+        the events of it that survive the bounds induced by its partners'
+        current spans, iterating to a fixpoint (the graphs are tiny).
+        Dropping span-mass here is sound because ``_bounds_for`` is
+        sound: an event outside those bounds cannot appear in any
+        complete match, so no remaining pattern needs to pair with it.
+        """
+        if len(executed) < 2 or not closure:
+            return
+        for _round in range(len(executed)):
+            changed = False
+            for dq, events in executed:
+                var = dq.event_var
+                current = ts_bounds.get(var)
+                if current is None:
+                    continue
+                bounds = self._bounds_for(dq, closure, ts_bounds)
+                if bounds is None or not bounds:
+                    continue
+                admits = bounds.admits
+                narrowed_lo = math.inf
+                narrowed_hi = -math.inf
+                for event in events:
+                    ts = event.ts
+                    if current[0] <= ts <= current[1] and admits(ts):
+                        if ts < narrowed_lo:
+                            narrowed_lo = ts
+                        if ts > narrowed_hi:
+                            narrowed_hi = ts
+                if narrowed_lo > narrowed_hi:
+                    # No executed event survives its partners' bounds: the
+                    # join is already doomed, and the current (wider) span
+                    # stays sound for the remaining scans.
+                    continue
+                narrowed = (max(narrowed_lo, current[0]),
+                            min(narrowed_hi, current[1]))
+                if narrowed != current:
+                    ts_bounds[var] = narrowed
+                    changed = True
+            if not changed:
+                break
 
     def _bindings_for(self, dq: DataQuery,
                       identity_sets: dict[str, set[tuple]],

@@ -8,24 +8,29 @@ implementations, with ``sqlite`` provided by
 lazily through the registry to keep this package import-light.
 """
 
-from repro.storage.backend import (Bitmap, IdentityBindings, StorageBackend,
-                                   TemporalBounds, available_backends,
-                                   create_backend, register_backend,
-                                   select_via_candidates)
+from repro.storage.backend import (AccessPathInfo, Bitmap, BloomedSet,
+                                   IdentityBindings, ScanSpec,
+                                   StorageBackend, TemporalBounds,
+                                   available_backends, create_backend,
+                                   register_backend, select_via_candidates)
 from repro.storage.dedup import EntityInterner, EventMerger
 from repro.storage.indexes import (PostingIndex, TimeIndex, like_match,
                                    like_to_regex)
 from repro.storage.ingest import IngestPipeline, IngestStats
 from repro.storage.partition import Hypertable, Partition
+from repro.storage.scanstats import (EquiDepthHistogram, FrequencySketch,
+                                     PartitionStatistics)
 from repro.storage.stats import PatternProfile, estimate_total
 from repro.storage.store import EventStore
 
 __all__ = [
-    "Bitmap", "IdentityBindings", "StorageBackend", "TemporalBounds",
+    "AccessPathInfo", "Bitmap", "BloomedSet", "IdentityBindings",
+    "ScanSpec", "StorageBackend", "TemporalBounds",
     "available_backends", "create_backend",
     "register_backend", "select_via_candidates",
     "EntityInterner", "EventMerger", "PostingIndex", "TimeIndex",
     "like_match", "like_to_regex", "IngestPipeline", "IngestStats",
     "Hypertable", "Partition", "PatternProfile", "estimate_total",
+    "EquiDepthHistogram", "FrequencySketch", "PartitionStatistics",
     "EventStore",
 ]

@@ -119,6 +119,52 @@ class TemporalBounds:
 #: pays one O(vocabulary) build instead.
 BITMAP_THRESHOLD = 256
 
+#: Vocabulary-to-set ratio above which a :class:`Bitmap` stops paying:
+#: its O(vocabulary) bytearray dwarfs the binding set it encodes, so the
+#: build (allocate + zero the whole vocabulary) costs more than the scan
+#: saves.  Such sets get the :class:`BloomedSet` tier instead, whose
+#: footprint scales with the *set*, not the vocabulary.
+BLOOM_VOCAB_RATIO = 16
+
+#: Fibonacci-hashing multiplier for the bloom probe (odd, so the map is a
+#: permutation of the table's index space).
+_BLOOM_MULTIPLIER = 0x9E3779B1
+
+
+class BloomedSet:
+    """Bloom pre-filter in front of an exact code set.
+
+    The compaction tier for binding sets too large to bitmap against a
+    huge vocabulary: a power-of-two flag table sized to the *set* (8
+    slots per member) answers most probes with one multiply-and-index,
+    and only the ~12% false-positive survivors pay the exact hash probe
+    into the backing set.  Membership is exact (the set confirms), so
+    ``select`` results never change — only the per-row probe cost and
+    the build footprint do.
+    """
+
+    __slots__ = ("flags", "mask", "codes")
+
+    def __init__(self, codes: Iterable[int]) -> None:
+        self.codes = frozenset(codes)
+        target = max(64, len(self.codes) * 8)
+        bits = 1
+        while bits < target:
+            bits <<= 1
+        self.mask = bits - 1
+        flags = bytearray(bits)
+        mask = self.mask
+        for code in self.codes:
+            flags[(code * _BLOOM_MULTIPLIER) & mask] = 1
+        self.flags = flags
+
+    def __contains__(self, code: int) -> bool:
+        return (bool(self.flags[(code * _BLOOM_MULTIPLIER) & self.mask])
+                and code in self.codes)
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
 
 class Bitmap:
     """Dense membership flags over dictionary codes.
@@ -197,6 +243,100 @@ class IdentityBindings:
         return True
 
 
+@dataclass(frozen=True, slots=True)
+class ScanSpec:
+    """Everything one physical scan is allowed to assume — in one value.
+
+    The scan surface used to carry its reasoning as a positional tail
+    (``window, agentids, bindings, bounds``) duplicated across every
+    backend, the scheduler, the parallel executor, and the anomaly
+    engine; each new pushdown meant a five-way signature change.  A
+    ``ScanSpec`` is that reasoning as a first-class object:
+
+    * ``window`` — the query's half-open time window (header clause or a
+      parallel sub-query slice);
+    * ``agentids`` — the spatial restriction (``None`` = all agents);
+    * ``bindings`` — propagated identity restrictions (§2.3);
+    * ``bounds`` — propagated per-side-inclusive timestamp bounds;
+    * ``limit`` — optional cap on returned survivors (projection/limit
+      pushdown for callers that only need the first N);
+    * ``histograms`` — whether estimates may use the per-partition
+      equi-depth timestamp histograms (off = uniform-time scaling, the
+      ablation's ``no_histogram`` lever).
+
+    Hints stay hints: a backend may ignore ``bindings``/``bounds``
+    because the engine keeps exact post-filters as a correctness
+    fallback, but ``select`` results must respect them exactly, and
+    ``estimate`` must honor them consistently with ``candidates``.
+    The two normalizations every backend needs are shared here:
+    :attr:`unsatisfiable` (no event can match; short-circuit without
+    touching a partition) and :meth:`clamped` (bounds folded into the
+    half-open window machinery partitions prune with).
+    """
+
+    window: Window | None = None
+    agentids: frozenset[int] | None = None
+    bindings: IdentityBindings | None = None
+    bounds: TemporalBounds | None = None
+    limit: int | None = None
+    histograms: bool = True
+
+    @property
+    def unsatisfiable(self) -> bool:
+        """True when no stored event can possibly satisfy the spec."""
+        if self.agentids is not None and not self.agentids:
+            return True
+        if self.bindings is not None and self.bindings.unsatisfiable:
+            return True
+        if self.bounds is not None and self.bounds.unsatisfiable:
+            return True
+        window = self.window
+        if window is not None and window.start >= window.end:
+            return True
+        return False
+
+    def clamped(self) -> Window | None:
+        """``bounds ∩ window`` as one half-open window (shared lowering)."""
+        if self.bounds is not None and self.bounds:
+            return self.bounds.clamp_window(self.window)
+        return self.window
+
+    def admits(self, event: Event) -> bool:
+        """Exact per-event test of the carried hints (post-filter)."""
+        if self.bounds is not None and not self.bounds.admits(event.ts):
+            return False
+        if self.bindings is not None and not self.bindings.admits(event):
+            return False
+        return True
+
+
+#: The spec every hint-less call site means: scan it all.
+FULL_SCAN = ScanSpec()
+
+
+def resolve_spec(spec: ScanSpec | None) -> ScanSpec:
+    """The one spec-defaulting normalization every backend shares."""
+    return spec if spec is not None else FULL_SCAN
+
+
+@dataclass(frozen=True, slots=True)
+class AccessPathInfo:
+    """One backend's chosen physical access path for a scan.
+
+    ``name`` is the dominant per-partition choice (the one covering the
+    most costed rows), ``rows`` the total costed candidate rows across
+    partitions, and ``considered`` every enumerated ``(path, rows)``
+    alternative — the raw material of ``explain()`` output.
+    """
+
+    name: str
+    rows: int
+    considered: tuple[tuple[str, int], ...] = ()
+
+    def describe(self) -> str:
+        return f"{self.name} (~{self.rows} rows)"
+
+
 @runtime_checkable
 class StorageBackend(Protocol):
     """What the engine needs from a storage substrate.
@@ -206,18 +346,20 @@ class StorageBackend(Protocol):
     fetch, cardinality estimation for pruning-power scheduling, and full
     scans — plus ``select``, the fused fetch-and-filter entry point that
     lets a backend evaluate a pattern's residual predicate its own way
-    (per event, or over column batches).
+    (per event, or over column batches), and ``access_path``, which
+    reports the physical path the backend would choose without fetching
+    (the ``explain()`` surface).
 
-    ``candidates``/``select``/``estimate`` accept optional
-    :class:`IdentityBindings` and :class:`TemporalBounds` hints.  Backends
-    *may* use either to prune during the scan; they are allowed to ignore
-    them because the scheduler keeps exact post-filters as a correctness
-    fallback.  ``select`` results must respect both hints exactly (the
-    shared :func:`select_via_candidates` already guarantees this for
-    row-at-a-time backends).  ``estimate`` must honor the hints
-    consistently with ``candidates`` — the scheduler re-orders patterns
-    on these estimates, and a divergence would make ordering decisions
-    about scans that return something else.
+    ``candidates``/``select``/``estimate`` take the whole physical-scan
+    contract as a single :class:`ScanSpec`.  Backends *may* ignore the
+    binding/bounds hints inside it because the scheduler keeps exact
+    post-filters as a correctness fallback; ``select`` results must
+    respect the hints exactly (the shared :func:`select_via_candidates`
+    already guarantees this for row-at-a-time backends), and
+    ``estimate`` must honor them consistently with ``candidates`` — the
+    scheduler re-orders patterns on these estimates, and a divergence
+    would make ordering decisions about scans that return something
+    else.
     """
 
     backend_name: str
@@ -234,24 +376,17 @@ class StorageBackend(Protocol):
              agentids: set[int] | None = None) -> list[Event]: ...
 
     def candidates(self, profile: PatternProfile,
-                   window: Window | None = None,
-                   agentids: set[int] | None = None,
-                   bindings: IdentityBindings | None = None,
-                   bounds: TemporalBounds | None = None) -> list[Event]: ...
+                   spec: ScanSpec | None = None) -> list[Event]: ...
 
     def select(self, profile: PatternProfile,
                predicate: "CompiledPredicate",
-               window: Window | None = None,
-               agentids: set[int] | None = None,
-               bindings: IdentityBindings | None = None,
-               bounds: TemporalBounds | None = None,
-               ) -> tuple[list[Event], int]: ...
+               spec: ScanSpec | None = None) -> tuple[list[Event], int]: ...
 
     def estimate(self, profile: PatternProfile,
-                 window: Window | None = None,
-                 agentids: set[int] | None = None,
-                 bindings: IdentityBindings | None = None,
-                 bounds: TemporalBounds | None = None) -> int: ...
+                 spec: ScanSpec | None = None) -> int: ...
+
+    def access_path(self, profile: PatternProfile,
+                    spec: ScanSpec | None = None) -> AccessPathInfo: ...
 
     # Introspection ----------------------------------------------------
     @property
@@ -277,35 +412,37 @@ class StorageBackend(Protocol):
 
 def select_via_candidates(backend: StorageBackend, profile: PatternProfile,
                           predicate: "CompiledPredicate",
-                          window: Window | None = None,
-                          agentids: set[int] | None = None,
-                          bindings: IdentityBindings | None = None,
-                          bounds: TemporalBounds | None = None,
+                          spec: ScanSpec | None = None,
                           ) -> tuple[list[Event], int]:
     """Default ``select``: candidate fetch + fused per-event residual.
 
     Row-at-a-time backends share this implementation; batch backends
     override ``select`` entirely.  Returns ``(survivors, fetched)`` where
-    ``fetched`` is the candidate-list size (for execution reports).
-    Identity bindings and temporal bounds short-circuit when unsatisfiable
-    and are enforced exactly on the survivors, whatever the backend's
-    ``candidates`` chose to do with the hints.
+    ``fetched`` is the candidate-list size (for execution reports).  An
+    unsatisfiable spec short-circuits, and the spec's binding/bounds
+    hints are enforced exactly on the survivors, whatever the backend's
+    ``candidates`` chose to do with them.
     """
-    if bindings is not None and bindings.unsatisfiable:
+    if spec is None:
+        spec = FULL_SCAN
+    if spec.unsatisfiable:
         return [], 0
-    if bounds is not None and bounds.unsatisfiable:
-        return [], 0
-    fetched = backend.candidates(profile, window, agentids, bindings, bounds)
+    fetched = backend.candidates(profile, spec)
     test = predicate.event_predicate
+    bounds, bindings = spec.bounds, spec.bindings
     survivors = fetched
     if bounds is not None and bounds:
         in_bounds = bounds.admits
         survivors = [event for event in survivors if in_bounds(event.ts)]
-    if bindings is None or not bindings:
-        return ([event for event in survivors if test(event)], len(fetched))
-    admits = bindings.admits
-    return ([event for event in survivors if admits(event) and test(event)],
-            len(fetched))
+    if bindings is not None and bindings:
+        admits = bindings.admits
+        survivors = [event for event in survivors
+                     if admits(event) and test(event)]
+    else:
+        survivors = [event for event in survivors if test(event)]
+    if spec.limit is not None and len(survivors) > spec.limit:
+        survivors = survivors[:spec.limit]
+    return survivors, len(fetched)
 
 
 # ---------------------------------------------------------------------------

@@ -44,11 +44,14 @@ from repro.model.events import Event, validate_operation
 from repro.model.timeutil import SECONDS_PER_DAY, Window
 from repro.storage.dedup import EntityInterner
 from repro.storage.indexes import like_to_regex
-from repro.storage.stats import PatternProfile
+from repro.storage.backend import resolve_spec as _resolved
+from repro.storage.scanstats import PartitionStatistics
+from repro.storage.stats import PatternProfile, _binding_bound
 from repro.engine.filters import Atom, CompiledPredicate
 
 if TYPE_CHECKING:
-    from repro.storage.backend import IdentityBindings, TemporalBounds
+    from repro.storage.backend import (AccessPathInfo, IdentityBindings,
+                                       ScanSpec)
 
 _ETYPE_CODE: dict[str, int] = {name: code
                                for code, name in enumerate(ENTITY_TYPES)}
@@ -70,11 +73,14 @@ class ColumnarPartition:
                  "_sort_lock", "min_ts", "max_ts", "min_amount",
                  "max_amount", "type_op", "by_type", "by_op",
                  "by_subject", "by_object",
-                 "subject_name", "object_value", "materialized")
+                 "subject_name", "object_value", "materialized", "stats")
 
     def __init__(self, agentid: int, bucket: int) -> None:
         self.agentid = agentid
         self.bucket = bucket
+        # Lazily built equi-depth timestamp histograms per dictionary-code
+        # group, feeding the skew-aware windowed estimates.
+        self.stats = PartitionStatistics()
         # Survivor cache: event id -> materialized Event.  Keyed by id (not
         # row) so the lazy time-sort never invalidates it; repeated queries
         # over hot rows skip re-materialization.
@@ -243,15 +249,25 @@ def _compile_row_filter(dim_items, value_items) -> Callable:
     An allowed-code collection handed over as a
     :class:`~repro.storage.backend.Bitmap` compiles to a dense flag
     lookup (``_s0[subjects[i]]``) instead of a set probe — one index into
-    a bytearray per row, no hashing, whatever the code-set size.
+    a bytearray per row, no hashing, whatever the code-set size.  A
+    :class:`~repro.storage.backend.BloomedSet` (the huge-vocabulary tier)
+    compiles to a multiplicative-hash flag probe that short-circuits the
+    exact set probe for the overwhelming majority of non-member rows.
     """
-    from repro.storage.backend import Bitmap
+    from repro.storage.backend import _BLOOM_MULTIPLIER, Bitmap, BloomedSet
     conds: list[str] = []
     namespace: dict[str, object] = {}
     for index, (column, allowed) in enumerate(dim_items):
         if isinstance(allowed, Bitmap):
             namespace[f"_s{index}"] = allowed.flags
             conds.append(f"_s{index}[{column}[i]]")
+        elif isinstance(allowed, BloomedSet):
+            namespace[f"_f{index}"] = allowed.flags
+            namespace[f"_m{index}"] = allowed.mask
+            namespace[f"_s{index}"] = allowed.codes
+            conds.append(
+                f"_f{index}[({column}[i] * {_BLOOM_MULTIPLIER}) "
+                f"& _m{index}] and {column}[i] in _s{index}")
         else:
             namespace[f"_s{index}"] = allowed
             conds.append(f"{column}[i] in _s{index}")
@@ -330,6 +346,8 @@ class ColumnarEventStore:
         self._max_ts = float("-inf")
         # Allowed-code sets per atom, invalidated when vocabularies grow.
         self._atom_cache: dict[Atom, set[int]] = {}
+        # Constraint-value code sets for estimation (same invalidation).
+        self._code_cache: dict[tuple, frozenset[int]] = {}
 
     # ------------------------------------------------------------------
     # Dictionary encoding
@@ -342,6 +360,7 @@ class ColumnarEventStore:
             self._entities.append(canonical)
             self._entity_code[canonical.identity] = code
             self._atom_cache.clear()
+            self._code_cache.clear()
         return canonical, code
 
     def _op_code_for(self, operation: str) -> int:
@@ -351,6 +370,7 @@ class ColumnarEventStore:
             self._ops.append(operation)
             self._op_code[operation] = code
             self._atom_cache.clear()
+            self._code_cache.clear()
         return code
 
     # ------------------------------------------------------------------
@@ -455,56 +475,87 @@ class ColumnarEventStore:
         return events
 
     def candidates(self, profile: PatternProfile,
-                   window: Window | None = None,
-                   agentids: set[int] | None = None,
-                   bindings: "IdentityBindings | None" = None,
-                   bounds: "TemporalBounds | None" = None) -> list[Event]:
-        """Batch-scan superset of events matching the profile."""
+                   spec: "ScanSpec | None" = None) -> list[Event]:
+        """Batch-scan superset of events matching the profile.
+
+        The spec's ``limit`` is *not* applied here: candidates are a
+        superset still awaiting residual predicate evaluation, and
+        truncating the superset could starve the true matches a limited
+        ``select`` owes (the row store's candidates ignore it too).
+        """
+        spec = _resolved(spec)
+        if spec.limit is not None:
+            from dataclasses import replace
+            spec = replace(spec, limit=None)
         events, _fetched = self._batch_select(
-            self._profile_atoms(profile), window, agentids, bindings,
-            bounds)
+            self._profile_atoms(profile), spec)
         return events
 
     def select(self, profile: PatternProfile,
                predicate: CompiledPredicate,
-               window: Window | None = None,
-               agentids: set[int] | None = None,
-               bindings: "IdentityBindings | None" = None,
-               bounds: "TemporalBounds | None" = None,
-               ) -> tuple[list[Event], int]:
+               spec: "ScanSpec | None" = None) -> tuple[list[Event], int]:
         """Evaluate the full residual predicate column-at-a-time.
 
         Unlike the row store — candidate fetch through one posting index,
         then the fused per-event predicate — the whole atom conjunction is
         pushed into the batch scan, so no non-matching Event object is
-        ever materialized.  Identity bindings translate to dictionary-code
-        sets and join the fused membership tests, and temporal bounds
-        clamp the scan itself — zone maps skip whole partitions, a binary
-        search over the sorted ts column bounds the fused loop's row range
-        — so binding propagation prunes *before* survivor materialization
-        too.
+        ever materialized.  The spec's identity bindings translate to
+        dictionary-code sets and join the fused membership tests, and its
+        temporal bounds clamp the scan itself — zone maps skip whole
+        partitions, a binary search over the sorted ts column bounds the
+        fused loop's row range — so binding propagation prunes *before*
+        survivor materialization too.
         """
-        return self._batch_select(predicate.atoms, window, agentids,
-                                  bindings, bounds)
+        return self._batch_select(predicate.atoms, spec)
 
     def estimate(self, profile: PatternProfile,
-                 window: Window | None = None,
-                 agentids: set[int] | None = None,
-                 bindings: "IdentityBindings | None" = None,
-                 bounds: "TemporalBounds | None" = None) -> int:
+                 spec: "ScanSpec | None" = None) -> int:
         """Estimated match cardinality (the pruning-power signal)."""
-        binding_codes = self._binding_codes(bindings)
-        if binding_codes is not None and binding_codes.empty:
+        spec = _resolved(spec)
+        binding_codes = self._binding_codes(spec.bindings)
+        if spec.unsatisfiable or (binding_codes is not None
+                                  and binding_codes.empty):
             return 0
-        if bounds is not None:
-            if bounds.unsatisfiable:
-                return 0
-            # Identical tightening to the one _batch_select applies, so
-            # the estimate stays consistent with the scan it predicts.
-            window = bounds.clamp_window(window)
+        # Identical tightening to the one _batch_select applies, so the
+        # estimate stays consistent with the scan it predicts.
+        window = spec.clamped()
         return sum(self._estimate_partition(partition, profile, window,
-                                            binding_codes)
-                   for partition in self._pruned(window, agentids))
+                                            binding_codes, spec.histograms)
+                   for partition in self._pruned(window, spec.agentids))
+
+    def access_path(self, profile: PatternProfile,
+                    spec: "ScanSpec | None" = None) -> "AccessPathInfo":
+        """The zone-map-pruned batch loop ``select`` would run (no fetch).
+
+        The columnar store has one physical path — the code-generated
+        fused row loop — but its extent varies: zone maps and the ts
+        clamp decide which partitions and row spans the loop walks, and
+        that is the decision ``explain()`` should surface.
+        """
+        from repro.storage.backend import AccessPathInfo
+        spec = _resolved(spec)
+        binding_codes = self._binding_codes(spec.bindings)
+        if spec.unsatisfiable or (binding_codes is not None
+                                  and binding_codes.empty):
+            return AccessPathInfo("unsatisfiable", 0)
+        window = spec.clamped()
+        atoms = self._profile_atoms(profile)
+        plan = self._scan_plan(atoms, binding_codes)
+        if plan.empty:
+            return AccessPathInfo("unsatisfiable", 0)
+        scanned = 0
+        walked = 0
+        for _partition, lo, hi in self._scan_spans(plan, atoms, window,
+                                                   spec.agentids):
+            walked += 1
+            scanned += hi - lo
+        pruned = sum(1 for _ in self._pruned(window, spec.agentids)) - walked
+        name = "zone-batch(ts-clamp)" if window is not None else "zone-batch"
+        if pruned:
+            name += f"[{pruned} zone-pruned]"
+        return AccessPathInfo(name=name, rows=scanned,
+                              considered=(("full-scan", self._count),
+                                          (name, scanned)))
 
     # ------------------------------------------------------------------
     # Batch evaluation
@@ -634,9 +685,19 @@ class ColumnarEventStore:
         always compacts its constraint-derived (broad LIKE) sets — that
         is a backend-internal representation choice, not part of the
         propagation machinery under ablation.
+
+        A set large enough to compact but sparse against a *huge*
+        vocabulary takes the bloom tier instead: a ``Bitmap`` would
+        allocate and zero one byte per vocabulary entry on every scan,
+        while the :class:`~repro.storage.backend.BloomedSet` is sized to
+        the set itself and still answers most probes with one index.
         """
-        from repro.storage.backend import BITMAP_THRESHOLD, Bitmap
+        from repro.storage.backend import (BITMAP_THRESHOLD,
+                                           BLOOM_VOCAB_RATIO, Bitmap,
+                                           BloomedSet)
         if compact and len(allowed) > BITMAP_THRESHOLD:
+            if vocab_size > len(allowed) * BLOOM_VOCAB_RATIO:
+                return BloomedSet(allowed)
             return Bitmap(allowed, vocab_size)
         return allowed
 
@@ -661,32 +722,51 @@ class ColumnarEventStore:
                         return True
         return False
 
-    def _batch_select(self, atoms: Iterable[Atom], window: Window | None,
-                      agentids: set[int] | None,
-                      bindings: "IdentityBindings | None" = None,
-                      bounds: "TemporalBounds | None" = None,
+    def _batch_select(self, atoms: Iterable[Atom],
+                      spec: "ScanSpec | None" = None,
                       ) -> tuple[list[Event], int]:
+        spec = _resolved(spec)
         atoms = list(atoms)
-        binding_codes = self._binding_codes(bindings)
-        if binding_codes is not None and binding_codes.empty:
+        binding_codes = self._binding_codes(spec.bindings)
+        if spec.unsatisfiable or (binding_codes is not None
+                                  and binding_codes.empty):
             return [], 0
-        if bounds is not None:
-            if bounds.unsatisfiable:
-                return [], 0
-            # Lower the bounds onto the window machinery: _pruned tests
-            # the tightened window against each partition's ts zone map,
-            # and row_range binary-searches the sorted ts column so the
-            # fused loop only walks the clamped row span.
-            window = bounds.clamp_window(window)
+        # Lower the bounds onto the window machinery: _pruned tests the
+        # tightened window against each partition's ts zone map, and
+        # row_range binary-searches the sorted ts column so the fused
+        # loop only walks the clamped row span.
+        window = spec.clamped()
         plan = self._scan_plan(atoms, binding_codes)
         if plan.empty:
             return [], 0
-        # Zone-map range pruning for ordered atoms on ts/amount.
+        events: list[Event] = []
+        fetched = 0
+        for partition, lo, hi in self._scan_spans(plan, atoms, window,
+                                                  spec.agentids):
+            fetched += hi - lo
+            rows = plan.row_filter(lo, hi, partition.ids, partition.ts,
+                                   partition.ops, partition.etypes,
+                                   partition.subjects, partition.objects,
+                                   partition.amounts, partition.failcodes)
+            events.extend(self._event_at(partition, row) for row in rows)
+        if spec.limit is not None and len(events) > spec.limit:
+            events = events[:spec.limit]
+        return events, fetched
+
+    def _scan_spans(self, plan: _ScanPlan, atoms: list[Atom],
+                    window: Window | None, agentids: set[int] | None,
+                    ) -> Iterator[tuple[ColumnarPartition, int, int]]:
+        """The row spans the fused loop walks, after every pruning tier.
+
+        One walk shared by ``_batch_select`` and ``access_path`` so the
+        explain surface reports exactly the partitions and clamped spans
+        the real scan would touch: agent tests, zone maps over the
+        dictionary columns, zone-map range pruning for ordered ts/amount
+        atoms, and the binary-searched window clamp.
+        """
         range_atoms = [atom for atom in atoms
                        if atom.target == "event"
                        and atom.attribute in ("ts", "amount")]
-        events: list[Event] = []
-        fetched = 0
         for partition in self._pruned(window, agentids):
             if plan.agent_tests and not all(test(partition.agentid)
                                             for test in plan.agent_tests):
@@ -707,13 +787,7 @@ class ColumnarEventStore:
             lo, hi = partition.row_range(window)
             if lo >= hi:
                 continue
-            fetched += hi - lo
-            rows = plan.row_filter(lo, hi, partition.ids, partition.ts,
-                                   partition.ops, partition.etypes,
-                                   partition.subjects, partition.objects,
-                                   partition.amounts, partition.failcodes)
-            events.extend(self._event_at(partition, row) for row in rows)
-        return events, fetched
+            yield partition, lo, hi
 
     # ------------------------------------------------------------------
     # Estimation (counter-based analogue of stats.estimate_partition)
@@ -722,56 +796,170 @@ class ColumnarEventStore:
                             profile: PatternProfile,
                             window: Window | None,
                             binding_codes: "_BindingCodes | None" = None,
-                            ) -> int:
+                            histograms: bool = True) -> int:
         total = len(partition)
         if total == 0:
             return 0
-        bounds = [total]
+        windowed = window is not None and histograms
+        if windowed:
+            in_window = partition.count_range(window.start, window.end)
+            if in_window == 0:
+                return 0
+            bounds = [in_window]
+        else:
+            in_window = 0
+            bounds = [total]
+
+        def dim(count_key: tuple, count: int,
+                row_test_factory: "Callable[[], Callable[[int], bool]]",
+                ) -> int:
+            """One dimension's bound: exact count, or its histogram's
+            in-window estimate when the scan is windowed.  The row test
+            is only built when the (memoized) histogram is."""
+            if not windowed or count == 0:
+                return count
+            histogram = partition.stats.histogram(
+                count_key, total,
+                lambda: self._dim_timestamps(partition,
+                                             row_test_factory()))
+            return histogram.estimate_range(window.start, window.end)
+
         if binding_codes is not None:
+            # Binding code sets change per query step; scale their exact
+            # counts uniformly (the shared stats helper) instead of
+            # building throwaway histograms.
             if binding_codes.subjects is not None:
-                bounds.append(_count_codes(partition.by_subject,
-                                           binding_codes.subjects,
-                                           binding_codes.compact))
+                bounds.append(_binding_bound(
+                    _count_codes(partition.by_subject,
+                                 binding_codes.subjects,
+                                 binding_codes.compact),
+                    in_window, total, windowed))
             if binding_codes.objects is not None:
-                bounds.append(_count_codes(partition.by_object,
-                                           binding_codes.objects,
-                                           binding_codes.compact))
+                bounds.append(_binding_bound(
+                    _count_codes(partition.by_object,
+                                 binding_codes.objects,
+                                 binding_codes.compact),
+                    in_window, total, windowed))
         etype = (_ETYPE_CODE.get(profile.event_type)
                  if profile.event_type is not None else None)
+        etypes, ops = partition.etypes, partition.ops
+        subjects, objects = partition.subjects, partition.objects
         if etype is not None and profile.operations:
-            bounds.append(sum(
-                partition.type_op.get((etype, self._op_code[op]), 0)
-                for op in profile.operations if op in self._op_code))
+            op_codes = frozenset(
+                self._op_code[op] for op in profile.operations
+                if op in self._op_code)
+            count = sum(partition.type_op.get((etype, op), 0)
+                        for op in op_codes)
+            bounds.append(dim(
+                ("type+op", etype, op_codes), count,
+                lambda: lambda i: (etypes[i] == etype
+                                   and ops[i] in op_codes)))
         elif etype is not None:
-            bounds.append(partition.by_type.get(etype, 0))
+            bounds.append(dim(("type", etype),
+                              partition.by_type.get(etype, 0),
+                              lambda: lambda i: etypes[i] == etype))
         elif profile.operations:
-            bounds.append(sum(
-                partition.by_op.get(self._op_code[op], 0)
-                for op in profile.operations if op in self._op_code))
+            op_codes = frozenset(
+                self._op_code[op] for op in profile.operations
+                if op in self._op_code)
+            count = sum(partition.by_op.get(op, 0) for op in op_codes)
+            bounds.append(dim(("op", op_codes), count,
+                              lambda: lambda i: ops[i] in op_codes))
         if profile.subject_exact is not None:
-            bounds.append(partition.subject_name.get(profile.subject_exact,
-                                                     0))
+            name = profile.subject_exact
+
+            def _subject_exact_test() -> "Callable[[int], bool]":
+                codes = self._constraint_codes("exe_name", exact=name)
+                return lambda i: subjects[i] in codes
+
+            bounds.append(dim(("subject", name),
+                              partition.subject_name.get(name, 0),
+                              _subject_exact_test))
         elif profile.subject_like is not None:
-            regex = like_to_regex(profile.subject_like)
-            bounds.append(sum(
-                count for name, count in partition.subject_name.items()
-                if isinstance(name, str) and regex.match(name)))
+            pattern = profile.subject_like
+            regex = like_to_regex(pattern)
+            count = sum(
+                value for key, value in partition.subject_name.items()
+                if isinstance(key, str) and regex.match(key))
+
+            def _subject_like_test() -> "Callable[[int], bool]":
+                codes = self._constraint_codes("exe_name", pattern=pattern)
+                return lambda i: subjects[i] in codes
+
+            bounds.append(dim(("subject~", pattern), count,
+                              _subject_like_test))
         if profile.object_exact is not None and etype is not None:
-            bounds.append(partition.object_value.get(
-                (etype, profile.object_exact), 0))
+            value = profile.object_exact
+
+            def _object_exact_test() -> "Callable[[int], bool]":
+                codes = self._constraint_codes("default_attribute",
+                                               exact=value,
+                                               etype_code=etype)
+                return lambda i: objects[i] in codes
+
+            bounds.append(dim(("object", etype, value),
+                              partition.object_value.get((etype, value), 0),
+                              _object_exact_test))
         elif profile.object_like is not None and etype is not None:
-            regex = like_to_regex(profile.object_like)
-            bounds.append(sum(
-                count for (value_etype, value), count
+            pattern = profile.object_like
+            regex = like_to_regex(pattern)
+            count = sum(
+                value for (value_etype, value_key), value
                 in partition.object_value.items()
-                if value_etype == etype and isinstance(value, str)
-                and regex.match(value)))
+                if value_etype == etype and isinstance(value_key, str)
+                and regex.match(value_key))
+
+            def _object_like_test() -> "Callable[[int], bool]":
+                codes = self._constraint_codes("default_attribute",
+                                               pattern=pattern,
+                                               etype_code=etype)
+                return lambda i: objects[i] in codes
+
+            bounds.append(dim(("object~", etype, pattern), count,
+                              _object_like_test))
         bound = min(bounds)
-        if window is not None and bound:
+        if window is not None and not histograms and bound:
             in_window = partition.count_range(window.start, window.end)
             bound = min(bound, max(1, round(bound * in_window / total))
                         if in_window else 0)
         return bound
+
+    @staticmethod
+    def _dim_timestamps(partition: ColumnarPartition,
+                        row_test: "Callable[[int], bool]") -> list[float]:
+        """Timestamps of the rows one estimation dimension covers."""
+        ts = partition.ts
+        return [ts[i] for i in range(len(ts)) if row_test(i)]
+
+    def _constraint_codes(self, attribute: str, exact: object = None,
+                          pattern: str | None = None,
+                          etype_code: int | None = None) -> frozenset[int]:
+        """Dictionary codes whose entity attribute matches a constraint.
+
+        Memoized store-wide (the vocabulary is shared across partitions)
+        and invalidated together with the atom cache when the vocabulary
+        grows — estimation never pays the entity walk twice per value.
+        """
+        key = (attribute, exact, pattern, etype_code)
+        cached = self._code_cache.get(key)
+        if cached is not None:
+            return cached
+        regex = like_to_regex(pattern) if pattern is not None else None
+        codes = []
+        for code, entity in enumerate(self._entities):
+            if (etype_code is not None
+                    and _ETYPE_CODE[entity.entity_type] != etype_code):
+                continue
+            value = getattr(entity, attribute, None)
+            if exact is not None:
+                if value == exact:
+                    codes.append(code)
+            elif (regex is not None and isinstance(value, str)
+                    and regex.match(value)):
+                codes.append(code)
+        result = frozenset(codes)
+        self._code_cache[key] = result
+        return result
 
     # ------------------------------------------------------------------
     # Introspection

@@ -22,6 +22,7 @@ from repro.model.entities import DEFAULT_ATTRIBUTE
 from repro.model.events import Event
 from repro.model.timeutil import SECONDS_PER_DAY, Window
 from repro.storage.indexes import PostingIndex, TimeIndex
+from repro.storage.scanstats import PartitionStatistics
 
 PartitionKey = tuple[int, int]
 
@@ -31,10 +32,13 @@ class Partition:
 
     __slots__ = ("key", "time_index", "by_operation", "by_type",
                  "by_type_operation", "by_subject_name", "by_object_value",
-                 "by_subject_id", "by_object_id")
+                 "by_subject_id", "by_object_id", "stats")
 
     def __init__(self, key: PartitionKey) -> None:
         self.key = key
+        # Lazily built equi-depth timestamp histograms per posting key,
+        # feeding the skew-aware windowed estimates in stats.py.
+        self.stats = PartitionStatistics()
         self.time_index = TimeIndex()
         self.by_operation = PostingIndex()
         self.by_type = PostingIndex()

@@ -9,16 +9,24 @@ type, subject name, or object value.
 Estimates are exact for exact-match constraints (they read posting sizes)
 and computed by key-space matching for LIKE patterns; both are cheap because
 the distinct-value vocabulary of audit data is small relative to event
-volume.
+volume.  *Windowed* estimates no longer assume events are time-uniform
+inside a bucket: each constrained dimension consults a lazily built
+equi-depth timestamp histogram over its own posting list
+(:mod:`repro.storage.scanstats`), so a process whose activity clusters
+outside the window estimates near zero instead of "its share of the
+bucket".  The uniform scaling survives as the ``histograms=False``
+fallback (the ablation's ``no_histogram`` lever) and for propagated
+binding sets, whose members change per query step.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Sequence
 
+from repro.model.events import Event
 from repro.model.timeutil import Window
-from repro.storage.indexes import like_match
+from repro.storage.indexes import like_match, like_to_regex
 from repro.storage.partition import Partition
 
 if TYPE_CHECKING:
@@ -43,21 +51,103 @@ class PatternProfile:
     object_like: str | None = None
 
 
+def _profile_postings(partition: Partition, profile: PatternProfile,
+                      ) -> list[tuple[object, Callable[[], Sequence[Event]]]]:
+    """Per-dimension posting fetchers for the profile's constraints.
+
+    Each entry is ``(histogram cache key, events factory)``; the factory
+    yields exactly the events the dimension's posting index holds for the
+    constrained value, which is both the exact unwindowed bound and the
+    population a windowed histogram is built over.
+    """
+    dims: list[tuple[object, Callable[[], Sequence[Event]]]] = []
+    etype = profile.event_type
+    if etype is not None and profile.operations:
+        ops = tuple(sorted(profile.operations))
+        index = partition.by_type_operation
+
+        def _type_ops() -> list[Event]:
+            merged: list[Event] = []
+            for op in ops:
+                merged.extend(index.lookup((etype, op)))
+            return merged
+
+        dims.append((("type+op", etype, ops), _type_ops))
+    elif etype is not None:
+        dims.append((("type", etype),
+                     lambda: partition.by_type.lookup(etype)))
+    elif profile.operations:
+        ops = tuple(sorted(profile.operations))
+        index = partition.by_operation
+
+        def _ops() -> list[Event]:
+            merged: list[Event] = []
+            for op in ops:
+                merged.extend(index.lookup(op))
+            return merged
+
+        dims.append((("op", ops), _ops))
+    if profile.subject_exact is not None:
+        name = profile.subject_exact
+        dims.append((("subject", name),
+                     lambda: partition.by_subject_name.lookup(name)))
+    elif profile.subject_like is not None:
+        pattern = profile.subject_like
+        dims.append((("subject~", pattern),
+                     lambda: partition.by_subject_name.lookup_like(pattern)))
+    if profile.object_exact is not None and etype is not None:
+        key = (etype, profile.object_exact)
+        dims.append((("object", key),
+                     lambda: partition.by_object_value.lookup(key)))
+    elif profile.object_like is not None and etype is not None:
+        pattern = profile.object_like
+        regex = like_to_regex(pattern)
+        index = partition.by_object_value
+
+        def _object_like() -> list[Event]:
+            merged: list[Event] = []
+            for key in index.keys():
+                if (key[0] == etype and isinstance(key[1], str)
+                        and regex.match(key[1])):
+                    merged.extend(index.lookup(key))
+            return merged
+
+        dims.append((("object~", etype, pattern), _object_like))
+    return dims
+
+
+def _binding_bound(count: int, in_window: int, total: int,
+                   windowed: bool) -> int:
+    """Uniform window scaling for one exact binding-posting count."""
+    if not windowed or count == 0:
+        return count
+    return max(1, round(count * in_window / total)) if in_window else 0
+
+
 def estimate_partition(partition: Partition, profile: PatternProfile,
                        window: Window | None,
-                       bindings: "IdentityBindings | None" = None) -> int:
+                       bindings: "IdentityBindings | None" = None,
+                       histograms: bool = True) -> int:
     """Estimated number of events in this partition matching the profile.
 
-    The estimate is the minimum across the independent per-index counts —
+    The estimate is the minimum across the independent per-index bounds —
     the tightest single-index bound, which is exactly the candidate-list
-    size the executor would fetch.  The time dimension scales the bound by
-    the window's overlap with the partition's population.  Propagated
-    identity bindings contribute their exact posting counts, so
-    pruning-power ordering reacts to binding propagation.
+    size the executor would fetch.  Without a window (or with
+    ``histograms=False``) the bounds are the raw posting sizes, scaled by
+    the window's share of the partition population under a time-uniformity
+    assumption.  With histograms, each constrained dimension instead asks
+    its own equi-depth timestamp histogram how much of *its* posting list
+    falls inside the window, so in-bucket skew stops fooling the
+    scheduler.  Propagated identity bindings contribute their exact
+    posting counts (uniformly scaled — binding sets are per-query-step
+    and not worth a histogram build), so pruning-power ordering reacts to
+    binding propagation either way.
     """
     total = len(partition)
     if total == 0:
         return 0
+    if window is not None and histograms:
+        return _estimate_windowed(partition, profile, window, bindings)
     bounds = [total]
     if bindings is not None:
         if bindings.subjects is not None:
@@ -99,9 +189,39 @@ def estimate_partition(partition: Partition, profile: PatternProfile,
     return bound
 
 
+def _estimate_windowed(partition: Partition, profile: PatternProfile,
+                       window: Window,
+                       bindings: "IdentityBindings | None") -> int:
+    """Histogram-based windowed estimate (skew-aware)."""
+    total = len(partition)
+    in_window = partition.time_index.count_range(window.start, window.end)
+    if in_window == 0:
+        return 0
+    bounds = [in_window]
+    if bindings is not None:
+        if bindings.subjects is not None:
+            bounds.append(_binding_bound(
+                partition.by_subject_id.count_many(
+                    bindings.subjects, compact=bindings.compact),
+                in_window, total, windowed=True))
+        if bindings.objects is not None:
+            bounds.append(_binding_bound(
+                partition.by_object_id.count_many(
+                    bindings.objects, compact=bindings.compact),
+                in_window, total, windowed=True))
+    stats = partition.stats
+    for key, events_factory in _profile_postings(partition, profile):
+        histogram = stats.histogram(
+            key, total, lambda fetch=events_factory: [
+                event.ts for event in fetch()])
+        bounds.append(histogram.estimate_range(window.start, window.end))
+    return min(bounds)
+
+
 def estimate_total(partitions: list[Partition], profile: PatternProfile,
                    window: Window | None,
-                   bindings: "IdentityBindings | None" = None) -> int:
+                   bindings: "IdentityBindings | None" = None,
+                   histograms: bool = True) -> int:
     """Total estimated cardinality over a pruned partition list."""
-    return sum(estimate_partition(p, profile, window, bindings)
+    return sum(estimate_partition(p, profile, window, bindings, histograms)
                for p in partitions)

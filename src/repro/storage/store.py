@@ -14,7 +14,8 @@ exposes the two operations the engine needs:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+from typing import (TYPE_CHECKING, Callable, Iterable, NamedTuple,
+                    Sequence)
 
 from repro.errors import StorageError
 from repro.model.entities import Entity, ProcessEntity
@@ -25,9 +26,12 @@ from repro.storage.indexes import clip_to_window, like_to_regex
 from repro.storage.partition import Hypertable, Partition
 from repro.storage.stats import PatternProfile, estimate_partition
 
+from repro.storage.backend import resolve_spec as _resolved
+
 if TYPE_CHECKING:
     from repro.engine.filters import CompiledPredicate
-    from repro.storage.backend import IdentityBindings, TemporalBounds
+    from repro.storage.backend import (AccessPathInfo, IdentityBindings,
+                                       ScanSpec)
 
 
 class EventStore:
@@ -100,32 +104,28 @@ class EventStore:
         return events
 
     def candidates(self, profile: PatternProfile,
-                   window: Window | None = None,
-                   agentids: set[int] | None = None,
-                   bindings: "IdentityBindings | None" = None,
-                   bounds: "TemporalBounds | None" = None) -> list[Event]:
+                   spec: "ScanSpec | None" = None) -> list[Event]:
         """Cheapest index-backed superset of events matching the profile.
 
         The returned list still requires residual predicate evaluation
         (named attribute comparisons the indexes do not cover), but it is
         already restricted by the best single index per partition and
-        clipped to the time window.  Identity bindings add the per-identity
-        posting lists as candidate access paths — after propagation those
-        sets are tiny, so they usually win the costing outright.  Temporal
-        bounds tighten the window (partition zone pruning) and add the
-        binary-searched time-index range scan as its own costed access
-        path, so a narrowed sliver of a bucket never pays for a broad
-        posting list.
+        clipped to the time window.  The spec's identity bindings add the
+        per-identity posting lists as candidate access paths — after
+        propagation those sets are tiny, so they usually win the costing
+        outright.  Its temporal bounds tighten the window (partition zone
+        pruning) and add the binary-searched time-index range scan as its
+        own costed access path, so a narrowed sliver of a bucket never
+        pays for a broad posting list.
         """
-        if bindings is not None and bindings.unsatisfiable:
+        spec = _resolved(spec)
+        if spec.unsatisfiable:
             return []
-        if bounds is not None:
-            if bounds.unsatisfiable:
-                return []
-            window = bounds.clamp_window(window)
+        window = spec.clamped()
         out: list[Event] = []
-        for partition in self._table.prune(window, agentids):
-            fetched = _best_access_path(partition, profile, bindings, window)
+        for partition in self._table.prune(window, spec.agentids):
+            paths = _access_paths(partition, profile, spec.bindings, window)
+            fetched = _cheapest(paths)()
             if window is not None:
                 fetched = clip_to_window(fetched, window.start, window.end)
             out.extend(fetched)
@@ -133,33 +133,50 @@ class EventStore:
 
     def select(self, profile: PatternProfile,
                predicate: "CompiledPredicate",
-               window: Window | None = None,
-               agentids: set[int] | None = None,
-               bindings: "IdentityBindings | None" = None,
-               bounds: "TemporalBounds | None" = None,
-               ) -> tuple[list[Event], int]:
+               spec: "ScanSpec | None" = None) -> tuple[list[Event], int]:
         """Fetch candidates and apply the fused residual predicate."""
         from repro.storage.backend import select_via_candidates
-        return select_via_candidates(self, profile, predicate, window,
-                                     agentids, bindings, bounds)
+        return select_via_candidates(self, profile, predicate, spec)
 
     def estimate(self, profile: PatternProfile,
-                 window: Window | None = None,
-                 agentids: set[int] | None = None,
-                 bindings: "IdentityBindings | None" = None,
-                 bounds: "TemporalBounds | None" = None) -> int:
+                 spec: "ScanSpec | None" = None) -> int:
         """Estimated match cardinality (the pruning-power signal)."""
-        if bindings is not None and bindings.unsatisfiable:
+        spec = _resolved(spec)
+        if spec.unsatisfiable:
             return 0
-        if bounds is not None:
-            if bounds.unsatisfiable:
-                return 0
-            # The same window tightening ``candidates`` applies, so the
-            # estimate never diverges from what the scan would fetch.
-            window = bounds.clamp_window(window)
+        # The same window tightening ``candidates`` applies, so the
+        # estimate never diverges from what the scan would fetch.
+        window = spec.clamped()
         return sum(
-            estimate_partition(partition, profile, window, bindings)
-            for partition in self._table.prune(window, agentids))
+            estimate_partition(partition, profile, window, spec.bindings,
+                               spec.histograms)
+            for partition in self._table.prune(window, spec.agentids))
+
+    def access_path(self, profile: PatternProfile,
+                    spec: "ScanSpec | None" = None) -> "AccessPathInfo":
+        """The costed physical path ``candidates`` would take (no fetch)."""
+        from repro.storage.backend import AccessPathInfo
+        spec = _resolved(spec)
+        if spec.unsatisfiable:
+            return AccessPathInfo("unsatisfiable", 0)
+        window = spec.clamped()
+        chosen: dict[str, int] = {}
+        considered: dict[str, int] = {}
+        for partition in self._table.prune(window, spec.agentids):
+            paths = _access_paths(partition, profile, spec.bindings, window)
+            for path in paths:
+                considered[path.name] = (considered.get(path.name, 0)
+                                         + path.cost)
+            best = min(paths, key=lambda path: path.cost)
+            chosen[best.name] = chosen.get(best.name, 0) + best.cost
+        if not chosen:
+            return AccessPathInfo("no-partitions", 0)
+        dominant = max(chosen, key=lambda name: (chosen[name], name))
+        name = (dominant if len(chosen) == 1
+                else f"{dominant}+{len(chosen) - 1} other")
+        return AccessPathInfo(
+            name=name, rows=sum(chosen.values()),
+            considered=tuple(sorted(considered.items())))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -192,43 +209,64 @@ class EventStore:
         return len(self._table)
 
 
-def _best_access_path(partition: Partition, profile: PatternProfile,
-                      bindings: "IdentityBindings | None" = None,
-                      window: Window | None = None) -> Sequence[Event]:
-    """Pick the single cheapest index for this partition and profile.
+class AccessPath(NamedTuple):
+    """One costed physical way to fetch a partition's candidates."""
+
+    name: str
+    cost: int                                # exactly known result size
+    fetch: Callable[[], Sequence[Event]]
+
+
+def _cheapest(paths: Sequence[AccessPath]) -> Callable[[], Sequence[Event]]:
+    return min(paths, key=lambda path: path.cost).fetch
+
+
+def _access_paths(partition: Partition, profile: PatternProfile,
+                  bindings: "IdentityBindings | None" = None,
+                  window: Window | None = None) -> list[AccessPath]:
+    """Enumerate every candidate access path for this partition.
 
     Candidate paths are costed by their (exactly known) result sizes; the
-    smallest wins.  Falls back to the event-type posting list, then to a
-    full partition read.  A time window adds the binary-searched
-    time-index range scan as a path of its own, so a narrowed temporal
-    bound beats every posting list once it covers fewer events.
+    caller picks the smallest.  Falls back to the event-type posting
+    list, then to a full partition read.  A time window adds the
+    binary-searched time-index range scan as a path of its own, so a
+    narrowed temporal bound beats every posting list once it covers fewer
+    events; propagated identity bindings add the posting-list
+    intersection over their (usually tiny) identity sets.
     """
-    paths: list[tuple[int, Callable[[], Sequence[Event]]]] = []
+    paths: list[AccessPath] = []
     if window is not None:
         count = partition.time_index.count_range(window.start, window.end)
-        paths.append((count, lambda: partition.events_in(window)))
+        paths.append(AccessPath("time-range", count,
+                                lambda: partition.events_in(window)))
     if bindings is not None:
         compact = bindings.compact
         if bindings.subjects is not None:
             subject_ids = bindings.subjects
-            paths.append((partition.by_subject_id.count_many(
-                              subject_ids, compact=compact),
-                          lambda: partition.by_subject_id.lookup_many(
-                              subject_ids, compact=compact)))
+            paths.append(AccessPath(
+                "id-postings(subject)",
+                partition.by_subject_id.count_many(subject_ids,
+                                                   compact=compact),
+                lambda: partition.by_subject_id.lookup_many(
+                    subject_ids, compact=compact)))
         if bindings.objects is not None:
             object_ids = bindings.objects
-            paths.append((partition.by_object_id.count_many(
-                              object_ids, compact=compact),
-                          lambda: partition.by_object_id.lookup_many(
-                              object_ids, compact=compact)))
+            paths.append(AccessPath(
+                "id-postings(object)",
+                partition.by_object_id.count_many(object_ids,
+                                                  compact=compact),
+                lambda: partition.by_object_id.lookup_many(
+                    object_ids, compact=compact)))
     if profile.subject_exact is not None:
         count = partition.by_subject_name.count(profile.subject_exact)
-        paths.append((count, lambda: partition.by_subject_name.lookup(
-            profile.subject_exact)))
+        paths.append(AccessPath(
+            "posting(subject)", count,
+            lambda: partition.by_subject_name.lookup(profile.subject_exact)))
     if profile.object_exact is not None and profile.event_type is not None:
         key = (profile.event_type, profile.object_exact)
-        paths.append((partition.by_object_value.count(key),
-                      lambda: partition.by_object_value.lookup(key)))
+        paths.append(AccessPath(
+            "posting(object)", partition.by_object_value.count(key),
+            lambda: partition.by_object_value.lookup(key)))
     if profile.event_type is not None and profile.operations:
         ops = sorted(profile.operations)
         count = sum(partition.by_type_operation.count(
@@ -241,11 +279,13 @@ def _best_access_path(partition: Partition, profile: PatternProfile,
                     (profile.event_type, op)))
             return merged
 
-        paths.append((count, _by_ops))
+        paths.append(AccessPath("posting(type+op)", count, _by_ops))
     if profile.subject_like is not None:
         count = partition.by_subject_name.count_like(profile.subject_like)
-        paths.append((count, lambda: partition.by_subject_name.lookup_like(
-            profile.subject_like)))
+        paths.append(AccessPath(
+            "posting(subject-like)", count,
+            lambda: partition.by_subject_name.lookup_like(
+                profile.subject_like)))
     if profile.object_like is not None and profile.event_type is not None:
         # Resolve the matching keys once: the key scan is cheap (distinct
         # attribute values, not events) and gives the exact path cost.
@@ -263,11 +303,13 @@ def _best_access_path(partition: Partition, profile: PatternProfile,
                 matched.extend(partition.by_object_value.lookup(key))
             return matched
 
-        paths.append((count, _by_object_like))
+        paths.append(AccessPath("posting(object-like)", count,
+                                _by_object_like))
     if profile.event_type is not None:
-        paths.append((partition.by_type.count(profile.event_type),
-                      lambda: partition.by_type.lookup(profile.event_type)))
+        paths.append(AccessPath(
+            "posting(type)", partition.by_type.count(profile.event_type),
+            lambda: partition.by_type.lookup(profile.event_type)))
     if not paths:
-        return partition.events()
-    paths.sort(key=lambda pair: pair[0])
-    return paths[0][1]()
+        paths.append(AccessPath("full-partition", len(partition),
+                                partition.events))
+    return paths

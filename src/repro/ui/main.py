@@ -60,6 +60,10 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("data", help="JSONL event file")
     query.add_argument("aiql", help="query text (or @file)")
     query.add_argument("--max-rows", type=int, default=50)
+    query.add_argument("--explain", action="store_true",
+                       help="print the plan (chosen access path, "
+                            "statistics-based estimate) and the per-pattern "
+                            "execution report (actual rows) with the result")
 
     explain = commands.add_parser("explain", help="show the query plan")
     explain.add_argument("data")
@@ -144,7 +148,17 @@ def _dispatch(args: argparse.Namespace, stdout) -> int:
 
     if args.command == "query":
         session = _load_session(args.data, args.backend, args.workers)
-        result = session.query(_query_text(args.aiql))
+        text = _query_text(args.aiql)
+        if not args.explain:
+            result = session.query(text)
+            print(render_table(result, max_rows=args.max_rows), file=stdout)
+            return 0
+        from dataclasses import replace
+        print(session.explain(text), file=stdout)
+        result = session.query(text, replace(session.options, explain=True))
+        if result.report:
+            print("execution:", file=stdout)
+            print(result.report, file=stdout)
         print(render_table(result, max_rows=args.max_rows), file=stdout)
         return 0
 

@@ -5,6 +5,12 @@ answer the same candidate/estimate/select/ingest assertions, and — the
 strongest check — produce byte-identical query results through the full
 engine.  The suite is parametrized over the registry so a future backend
 joins the contract by adding its name.
+
+Since the ScanSpec refactor, ``candidates``/``select``/``estimate`` take
+the whole physical-scan contract as a single
+:class:`~repro.storage.backend.ScanSpec`; the equivalence cases in
+:class:`TestScanSpec` lock in that the spec composes exactly like the old
+positional hints did.
 """
 
 from __future__ import annotations
@@ -21,9 +27,9 @@ from repro.lang.parser import parse
 from repro.model.entities import FileEntity, NetworkEntity, ProcessEntity
 from repro.model.events import Event
 from repro.model.timeutil import Window
-from repro.storage.backend import (IdentityBindings, StorageBackend,
-                                   TemporalBounds, available_backends,
-                                   create_backend)
+from repro.storage.backend import (IdentityBindings, ScanSpec,
+                                   StorageBackend, TemporalBounds,
+                                   available_backends, create_backend)
 from repro.storage.stats import PatternProfile
 
 from tests.conftest import AGENT, BASE_TS, QUERY1, QUERY1_ROW
@@ -117,7 +123,7 @@ class TestCandidatesAndEstimates:
     def test_candidates_clipped_to_window(self, store):
         profile = PatternProfile(event_type="file",
                                  operations=frozenset({"write"}))
-        got = store.candidates(profile, Window(0.0, 10.0))
+        got = store.candidates(profile, ScanSpec(window=Window(0.0, 10.0)))
         assert {e.id for e in got} == {
             e.id for e in store.scan(Window(0.0, 10.0))
             if e.operation == "write"}
@@ -131,13 +137,25 @@ class TestCandidatesAndEstimates:
     def test_estimate_zero_for_absent_agent(self, store):
         profile = PatternProfile(event_type="file",
                                  operations=frozenset({"read"}))
-        assert store.estimate(profile, agentids={99}) == 0
+        assert store.estimate(profile, ScanSpec(agentids={99})) == 0
 
     def test_estimate_zero_implies_no_matches(self, store):
         profile = PatternProfile(event_type="ip",
                                  operations=frozenset({"connect"}))
         if store.estimate(profile) == 0:
             assert store.candidates(profile) == []
+
+    def test_access_path_reports_a_name_and_cost(self, store):
+        profile = PatternProfile(event_type="file",
+                                 operations=frozenset({"read"}),
+                                 subject_exact="reader.exe")
+        info = store.access_path(profile)
+        assert info.name
+        assert info.rows >= 10
+        assert info.describe().startswith(info.name)
+        # The unsatisfiable short-circuit never costs a scan.
+        empty = store.access_path(profile, ScanSpec(agentids=frozenset()))
+        assert empty.rows == 0
 
 
 class TestSelect:
@@ -154,7 +172,8 @@ class TestSelect:
     def test_select_respects_window_and_agents(self, store):
         dq = plan_multievent(parse(self.SCAN_AIQL)).data_queries[0]
         window = Window(10.0, 30.0)
-        events, _fetched = store.select(dq.profile, dq.compiled, window, {1})
+        events, _fetched = store.select(
+            dq.profile, dq.compiled, ScanSpec(window=window, agentids={1}))
         expected = {e.id for e in store.scan(window, {1})
                     if dq.predicate(e)}
         assert {e.id for e in events} == expected
@@ -183,7 +202,7 @@ class TestIdentityPushdown:
     def test_pushdown_equals_post_filter(self, store, bindings):
         dq = self._dq()
         pushed, fetched = store.select(dq.profile, dq.compiled,
-                                       bindings=bindings)
+                                       ScanSpec(bindings=bindings))
         baseline, baseline_fetched = store.select(dq.profile, dq.compiled)
         filtered = [e for e in baseline if bindings.admits(e)]
         assert [(e.id, e.ts) for e in sorted(pushed, key=lambda e: e.id)] \
@@ -192,26 +211,27 @@ class TestIdentityPushdown:
 
     def test_empty_binding_set_short_circuits(self, store):
         dq = self._dq()
-        empty = IdentityBindings(subjects=frozenset())
-        assert store.select(dq.profile, dq.compiled,
-                            bindings=empty) == ([], 0)
-        assert store.estimate(dq.profile, bindings=empty) == 0
-        assert store.candidates(dq.profile, bindings=empty) == []
+        spec = ScanSpec(bindings=IdentityBindings(subjects=frozenset()))
+        assert spec.unsatisfiable
+        assert store.select(dq.profile, dq.compiled, spec) == ([], 0)
+        assert store.estimate(dq.profile, spec) == 0
+        assert store.candidates(dq.profile, spec) == []
 
     def test_unknown_identities_match_nothing(self, store):
         dq = self._dq()
         ghost = ProcessEntity(9, 999, "ghost.exe").identity
-        bindings = IdentityBindings(subjects=frozenset({ghost}))
-        survivors, _fetched = store.select(dq.profile, dq.compiled,
-                                           bindings=bindings)
+        spec = ScanSpec(bindings=IdentityBindings(
+            subjects=frozenset({ghost})))
+        survivors, _fetched = store.select(dq.profile, dq.compiled, spec)
         assert survivors == []
-        assert store.estimate(dq.profile, bindings=bindings) == 0
+        assert store.estimate(dq.profile, spec) == 0
 
     def test_estimate_reacts_to_bindings(self, store):
         dq = self._dq()
         unrestricted = store.estimate(dq.profile)
-        bound = store.estimate(dq.profile, bindings=IdentityBindings(
-            subjects=frozenset({self.READER_ID})))
+        bound = store.estimate(dq.profile, ScanSpec(
+            bindings=IdentityBindings(
+                subjects=frozenset({self.READER_ID}))))
         assert 0 < bound <= unrestricted
         # 10 reader events exist; the binding bound must be tight enough
         # to reorder scheduling (strictly below the 60 file events).
@@ -220,8 +240,8 @@ class TestIdentityPushdown:
     def test_candidates_keep_true_matches(self, store):
         dq = self._dq()
         bindings = IdentityBindings(objects=frozenset({self.FILE0_ID}))
-        candidate_ids = {e.id for e in store.candidates(dq.profile,
-                                                        bindings=bindings)}
+        candidate_ids = {e.id for e in store.candidates(
+            dq.profile, ScanSpec(bindings=bindings))}
         for event in store.scan():
             if (dq.predicate(event) and bindings.admits(event)):
                 assert event.id in candidate_ids
@@ -230,8 +250,9 @@ class TestIdentityPushdown:
         dq = self._dq()
         window = Window(0.0, 30.0)
         bindings = IdentityBindings(subjects=frozenset({self.WRITER_ID}))
-        survivors, _fetched = store.select(dq.profile, dq.compiled, window,
-                                           {1}, bindings)
+        survivors, _fetched = store.select(
+            dq.profile, dq.compiled,
+            ScanSpec(window=window, agentids={1}, bindings=bindings))
         expected = {e.id for e in store.scan(window, {1})
                     if dq.predicate(e) and bindings.admits(e)}
         assert {e.id for e in survivors} == expected
@@ -263,7 +284,7 @@ class TestTemporalBoundsPushdown:
     def test_bounds_equal_post_filter(self, store, bounds):
         dq = self._dq()
         pushed, fetched = store.select(dq.profile, dq.compiled,
-                                       bounds=bounds)
+                                       ScanSpec(bounds=bounds))
         baseline, baseline_fetched = store.select(dq.profile, dq.compiled)
         filtered = [e for e in baseline if bounds.admits(e.ts)]
         assert sorted((e.id, e.ts) for e in pushed) \
@@ -278,7 +299,7 @@ class TestTemporalBoundsPushdown:
         dq = self._dq()
         bounds = TemporalBounds(lo=100.0, lo_strict=True, hi=101.0)
         survivors, _fetched = store.select(dq.profile, dq.compiled,
-                                           bounds=bounds)
+                                           ScanSpec(bounds=bounds))
         assert sorted(e.ts for e in survivors) == [101.0]
 
     def test_strict_bounds_drop_edge_events(self, store):
@@ -286,7 +307,7 @@ class TestTemporalBoundsPushdown:
         bounds = TemporalBounds(lo=100.0, lo_strict=True,
                                 hi=102.0, hi_strict=True)
         survivors, _fetched = store.select(dq.profile, dq.compiled,
-                                           bounds=bounds)
+                                           ScanSpec(bounds=bounds))
         assert sorted(e.ts for e in survivors) == [101.0]
 
     def test_empty_interval_short_circuits(self, store):
@@ -294,19 +315,21 @@ class TestTemporalBoundsPushdown:
         for bounds in (TemporalBounds(lo=50.0, hi=40.0),
                        TemporalBounds(lo=50.0, hi=50.0, lo_strict=True),
                        TemporalBounds(lo=50.0, hi=50.0, hi_strict=True)):
-            assert bounds.unsatisfiable
-            assert store.select(dq.profile, dq.compiled,
-                                bounds=bounds) == ([], 0)
-            assert store.estimate(dq.profile, bounds=bounds) == 0
-            assert store.candidates(dq.profile, bounds=bounds) == []
+            spec = ScanSpec(bounds=bounds)
+            assert bounds.unsatisfiable and spec.unsatisfiable
+            assert store.select(dq.profile, dq.compiled, spec) == ([], 0)
+            assert store.estimate(dq.profile, spec) == 0
+            assert store.candidates(dq.profile, spec) == []
 
     def test_bounds_compose_with_window_and_bindings(self, store):
         dq = self._dq()
         window = Window(0.0, 120.0)
         bindings = IdentityBindings(subjects=frozenset({self.WRITER_ID}))
         bounds = TemporalBounds(lo=10.0, lo_strict=True, hi=30.0)
-        survivors, _fetched = store.select(dq.profile, dq.compiled, window,
-                                           {1}, bindings, bounds)
+        survivors, _fetched = store.select(
+            dq.profile, dq.compiled,
+            ScanSpec(window=window, agentids={1}, bindings=bindings,
+                     bounds=bounds))
         expected = {e.id for e in store.scan(window, {1})
                     if dq.predicate(e) and bindings.admits(e)
                     and bounds.admits(e.ts)}
@@ -316,8 +339,8 @@ class TestTemporalBoundsPushdown:
     def test_candidates_keep_true_matches_under_bounds(self, store):
         dq = self._dq()
         bounds = TemporalBounds(lo=3.0, hi=105.0, lo_strict=True)
-        candidate_ids = {e.id for e in store.candidates(dq.profile,
-                                                        bounds=bounds)}
+        candidate_ids = {e.id for e in store.candidates(
+            dq.profile, ScanSpec(bounds=bounds))}
         for event in store.scan():
             if dq.predicate(event) and bounds.admits(event.ts):
                 assert event.id in candidate_ids
@@ -325,9 +348,161 @@ class TestTemporalBoundsPushdown:
     def test_estimate_reacts_to_bounds(self, store):
         dq = self._dq()
         unrestricted = store.estimate(dq.profile)
-        bounded = store.estimate(dq.profile,
-                                 bounds=TemporalBounds(lo=100.0, hi=104.0))
+        bounded = store.estimate(dq.profile, ScanSpec(
+            bounds=TemporalBounds(lo=100.0, hi=104.0)))
         assert 0 < bounded <= unrestricted
+
+
+class TestScanSpec:
+    """Satellite lock-in: the single ScanSpec composes exactly like the
+    old positional hints, its normalizations are shared, and its limit is
+    honored after the exact hint filters."""
+
+    PROFILE = PatternProfile(event_type="file",
+                             operations=frozenset({"write"}))
+
+    def test_default_spec_is_a_full_scan(self, store):
+        assert ({e.id for e in store.candidates(self.PROFILE)}
+                == {e.id for e in store.candidates(self.PROFILE,
+                                                   ScanSpec())})
+
+    def test_bounds_equal_their_clamped_window(self, store):
+        """A window-shaped bounds hint and the equivalent window give the
+        same candidates — the shared ``clamped()`` lowering."""
+        bounds = TemporalBounds(lo=5.0, hi=20.0, hi_strict=True)
+        via_bounds = store.candidates(self.PROFILE, ScanSpec(bounds=bounds))
+        spec = ScanSpec(bounds=bounds)
+        assert spec.clamped() == Window(5.0, 20.0)
+        via_window = store.candidates(self.PROFILE,
+                                      ScanSpec(window=spec.clamped()))
+        assert (sorted((e.id, e.ts) for e in via_bounds)
+                == sorted((e.id, e.ts) for e in via_window))
+
+    def test_window_and_bounds_intersect(self, store):
+        spec = ScanSpec(window=Window(0.0, 30.0),
+                        bounds=TemporalBounds(lo=10.0, hi=40.0))
+        got = store.candidates(self.PROFILE, spec)
+        assert got
+        assert all(10.0 <= e.ts < 30.0 for e in got)
+
+    @pytest.mark.parametrize("spec", [
+        ScanSpec(agentids=frozenset()),
+        ScanSpec(bindings=IdentityBindings(objects=frozenset())),
+        ScanSpec(bounds=TemporalBounds(lo=5.0, hi=1.0)),
+        ScanSpec(window=Window(10.0, 10.0)),
+    ], ids=["no-agents", "empty-bindings", "empty-bounds", "empty-window"])
+    def test_unsatisfiable_specs_short_circuit(self, store, spec):
+        assert spec.unsatisfiable
+        dq = plan_multievent(parse(
+            "proc p write file f as e1 return f")).data_queries[0]
+        assert store.candidates(self.PROFILE, spec) == []
+        assert store.estimate(self.PROFILE, spec) == 0
+        assert store.select(dq.profile, dq.compiled, spec) == ([], 0)
+
+    def test_limit_truncates_after_exact_filters(self, store):
+        dq = plan_multievent(parse(
+            "proc p write file f as e1 return f")).data_queries[0]
+        full, _ = store.select(dq.profile, dq.compiled)
+        limited, _ = store.select(dq.profile, dq.compiled,
+                                  ScanSpec(limit=5))
+        assert len(limited) == 5
+        assert {e.id for e in limited} <= {e.id for e in full}
+
+    def test_spec_admits_is_the_post_filter(self, store):
+        bounds = TemporalBounds(lo=10.0, hi=20.0)
+        bindings = IdentityBindings(
+            subjects=frozenset({ProcessEntity(1, 10, "writer.exe").identity}))
+        spec = ScanSpec(bindings=bindings, bounds=bounds)
+        for event in store.scan():
+            assert spec.admits(event) == (bounds.admits(event.ts)
+                                          and bindings.admits(event))
+
+
+class TestHistogramEstimates:
+    """Satellite lock-in: windowed estimates consult per-partition
+    equi-depth timestamp histograms, so in-bucket skew stops fooling the
+    scheduler — and the estimate stays within a bounded factor of truth
+    on skewed *and* uniform data."""
+
+    BUCKET = 100_000.0
+
+    def _skewed_store(self, backend_name):
+        """One bucket: bulk.exe's writes cluster early, probe.exe's reads
+        late; the window covers only the late sliver."""
+        store = create_backend(backend_name, bucket_seconds=self.BUCKET)
+        bulk = ProcessEntity(1, 1, "bulk.exe")
+        probe = ProcessEntity(1, 2, "probe.exe")
+        for i in range(900):
+            store.record(float(i), 1, "write", bulk,
+                         FileEntity(1, f"/noise/{i % 7}"))
+        for i in range(100):
+            store.record(90_000.0 + i, 1, "read", probe,
+                         FileEntity(1, "/hot"))
+        return store
+
+    WINDOW = Window(90_000.0, 100_000.0)
+    BULK = PatternProfile(event_type="file",
+                          operations=frozenset({"write"}),
+                          subject_exact="bulk.exe")
+    PROBE = PatternProfile(event_type="file",
+                           operations=frozenset({"read"}),
+                           subject_exact="probe.exe")
+
+    def test_skew_aware_estimates_order_patterns_right(self, backend_name):
+        store = self._skewed_store(backend_name)
+        spec = ScanSpec(window=self.WINDOW)
+        bulk = store.estimate(self.BULK, spec)
+        probe = store.estimate(self.PROBE, spec)
+        # Truth: 0 bulk events and 100 probe events in the window.  The
+        # uniform assumption gives bulk ~2x probe; histograms must invert
+        # that so the scheduler runs the genuinely selective pattern
+        # first.
+        assert bulk < probe
+
+    def test_estimate_within_bounded_factor_of_truth(self, backend_name):
+        store = self._skewed_store(backend_name)
+        for profile, window, actual in (
+                (self.PROBE, self.WINDOW, 100),
+                (self.PROBE, Window(90_000.0, 90_050.0), 50),
+                (self.BULK, Window(0.0, 450.0), 450),      # uniform region
+                (self.BULK, Window(100.0, 200.0), 100)):
+            estimate = store.estimate(profile, ScanSpec(window=window))
+            assert actual / 2 <= estimate <= actual * 2, (
+                profile, window, estimate)
+
+    def test_zero_estimate_still_implies_no_matches(self, backend_name):
+        """Histogram estimates can undercut the candidate *superset* (a
+        cheap access path may fetch unrelated in-window events), but a
+        zero estimate must still mean zero true matches."""
+        store = self._skewed_store(backend_name)
+        bulk_dq = plan_multievent(parse(
+            'proc p["bulk.exe"] write file f as e1 return f'
+        )).data_queries[0]
+        probe_dq = plan_multievent(parse(
+            'proc p["probe.exe"] read file f as e1 return f'
+        )).data_queries[0]
+        for window in (Window(50_000.0, 60_000.0), self.WINDOW,
+                       Window(899.0, 900.0), Window(0.0, 1.0)):
+            for profile, dq in ((self.BULK, bulk_dq),
+                                (self.PROBE, probe_dq)):
+                spec = ScanSpec(window=window)
+                if store.estimate(profile, spec) == 0:
+                    survivors, _ = store.select(dq.profile, dq.compiled,
+                                                spec)
+                    assert survivors == []
+
+    def test_uniform_fallback_still_available(self, backend_name):
+        store = self._skewed_store(backend_name)
+        uniform = store.estimate(self.BULK,
+                                 ScanSpec(window=self.WINDOW,
+                                          histograms=False))
+        aware = store.estimate(self.BULK, ScanSpec(window=self.WINDOW))
+        # sqlite estimates are exact counts either way; in-memory stores
+        # must show the histogram beating the uniform assumption.
+        if store.backend_name == "sqlite":
+            assert aware == uniform == 0
+        else:
+            assert aware < uniform
 
 
 class TestEstimateParity:
@@ -352,33 +527,38 @@ class TestEstimateParity:
                              operations=frozenset({"write"}))
 
     def test_window_start_is_inclusive_at_partition_edge(self, edge_store):
-        window = Window(100.0, 100.0001)
-        assert edge_store.estimate(self.PROFILE, window, {1}) >= 1
-        got = edge_store.candidates(self.PROFILE, window, {1})
+        spec = ScanSpec(window=Window(100.0, 100.0001), agentids={1})
+        assert edge_store.estimate(self.PROFILE, spec) >= 1
+        got = edge_store.candidates(self.PROFILE, spec)
         assert [e.ts for e in got] == [100.0]
 
     def test_window_end_is_exclusive_at_partition_edge(self, edge_store):
-        window = Window(0.0, 100.0)
-        got = edge_store.candidates(self.PROFILE, window, {1})
+        spec = ScanSpec(window=Window(0.0, 100.0), agentids={1})
+        got = edge_store.candidates(self.PROFILE, spec)
         assert [e.ts for e in got] == [99.0]
         # estimate may over-approximate but must not claim the pruned
         # boundary event once nothing is in-window.
-        assert edge_store.estimate(self.PROFILE, Window(99.5, 100.0),
-                                   {1}) <= 1
+        assert edge_store.estimate(
+            self.PROFILE,
+            ScanSpec(window=Window(99.5, 100.0), agentids={1})) <= 1
 
     def test_estimate_honors_agent_restriction(self, edge_store):
-        assert edge_store.estimate(self.PROFILE, agentids={2}) >= 1
-        assert edge_store.estimate(self.PROFILE, agentids={99}) == 0
-        assert edge_store.estimate(self.PROFILE, agentids=set()) == 0
-        assert edge_store.candidates(self.PROFILE, agentids=set()) == []
+        assert edge_store.estimate(self.PROFILE,
+                                   ScanSpec(agentids={2})) >= 1
+        assert edge_store.estimate(self.PROFILE,
+                                   ScanSpec(agentids={99})) == 0
+        assert edge_store.estimate(self.PROFILE,
+                                   ScanSpec(agentids=set())) == 0
+        assert edge_store.candidates(self.PROFILE,
+                                     ScanSpec(agentids=set())) == []
 
     def test_zero_estimate_implies_no_candidates(self, edge_store):
         for window in (None, Window(0.0, 100.0), Window(100.0, 200.0),
                        Window(100.0, 100.0), Window(50.0, 150.0)):
             for agents in (None, {1}, {2}, set()):
-                if edge_store.estimate(self.PROFILE, window, agents) == 0:
-                    assert edge_store.candidates(self.PROFILE, window,
-                                                 agents) == []
+                spec = ScanSpec(window=window, agentids=agents)
+                if edge_store.estimate(self.PROFILE, spec) == 0:
+                    assert edge_store.candidates(self.PROFILE, spec) == []
 
     def test_estimate_honors_bounds_like_candidates(self, edge_store):
         """``estimate`` must apply a ``TemporalBounds`` hint exactly as
@@ -395,10 +575,9 @@ class TestEstimateParity:
         )
         for bounds in cases:
             for agents in (None, {1}, {2}):
-                got = edge_store.candidates(self.PROFILE, None, agents,
-                                            None, bounds)
-                estimate = edge_store.estimate(self.PROFILE, None, agents,
-                                               None, bounds)
+                spec = ScanSpec(agentids=agents, bounds=bounds)
+                got = edge_store.candidates(self.PROFILE, spec)
+                estimate = edge_store.estimate(self.PROFILE, spec)
                 if estimate == 0:
                     assert got == [], bounds
                 if got:
@@ -409,10 +588,11 @@ class TestEstimateParity:
         """Bounds expressible as a half-open window give the same
         candidates as passing that window directly."""
         bounds = TemporalBounds(lo=99.0, hi=100.0, hi_strict=True)
-        via_bounds = edge_store.candidates(self.PROFILE, None, {1},
-                                           None, bounds)
-        via_window = edge_store.candidates(self.PROFILE,
-                                           Window(99.0, 100.0), {1})
+        via_bounds = edge_store.candidates(
+            self.PROFILE, ScanSpec(agentids={1}, bounds=bounds))
+        via_window = edge_store.candidates(
+            self.PROFILE, ScanSpec(window=Window(99.0, 100.0),
+                                   agentids={1}))
         assert ([(e.id, e.ts) for e in via_bounds]
                 == [(e.id, e.ts) for e in via_window])
 
@@ -500,7 +680,7 @@ class TestLikeSemantics:
         # but not under SQL LIKE; candidates must stay a superset.
         store = create_backend(backend_name)
         store.record(1.0, 1, "write",
-                     ProcessEntity(1, 1, "Kelvin.exe"),
+                     ProcessEntity(1, 1, "Kelvin.exe"),
                      FileEntity(1, "/f"))
         profile = PatternProfile(event_type="file",
                                  operations=frozenset({"write"}),
@@ -544,12 +724,12 @@ def test_sqlite_backend_migrates_pre_pushdown_archive(tmp_path):
         assert len(store) == 1
         profile = PatternProfile(event_type="file",
                                  operations=frozenset({"write"}))
-        from repro.storage.backend import IdentityBindings
-        hit = store.candidates(profile, bindings=IdentityBindings(
-            subjects=frozenset({subject.identity})))
+        hit = store.candidates(profile, ScanSpec(bindings=IdentityBindings(
+            subjects=frozenset({subject.identity}))))
         assert [e.id for e in hit] == [1]
-        miss = store.candidates(profile, bindings=IdentityBindings(
-            subjects=frozenset({ProcessEntity(1, 8, "new.exe").identity})))
+        miss = store.candidates(profile, ScanSpec(bindings=IdentityBindings(
+            subjects=frozenset(
+                {ProcessEntity(1, 8, "new.exe").identity}))))
         assert miss == []
     finally:
         store.close()
@@ -572,6 +752,35 @@ def test_sqlite_backend_reopens_persistent_path(tmp_path):
         assert len(reopened.scan()) == 2
     finally:
         reopened.close()
+
+
+def test_sqlite_sketch_caps_over_budget_binding_estimates():
+    """A binding set too large for the SQL parameter budget still bounds
+    the estimate, via the identity-key frequency sketches."""
+    from repro.baselines.sqlite_backend import SqliteEventStore
+    store = SqliteEventStore()
+    try:
+        writer = ProcessEntity(1, 1, "w.exe")
+        for i in range(50):
+            store.record(float(i), 1, "write", writer,
+                         FileEntity(1, f"/data/{i}"))
+        profile = PatternProfile(event_type="file",
+                                 operations=frozenset({"write"}))
+        huge = frozenset(FileEntity(1, f"/ghost/{i}").identity
+                         for i in range(store.MAX_BINDING_PARAMS + 10))
+        spec = ScanSpec(bindings=IdentityBindings(objects=huge))
+        # No ghost file was ever written: the SQL WHERE dropped the
+        # over-budget side, but the sketch knows the answer is ~0.
+        assert store.estimate(profile, spec) == 0
+        few_real = frozenset(FileEntity(1, f"/data/{i}").identity
+                             for i in range(10))
+        mixed = huge | few_real
+        assert len(mixed) > store.MAX_BINDING_PARAMS
+        capped = store.estimate(
+            profile, ScanSpec(bindings=IdentityBindings(objects=mixed)))
+        assert 10 <= capped <= 50
+    finally:
+        store.close()
 
 
 class TestFullEngineAgreement:
@@ -615,6 +824,15 @@ class TestFullEngineAgreement:
         pushed = session.query(QUERY1, EngineOptions(pushdown=True)).rows
         filtered = session.query(QUERY1, EngineOptions(pushdown=False)).rows
         assert pushed == filtered == [QUERY1_ROW]
+
+    def test_query1_histogram_toggle_is_result_invariant(self, backend_name):
+        """Histogram estimates may reorder scans, never change rows."""
+        session = self._attack_session(backend_name)
+        aware = session.query(
+            QUERY1, EngineOptions(histogram_estimates=True)).rows
+        uniform = session.query(
+            QUERY1, EngineOptions(histogram_estimates=False)).rows
+        assert aware == uniform == [QUERY1_ROW]
 
     def test_anomaly_query_agrees_with_row(self, backend_name):
         aiql = ('window = 1 min, step = 1 min\n'

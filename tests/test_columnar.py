@@ -18,6 +18,7 @@ from repro.errors import StorageError
 from repro.lang.parser import parse
 from repro.model.entities import FileEntity, NetworkEntity, ProcessEntity
 from repro.model.timeutil import Window
+from repro.storage.backend import ScanSpec
 from repro.storage.columnar import ColumnarEventStore, _compile_row_filter
 from repro.storage.stats import PatternProfile
 from repro.storage.store import EventStore
@@ -166,12 +167,12 @@ class TestBitmapBindings:
         for compact in (True, False):
             bindings = IdentityBindings(subjects=identities,
                                         compact=compact)
-            survivors, _fetched = store.select(dq.profile, dq.compiled,
-                                               bindings=bindings)
+            survivors, _fetched = store.select(
+                dq.profile, dq.compiled, ScanSpec(bindings=bindings))
             assert len(survivors) == 300, compact
             assert all(bindings.admits(e) for e in survivors), compact
-        assert store.estimate(profile, bindings=IdentityBindings(
-            subjects=identities)) == 300
+        assert store.estimate(profile, ScanSpec(
+            bindings=IdentityBindings(subjects=identities))) == 300
 
     def test_bitmap_class_membership(self):
         from repro.storage.backend import Bitmap
@@ -179,6 +180,75 @@ class TestBitmapBindings:
         assert len(bitmap) == 3
         assert 5 in bitmap and 9 in bitmap
         assert 0 not in bitmap and 11 not in bitmap
+
+
+class TestBloomTier:
+    """Binding sets above BITMAP_THRESHOLD but sparse against a huge
+    vocabulary take the bloom tier: exact membership (the set confirms),
+    bounded footprint, identical scan results."""
+
+    def test_bloomed_set_membership_is_exact(self):
+        from repro.storage.backend import BloomedSet
+        bloomed = BloomedSet(range(0, 10_000, 7))
+        assert len(bloomed) == len(set(range(0, 10_000, 7)))
+        for code in (0, 7, 9996):
+            assert code in bloomed
+        for code in (1, 8, 9995, 123_456):
+            assert code not in bloomed
+        # The flag table is sized to the set, not any vocabulary.
+        assert len(bloomed.flags) < 16 * len(bloomed)
+
+    def test_compaction_picks_bloom_for_huge_vocabularies(self):
+        from repro.storage.backend import (BITMAP_THRESHOLD,
+                                           BLOOM_VOCAB_RATIO, Bitmap,
+                                           BloomedSet)
+        allowed = set(range(BITMAP_THRESHOLD + 1))
+        dense_vocab = len(allowed) * BLOOM_VOCAB_RATIO
+        assert isinstance(
+            ColumnarEventStore._compacted(allowed, dense_vocab, True),
+            Bitmap)
+        assert isinstance(
+            ColumnarEventStore._compacted(allowed, dense_vocab + 1, True),
+            BloomedSet)
+        assert ColumnarEventStore._compacted(allowed, dense_vocab + 1,
+                                             False) is allowed
+
+    def test_bloom_row_filter_matches_set_probe(self):
+        from repro.storage.backend import BloomedSet
+        allowed = set(range(0, 400, 3))
+        plain = _compile_row_filter([("subjects", allowed)], [])
+        bloomed = _compile_row_filter([("subjects", BloomedSet(allowed))],
+                                      [])
+        subjects = list(range(400))
+        args = ([0] * 400, [0.0] * 400, [0] * 400, [0] * 400,
+                subjects, [0] * 400, [0] * 400, [0] * 400)
+        assert plain(0, 400, *args) == bloomed(0, 400, *args)
+
+    def test_bloom_tier_scan_matches_post_filter(self, monkeypatch):
+        """End to end on a columnar store: with thresholds forced down so
+        the bloom tier engages, select results equal the exact
+        post-filter."""
+        import repro.storage.backend as backend_module
+        from repro.storage.backend import IdentityBindings
+        monkeypatch.setattr(backend_module, "BITMAP_THRESHOLD", 8)
+        monkeypatch.setattr(backend_module, "BLOOM_VOCAB_RATIO", 2)
+        store = ColumnarEventStore(bucket_seconds=10_000)
+        for index in range(200):
+            store.record(float(index), 1, "write",
+                         ProcessEntity(1, index + 10, f"p{index}.exe"),
+                         FileEntity(1, f"/data/{index}"))
+        identities = frozenset(
+            ProcessEntity(1, index + 10, f"p{index}.exe").identity
+            for index in range(0, 40, 2))
+        dq = plan_multievent(parse(
+            "proc p write file f as e1 return f")).data_queries[0]
+        bindings = IdentityBindings(subjects=identities)
+        survivors, _fetched = store.select(dq.profile, dq.compiled,
+                                           ScanSpec(bindings=bindings))
+        baseline, _ = store.select(dq.profile, dq.compiled)
+        expected = sorted(e.id for e in baseline if bindings.admits(e))
+        assert sorted(e.id for e in survivors) == expected
+        assert expected
 
 
 @settings(max_examples=25, deadline=None)
@@ -201,8 +271,9 @@ def test_batch_select_agrees_with_row_store(specs):
         'return f'))
     dq = plan.data_queries[0]
     window = Window(1000.0, 9000.0)
-    row_events, _ = row.select(dq.profile, dq.compiled, window, {1, 2})
-    col_events, _ = columnar.select(dq.profile, dq.compiled, window, {1, 2})
+    spec = ScanSpec(window=window, agentids={1, 2})
+    row_events, _ = row.select(dq.profile, dq.compiled, spec)
+    col_events, _ = columnar.select(dq.profile, dq.compiled, spec)
     assert ({e.id for e in row_events} == {e.id for e in col_events})
 
 

@@ -6,6 +6,7 @@ from repro.errors import ExecutionError
 from repro.lang.parser import parse
 from repro.model.entities import FileEntity, ProcessEntity
 from repro.engine.joiner import join
+from repro.engine.options import EngineOptions
 from repro.engine.planner import plan_multievent
 from repro.engine.scheduler import Scheduler
 from repro.storage.store import EventStore
@@ -20,9 +21,11 @@ def build_store(records):
     return store
 
 
-def run(store, source, **scheduler_kwargs):
+def run(store, source, options=None):
     plan = plan_multievent(parse(source))
-    scheduled = Scheduler(store, **scheduler_kwargs).run(plan)
+    scheduler = Scheduler(store) if options is None else Scheduler(store,
+                                                                   options)
+    scheduled = scheduler.run(plan)
     return plan, join(plan, scheduled)
 
 
@@ -98,7 +101,7 @@ class TestTemporalChecks:
             'proc b["%b.exe%"] read file f as e2\n'
             'with e1 before e2 within 3 min\nreturn e2.ts',
             # Disable window propagation so the joiner itself is under test.
-            propagate=False)
+            EngineOptions(propagate=False))
         assert len(rows) == 1
 
     def test_transitive_chain(self):

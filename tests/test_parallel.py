@@ -8,6 +8,7 @@ from repro.engine.parallel import (DEFAULT_WORKERS, execute_plan,
                                    merge_reports, resolve_workers,
                                    spatially_partitionable,
                                    temporally_partitionable)
+from repro.engine.options import EngineOptions
 from repro.engine.planner import plan_multievent
 from repro.engine.scheduler import ExecutionReport
 from repro.storage.store import EventStore
@@ -70,8 +71,10 @@ SHARED_QUERY = ('proc w["%writer%"] write file f["%secret%"] as e1\n'
 class TestExecutePlan:
     def test_partitioned_equals_unpartitioned(self, multi_agent_store):
         plan = plan_of(SHARED_QUERY)
-        with_part = execute_plan(multi_agent_store, plan, partition=True)
-        without = execute_plan(multi_agent_store, plan, partition=False)
+        with_part = execute_plan(multi_agent_store, plan,
+                                  EngineOptions(partition=True))
+        without = execute_plan(multi_agent_store, plan,
+                             EngineOptions(partition=False))
         key = lambda row: row["f"].name
         assert (sorted(key(r) for r in with_part.rows)
                 == sorted(key(r) for r in without.rows))
@@ -91,7 +94,7 @@ class TestExecutePlan:
             store.record(BASE_TS + index * 100, 1, "write", proc,
                          FileEntity(1, f"/f{index}"))
         plan = plan_of('proc w write file f as e1\nreturn f')
-        result = execute_plan(store, plan, partition=True)
+        result = execute_plan(store, plan, EngineOptions(partition=True))
         assert len(result.rows) == 5
         assert result.partitions >= 2
 
@@ -103,9 +106,10 @@ class TestExecutePlan:
                 for partition in (True, False):
                     for pushdown in (True, False):
                         result = execute_plan(
-                            multi_agent_store, plan, prioritize=prioritize,
-                            propagate=propagate, partition=partition,
-                            pushdown=pushdown)
+                            multi_agent_store, plan, EngineOptions(
+                                prioritize=prioritize,
+                                propagate=propagate, partition=partition,
+                                pushdown=pushdown))
                         rows = sorted(row["f"].name for row in result.rows)
                         if reference is None:
                             reference = rows
@@ -113,7 +117,8 @@ class TestExecutePlan:
 
     def test_explicit_worker_override(self, multi_agent_store):
         plan = plan_of(SHARED_QUERY)
-        result = execute_plan(multi_agent_store, plan, max_workers=1)
+        result = execute_plan(multi_agent_store, plan,
+                              EngineOptions(max_workers=1))
         assert result.partitions == 3
 
 

@@ -4,6 +4,7 @@ import pytest
 
 from repro.lang.parser import parse
 from repro.model.entities import FileEntity, NetworkEntity, ProcessEntity
+from repro.engine.options import EngineOptions
 from repro.engine.planner import plan_multievent
 from repro.engine.scheduler import Scheduler
 from repro.storage.store import EventStore
@@ -41,13 +42,14 @@ class TestOrdering:
 
     def test_declaration_order_when_disabled(self, store):
         plan = plan_multievent(parse(QUERY))
-        scheduled = Scheduler(store, prioritize=False).run(plan)
+        scheduled = Scheduler(store, EngineOptions(prioritize=False)).run(plan)
         assert scheduled.report.order == ["e1", "e2"]
 
     def test_same_matches_either_way(self, store):
         plan = plan_multievent(parse(QUERY))
         fast = Scheduler(store).run(plan)
-        slow = Scheduler(store, prioritize=False, propagate=False).run(plan)
+        slow = Scheduler(store, EngineOptions(prioritize=False,
+                                       propagate=False)).run(plan)
         fast_ids = {frozenset(e.id for e in events)
                     for events in fast.events.values() if events}
         # Propagation prunes e1's candidate list down to events joinable
@@ -61,8 +63,8 @@ class TestOrdering:
 class TestPropagation:
     def test_binding_propagation_prunes_candidates(self, store):
         plan = plan_multievent(parse(QUERY))
-        with_prop = Scheduler(store, propagate=True).run(plan)
-        without = Scheduler(store, propagate=False).run(plan)
+        with_prop = Scheduler(store, EngineOptions(propagate=True)).run(plan)
+        without = Scheduler(store, EngineOptions(propagate=False)).run(plan)
         e1_index = plan.data_queries[0].index
         # e2 matched only /data/secret, so propagation restricts e1 to
         # writes of that file: 1 candidate instead of 301.
@@ -151,9 +153,9 @@ class TestTransitiveNarrowing:
         plan = plan_multievent(parse(self.CHAIN))
         for pushdown in (True, False):
             for temporal_pushdown in (True, False):
-                scheduled = Scheduler(
-                    store, pushdown=pushdown,
-                    temporal_pushdown=temporal_pushdown).run(plan)
+                scheduled = Scheduler(store, EngineOptions(
+                    pushdown=pushdown,
+                    temporal_pushdown=temporal_pushdown)).run(plan)
                 assert ([e.ts for e in scheduled.events[2]]
                         == [BASE_TS + 1500]), (pushdown, temporal_pushdown)
 
@@ -217,11 +219,77 @@ class TestTransitiveNarrowing:
         assert closure[("e1", "e2")] == 5.0
 
 
+class TestIntervalNarrowing:
+    """Two-sided interval narrowing: a pattern executed *later* shrinks
+    the recorded span of an earlier, broader pattern, and every bound
+    derived from that span tightens with it."""
+
+    WITHIN_CHAIN = ('proc r["%rare%"] read file f as e1\n'
+                    'proc m["%mid%"] write file g as e2\n'
+                    'proc t["%tail%"] write file f as e3\n'
+                    'with e1 before e2 within 10 sec, '
+                    'e2 before e3 within 10 sec\n'
+                    'return f')
+
+    def _store(self) -> EventStore:
+        store = EventStore()
+        agent = 1
+        rare = ProcessEntity(agent, 1, "rare.exe")
+        mid = ProcessEntity(agent, 2, "mid.exe")
+        tail = ProcessEntity(agent, 3, "tail.exe")
+        secret = FileEntity(agent, "/secret")
+        # e2 (2 events, broad span) executes first; e1 (3 events) second.
+        store.record(BASE_TS + 500, agent, "write", mid,
+                     FileEntity(agent, "/mid-early"))
+        store.record(BASE_TS + 1005, agent, "write", mid,
+                     FileEntity(agent, "/mid-late"))
+        for offset in (995.0, 996.0, 1000.0):
+            store.record(BASE_TS + offset, agent, "read", rare, secret)
+        # e3 candidates: only +1012 can follow a *usable* e2 event.  The
+        # +1000 decoy sits inside the one-sided transitive bound from e1
+        # ((e1_min, e1_min+20]) — only retro-narrowing e2's span to its
+        # surviving +1005 event derives ts > 1005 and excludes it.
+        store.record(BASE_TS + 505, agent, "write", tail, secret)
+        store.record(BASE_TS + 800, agent, "write", tail, secret)
+        store.record(BASE_TS + 1000, agent, "write", tail, secret)
+        store.record(BASE_TS + 1012, agent, "write", tail, secret)
+        return store
+
+    def test_later_match_retro_narrows_executed_span(self):
+        store = self._store()
+        plan = plan_multievent(parse(self.WITHIN_CHAIN))
+        scheduled = Scheduler(store).run(plan)
+        assert scheduled.report.order == ["e2", "e1", "e3"]
+        # e1's matches pin e2's usable events to (+995, +1010] — only the
+        # +1005 write — so e3's bounds become (+1005, +1015] and the
+        # decoys at +505/+800/+1000 never survive the scan.
+        assert [e.ts for e in scheduled.events[2]] == [BASE_TS + 1012]
+
+    def test_narrowing_is_result_invariant(self):
+        store = self._store()
+        plan = plan_multievent(parse(self.WITHIN_CHAIN))
+        reference = None
+        for options in (EngineOptions(),
+                        EngineOptions(pushdown=False),
+                        EngineOptions(temporal_pushdown=False),
+                        EngineOptions(propagate=False)):
+            scheduled = Scheduler(store, options).run(plan)
+            from repro.engine.joiner import join
+            rows = sorted(binding["f"].name
+                          for binding in join(plan, scheduled))
+            if reference is None:
+                reference = rows
+            assert rows == reference, options
+        # One join row per e1 match (three reads pair with the same
+        # surviving e2/e3 chain).
+        assert reference == ["/secret"] * 3
+
+
 class TestPushdown:
     def test_pushdown_matches_post_filter(self, store):
         plan = plan_multievent(parse(QUERY))
-        pushed = Scheduler(store, pushdown=True).run(plan)
-        filtered = Scheduler(store, pushdown=False).run(plan)
+        pushed = Scheduler(store, EngineOptions(pushdown=True)).run(plan)
+        filtered = Scheduler(store, EngineOptions(pushdown=False)).run(plan)
         for dq in plan.data_queries:
             assert ({e.id for e in pushed.events[dq.index]}
                     == {e.id for e in filtered.events[dq.index]})
@@ -230,8 +298,8 @@ class TestPushdown:
         """With pushdown the backend never fetches the 301 writes that the
         post-filter variant materializes before discarding."""
         plan = plan_multievent(parse(QUERY))
-        pushed = Scheduler(store, pushdown=True).run(plan)
-        filtered = Scheduler(store, pushdown=False).run(plan)
+        pushed = Scheduler(store, EngineOptions(pushdown=True)).run(plan)
+        filtered = Scheduler(store, EngineOptions(pushdown=False)).run(plan)
         fetched_pushed = {t.event_var: t.fetched
                           for t in pushed.report.patterns}
         fetched_filtered = {t.event_var: t.fetched
@@ -264,7 +332,7 @@ class TestPushdown:
         # /secret, e3 collapses to 1 and must jump ahead of e2.
         adaptive = Scheduler(store).run(plan)
         assert adaptive.report.order == ["e1", "e3", "e2"]
-        static = Scheduler(store, pushdown=False).run(plan)
+        static = Scheduler(store, EngineOptions(pushdown=False)).run(plan)
         assert static.report.order == ["e1", "e2", "e3"]
         # Either order produces the same per-pattern matches.
         for dq in plan.data_queries:

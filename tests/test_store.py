@@ -7,6 +7,7 @@ from repro.errors import DataModelError, StorageError
 from repro.model.entities import FileEntity, NetworkEntity, ProcessEntity
 from repro.model.events import Event
 from repro.model.timeutil import Window
+from repro.storage.backend import ScanSpec
 from repro.storage.ingest import IngestPipeline
 from repro.storage.stats import PatternProfile
 from repro.storage.store import EventStore
@@ -77,7 +78,7 @@ class TestCandidates:
     def test_candidates_clipped_to_window(self, store):
         profile = PatternProfile(event_type="file",
                                  operations=frozenset({"write"}))
-        got = store.candidates(profile, Window(0.0, 10.0))
+        got = store.candidates(profile, ScanSpec(window=Window(0.0, 10.0)))
         assert len(got) == 10
 
     def test_estimate_close_to_truth_for_exact(self, store):
@@ -89,7 +90,7 @@ class TestCandidates:
     def test_estimate_zero_for_absent_agent(self, store):
         profile = PatternProfile(event_type="file",
                                  operations=frozenset({"read"}))
-        assert store.estimate(profile, agentids={99}) == 0
+        assert store.estimate(profile, ScanSpec(agentids={99})) == 0
 
     def test_candidates_superset_of_matches(self, store):
         """The chosen access path never loses a matching event."""
@@ -157,7 +158,8 @@ def test_candidates_equal_scan_filter(specs):
                              operations=frozenset({"write"}),
                              object_exact="/f/0")
     window = Window(1000.0, 9000.0)
-    got = {e.id for e in store.candidates(profile, window, {1, 2})
+    got = {e.id for e in store.candidates(
+               profile, ScanSpec(window=window, agentids={1, 2}))
            if e.operation == "write" and e.object.name == "/f/0"}
     expected = {e.id for e in store.scan(window, {1, 2})
                 if e.operation == "write" and e.object.name == "/f/0"}
