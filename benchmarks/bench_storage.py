@@ -32,7 +32,7 @@ from repro.lang.parser import parse
 from repro.model.timeutil import Window
 from repro.storage.backend import create_backend
 from repro.storage.columnar import ColumnarEventStore
-from repro.storage.ingest import IngestPipeline
+from repro.storage.ingest import IngestPipeline, ingest_chunked
 from repro.storage.stats import PatternProfile
 from repro.storage.store import EventStore
 from repro.telemetry import build_demo_scenario
@@ -82,6 +82,25 @@ def test_ingest_batched(benchmark, event_stream, backend_name):
         return len(store)
 
     assert benchmark(run) == len(event_stream)
+
+
+@pytest.mark.benchmark(group="storage-ingest")
+def test_ingest_chunked(benchmark, event_stream, backend_name):
+    """The chunked append path: whole chunks through ``add_batch`` with a
+    progress callback, instead of one pipeline call per event."""
+    progress_ticks = []
+
+    def run():
+        progress_ticks.clear()
+        store = create_backend(backend_name)
+        stats = ingest_chunked(store, event_stream, chunk_size=2000,
+                               progress=progress_ticks.append)
+        assert stats.committed == len(store)
+        return len(store)
+
+    assert benchmark(run) == len(event_stream)
+    assert len(progress_ticks) == (len(event_stream) + 1999) // 2000
+    assert progress_ticks[-1].committed == len(event_stream)
 
 
 @pytest.mark.benchmark(group="storage-ingest")

@@ -1,0 +1,173 @@
+"""Streaming benchmark: standing-query throughput and match latency.
+
+The headline number for the continuous-query subsystem: sustained
+events/sec through the bus with 8 standing queries registered (a
+representative alert-rule mix — selective patterns, a within-chained
+multievent correlation, a broad residual filter, an anomaly window), plus
+per-batch match latency percentiles and the end-to-end rate with the
+async store-append path attached.
+
+Writes ``BENCH_stream.json`` next to the working directory so CI can
+archive the trajectory alongside ``BENCH_ablation.json``.  Scale knobs:
+
+* ``REPRO_BENCH_STREAM_EVENTS``   — stream length (default 80000)
+* ``REPRO_BENCH_STREAM_MIN_EPS``  — asserted matcher-path floor
+  (default 50000 events/sec; set lower on constrained hardware)
+
+Run directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_stream.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.lang.parser import parse
+from repro.model.entities import FileEntity, NetworkEntity, ProcessEntity
+from repro.model.events import Event
+from repro.storage.store import EventStore
+from repro.stream import ContinuousRuntime, EventBus
+
+EVENTS = int(os.environ.get("REPRO_BENCH_STREAM_EVENTS", "80000"))
+MIN_EPS = float(os.environ.get("REPRO_BENCH_STREAM_MIN_EPS", "50000"))
+BATCH = 2048
+
+#: Eight standing queries: the alert-rule mix the headline quotes.
+STANDING_QUERIES = (
+    # exfil correlation (within-chained join, bounded state)
+    'proc p["sbblv.exe"] read file f as e1\n'
+    'proc p write ip i as e2\n'
+    'with e1 before e2 within 30 sec\n'
+    'return f, i',
+    # C2 beacon (selective object constraint)
+    'proc p write ip i[dstip = "203.0.113.9"] as e1 return distinct p, i',
+    # large-transfer residual filter (touches every file event)
+    'amount > 5000\nproc p read || write file f as e1 return f',
+    # per-process file audit (selective subject)
+    'proc p["worker1.exe"] write file f as e1 return f',
+    # malware-name sweep (LIKE subject)
+    'proc p["%sbblv%"] write ip i as e1 return p',
+    # process-start watch (no matches in this feed: pure filter cost)
+    'proc p start proc c as e1 return c',
+    # path-scoped watch (subject + object LIKE)
+    'proc p["worker2.exe"] write file f["%/srv/data/7%"] as e1 return f',
+    # volume anomaly (sliding panes, incremental aggregates)
+    'window = 10 sec, step = 10 sec\n'
+    'proc p write ip i as evt\n'
+    'return p, sum(evt.amount) as total\n'
+    'group by p\n'
+    'having total > 5000',
+)
+
+
+def _build_stream(n: int) -> list[Event]:
+    """A two-host feed at 100 events/sec with sparse attack signal."""
+    workers = [ProcessEntity(1 + (i % 2), 100 + i, f"worker{i}.exe")
+               for i in range(50)]
+    malware = ProcessEntity(1, 7, "sbblv.exe")
+    files = [FileEntity(1, f"/srv/data/{i}.log") for i in range(100)]
+    c2 = NetworkEntity(1, "10.0.0.1", 5000, "203.0.113.9", 443)
+    events: list[Event] = []
+    for i in range(n):
+        ts = i * 0.01
+        if i % 1000 == 11:
+            events.append(Event(i + 1, ts, 1, "read", malware,
+                                files[i % 100], amount=9000))
+        elif i % 1000 == 13:
+            events.append(Event(i + 1, ts, 1, "write", malware, c2,
+                                amount=9000))
+        else:
+            worker = workers[i % 50]
+            events.append(Event(i + 1, ts, worker.agentid, "write",
+                                worker, files[i % 100], amount=10))
+    return events
+
+
+def _drive(events: list[Event], store: EventStore | None,
+           ) -> tuple[float, list[float], ContinuousRuntime]:
+    """Publish the stream; returns (elapsed, per-batch latencies, runtime)."""
+    runtime = ContinuousRuntime()
+    for text in STANDING_QUERIES:
+        runtime.register(parse(text))
+    bus = EventBus(batch_size=BATCH)
+    if store is not None:
+        bus.attach_store(store)
+    bus.subscribe(runtime.on_batch)
+    latencies: list[float] = []
+    started = time.perf_counter()
+    for start in range(0, len(events), BATCH):
+        batch_started = time.perf_counter()
+        bus.publish_many(events[start:start + BATCH])
+        bus.flush()
+        latencies.append(time.perf_counter() - batch_started)
+    bus.close()
+    runtime.finish()
+    return time.perf_counter() - started, latencies, runtime
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(len(ordered) * fraction))
+    return ordered[index]
+
+
+def test_stream_throughput_with_8_standing_queries():
+    events = _build_stream(EVENTS)
+
+    # Matcher path alone: the headline events/sec number.
+    elapsed, latencies, runtime = _drive(events, store=None)
+    eps = len(events) / elapsed
+
+    # End-to-end: the same stream with the async store append attached.
+    store = EventStore()
+    store_elapsed, _lat, _rt = _drive(events, store=store)
+    assert len(store) == len(events)
+    store_eps = len(events) / store_elapsed
+
+    matched_queries = sum(1 for q in runtime.queries if q.matches)
+    total_matches = sum(q.matches for q in runtime.queries)
+    report = {
+        "events": len(events),
+        "standing_queries": len(STANDING_QUERIES),
+        "events_per_sec": round(eps),
+        "events_per_sec_with_store": round(store_eps),
+        "matches": total_matches,
+        "batch_size": BATCH,
+        "batch_latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1000, 3),
+            "p95": round(_percentile(latencies, 0.95) * 1000, 3),
+            "max": round(max(latencies) * 1000, 3),
+        },
+    }
+    with open("BENCH_stream.json", "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"\nstream: {len(events)} events, "
+          f"{len(STANDING_QUERIES)} standing queries -> "
+          f"{eps:,.0f} events/sec matcher-only, "
+          f"{store_eps:,.0f} events/sec with store append; "
+          f"batch latency p95 {report['batch_latency_ms']['p95']} ms; "
+          f"{total_matches} matches")
+
+    assert total_matches > 0
+    assert matched_queries >= 5
+    assert eps >= MIN_EPS, (
+        f"sustained {eps:,.0f} events/sec < floor {MIN_EPS:,.0f} "
+        f"(override with REPRO_BENCH_STREAM_MIN_EPS)")
+
+
+def test_stream_latency_stays_flat_as_state_accumulates():
+    """Per-batch latency must not grow with stream position — the
+    watermark eviction keeping matcher state (and probe cost) bounded."""
+    events = _build_stream(max(20_000, EVENTS // 4))
+    _elapsed, latencies, runtime = _drive(events, store=None)
+    half = len(latencies) // 2
+    early = sum(latencies[1:half]) / (half - 1)
+    late = sum(latencies[half:]) / (len(latencies) - half)
+    print(f"\nbatch latency early {early * 1000:.2f} ms "
+          f"vs late {late * 1000:.2f} ms")
+    assert late < early * 3, "per-batch latency grew with stream position"
+    for standing in runtime.queries:
+        assert standing.state_size() <= 4096

@@ -42,7 +42,7 @@ from repro.lang.ast import Query
 from repro.model.entities import (Entity, FileEntity, NetworkEntity,
                                   ProcessEntity)
 from repro.model.events import Event, validate_operation
-from repro.model.timeutil import SECONDS_PER_DAY, Window
+from repro.model.timeutil import SECONDS_PER_DAY, SPAN_EPSILON, Window
 from repro.baselines.schema import CREATE_EVENTS_SQL, OPTIMIZED_INDEX_SQL
 from repro.baselines.sql_translator import translate
 from repro.storage.backend import (AccessPathInfo, IdentityBindings,
@@ -648,7 +648,7 @@ class SqliteEventStore:
         low, high = rows[0]
         if low is None:
             return None
-        return Window(low, high + 0.001)
+        return Window(low, high + SPAN_EPSILON)
 
     @property
     def agentids(self) -> set[int]:

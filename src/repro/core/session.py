@@ -14,10 +14,11 @@ issue AIQL queries (all three classes), inspect plans, and check syntax.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.core.results import QueryResult
 from repro.engine.executor import DEFAULT_OPTIONS, EngineOptions, execute, explain
+from repro.errors import StorageError
 from repro.lang.ast import Query
 from repro.lang.errors import AiqlSyntaxError, check_syntax
 from repro.lang.parser import parse
@@ -25,6 +26,10 @@ from repro.model.events import Event
 from repro.model.timeutil import SECONDS_PER_DAY
 from repro.storage.backend import StorageBackend, create_backend
 from repro.storage.ingest import IngestPipeline, IngestStats
+
+if TYPE_CHECKING:
+    from repro.stream.continuous import ContinuousQuery
+    from repro.stream.session import StreamSession
 
 
 class AiqlSession:
@@ -43,6 +48,7 @@ class AiqlSession:
         if max_workers is not None:
             options = replace(options, max_workers=max_workers)
         self.options = options
+        self._stream = None
 
     # ------------------------------------------------------------------
     # Ingest
@@ -54,6 +60,47 @@ class AiqlSession:
                             merge_window=merge_window) as pipeline:
             pipeline.add_all(events)
         return pipeline.stats
+
+    # ------------------------------------------------------------------
+    # Streaming / continuous queries
+    # ------------------------------------------------------------------
+    def stream(self, **kwargs) -> "StreamSession":
+        """The session's live feed (created on first use).
+
+        Events published through it are appended to this session's store
+        *and* evaluated against every standing query registered via
+        :meth:`register`.  Keyword arguments (``batch_size``,
+        ``lateness``, ``threaded``, ...) configure the feed on first
+        creation; see :class:`repro.stream.session.StreamSession`.
+        """
+        if self._stream is None or self._stream.closed:
+            from repro.stream.session import StreamSession
+            self._stream = StreamSession(self.store, **kwargs)
+        elif kwargs:
+            # Silently discarding configuration would be a footgun:
+            # register() creates the stream lazily, so a later
+            # stream(batch_size=...) call would otherwise be a no-op.
+            raise StorageError(
+                "the session's stream is already active; configure it on "
+                "first use (before register()) or close() it first")
+        return self._stream
+
+    def register(self, source: "str | Query", callback=None,
+                 name: str | None = None,
+                 retain_results: bool = True) -> "ContinuousQuery":
+        """Register a standing query on this session's live feed.
+
+        ``source`` is AIQL text (or an already-parsed query) of any of
+        the three query classes; ``callback(standing, row)`` fires for
+        every match/alert as the stream produces it.  The returned handle
+        exposes ``result()`` — after the stream is closed, byte-identical
+        to :meth:`query` on the fully-ingested store.  For unbounded
+        tailing pass ``retain_results=False``: matches reach the callback
+        only, and nothing accumulates.
+        """
+        parsed = parse(source) if isinstance(source, str) else source
+        return self.stream().register(parsed, callback=callback, name=name,
+                                      retain_results=retain_results)
 
     # ------------------------------------------------------------------
     # Query

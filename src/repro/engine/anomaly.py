@@ -51,61 +51,59 @@ class AnomalyOutput:
     report: ExecutionReport
 
 
-def execute_anomaly(store: StorageBackend, query: AnomalyQuery,
-                    options: EngineOptions = DEFAULT_OPTIONS,
-                    ) -> AnomalyOutput:
-    """Run an anomaly query against the store."""
-    if len(query.patterns) != 1:
-        raise SemanticError(
-            "anomaly queries aggregate over exactly one event pattern")
-    pattern = query.patterns[0]
-    started = time.perf_counter()
+class AnomalyWindowEvaluator:
+    """Per-window evaluation state of one anomaly query.
 
-    events = _fetch_events(store, query, options)
-    events.sort(key=lambda evt: (evt.ts, evt.id))
-    timestamps = [evt.ts for evt in events]
+    One instance owns everything the §2.2.3 semantics thread *between*
+    windows — known groups, per-group aggregate history, empty-streak
+    steady-state caches — while :meth:`evaluate` scores a single window
+    pane.  The batch executor drives it over ``sliding_windows`` of the
+    final span; the continuous-query runtime drives the *same* instance
+    incrementally as the watermark closes panes, which is what makes
+    stream and batch results identical by construction.
+    """
 
-    span = query.header.window or store.span
-    columns = ["window"] + [item.name for item in query.return_items]
-    if span is None:
-        report = ExecutionReport()
-        report.elapsed = time.perf_counter() - started
-        return AnomalyOutput(columns=columns, rows=[], report=report)
+    def __init__(self, query: AnomalyQuery) -> None:
+        if len(query.patterns) != 1:
+            raise SemanticError(
+                "anomaly queries aggregate over exactly one event pattern")
+        self.query = query
+        self.pattern = query.patterns[0]
+        self.columns = ["window"] + [item.name for item in query.return_items]
+        self._group_getters = _group_getters(query, self.pattern)
+        self._display_getters = _display_getters(query, self.pattern)
+        self._agg_specs = _aggregate_specs(query, self.pattern)
+        self._history_depth = _history_depth(query)
+        self._history = GroupHistory(self._history_depth)
+        self._evaluator = _HavingEvaluator(query, self.pattern, self._history)
+        self._known_groups: dict[tuple, tuple] = {}  # key -> display values
+        # Steady-state fast path: after `history_depth` consecutive empty
+        # windows a group's aggregates and history ring are constant, so
+        # the having decision is too — cache it and skip re-evaluation.
+        self._empty_streak: dict[tuple, int] = {}
+        self._steady_state: dict[tuple, tuple] = {}  # key -> (passes, cells)
 
-    group_getters = _group_getters(query, pattern)
-    display_getters = _display_getters(query, pattern)
-    agg_specs = _aggregate_specs(query, pattern)
-    history_depth = _history_depth(query)
-    history = GroupHistory(history_depth)
-    evaluator = _HavingEvaluator(query, pattern, history)
-
-    rows: list[tuple] = []
-    known_groups: dict[tuple, tuple] = {}  # group key -> display values
-    # Steady-state fast path: after `history_depth` consecutive empty
-    # windows a group's aggregates and history ring are constant, so the
-    # having decision is too — cache it and skip the re-evaluation.
-    empty_streak: dict[tuple, int] = {}
-    steady_state: dict[tuple, tuple] = {}  # group -> (passes, row_cells)
-    for window in sliding_windows(span, query.window_spec.width,
-                                  query.window_spec.step):
-        lo = bisect.bisect_left(timestamps, window.start)
-        hi = bisect.bisect_left(timestamps, window.end)
+    def evaluate(self, window: Window, events: list[Event]) -> list[tuple]:
+        """Score one window pane; ``events`` are the in-window matches
+        in ``(ts, id)`` order.  Returns the emitted result rows."""
+        query = self.query
+        rows: list[tuple] = []
         by_group: dict[tuple, list[Event]] = {}
-        for event in events[lo:hi]:
-            key = tuple(getter(event) for getter in group_getters)
+        for event in events:
+            key = tuple(getter(event) for getter in self._group_getters)
             by_group.setdefault(key, []).append(event)
-            if key not in known_groups:
-                known_groups[key] = tuple(
-                    getter(event) for getter in display_getters)
-        for key in known_groups:
+            if key not in self._known_groups:
+                self._known_groups[key] = tuple(
+                    getter(event) for getter in self._display_getters)
+        for key in self._known_groups:
             group_events = by_group.get(key, [])
             if group_events:
-                empty_streak[key] = 0
-                steady_state.pop(key, None)
+                self._empty_streak[key] = 0
+                self._steady_state.pop(key, None)
             else:
-                streak = empty_streak.get(key, 0) + 1
-                empty_streak[key] = streak
-                cached = steady_state.get(key)
+                streak = self._empty_streak.get(key, 0) + 1
+                self._empty_streak[key] = streak
+                cached = self._steady_state.get(key)
                 if cached is not None:
                     passes, cells = cached
                     if passes:
@@ -113,26 +111,55 @@ def execute_anomaly(store: StorageBackend, query: AnomalyQuery,
                                     + cells)
                     continue
             current: dict[str, object] = {}
-            for alias, func, arg_getter in agg_specs:
+            for alias, func, arg_getter in self._agg_specs:
                 values = [arg_getter(evt) for evt in group_events]
                 value = aggregate(func, values)
-                history.record(key, alias, value)
+                self._history.record(key, alias, value)
                 current[alias] = value
             passes = (query.having is None
-                      or evaluator.passes(key, group_events, current))
+                      or self._evaluator.passes(key, group_events, current))
             if passes:
-                row = _render_row(window, query, key, known_groups[key],
-                                  current, group_getters)
+                row = _render_row(window, query, key,
+                                  self._known_groups[key], current,
+                                  self._group_getters)
                 rows.append(row)
-            if not group_events and empty_streak[key] >= history_depth:
-                cells = (_render_row(window, query, key, known_groups[key],
-                                     current, group_getters)[1:]
+            if not group_events and self._empty_streak[key] >= self._history_depth:
+                cells = (_render_row(window, query, key,
+                                     self._known_groups[key], current,
+                                     self._group_getters)[1:]
                          if passes else ())
-                steady_state[key] = (passes, cells)
+                self._steady_state[key] = (passes, cells)
+        return rows
+
+
+def execute_anomaly(store: StorageBackend, query: AnomalyQuery,
+                    options: EngineOptions = DEFAULT_OPTIONS,
+                    ) -> AnomalyOutput:
+    """Run an anomaly query against the store."""
+    started = time.perf_counter()
+    evaluator = AnomalyWindowEvaluator(query)
+
+    events = _fetch_events(store, query, options)
+    events.sort(key=lambda evt: (evt.ts, evt.id))
+    timestamps = [evt.ts for evt in events]
+
+    span = query.header.window or store.span
+    if span is None:
+        report = ExecutionReport()
+        report.elapsed = time.perf_counter() - started
+        return AnomalyOutput(columns=evaluator.columns, rows=[],
+                             report=report)
+
+    rows: list[tuple] = []
+    for window in sliding_windows(span, query.window_spec.width,
+                                  query.window_spec.step):
+        lo = bisect.bisect_left(timestamps, window.start)
+        hi = bisect.bisect_left(timestamps, window.end)
+        rows.extend(evaluator.evaluate(window, events[lo:hi]))
     report = ExecutionReport()
     report.joined_rows = len(rows)
     report.elapsed = time.perf_counter() - started
-    return AnomalyOutput(columns=columns, rows=rows, report=report)
+    return AnomalyOutput(columns=evaluator.columns, rows=rows, report=report)
 
 
 # ---------------------------------------------------------------------------

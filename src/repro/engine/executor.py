@@ -153,11 +153,18 @@ def _null_safe_key(value: object) -> tuple:
 
 
 def _ordered(rows: list[Binding], plan: QueryPlan) -> list[Binding]:
-    """Stable result order: by the timestamps of the declared patterns."""
+    """Stable result order: by the (timestamp, id) of the declared patterns.
+
+    Event ids break timestamp ties so the order is a property of the
+    binding set alone, not of join generation order — which is what lets
+    the continuous-query runtime reproduce batch results byte-for-byte
+    from matches discovered in a different order.
+    """
     event_vars = [dq.event_var for dq in plan.data_queries]
 
     def key(binding: Binding) -> tuple:
-        return tuple(binding[var].ts for var in event_vars)  # type: ignore
+        return tuple((binding[var].ts, binding[var].id)  # type: ignore
+                     for var in event_vars)
 
     return sorted(rows, key=key)
 

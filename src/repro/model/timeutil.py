@@ -21,6 +21,12 @@ SECONDS_PER_MINUTE = 60.0
 SECONDS_PER_HOUR = 3600.0
 SECONDS_PER_DAY = 86400.0
 
+#: Padding a store's closed data span gets when expressed as a half-open
+#: window (``span.end = max_ts + SPAN_EPSILON`` keeps the final event
+#: inside).  One constant shared by every backend *and* the streaming
+#: runtime — anomaly pane anchoring relies on all of them agreeing.
+SPAN_EPSILON = 0.001
+
 _DURATION_RE = re.compile(
     r"^\s*(\d+(?:\.\d+)?)\s*(ms|msec|millisecond|s|sec|second|m|min|minute|"
     r"h|hr|hour|d|day)s?\s*$",

@@ -283,20 +283,34 @@ class ScanSpec:
 
     @property
     def unsatisfiable(self) -> bool:
-        """True when no stored event can possibly satisfy the spec."""
+        """True when no stored event can possibly satisfy the spec.
+
+        Consistent with :meth:`clamped` by construction: the temporal
+        side is unsatisfiable exactly when the clamped window is empty,
+        which covers disjoint ``window``/``bounds`` combinations and the
+        equal-bounds edge cases (an inclusive point bound stays
+        satisfiable, either strict side makes it empty).
+        """
         if self.agentids is not None and not self.agentids:
             return True
         if self.bindings is not None and self.bindings.unsatisfiable:
             return True
         if self.bounds is not None and self.bounds.unsatisfiable:
             return True
-        window = self.window
-        if window is not None and window.start >= window.end:
+        clamped = self.clamped()
+        if clamped is not None and clamped.start >= clamped.end:
             return True
         return False
 
     def clamped(self) -> Window | None:
-        """``bounds ∩ window`` as one half-open window (shared lowering)."""
+        """``bounds ∩ window`` as one half-open window (shared lowering).
+
+        Idempotent: re-clamping a spec whose window already carries the
+        intersection — with or without the original bounds still attached
+        — returns the same window, so the lowering can run at any layer
+        without compounding (the contract suite's property test locks
+        this in).
+        """
         if self.bounds is not None and self.bounds:
             return self.bounds.clamp_window(self.window)
         return self.window

@@ -41,7 +41,7 @@ from repro.errors import StorageError
 from repro.model.entities import (DEFAULT_ATTRIBUTE, ENTITY_TYPES, Entity,
                                   ProcessEntity)
 from repro.model.events import Event, validate_operation
-from repro.model.timeutil import SECONDS_PER_DAY, Window
+from repro.model.timeutil import SECONDS_PER_DAY, SPAN_EPSILON, Window
 from repro.storage.dedup import EntityInterner
 from repro.storage.indexes import like_to_regex
 from repro.storage.backend import resolve_spec as _resolved
@@ -968,7 +968,7 @@ class ColumnarEventStore:
     def span(self) -> Window | None:
         if self._count == 0:
             return None
-        return Window(self._min_ts, self._max_ts + 0.001)
+        return Window(self._min_ts, self._max_ts + SPAN_EPSILON)
 
     @property
     def agentids(self) -> set[int]:

@@ -20,7 +20,7 @@ from typing import Iterable, Iterator
 from repro.errors import StorageError
 from repro.model.entities import DEFAULT_ATTRIBUTE
 from repro.model.events import Event
-from repro.model.timeutil import SECONDS_PER_DAY, Window
+from repro.model.timeutil import SECONDS_PER_DAY, SPAN_EPSILON, Window
 from repro.storage.indexes import PostingIndex, TimeIndex
 from repro.storage.scanstats import PartitionStatistics
 
@@ -160,8 +160,8 @@ class Hypertable:
         """The closed time span of stored data, or None when empty."""
         if self._count == 0:
             return None
-        # +1ms so the half-open window includes the final event.
-        return Window(self._min_ts, self._max_ts + 0.001)
+        # Padded so the half-open window includes the final event.
+        return Window(self._min_ts, self._max_ts + SPAN_EPSILON)
 
     def __len__(self) -> int:
         return self._count

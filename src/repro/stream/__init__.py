@@ -1,0 +1,23 @@
+"""Continuous queries: standing AIQL queries over a live event ingest.
+
+The streaming counterpart of the batch engine: an :class:`EventBus`
+carries agent events (batched, backpressured, watermark-stamped) into any
+registered storage backend *and* into a :class:`ContinuousRuntime` that
+evaluates registered standing queries incrementally — per-pattern
+matchers with watermark-evicted join state for multievent/dependency
+queries, watermark-closed sliding panes for anomaly queries.  Replaying a
+finite timestamp-ordered stream yields exactly the rows the batch engine
+returns on the final store.
+"""
+
+from repro.stream.bus import BusStats, EventBus
+from repro.stream.continuous import (ContinuousAnomaly, ContinuousQuery,
+                                     ContinuousRuntime)
+from repro.stream.matcher import MultieventMatcher, PatternBuffer
+from repro.stream.session import StreamSession
+
+__all__ = [
+    "BusStats", "EventBus", "ContinuousAnomaly", "ContinuousQuery",
+    "ContinuousRuntime", "MultieventMatcher", "PatternBuffer",
+    "StreamSession",
+]

@@ -1,0 +1,235 @@
+"""The event bus: batched, backpressured publish with an async ingest path.
+
+The batch engine investigates *after the fact*; real deployments watch
+monitoring events as they arrive.  The bus is the seam between the two: a
+publisher (collection agent, telemetry generator, replay harness) pushes
+events in, and the bus delivers them — in batches, in publish order — to
+
+* any number of *subscribers* (the continuous-query runtime), and
+* any number of attached :class:`~repro.storage.backend.StorageBackend`
+  stores, through the batch-commit :class:`~repro.storage.ingest.IngestPipeline`
+  (the ROADMAP's async ingest path: the same events that feed standing
+  queries also land in a queryable store).
+
+Delivery is synchronous by default — ``publish`` returns once the batch
+has been handed to every consumer, which keeps tests deterministic.
+Calling :meth:`EventBus.start` moves delivery onto a worker thread behind
+a *bounded* queue: publishers block once ``max_pending`` batches are
+waiting (backpressure), so a slow store or subscriber throttles ingest
+instead of growing memory without bound.
+
+The bus also carries the stream's *watermark*: the highest event
+timestamp delivered so far minus the configured ``lateness`` allowance.
+Consumers use it to close window panes and evict matcher state; events
+arriving with timestamps at or below the watermark may be matched late or
+missed, which is the standard trade a lateness bound buys.
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import StorageError
+from repro.model.events import Event
+from repro.storage.backend import StorageBackend
+from repro.storage.ingest import IngestPipeline, ProgressCallback
+
+#: A subscriber receives each delivered batch plus the watermark after it.
+BatchConsumer = Callable[[Sequence[Event], float], None]
+
+_STOP = object()
+
+
+@dataclass
+class BusStats:
+    """Counters over one bus's lifetime."""
+
+    published: int = 0
+    batches: int = 0
+    max_pending: int = 0     # deepest the delivery queue ever got
+
+
+class EventBus:
+    """Batched, ordered fan-out of a live event feed.
+
+    ``batch_size`` bounds delivery granularity (a partial batch is
+    delivered on :meth:`flush`/:meth:`close`), ``max_pending`` bounds the
+    threaded mode's queue depth (the backpressure knob), and ``lateness``
+    is subtracted from the maximum seen timestamp to form the watermark.
+    """
+
+    def __init__(self, batch_size: int = 256, max_pending: int = 64,
+                 lateness: float = 0.0) -> None:
+        if batch_size <= 0:
+            raise StorageError("bus batch size must be positive")
+        if max_pending <= 0:
+            raise StorageError("bus max_pending must be positive")
+        if lateness < 0:
+            raise StorageError("bus lateness must be non-negative")
+        self._batch_size = batch_size
+        self._max_pending = max_pending
+        self._lateness = lateness
+        self._buffer: list[Event] = []
+        self._subscribers: list[BatchConsumer] = []
+        self._pipelines: list[IngestPipeline] = []
+        self._max_ts = -math.inf
+        self._queue: queue.Queue | None = None
+        self._worker: threading.Thread | None = None
+        self._error: BaseException | None = None
+        self._closed = False
+        self.stats = BusStats()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_store(self, store: StorageBackend,
+                     chunk_size: int | None = None,
+                     merge_window: float | None = None,
+                     progress: ProgressCallback | None = None,
+                     ) -> IngestPipeline:
+        """Append every published event to ``store`` (batch-committed)."""
+        pipeline = IngestPipeline(
+            store, batch_size=chunk_size or self._batch_size,
+            merge_window=merge_window, progress=progress)
+        self._pipelines.append(pipeline)
+        return pipeline
+
+    def subscribe(self, consumer: BatchConsumer) -> None:
+        """Deliver every published batch (plus watermark) to ``consumer``."""
+        self._subscribers.append(consumer)
+
+    def start(self) -> "EventBus":
+        """Switch to threaded delivery behind the bounded queue."""
+        if self._worker is not None:
+            return self
+        self._queue = queue.Queue(maxsize=self._max_pending)
+        self._worker = threading.Thread(target=self._drain, daemon=True,
+                                        name="event-bus")
+        self._worker.start()
+        return self
+
+    # ------------------------------------------------------------------
+    # Publish path
+    # ------------------------------------------------------------------
+    @property
+    def watermark(self) -> float:
+        """No event at or below this timestamp is still expected."""
+        return self._max_ts - self._lateness
+
+    def publish(self, event: Event) -> None:
+        """Accept one event; blocks when the delivery queue is full."""
+        self._check()
+        self._buffer.append(event)
+        self.stats.published += 1
+        if len(self._buffer) >= self._batch_size:
+            self._emit()
+
+    def publish_many(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self._check()
+            self._buffer.append(event)
+            self.stats.published += 1
+            if len(self._buffer) >= self._batch_size:
+                self._emit()
+
+    def flush(self) -> None:
+        """Deliver buffered events and wait until consumers have seen them.
+
+        Attached stores are committed up to the merge horizon; events a
+        merge window still holds back are only released by :meth:`close`.
+        """
+        self._check()
+        if self._buffer:
+            self._emit()
+        if self._queue is not None:
+            self._queue.join()
+            self._check()
+        for pipeline in self._pipelines:
+            pipeline.flush()
+
+    def close(self) -> BusStats:
+        """Flush, stop the worker, and finalize attached stores."""
+        if self._closed:
+            return self.stats
+        if self._buffer:
+            try:
+                self._emit()
+            except BaseException as exc:
+                if self._error is None:
+                    self._error = exc
+        if self._queue is not None:
+            self._queue.put(_STOP)
+            assert self._worker is not None
+            self._worker.join()
+            self._queue = None
+            self._worker = None
+        for pipeline in self._pipelines:
+            pipeline.close()
+        self._closed = True
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+        return self.stats
+
+    def __enter__(self) -> "EventBus":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _check(self) -> None:
+        if self._closed:
+            raise StorageError("event bus is closed")
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+    def _emit(self) -> None:
+        batch, self._buffer = self._buffer, []
+        self.stats.batches += 1
+        if self._queue is not None:
+            self._queue.put(batch)   # blocks at max_pending: backpressure
+            depth = self._queue.qsize()
+            if depth > self.stats.max_pending:
+                self.stats.max_pending = depth
+        else:
+            self._deliver(batch)
+
+    def _drain(self) -> None:
+        assert self._queue is not None
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                self._queue.task_done()
+                return
+            try:
+                # Deliver even after an earlier failure: publish() already
+                # accepted these batches, and a broken subscriber must not
+                # cost the attached stores their events.  Only the first
+                # error is kept for the publisher.
+                self._deliver(item)
+            except BaseException as exc:  # surfaced on next publish/close
+                if self._error is None:
+                    self._error = exc
+            finally:
+                self._queue.task_done()
+
+    def _deliver(self, batch: list[Event]) -> None:
+        max_ts = self._max_ts
+        for event in batch:
+            if event.ts > max_ts:
+                max_ts = event.ts
+        self._max_ts = max_ts
+        for pipeline in self._pipelines:
+            pipeline.add_batch(batch)
+        watermark = max_ts - self._lateness
+        for consumer in self._subscribers:
+            consumer(batch, watermark)

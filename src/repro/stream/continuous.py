@@ -1,0 +1,374 @@
+"""Standing AIQL queries evaluated incrementally over a live feed.
+
+A :class:`ContinuousRuntime` subscribes to an
+:class:`~repro.stream.bus.EventBus` and routes every delivered event to
+the *standing queries* registered with it.  All three AIQL query classes
+are supported, compiled through the same planner and predicate pipeline
+the batch engine uses:
+
+* **multievent** — each pattern's residual predicate
+  (:class:`~repro.engine.filters.CompiledPredicate`) gates events into an
+  incremental :class:`~repro.stream.matcher.MultieventMatcher`; completed
+  joins surface immediately as matches;
+* **dependency** — rewritten to a multievent query first (§2.3), exactly
+  as the batch executor does;
+* **anomaly** — matched events fall into sliding window panes; a pane is
+  scored by the *same* :class:`~repro.engine.anomaly.AnomalyWindowEvaluator`
+  the batch engine drives, the moment the watermark closes it.
+
+The equivalence guarantee: replaying a finite, timestamp-ordered stream
+through the runtime and then asking the batch engine the same query on
+the fully-ingested store yields byte-identical result rows — the
+differential suite asserts this per storage backend for both paper
+catalogs.  Live emission (the ``callback``) additionally surfaces each
+match/alert as it happens, with ``distinct`` applied incrementally.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.core.results import QueryResult
+from repro.engine.anomaly import AnomalyWindowEvaluator
+from repro.engine.dependency import rewrite_dependency
+from repro.engine.executor import _compile_projection, project_bindings
+from repro.engine.joiner import Binding
+from repro.engine.planner import QueryPlan, plan_multievent
+from repro.errors import SemanticError
+from repro.lang.ast import (AnomalyQuery, DependencyQuery, MultieventQuery,
+                            Query, ReturnItem, VarRef)
+from repro.model.events import Event
+from repro.model.timeutil import SPAN_EPSILON, Window
+from repro.storage.dedup import EntityInterner
+
+#: A match callback receives the standing query and one emitted row.
+MatchCallback = Callable[["ContinuousQuery", tuple], None]
+
+
+class ContinuousAnomaly:
+    """Watermark-driven sliding-window evaluation of one anomaly query.
+
+    Matched events are buffered in ``(ts, id)`` order; whenever the
+    watermark passes a pane's end, the pane is scored through the shared
+    :class:`AnomalyWindowEvaluator` and its events below the next pane's
+    start are evicted.  Panes are anchored exactly like the batch engine:
+    at the header window's start when the query carries one, otherwise at
+    the earliest timestamp the stream has produced (the store span's
+    start for an ordered replay).
+    """
+
+    def __init__(self, query: AnomalyQuery) -> None:
+        self.query = query
+        self.evaluator = AnomalyWindowEvaluator(query)
+        pattern = query.patterns[0]
+        wrapper = MultieventQuery(
+            header=query.header, patterns=query.patterns, temporal=(),
+            return_items=(ReturnItem(VarRef(pattern.event_var)),))
+        self.plan = plan_multievent(wrapper)
+        self.width = query.window_spec.width
+        self.step = query.window_spec.step
+        self.span = query.header.window    # None: anchored on first event
+        self._cursor: float | None = (self.span.start
+                                      if self.span is not None else None)
+        self._keys: list[tuple] = []       # (ts, id), sorted
+        self._events: list[Event] = []
+        self.evicted = 0
+
+    def accept(self, event: Event) -> None:
+        key = (event.ts, event.id)
+        position = bisect.bisect_left(self._keys, key)
+        self._keys.insert(position, key)
+        self._events.insert(position, event)
+
+    def advance(self, watermark: float, first_ts: float | None) -> list[tuple]:
+        """Score every pane the watermark has fully closed."""
+        if self._cursor is None:
+            # Anchor only once the watermark has passed the earliest
+            # timestamp seen: until then an in-allowance straggler could
+            # still lower the span start and shift every pane.
+            if first_ts is None or watermark < first_ts:
+                return []
+            self._cursor = first_ts
+        limit = self.span.end if self.span is not None else math.inf
+        rows: list[tuple] = []
+        while self._cursor < limit and self._cursor + self.width <= watermark:
+            rows.extend(self._score_pane())
+        return rows
+
+    def finish(self, stream_span: Window | None) -> list[tuple]:
+        """Score the remaining panes of the final span (end of stream)."""
+        span = self.span if self.span is not None else stream_span
+        if span is None:
+            return []
+        if self._cursor is None:
+            self._cursor = span.start
+        rows: list[tuple] = []
+        while self._cursor < span.end:
+            rows.extend(self._score_pane())
+        return rows
+
+    def _score_pane(self) -> list[tuple]:
+        assert self._cursor is not None
+        window = Window(self._cursor, self._cursor + self.width)
+        lo = bisect.bisect_left(self._keys, (window.start,))
+        hi = bisect.bisect_left(self._keys, (window.end,))
+        rows = self.evaluator.evaluate(window, self._events[lo:hi])
+        self._cursor += self.step
+        drop = bisect.bisect_left(self._keys, (self._cursor,))
+        if drop:
+            del self._keys[:drop]
+            del self._events[:drop]
+            self.evicted += drop
+        return rows
+
+    def state_size(self) -> int:
+        return len(self._events)
+
+
+@dataclass(slots=True)
+class _DispatchEntry:
+    """One (standing query, pattern) route in the runtime's event fan-out."""
+
+    start: float
+    end: float
+    agents: frozenset[int] | None
+    predicate: Callable[[Event], bool]
+    query: "ContinuousQuery"
+    index: int
+
+
+class ContinuousQuery:
+    """One registered standing query: its compiled state and its results.
+
+    ``retain_results=False`` turns the handle into a pure alert tap: every
+    match still reaches the callback, but nothing is accumulated for
+    :meth:`result` — the mode unbounded tailing (``repro stream
+    --follow``) needs, since result accumulation is O(total matches) and
+    only matcher state is watermark-bounded.
+    """
+
+    def __init__(self, query: Query, callback: MatchCallback | None = None,
+                 name: str | None = None,
+                 retain_results: bool = True) -> None:
+        self.query = query
+        self.callback = callback
+        self.retain_results = retain_results
+        self.anomaly: ContinuousAnomaly | None = None
+        self.matcher = None
+        if isinstance(query, AnomalyQuery):
+            self.kind = "anomaly"
+            self.anomaly = ContinuousAnomaly(query)
+            self.plan = self.anomaly.plan
+            self._exec_query: MultieventQuery | None = None
+            self._projectors = ()
+        elif isinstance(query, (MultieventQuery, DependencyQuery)):
+            from repro.stream.matcher import MultieventMatcher
+            if isinstance(query, DependencyQuery):
+                self.kind = "dependency"
+                self._exec_query = rewrite_dependency(query)
+            else:
+                self.kind = "multievent"
+                self._exec_query = query
+            self.plan = plan_multievent(self._exec_query)
+            self.matcher = MultieventMatcher(self.plan)
+            self._projectors = tuple(
+                _compile_projection(item, self.plan)
+                for item in self._exec_query.return_items)
+        else:
+            raise SemanticError(
+                f"cannot register {type(query).__name__} as a standing query")
+        self.name = name or self.kind
+        self.bindings: list[Binding] = []   # multievent/dependency matches
+        self.rows: list[tuple] = []         # anomaly alert rows, in order
+        self.events_matched = 0
+        self.matches = 0
+        self.emitted = 0
+        self.closed = False
+        self._seen_rows: set[tuple] = set()
+
+    # ------------------------------------------------------------------
+    # Runtime-facing path
+    # ------------------------------------------------------------------
+    def on_pattern_event(self, index: int, event: Event) -> None:
+        self.events_matched += 1
+        if self.anomaly is not None:
+            self.anomaly.accept(event)
+            return
+        assert self.matcher is not None
+        for binding in self.matcher.push(index, event):
+            self.matches += 1
+            if self.retain_results:
+                self.bindings.append(binding)
+            self._emit_match(binding)
+
+    def advance(self, watermark: float, first_ts: float | None) -> None:
+        if self.anomaly is not None:
+            self._emit_alerts(self.anomaly.advance(watermark, first_ts))
+        else:
+            assert self.matcher is not None
+            self.matcher.evict(watermark)
+
+    def finish(self, stream_span: Window | None) -> None:
+        if self.closed:
+            return
+        if self.anomaly is not None:
+            self._emit_alerts(self.anomaly.finish(stream_span))
+        self.closed = True
+
+    def _emit_match(self, binding: Binding) -> None:
+        row = tuple(project(binding) for project in self._projectors)
+        assert self._exec_query is not None
+        # Live ``distinct`` needs an ever-growing seen-set, so the
+        # callback-only (bounded-memory) mode emits raw matches instead.
+        if self._exec_query.distinct and self.retain_results:
+            if row in self._seen_rows:
+                return
+            self._seen_rows.add(row)
+        self.emitted += 1
+        if self.callback is not None:
+            self.callback(self, row)
+
+    def _emit_alerts(self, rows: list[tuple]) -> None:
+        for row in rows:
+            self.matches += 1
+            if self.retain_results:
+                self.rows.append(row)
+            self.emitted += 1
+            if self.callback is not None:
+                self.callback(self, row)
+
+    # ------------------------------------------------------------------
+    # Results and introspection
+    # ------------------------------------------------------------------
+
+    def state_size(self) -> int:
+        if self.anomaly is not None:
+            return self.anomaly.state_size()
+        assert self.matcher is not None
+        return self.matcher.state_size()
+
+    @property
+    def evicted(self) -> int:
+        if self.anomaly is not None:
+            return self.anomaly.evicted
+        assert self.matcher is not None
+        return self.matcher.evicted
+
+    def result(self) -> QueryResult:
+        """The accumulated result, shaped exactly like the batch engine's.
+
+        After the stream is closed this is byte-identical (columns and
+        rows) to executing the same query on a store holding the full
+        stream; before that it reflects the matches and closed panes so
+        far.
+        """
+        report = (f"continuous: {self.events_matched} pattern events, "
+                  f"{self.matches} matches, state={self.state_size()}, "
+                  f"evicted={self.evicted}")
+        if not self.retain_results:
+            report += " (callback-only: results not retained)"
+        if self.anomaly is not None:
+            return QueryResult(columns=list(self.anomaly.evaluator.columns),
+                               rows=list(self.rows), elapsed=0.0,
+                               kind="anomaly", report=report)
+        assert self._exec_query is not None
+        columns, rows = project_bindings(self.plan, self._exec_query,
+                                         self.bindings)
+        return QueryResult(columns=columns, rows=rows, elapsed=0.0,
+                           kind=self.kind, report=report)
+
+
+class ContinuousRuntime:
+    """Routes bus batches to standing queries and drives watermarks.
+
+    Entity instances are interned first-wins across the stream (the same
+    convention every store's write path applies), so attribute
+    projections agree with the batch engine even when equal-identity
+    entities arrive as distinct instances.
+    """
+
+    def __init__(self) -> None:
+        self.queries: list[ContinuousQuery] = []
+        self._dispatch: dict[tuple[str, str], list[_DispatchEntry]] = {}
+        self._interner = EntityInterner()
+        self._min_ts = math.inf
+        self._max_ts = -math.inf
+        self.events_seen = 0
+        self.watermark = -math.inf
+        self._finished = False
+
+    def register(self, query: Query, callback: MatchCallback | None = None,
+                 name: str | None = None,
+                 retain_results: bool = True) -> ContinuousQuery:
+        """Add a standing query; it sees every event published later."""
+        standing = ContinuousQuery(query, callback=callback, name=name,
+                                   retain_results=retain_results)
+        self.queries.append(standing)
+        for dq in standing.plan.data_queries:
+            window = standing.plan.window
+            entry = _DispatchEntry(
+                start=window.start if window is not None else -math.inf,
+                end=window.end if window is not None else math.inf,
+                agents=dq.agentids,
+                predicate=dq.compiled.event_predicate,
+                query=standing, index=dq.index)
+            for operation in dq.operations:
+                self._dispatch.setdefault(
+                    (dq.event_type, operation), []).append(entry)
+        return standing
+
+    def on_batch(self, events: Sequence[Event], watermark: float) -> None:
+        """Bus-facing consumer: match a batch, then advance watermarks."""
+        dispatch = self._dispatch
+        min_ts, max_ts = self._min_ts, self._max_ts
+        for event in events:
+            ts = event.ts
+            if ts < min_ts:
+                min_ts = ts
+            if ts > max_ts:
+                max_ts = ts
+            if not dispatch:
+                # Pure ingest (no standing queries): only span tracking.
+                continue
+            # Every event interns — not just dispatched ones — so the
+            # first-wins instance is the same one the store's own write
+            # path keeps, whatever pattern later projects it.
+            event = self._intern(event)
+            entries = dispatch.get((event.object.entity_type,
+                                    event.operation))
+            if not entries:
+                continue
+            for entry in entries:
+                if ts < entry.start or ts >= entry.end:
+                    continue
+                if (entry.agents is not None
+                        and event.agentid not in entry.agents):
+                    continue
+                if entry.predicate(event):
+                    entry.query.on_pattern_event(entry.index, event)
+        self._min_ts, self._max_ts = min_ts, max_ts
+        self.events_seen += len(events)
+        self.watermark = watermark
+        first_ts = min_ts if min_ts != math.inf else None
+        for standing in self.queries:
+            standing.advance(watermark, first_ts)
+
+    def finish(self) -> None:
+        """End of stream: close every pane the final span still owes."""
+        if self._finished:
+            return
+        span = (Window(self._min_ts, self._max_ts + SPAN_EPSILON)
+                if self.events_seen else None)
+        for standing in self.queries:
+            standing.finish(span)
+        self._finished = True
+
+    def _intern(self, event: Event) -> Event:
+        subject = self._interner.intern(event.subject)
+        obj = self._interner.intern(event.object)
+        if subject is event.subject and obj is event.object:
+            return event
+        return replace(event, subject=subject, object=obj)

@@ -1,0 +1,304 @@
+"""Incremental multievent matching: one standing query's join state.
+
+The batch engine answers a multievent query by scanning a store once per
+pattern and joining the candidate lists.  A *standing* query cannot
+re-scan — events arrive once — so the matcher maintains, per pattern, a
+ring buffer of the events that matched it, indexed by the identities of
+the pattern's subject/object variables, and completes joins
+*incrementally*: when a new event matches pattern i, it is joined against
+the already-buffered events of every other pattern (a backtracking probe
+over the identity indexes, with temporal-bounds pruning), and only then
+inserted into its own buffer.  Each complete match is therefore emitted
+exactly once — by the last of its events to arrive.
+
+State is bounded by watermarks.  The plan's temporal closure (shortest
+``within`` totals over the ``before`` graph, §2.3) gives each pattern a
+*retention*: an event of pattern i can only ever pair with a pattern-j
+event within ``d_ij`` seconds after it (finite closure edge), at any
+later time (unbounded edge — retention infinite), or strictly before it
+(reverse edge — retention zero, because on a watermark-ordered feed the
+pairing event must already have arrived once the watermark passes).  When
+the watermark passes an event's timestamp plus its pattern's retention,
+no future arrival can complete a match through it and it is evicted.
+Fully ``within``-chained queries thus hold provably bounded state;
+unbounded ``before`` edges honestly pin the patterns they reach
+(exactness requires it).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.engine.joiner import Binding, TemporalCheck
+from repro.engine.planner import DataQuery, QueryPlan
+from repro.model.events import Event
+
+#: Compact an index once this many evicted events linger in its lists.
+_COMPACT_DEAD = 64
+
+
+class PatternBuffer:
+    """Ring of one pattern's matched events, indexed for identity joins."""
+
+    __slots__ = ("entries", "by_subject", "by_object", "by_pair", "alive",
+                 "dead")
+
+    def __init__(self) -> None:
+        self.entries: deque[Event] = deque()
+        self.by_subject: dict[tuple, list[Event]] = {}
+        self.by_object: dict[tuple, list[Event]] = {}
+        self.by_pair: dict[tuple, list[Event]] = {}
+        self.alive: set[int] = set()
+        self.dead = 0
+
+    def add(self, event: Event) -> None:
+        self.entries.append(event)
+        self.alive.add(event.id)
+        self._index(event)
+
+    def _index(self, event: Event) -> None:
+        subject = event.subject.identity
+        obj = event.object.identity
+        self.by_subject.setdefault(subject, []).append(event)
+        self.by_object.setdefault(obj, []).append(event)
+        self.by_pair.setdefault((subject, obj), []).append(event)
+
+    def probe(self, subject: tuple | None, object_: tuple | None):
+        """Buffered events matching the bound identities (None = free)."""
+        if subject is not None and object_ is not None:
+            candidates = self.by_pair.get((subject, object_), ())
+        elif subject is not None:
+            candidates = self.by_subject.get(subject, ())
+        elif object_ is not None:
+            candidates = self.by_object.get(object_, ())
+        else:
+            return list(self.entries)   # entries hold only live events
+        if not self.dead:
+            return candidates
+        alive = self.alive
+        return [event for event in candidates if event.id in alive]
+
+    def evict_until(self, cutoff: float) -> int:
+        """Drop events with ``ts <= cutoff`` (in arrival order)."""
+        entries = self.entries
+        dropped = 0
+        while entries and entries[0].ts <= cutoff:
+            event = entries.popleft()
+            self.alive.discard(event.id)
+            dropped += 1
+        if dropped:
+            self.dead += dropped
+            if self.dead >= _COMPACT_DEAD and self.dead > len(entries):
+                self._compact()
+        return dropped
+
+    def _compact(self) -> None:
+        self.by_subject.clear()
+        self.by_object.clear()
+        self.by_pair.clear()
+        for event in self.entries:
+            self._index(event)
+        self.dead = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass(frozen=True, slots=True)
+class _ProbeStep:
+    """One backtracking step of a completing pattern's join order."""
+
+    dq: DataQuery
+    #: checks (temporal + attribute relations) decidable once this step's
+    #: variables are bound — each appears in exactly one step.
+    checks: tuple = ()
+    #: pruning bounds on this pattern's event ts, as (partner event var,
+    #: kind, delta): "after" admits (partner.ts, partner.ts + delta],
+    #: "before" admits [partner.ts - delta, partner.ts).  Pruning keeps
+    #: boundary candidates; the exact checks decide the edges.
+    bounds: tuple[tuple[str, str, float], ...] = ()
+
+
+class MultieventMatcher:
+    """Incremental join state for one planned multievent query."""
+
+    def __init__(self, plan: QueryPlan) -> None:
+        self.plan = plan
+        self.data_queries = plan.data_queries
+        self._closure = plan.temporal_closure()
+        self._checks = (
+            tuple(TemporalCheck(rel.left, rel.right, rel.within)
+                  for rel in plan.temporal)
+            + tuple(plan.relations))
+        self.retention = tuple(
+            self._retention(dq) for dq in self.data_queries)
+        self.buffers = tuple(PatternBuffer() for _ in self.data_queries)
+        self._initial_checks: list[tuple] = []
+        self._probe_plans: list[tuple[_ProbeStep, ...]] = []
+        for dq in self.data_queries:
+            initial, steps = self._probe_plan(dq)
+            self._initial_checks.append(initial)
+            self._probe_plans.append(steps)
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    # Static analysis
+    # ------------------------------------------------------------------
+    def _retention(self, dq: DataQuery) -> float:
+        """Seconds an event of this pattern stays completable."""
+        var = dq.event_var
+        worst = 0.0
+        for other in self.data_queries:
+            if other.index == dq.index:
+                continue
+            forward = self._closure.get((var, other.event_var))
+            if forward is not None:
+                worst = max(worst, forward)       # may be math.inf
+            elif (other.event_var, var) not in self._closure:
+                return math.inf                   # unconstrained partner
+        return worst
+
+    def _probe_plan(self, completing: DataQuery,
+                    ) -> tuple[tuple, tuple[_ProbeStep, ...]]:
+        """Join order for matches completed by ``completing``'s event.
+
+        Greedy most-connected-first: always extend through a pattern
+        sharing an already-bound entity variable when one exists, so
+        probes stay index lookups instead of buffer scans.  Returns the
+        checks decidable from the completing pattern alone plus the
+        ordered probe steps.
+        """
+        bound = {completing.event_var, *completing.variables}
+        assigned: set[int] = set()
+        initial = []
+        for position, check in enumerate(self._checks):
+            if self._check_vars(check) <= bound:
+                assigned.add(position)
+                initial.append(check)
+        initial = tuple(initial)
+        remaining = [dq for dq in self.data_queries
+                     if dq.index != completing.index]
+        bound_entities = set(completing.variables)
+        steps: list[_ProbeStep] = []
+        bound_events = [completing.event_var]
+        while remaining:
+            remaining.sort(key=lambda dq: (
+                -len(bound_entities & set(dq.variables)), dq.index))
+            dq = remaining.pop(0)
+            bound_entities.update(dq.variables)
+            bound.update((dq.event_var, *dq.variables))
+            ready = []
+            for position, check in enumerate(self._checks):
+                if position in assigned:
+                    continue
+                if self._check_vars(check) <= bound:
+                    assigned.add(position)
+                    ready.append(check)
+            var = dq.event_var
+            bounds = []
+            for partner in bound_events:
+                delta = self._closure.get((partner, var))
+                if delta is not None:
+                    bounds.append((partner, "after", delta))
+                delta = self._closure.get((var, partner))
+                if delta is not None:
+                    bounds.append((partner, "before", delta))
+            bound_events.append(var)
+            steps.append(_ProbeStep(dq=dq, checks=tuple(ready),
+                                    bounds=tuple(bounds)))
+        return initial, tuple(steps)
+
+    @staticmethod
+    def _check_vars(check) -> set[str]:
+        if isinstance(check, TemporalCheck):
+            return {check.left, check.right}
+        return {check.left_var, check.right_var}
+
+    # ------------------------------------------------------------------
+    # Event path
+    # ------------------------------------------------------------------
+    def push(self, index: int, event: Event) -> list[Binding]:
+        """One event matched pattern ``index``: emit completed matches,
+        then buffer the event for future completions."""
+        dq = self.data_queries[index]
+        binding: Binding = {dq.event_var: event,
+                            dq.subject_var: event.subject,
+                            dq.object_var: event.object}
+        for check in self._initial_checks[index]:
+            if not check.holds(binding):
+                return []
+        if len(self.data_queries) == 1:
+            return [binding]
+        out: list[Binding] = []
+        self._extend(self._probe_plans[index], 0, binding, out)
+        # Buffered even at retention zero: within the lateness window an
+        # out-of-order predecessor may still arrive and probe back.
+        self.buffers[index].add(event)
+        return out
+
+    def _extend(self, steps: tuple[_ProbeStep, ...], depth: int,
+                binding: Binding, out: list[Binding]) -> None:
+        if depth == len(steps):
+            out.append(dict(binding))
+            return
+        step = steps[depth]
+        dq = step.dq
+        subject_entity = binding.get(dq.subject_var)
+        object_entity = binding.get(dq.object_var)
+        lo, hi = -math.inf, math.inf
+        for partner, kind, delta in step.bounds:
+            partner_ts = binding[partner].ts       # type: ignore[union-attr]
+            if kind == "after":
+                if partner_ts > lo:
+                    lo = partner_ts
+                if delta != math.inf and partner_ts + delta < hi:
+                    hi = partner_ts + delta
+            else:
+                if partner_ts < hi:
+                    hi = partner_ts
+                if delta != math.inf and partner_ts - delta > lo:
+                    lo = partner_ts - delta
+        candidates = self.buffers[dq.index].probe(
+            subject_entity.identity if subject_entity is not None else None,
+            object_entity.identity if object_entity is not None else None)
+        saved = (binding.get(dq.event_var), binding.get(dq.subject_var),
+                 binding.get(dq.object_var))
+        for candidate in candidates:
+            ts = candidate.ts
+            if ts < lo or ts > hi:
+                continue
+            binding[dq.event_var] = candidate
+            binding[dq.subject_var] = candidate.subject
+            binding[dq.object_var] = candidate.object
+            if all(check.holds(binding) for check in step.checks):
+                self._extend(steps, depth + 1, binding, out)
+        for var, value in zip((dq.event_var, dq.subject_var, dq.object_var),
+                              saved):
+            if value is None:
+                binding.pop(var, None)
+            else:
+                binding[var] = value
+
+    def evict(self, watermark: float) -> int:
+        """Drop buffered events no future arrival can pair with.
+
+        Strictly below ``watermark - retention``: a future event may
+        still carry ``ts == watermark``, and the inclusive ``within``
+        edge admits partners exactly at ``ts + retention``.
+        """
+        if watermark == -math.inf:
+            return 0
+        dropped = 0
+        for buffer, retention in zip(self.buffers, self.retention):
+            if retention == math.inf or not buffer.entries:
+                continue
+            cutoff = math.nextafter(watermark - retention, -math.inf)
+            dropped += buffer.evict_until(cutoff)
+        self.evicted += dropped
+        return dropped
+
+    def state_size(self) -> int:
+        """Buffered events across all patterns (the bounded quantity)."""
+        return sum(len(buffer) for buffer in self.buffers)

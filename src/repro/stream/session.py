@@ -1,0 +1,107 @@
+"""StreamSession: one live feed wired to a store and standing queries.
+
+The composition layer the public APIs hand out: an
+:class:`~repro.stream.bus.EventBus` whose batches append to the owning
+session's :class:`~repro.storage.backend.StorageBackend` (the async
+ingest path) *and* feed a :class:`~repro.stream.continuous.ContinuousRuntime`
+evaluating registered standing queries.  Everything published here is
+therefore immediately matchable live and eventually queryable in batch —
+and for a timestamp-ordered finite stream the two agree exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lang.ast import Query
+from repro.model.events import Event
+from repro.storage.backend import StorageBackend
+from repro.storage.ingest import ProgressCallback
+from repro.stream.bus import BusStats, EventBus
+from repro.stream.continuous import (ContinuousQuery, ContinuousRuntime,
+                                     MatchCallback)
+
+
+class StreamSession:
+    """Publish side, store side, and standing queries of one live feed."""
+
+    def __init__(self, store: StorageBackend | None = None, *,
+                 batch_size: int = 256, max_pending: int = 64,
+                 lateness: float = 0.0, merge_window: float | None = None,
+                 threaded: bool = False,
+                 progress: ProgressCallback | None = None) -> None:
+        self.bus = EventBus(batch_size=batch_size, max_pending=max_pending,
+                            lateness=lateness)
+        self.store = store
+        if store is not None:
+            self.bus.attach_store(store, merge_window=merge_window,
+                                  progress=progress)
+        self.runtime = ContinuousRuntime()
+        self.bus.subscribe(self.runtime.on_batch)
+        if threaded:
+            self.bus.start()
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # Standing queries
+    # ------------------------------------------------------------------
+    def register(self, query: Query, callback: MatchCallback | None = None,
+                 name: str | None = None,
+                 retain_results: bool = True) -> ContinuousQuery:
+        """Register a parsed query; it sees every event published later.
+
+        Register before publishing (or after a :meth:`flush`) — a
+        threaded bus delivers on its worker, and a query registered
+        mid-batch would see a torn prefix of the stream.
+        ``retain_results=False`` makes the handle callback-only (bounded
+        memory for unbounded tailing).
+        """
+        return self.runtime.register(query, callback=callback, name=name,
+                                     retain_results=retain_results)
+
+    # ------------------------------------------------------------------
+    # Publish path
+    # ------------------------------------------------------------------
+    def publish(self, event: Event) -> None:
+        self.bus.publish(event)
+
+    def publish_many(self, events: Iterable[Event]) -> None:
+        self.bus.publish_many(events)
+
+    def flush(self) -> None:
+        """Drain published events to the store and the standing queries."""
+        self.bus.flush()
+
+    def close(self) -> BusStats:
+        """Flush, finalize the store, and close every open window pane.
+
+        A deferred consumer error surfaces here — but the session still
+        finishes closing first (panes scored, ``closed`` set), so the
+        owning :class:`~repro.core.session.AiqlSession` can hand out a
+        fresh stream afterwards instead of a zombie.
+        """
+        if self.closed:
+            return self.bus.stats
+        try:
+            return self.bus.close()
+        finally:
+            self.runtime.finish()
+            self.closed = True
+
+    def __enter__(self) -> "StreamSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def watermark(self) -> float:
+        return self.bus.watermark
+
+    @property
+    def stats(self) -> BusStats:
+        return self.bus.stats

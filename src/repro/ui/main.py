@@ -86,6 +86,27 @@ def _build_parser() -> argparse.ArgumentParser:
     investigate.add_argument("--catalog", choices=("figure4", "figure5"),
                              default="figure4")
 
+    stream = commands.add_parser(
+        "stream", help="evaluate standing queries over a live event stream")
+    stream.add_argument("aiql", nargs="+",
+                        help="standing queries (each may be @file)")
+    stream.add_argument("--scenario", choices=("demo", "case2"),
+                        default="demo",
+                        help="telemetry generator to tail")
+    stream.add_argument("--events-per-host", type=int, default=500)
+    stream.add_argument("--seed", type=int, default=None)
+    stream.add_argument("--batch-size", type=_positive_int, default=256,
+                        help="bus delivery batch size")
+    stream.add_argument("--follow", action="store_true",
+                        help="pace the replay in (scaled) real time and "
+                             "keep printing matches until interrupted")
+    stream.add_argument("--rate", type=float, default=5000.0, metavar="EPS",
+                        help="events/sec pacing for --follow")
+    stream.add_argument("--max-rows", type=int, default=20,
+                        help="result rows per query printed at the end")
+    stream.add_argument("--backend", choices=BUILTIN_BACKENDS, default="row",
+                        help="storage substrate the stream ingests into")
+
     for loader in (query, explain, repl, serve, investigate):
         loader.add_argument("--backend", choices=BUILTIN_BACKENDS,
                             default="row",
@@ -124,16 +145,19 @@ def main(argv: list[str] | None = None, stdout=None) -> int:
         return 1
 
 
+def _build_scenario(args: argparse.Namespace):
+    """Shared scenario assembly for ``simulate`` and ``stream``."""
+    from repro.telemetry import build_case2_scenario, build_demo_scenario
+    builders = {"demo": build_demo_scenario, "case2": build_case2_scenario}
+    kwargs = {"events_per_host": args.events_per_host}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    return builders[args.scenario](**kwargs)
+
+
 def _dispatch(args: argparse.Namespace, stdout) -> int:
     if args.command == "simulate":
-        from repro.telemetry import build_case2_scenario, build_demo_scenario
-        builders = {"demo": build_demo_scenario,
-                    "case2": build_case2_scenario}
-        kwargs = {"events_per_host": args.events_per_host}
-        if args.seed is not None:
-            kwargs["seed"] = args.seed
-        scenario = builders[args.scenario](**kwargs)
-        count = write_events(scenario.events(), args.out)
+        count = write_events(_build_scenario(args).events(), args.out)
         print(f"wrote {count} events to {args.out}", file=stdout)
         return 0
 
@@ -187,6 +211,9 @@ def _dispatch(args: argparse.Namespace, stdout) -> int:
             server.shutdown()
         return 0
 
+    if args.command == "stream":
+        return _run_stream(args, stdout)
+
     if args.command == "investigate":
         from repro.investigate import FIGURE4_QUERIES, FIGURE5_QUERIES
         catalog = (FIGURE4_QUERIES if args.catalog == "figure4"
@@ -205,6 +232,77 @@ def _dispatch(args: argparse.Namespace, stdout) -> int:
         return 0
 
     raise ReproError(f"unknown command {args.command!r}")
+
+
+def _run_stream(args: argparse.Namespace, stdout) -> int:
+    """``repro stream``: tail a telemetry generator with standing queries.
+
+    Matches and anomaly alerts print live as the stream produces them;
+    the final section shows each standing query's accumulated result —
+    exactly what a batch query over the fully-ingested store returns.
+    """
+    import time as _time
+
+    events = _build_scenario(args).events()
+
+    session = AiqlSession(backend=args.backend)
+
+    def on_match(standing, row) -> None:
+        cells = ", ".join(str(cell) for cell in row)
+        print(f"[{standing.name}] {cells}", file=stdout)
+
+    # The stream must exist (with the requested batch size) before the
+    # first register() lazily creates one with defaults.
+    stream = session.stream(batch_size=args.batch_size)
+    queries = []
+    for position, text in enumerate(args.aiql, start=1):
+        source = _query_text(text)
+        # Tailing mode runs unbounded: surface matches through the
+        # callback only instead of accumulating them for result().
+        queries.append(session.register(source, callback=on_match,
+                                        name=f"q{position}",
+                                        retain_results=not args.follow))
+    print(f"streaming {len(events)} events ({args.scenario} scenario) "
+          f"against {len(queries)} standing queries "
+          f"[backend={session.backend_name}]", file=stdout)
+
+    started = _time.perf_counter()
+    try:
+        if args.follow:
+            if args.rate <= 0:
+                raise ReproError("--rate must be positive with --follow")
+            published = 0
+            for start in range(0, len(events), args.batch_size):
+                chunk = events[start:start + args.batch_size]
+                stream.publish_many(chunk)
+                stream.flush()
+                published += len(chunk)
+                # Deadline-based pacing: sleep toward the schedule instead
+                # of a full per-chunk budget, so publish/flush time does
+                # not erode the requested rate.
+                deadline = started + published / args.rate
+                remaining = deadline - _time.perf_counter()
+                if remaining > 0:
+                    _time.sleep(remaining)
+        else:
+            stream.publish_many(events)
+    except KeyboardInterrupt:
+        print("interrupted — closing stream", file=stdout)
+    stream.close()
+    elapsed = _time.perf_counter() - started
+
+    print(file=stdout)
+    for standing in queries:
+        print(f"== {standing.name} ({standing.kind}): "
+              f"{standing.matches} matches, state={standing.state_size()}, "
+              f"evicted={standing.evicted}", file=stdout)
+        if not args.follow:
+            print(render_table(standing.result(), max_rows=args.max_rows),
+                  file=stdout)
+    rate = len(events) / elapsed if elapsed > 0 else 0.0
+    print(f"{len(events)} events in {elapsed:.2f}s ({rate:,.0f} events/sec); "
+          f"store now holds {session.event_count} events", file=stdout)
+    return 0
 
 
 if __name__ == "__main__":

@@ -15,9 +15,11 @@ positional hints did.
 
 from __future__ import annotations
 
+import math
 import os
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro import AiqlSession
 from repro.engine.executor import EngineOptions
@@ -418,6 +420,92 @@ class TestScanSpec:
                                           and bindings.admits(event))
 
 
+class TestClampedNormalization:
+    """Satellite lock-in: ``clamped()`` is idempotent and consistent
+    with ``unsatisfiable`` — re-lowering a spec whose window already
+    carries the intersection changes nothing, and the temporal side is
+    unsatisfiable exactly when the clamped window is empty."""
+
+    @staticmethod
+    def _respec(spec: ScanSpec, keep_bounds: bool) -> ScanSpec:
+        from dataclasses import replace
+        return replace(spec, window=spec.clamped(),
+                       bounds=spec.bounds if keep_bounds else None)
+
+    _finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+    _maybe_lo = st.one_of(st.just(-math.inf), _finite)
+    _maybe_hi = st.one_of(st.just(math.inf), _finite)
+
+    @st.composite
+    @staticmethod
+    def _specs(draw):
+        window = None
+        if draw(st.booleans()):
+            start = draw(TestClampedNormalization._finite)
+            end = start + draw(st.floats(min_value=0.0, max_value=1e6,
+                                         allow_nan=False))
+            window = Window(start, end)
+        bounds = None
+        if draw(st.booleans()):
+            bounds = TemporalBounds(
+                lo=draw(TestClampedNormalization._maybe_lo),
+                hi=draw(TestClampedNormalization._maybe_hi),
+                lo_strict=draw(st.booleans()),
+                hi_strict=draw(st.booleans()))
+        return ScanSpec(window=window, bounds=bounds)
+
+    @given(spec=_specs())
+    @settings(max_examples=300, deadline=None)
+    def test_clamped_is_idempotent(self, spec):
+        once = spec.clamped()
+        # Re-lowering with the intersection as the window — whether the
+        # bounds are still attached or already folded away — is a no-op.
+        assert self._respec(spec, keep_bounds=True).clamped() == once
+        assert self._respec(spec, keep_bounds=False).clamped() == once
+
+    @given(spec=_specs())
+    @settings(max_examples=300, deadline=None)
+    def test_unsatisfiable_iff_clamped_window_is_empty(self, spec):
+        clamped = spec.clamped()
+        empty = clamped is not None and clamped.start >= clamped.end
+        assert spec.unsatisfiable == empty
+        # Re-lowering preserves the verdict too.
+        assert self._respec(spec, keep_bounds=True).unsatisfiable == empty
+
+    def test_equal_inclusive_bounds_admit_the_point(self):
+        """``lo == hi`` with both sides inclusive is a single admissible
+        instant — satisfiable, and the clamped window still covers it."""
+        spec = ScanSpec(bounds=TemporalBounds(lo=50.0, hi=50.0))
+        assert not spec.unsatisfiable
+        clamped = spec.clamped()
+        assert clamped is not None and clamped.contains(50.0)
+
+    def test_equal_bounds_with_a_strict_side_are_unsatisfiable(self):
+        for bounds in (TemporalBounds(lo=50.0, hi=50.0, lo_strict=True),
+                       TemporalBounds(lo=50.0, hi=50.0, hi_strict=True)):
+            assert ScanSpec(bounds=bounds).unsatisfiable
+
+    def test_point_bounds_outside_the_window_are_unsatisfiable(self, store):
+        """The window∩bounds edge the old per-field check missed: an
+        inclusive point bound exactly at the half-open window end."""
+        spec = ScanSpec(window=Window(0.0, 5.0),
+                        bounds=TemporalBounds(lo=5.0, hi=5.0))
+        assert spec.unsatisfiable
+        profile = PatternProfile(event_type="file",
+                                 operations=frozenset({"write"}))
+        assert store.candidates(profile, spec) == []
+        assert store.estimate(profile, spec) == 0
+
+    def test_disjoint_window_and_bounds_are_unsatisfiable(self, store):
+        spec = ScanSpec(window=Window(0.0, 10.0),
+                        bounds=TemporalBounds(lo=20.0, hi=30.0))
+        assert spec.unsatisfiable
+        profile = PatternProfile(event_type="file",
+                                 operations=frozenset({"write"}))
+        assert store.candidates(profile, spec) == []
+        assert store.estimate(profile, spec) == 0
+
+
 class TestHistogramEstimates:
     """Satellite lock-in: windowed estimates consult per-partition
     equi-depth timestamp histograms, so in-bucket skew stops fooling the
@@ -770,8 +858,10 @@ def test_sqlite_sketch_caps_over_budget_binding_estimates():
                          for i in range(store.MAX_BINDING_PARAMS + 10))
         spec = ScanSpec(bindings=IdentityBindings(objects=huge))
         # No ghost file was ever written: the SQL WHERE dropped the
-        # over-budget side, but the sketch knows the answer is ~0.
-        assert store.estimate(profile, spec) == 0
+        # over-budget side, but the sketch knows the answer is ~0.  A
+        # count-min sketch may over-count on hash collisions (the hash is
+        # salted per process), so assert "near zero", not exactly zero.
+        assert store.estimate(profile, spec) <= 5
         few_real = frozenset(FileEntity(1, f"/data/{i}").identity
                              for i in range(10))
         mixed = huge | few_real

@@ -1,0 +1,427 @@
+"""Unit tests for the continuous-query subsystem.
+
+Bus semantics (batching, watermarks, backpressure, threaded delivery),
+incremental matcher behavior (exactly-once completion, out-of-order
+arrival inside the lateness bound, watermark eviction), anomaly panes,
+and the session-level register/stream surface.  The stream-vs-batch
+equivalence over the full paper catalogs lives in
+``test_stream_differential.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+import pytest
+
+from repro import AiqlSession
+from repro.errors import SemanticError, StorageError
+from repro.lang.parser import parse
+from repro.model.entities import FileEntity, ProcessEntity
+from repro.model.events import Event
+from repro.storage.store import EventStore
+from repro.stream import ContinuousRuntime, EventBus, MultieventMatcher
+from repro.engine.planner import plan_multievent
+
+
+def _event(eid: int, ts: float, op: str = "write", *, agent: int = 1,
+           pid: int = 10, exe: str = "w.exe", path: str = "/f",
+           amount: int = 0) -> Event:
+    return Event(id=eid, ts=ts, agentid=agent, operation=op,
+                 subject=ProcessEntity(agent, pid, exe),
+                 object=FileEntity(agent, path), amount=amount)
+
+
+# ---------------------------------------------------------------------------
+# EventBus
+# ---------------------------------------------------------------------------
+
+class TestEventBus:
+    def test_batches_delivered_in_order_with_watermark(self):
+        bus = EventBus(batch_size=3)
+        seen: list[tuple[list[int], float]] = []
+        bus.subscribe(lambda batch, wm: seen.append(
+            ([e.id for e in batch], wm)))
+        for i in range(7):
+            bus.publish(_event(i + 1, float(i)))
+        assert [ids for ids, _wm in seen] == [[1, 2, 3], [4, 5, 6]]
+        bus.flush()
+        assert [ids for ids, _wm in seen][-1] == [7]
+        # Watermark is the maximum delivered timestamp (lateness 0).
+        assert seen[-1][1] == 6.0
+        assert bus.watermark == 6.0
+
+    def test_lateness_lags_the_watermark(self):
+        bus = EventBus(batch_size=1, lateness=2.5)
+        bus.publish(_event(1, 10.0))
+        assert bus.watermark == 7.5
+
+    def test_attached_store_receives_batches(self):
+        store = EventStore()
+        bus = EventBus(batch_size=4)
+        bus.attach_store(store)
+        bus.publish_many(_event(i + 1, float(i)) for i in range(10))
+        assert len(store) == 8          # two full batches committed
+        bus.close()
+        assert len(store) == 10
+
+    def test_flush_commits_partial_batches_to_the_store(self):
+        store = EventStore()
+        bus = EventBus(batch_size=100)
+        bus.attach_store(store)
+        bus.publish(_event(1, 1.0))
+        assert len(store) == 0
+        bus.flush()
+        assert len(store) == 1
+
+    def test_publish_after_close_raises(self):
+        bus = EventBus()
+        bus.close()
+        with pytest.raises(StorageError):
+            bus.publish(_event(1, 1.0))
+
+    def test_threaded_delivery_preserves_order_and_backpressure(self):
+        bus = EventBus(batch_size=5, max_pending=2)
+        seen: list[int] = []
+        in_flight = threading.Event()
+
+        def slow_consumer(batch, _wm):
+            in_flight.set()
+            time.sleep(0.002)
+            seen.extend(e.id for e in batch)
+
+        bus.subscribe(slow_consumer)
+        bus.start()
+        bus.publish_many(_event(i + 1, float(i)) for i in range(200))
+        bus.close()
+        assert seen == list(range(1, 201))
+        assert in_flight.is_set()
+        assert bus.stats.max_pending <= 2    # the queue stayed bounded
+        assert bus.stats.published == 200
+
+    def test_threaded_consumer_error_surfaces_to_publisher(self):
+        bus = EventBus(batch_size=1)
+
+        def broken(_batch, _wm):
+            raise RuntimeError("consumer exploded")
+
+        bus.subscribe(broken)
+        bus.start()
+        with pytest.raises(RuntimeError, match="consumer exploded"):
+            for i in range(1000):
+                bus.publish(_event(i + 1, float(i)))
+                bus.flush()
+
+    def test_store_still_receives_batches_queued_after_an_error(self):
+        """A broken subscriber must not cost the attached store events
+        that publish() already accepted."""
+        store = EventStore()
+        bus = EventBus(batch_size=2, max_pending=64)
+        bus.attach_store(store)
+        calls = []
+
+        def broken(batch, _wm):
+            calls.append(len(batch))
+            raise RuntimeError("subscriber down")
+
+        bus.subscribe(broken)
+        bus.start()
+        for i in range(10):
+            bus.publish(_event(i + 1, float(i)))
+        with pytest.raises(RuntimeError, match="subscriber down"):
+            bus.close()
+        assert len(store) == 10          # every batch reached the store
+        assert len(calls) == 5           # and delivery was attempted
+
+    def test_merge_window_dedups_on_the_store_path(self):
+        store = EventStore()
+        bus = EventBus(batch_size=10)
+        bus.attach_store(store, merge_window=5.0)
+        # Three identical accesses within the merge window collapse.
+        for i in range(3):
+            bus.publish(_event(i + 1, float(i), amount=10))
+        bus.close()
+        assert len(store) == 1
+        assert store.scan()[0].amount == 30
+
+
+# ---------------------------------------------------------------------------
+# MultieventMatcher
+# ---------------------------------------------------------------------------
+
+WITHIN_AIQL = ('proc p["a.exe"] write file f as e1\n'
+               'proc q["b.exe"] read file f as e2\n'
+               'with e1 before e2 within 10 sec\n'
+               'return f')
+
+
+class TestMultieventMatcher:
+    def _matcher(self, aiql: str = WITHIN_AIQL) -> MultieventMatcher:
+        return MultieventMatcher(plan_multievent(parse(aiql)))
+
+    @staticmethod
+    def _write(eid, ts, exe="a.exe", path="/x"):
+        return _event(eid, ts, "write", pid=1, exe=exe, path=path)
+
+    @staticmethod
+    def _read(eid, ts, exe="b.exe", path="/x"):
+        return _event(eid, ts, "read", pid=2, exe=exe, path=path)
+
+    def test_match_emitted_exactly_once_by_last_arrival(self):
+        matcher = self._matcher()
+        assert matcher.push(0, self._write(1, 100.0)) == []
+        matches = matcher.push(1, self._read(2, 105.0))
+        assert len(matches) == 1
+        binding = matches[0]
+        assert binding["e1"].id == 1 and binding["e2"].id == 2
+        # A second read pairs with the same write — one new match only.
+        assert len(matcher.push(1, self._read(3, 106.0))) == 1
+
+    def test_within_bound_is_inclusive_and_before_is_strict(self):
+        matcher = self._matcher()
+        matcher.push(0, self._write(1, 100.0))
+        assert len(matcher.push(1, self._read(2, 110.0))) == 1   # == within
+        assert matcher.push(1, self._read(3, 110.5)) == []       # past it
+        assert matcher.push(1, self._read(4, 100.0)) == []       # tie: strict
+
+    def test_out_of_order_completion_still_matches(self):
+        """The successor arriving before its predecessor (inside the
+        lateness allowance) is found when the predecessor probes back."""
+        matcher = self._matcher()
+        assert matcher.push(1, self._read(2, 105.0)) == []
+        matches = matcher.push(0, self._write(1, 100.0))
+        assert len(matches) == 1
+        assert matches[0]["e1"].id == 1 and matches[0]["e2"].id == 2
+
+    def test_shared_variable_joins_on_identity(self):
+        matcher = self._matcher()
+        matcher.push(0, self._write(1, 100.0, path="/x"))
+        assert matcher.push(1, self._read(2, 101.0, path="/other")) == []
+        assert len(matcher.push(1, self._read(3, 102.0, path="/x"))) == 1
+
+    def test_watermark_eviction_bounds_state(self):
+        matcher = self._matcher()
+        # Retention: e1 must be kept 10s (the within), e2 can go at the
+        # watermark (every partner strictly precedes it).
+        assert matcher.retention == (10.0, 0.0)
+        for i in range(100):
+            matcher.push(0, self._write(i + 1, float(i)))
+            matcher.evict(float(i))
+            assert matcher.state_size() <= 12
+        assert matcher.evicted > 0
+
+    def test_eviction_keeps_the_inclusive_within_edge(self):
+        matcher = self._matcher()
+        matcher.push(0, self._write(1, 100.0))
+        matcher.evict(110.0)    # a partner at ts == 110 is still legal
+        assert len(matcher.push(1, self._read(2, 110.0))) == 1
+
+    def test_unconstrained_patterns_are_never_evicted(self):
+        matcher = self._matcher('proc p["a.exe"] write file f as e1\n'
+                                'proc q["b.exe"] read file f as e2\n'
+                                'return f')
+        assert matcher.retention == (math.inf, math.inf)
+        matcher.push(0, self._write(1, 100.0))
+        matcher.evict(1e12)
+        assert matcher.state_size() == 1
+
+    def test_single_pattern_query_holds_no_state(self):
+        matcher = self._matcher('proc p["a.exe"] write file f as e1\n'
+                                'return f')
+        assert len(matcher.push(0, self._write(1, 100.0))) == 1
+        assert matcher.state_size() == 0
+
+
+# ---------------------------------------------------------------------------
+# ContinuousRuntime + session surface
+# ---------------------------------------------------------------------------
+
+class TestContinuousRuntime:
+    def test_callback_fires_per_match_with_distinct(self):
+        session = AiqlSession()
+        rows: list[tuple] = []
+        stream = session.stream(batch_size=2)
+        session.register('proc p write file f as e1 return distinct f',
+                         callback=lambda _q, row: rows.append(row))
+        stream.publish_many([
+            _event(1, 1.0, path="/a"),
+            _event(2, 2.0, path="/a"),
+            _event(3, 3.0, path="/b"),
+        ])
+        stream.close()
+        assert rows == [("/a",), ("/b",)]   # distinct applied live
+
+    def test_register_rejects_unparseable_kind(self):
+        session = AiqlSession()
+        with pytest.raises(SemanticError):
+            session.stream().runtime.register(object())  # type: ignore
+
+    def test_stream_appends_to_the_session_store(self):
+        session = AiqlSession()
+        stream = session.stream(batch_size=4)
+        stream.publish_many(_event(i + 1, float(i)) for i in range(9))
+        stream.close()
+        assert session.event_count == 9
+        assert session.query('proc p write file f as e1 return f').rows
+
+    def test_anomaly_panes_close_on_watermark_not_only_at_eos(self):
+        session = AiqlSession()
+        alerts: list[tuple] = []
+        stream = session.stream(batch_size=1)
+        standing = session.register(
+            'window = 10 sec, step = 10 sec\n'
+            'proc p write file f as evt\n'
+            'return p, count(evt) as n\n'
+            'group by p\n'
+            'having n > 2',
+            callback=lambda _q, row: alerts.append(row))
+        for i in range(4):                       # pane [0, 10): 4 writes
+            stream.publish(_event(i + 1, float(i)))
+        stream.publish(_event(9, 25.0))          # watermark passes pane 1
+        stream.flush()
+        assert len(alerts) == 1                  # emitted before close
+        assert alerts[0][2] == 4
+        stream.close()
+        assert standing.result().rows[0] == alerts[0]
+
+    def test_dependency_query_streams_like_its_rewrite(self):
+        session = AiqlSession()
+        standing = session.register(
+            'forward: proc m["a.exe"] ->[write] file f["%/x%"] return m, f')
+        stream = session.stream()
+        stream.publish(_event(1, 1.0, exe="a.exe", path="/x"))
+        stream.close()
+        result = standing.result()
+        assert result.kind == "dependency"
+        assert result.rows == session.query(
+            'forward: proc m["a.exe"] ->[write] file f["%/x%"] '
+            'return m, f').rows
+
+    def test_entity_interning_matches_store_first_wins(self):
+        """Two equal-identity subjects with different display attributes:
+        stream projections must agree with the store's interned view."""
+        session = AiqlSession()
+        standing = session.register('proc p write file f as e1 return p, f')
+        first = ProcessEntity(1, 10, "first.exe")
+        second = ProcessEntity(1, 10, "second.exe")   # same identity
+        stream = session.stream()
+        stream.publish(Event(1, 1.0, 1, "write", first, FileEntity(1, "/f")))
+        stream.publish(Event(2, 2.0, 1, "write", second, FileEntity(1, "/f")))
+        stream.close()
+        batch = session.query('proc p write file f as e1 return p, f')
+        assert standing.result().rows == batch.rows
+
+    def test_result_before_close_reflects_progress(self):
+        session = AiqlSession()
+        stream = session.stream(batch_size=1)   # configure before register
+        standing = session.register('proc p write file f as e1 return f')
+        stream.publish(_event(1, 1.0, path="/a"))
+        assert standing.result().rows == [("/a",)]
+        stream.close()
+
+    def test_stream_is_recreated_after_close(self):
+        session = AiqlSession()
+        first = session.stream()
+        first.close()
+        second = session.stream()
+        assert second is not first
+
+    def test_configuring_an_active_stream_raises(self):
+        """register() creates the stream lazily, so a later configuring
+        stream(...) call must fail loudly instead of silently ignoring
+        the requested configuration."""
+        session = AiqlSession()
+        session.register('proc p write file f as e1 return f')
+        with pytest.raises(StorageError, match="already active"):
+            session.stream(batch_size=1)
+        assert session.stream() is session.stream()   # bare access is fine
+
+    def test_callback_only_mode_emits_raw_matches_for_distinct(self):
+        """Bounded-memory mode cannot keep a distinct seen-set, so the
+        callback sees every match (raw), not the deduplicated stream."""
+        session = AiqlSession()
+        rows: list[tuple] = []
+        stream = session.stream(batch_size=1)
+        session.register('proc p write file f as e1 return distinct f',
+                         callback=lambda _q, row: rows.append(row),
+                         retain_results=False)
+        stream.publish_many([_event(1, 1.0, path="/a"),
+                             _event(2, 2.0, path="/a")])
+        stream.close()
+        assert rows == [("/a",), ("/a",)]
+
+    def test_callback_only_mode_retains_nothing(self):
+        session = AiqlSession()
+        rows: list[tuple] = []
+        stream = session.stream(batch_size=1)
+        standing = session.register(
+            'proc p write file f as e1 return f',
+            callback=lambda _q, row: rows.append(row),
+            retain_results=False)
+        stream.publish_many([_event(i + 1, float(i)) for i in range(5)])
+        stream.close()
+        assert len(rows) == 5                    # callback saw every match
+        assert standing.matches == 5             # counters still accurate
+        assert standing.result().rows == []      # nothing accumulated
+        assert "callback-only" in standing.result().report
+
+    def test_session_recovers_after_consumer_error_on_close(self):
+        """A deferred delivery error must not leave a zombie stream: the
+        session hands out a fresh one afterwards."""
+        session = AiqlSession()
+        first = session.stream(threaded=True, batch_size=1)
+
+        def broken(_q, _row):
+            raise RuntimeError("alert sink down")
+
+        session.register('proc p write file f as e1 return f',
+                         callback=broken)
+        first.publish(_event(1, 1.0))
+        with pytest.raises(RuntimeError, match="alert sink down"):
+            first.close()
+        assert first.closed
+        second = session.stream()
+        assert second is not first
+        second.publish(_event(2, 2.0))
+        second.close()
+        assert session.event_count == 2
+
+    def test_interning_covers_events_no_query_matches(self):
+        """The first-wins instance must be fixed by the *stream*, not by
+        the first event a standing query happens to match — otherwise
+        projections diverge from the store's interned view."""
+        session = AiqlSession()
+        standing = session.register(
+            'proc p read file f as e1 return p, f')
+        first = ProcessEntity(1, 10, "first.exe")
+        second = ProcessEntity(1, 10, "second.exe")   # same identity
+        stream = session.stream()
+        # The first appearance is a *write* — dispatched to no pattern.
+        stream.publish(Event(1, 1.0, 1, "write", first, FileEntity(1, "/f")))
+        stream.publish(Event(2, 2.0, 1, "read", second, FileEntity(1, "/f")))
+        stream.close()
+        batch = session.query('proc p read file f as e1 return p, f')
+        assert standing.result().rows == batch.rows == [("first.exe", "/f")]
+
+
+class TestStreamCli:
+    def test_stream_command_prints_matches_and_summary(self, capsys):
+        import io
+
+        from repro.ui.main import main
+
+        out = io.StringIO()
+        code = main([
+            "stream", "--scenario", "demo", "--events-per-host", "60",
+            "--max-rows", "3",
+            'proc p write ip i[dstip = "203.0.113.129"] as e1 '
+            'return distinct p, i',
+        ], stdout=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "standing queries" in text
+        assert "[q1]" in text            # at least one live match printed
+        assert "== q1 (multievent):" in text
+        assert "events/sec" in text
