@@ -30,7 +30,7 @@ import pytest
 from repro.engine.planner import DataQuery, plan_multievent
 from repro.lang.parser import parse
 from repro.model.timeutil import Window
-from repro.storage.backend import create_backend
+from repro.storage.backend import ScanOrder, ScanSpec, create_backend
 from repro.storage.columnar import ColumnarEventStore
 from repro.storage.ingest import IngestPipeline, ingest_chunked
 from repro.storage.stats import PatternProfile
@@ -176,6 +176,22 @@ def test_select_scan_heavy_single_pattern(benchmark, loaded_store):
         return len(events)
 
     assert benchmark(run) > 0
+
+
+@pytest.mark.benchmark(group="storage-select")
+def test_select_scan_heavy_top_k(benchmark, loaded_store):
+    """The same scan-heavy select with a pushed ``ScanOrder``: the
+    backend may stop materializing once the newest 25 survivors are
+    pinned down, so this should beat the unordered select above."""
+    dq = _single_pattern(SCAN_HEAVY_AIQL)
+    spec = ScanSpec(order=ScanOrder(descending=True, limit=25))
+
+    def run():
+        events, _fetched = loaded_store.select(dq.profile, dq.compiled,
+                                               spec)
+        return len(events)
+
+    assert benchmark(run) == 25
 
 
 @pytest.mark.benchmark(group="storage-pruning")

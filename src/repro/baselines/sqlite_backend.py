@@ -46,7 +46,7 @@ from repro.model.timeutil import SECONDS_PER_DAY, SPAN_EPSILON, Window
 from repro.baselines.schema import CREATE_EVENTS_SQL, OPTIMIZED_INDEX_SQL
 from repro.baselines.sql_translator import translate
 from repro.storage.backend import (AccessPathInfo, IdentityBindings,
-                                   ScanSpec, StorageBackend,
+                                   ScanOrder, ScanSpec, StorageBackend,
                                    TemporalBounds, resolve_spec,
                                    select_via_candidates)
 from repro.storage.dedup import EntityInterner
@@ -545,7 +545,61 @@ class SqliteEventStore:
     def select(self, profile: PatternProfile,
                predicate: "CompiledPredicate",
                spec: ScanSpec | None = None) -> tuple[list[Event], int]:
+        spec = resolve_spec(spec)
+        order, limit = spec.order, spec.effective_limit
+        if order is not None and limit is not None:
+            return self._select_ordered(profile, predicate, spec, order,
+                                        limit)
         return select_via_candidates(self, profile, predicate, spec)
+
+    #: Cursor page size for the ordered scan: small enough that stopping
+    #: after the k-th survivor leaves most of an unselective table
+    #: unread, large enough to amortize the fetchmany round-trip.
+    ORDERED_FETCH = 256
+
+    def _select_ordered(self, profile: PatternProfile,
+                        predicate: "CompiledPredicate", spec: ScanSpec,
+                        order: "ScanOrder", limit: int,
+                        ) -> tuple[list[Event], int]:
+        """Push ``ORDER BY`` into the compiled SQL, stop at ``limit``.
+
+        ``ORDER BY ts, id`` (or ``ts DESC, id`` — equal timestamps keep
+        ascending ids, the engine's descending tiebreak) makes the
+        cursor yield candidates in exactly the requested comparator
+        order, so the first ``limit`` *survivors* of the residual filter
+        are the true first/last k.  No SQL ``LIMIT`` is emitted: the
+        WHERE clause selects a candidate superset (the residual
+        predicate and any binding side that blew the host-parameter
+        budget still filter), and a SQL-level cap could starve true
+        survivors behind non-matching rows.  Instead the cursor drains
+        in :data:`ORDERED_FETCH` pages and stops early — an unselective
+        table is mostly unread when the k-th survivor arrives.
+        """
+        if spec.unsatisfiable:
+            return [], 0
+        clauses, params, _dropped = self._where_parts(profile, spec)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        direction = "DESC" if order.descending else "ASC"
+        sql = ("SELECT id, ts, agentid, op, payload FROM backend_events"
+               + where + f" ORDER BY ts {direction}, id ASC")
+        test = predicate.event_predicate
+        admits = spec.admits
+        survivors: list[Event] = []
+        fetched = 0
+        with self._lock:
+            cursor = self._conn.execute(sql, params)
+            while len(survivors) < limit:
+                rows = cursor.fetchmany(self.ORDERED_FETCH)
+                if not rows:
+                    break
+                fetched += len(rows)
+                for row in rows:
+                    event = self._materialize(row)
+                    if admits(event) and test(event):
+                        survivors.append(event)
+                        if len(survivors) >= limit:
+                            break
+        return survivors, fetched
 
     def estimate(self, profile: PatternProfile,
                  spec: ScanSpec | None = None) -> int:

@@ -9,6 +9,7 @@ the context-aware shortcuts of §2.2.1.
 
 from __future__ import annotations
 
+import heapq
 import time
 from typing import Callable
 
@@ -95,6 +96,15 @@ def _execute_multievent(store: StorageBackend, query: MultieventQuery,
                         options: EngineOptions) -> QueryResult:
     started = time.perf_counter()
     plan = plan_multievent(query)
+    if options.vectorized:
+        from repro.engine.vectorized import execute_vectorized
+        fast = execute_vectorized(store, plan, query, options)
+        if fast is not None:
+            columns, rows, report = fast
+            elapsed = time.perf_counter() - started
+            report.elapsed = elapsed
+            return QueryResult(columns=columns, rows=rows, elapsed=elapsed,
+                               kind="multievent", report=report.describe())
     parallel = execute_plan(store, plan, options)
     columns, rows = project_bindings(plan, query, parallel.rows)
     report = merge_reports(parallel.reports)
@@ -118,6 +128,17 @@ def project_bindings(plan: QueryPlan, query: MultieventQuery,
     projectors = [_compile_projection(item, plan)
                   for item in query.return_items]
     columns = [item.name for item in query.return_items]
+    if query.top is not None and not query.distinct:
+        # Bounded heap instead of full-sort-then-slice: nsmallest on the
+        # composite (sort keys, time order) key returns exactly the rows
+        # the stable multi-pass sort would have put first, in the same
+        # order, without ordering the entire binding set.  Unsound under
+        # ``distinct`` (dedup below the cut can promote later rows), so
+        # that combination keeps the full sort.
+        chosen = heapq.nsmallest(query.top, bindings,
+                                 key=_composite_sort_key(query, plan))
+        return columns, [tuple(project(binding) for project in projectors)
+                         for binding in chosen]
     if query.sort_by:
         ordered = _sorted_by_keys(bindings, query, plan)
     else:
@@ -142,6 +163,58 @@ def _sorted_by_keys(bindings: list[Binding], query: MultieventQuery,
         ordered.sort(key=lambda b: _null_safe_key(getter(b)),
                      reverse=descending)
     return ordered
+
+
+class _Reversed:
+    """Inverts comparison order of a wrapped key (descending sort keys).
+
+    Wrapping a key in ``_Reversed`` inside a composite tuple makes a
+    single ascending sort reproduce what a stable ``reverse=True`` pass
+    on that key would: larger values first, equal values decided by the
+    tuple's remaining components exactly as a stable sort preserves
+    their relative order.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value  # type: ignore[operator]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value
+
+    def __hash__(self) -> int:  # pragma: no cover - keys are never hashed
+        return hash(self.value)
+
+
+def _composite_sort_key(query: MultieventQuery,
+                        plan: QueryPlan) -> Callable[[Binding], tuple]:
+    """One key function equivalent to the stable multi-pass sort.
+
+    Reversed stable single-key sorts compose into a lexicographic
+    comparison of ``(key1, key2, ..., time order)`` with descending keys
+    order-inverted — which is what lets ``heapq.nsmallest`` select a
+    ``top N`` without sorting everything.
+    """
+    from repro.engine.planner import binding_getter
+    event_var_set = {dq.event_var for dq in plan.data_queries}
+    getters = [(binding_getter(key.expr, plan.variable_types, event_var_set),
+                key.descending) for key in query.sort_by]
+    event_vars = [dq.event_var for dq in plan.data_queries]
+
+    def key(binding: Binding) -> tuple:
+        parts: list[object] = []
+        for getter, descending in getters:
+            part = _null_safe_key(getter(binding))
+            parts.append(_Reversed(part) if descending else part)
+        parts.append(tuple((binding[var].ts, binding[var].id)  # type: ignore
+                           for var in event_vars))
+        return tuple(parts)
+
+    return key
 
 
 def _null_safe_key(value: object) -> tuple:

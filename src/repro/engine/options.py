@@ -28,7 +28,17 @@ class EngineOptions:
     per-element set probes).  ``histogram_estimates`` selects the
     per-partition equi-depth timestamp histograms for windowed
     cardinality estimates (off = the old uniform-time scaling; ordering
-    may differ, results never do).  ``explain`` makes the scheduler record
+    may differ, results never do).  ``vectorized`` enables the columnar
+    batch fast path for single-pattern queries: the backend returns
+    projected column slices (:class:`~repro.storage.backend.ColumnBatch`)
+    and the engine builds result rows without materializing per-event
+    ``Event`` objects or per-binding dicts.  ``projection_pushdown``
+    threads the set of columns the query actually consumes into each
+    pattern's scan; ``topk_pushdown`` lowers a ``top N`` over time order
+    into the scan as a :class:`~repro.storage.backend.ScanOrder` so
+    backends stop materializing past the first/last N survivors.  All
+    three are byte-identical levers — results never change, only where
+    the work happens.  ``explain`` makes the scheduler record
     the chosen access path per pattern in the execution report (the
     ``repro query --explain`` surface).  ``max_workers`` of ``None``
     sizes the sub-query pool to the machine
@@ -42,6 +52,9 @@ class EngineOptions:
     temporal_pushdown: bool = True   # temporal bounds as scan predicates
     bitmap_bindings: bool = True     # bitmap/bloom large-binding-set tiers
     histogram_estimates: bool = True  # equi-depth ts histograms in estimates
+    vectorized: bool = True      # columnar batch path, no per-row Events
+    projection_pushdown: bool = True  # needed-column sets into ScanSpec
+    topk_pushdown: bool = True   # ts-ordered limit into ScanSpec
     explain: bool = False        # record access paths in execution reports
     max_workers: int | None = None
     row_limit: int | None = None

@@ -30,6 +30,7 @@ from repro.model.timeutil import Window
 from repro.engine.filters import (CompiledPredicate, EventPredicate,
                                   _compare, compile_atoms, entity_atom,
                                   global_atom, type_operation_atoms)
+from repro.storage.backend import ScanOrder
 from repro.storage.stats import PatternProfile
 
 
@@ -86,6 +87,15 @@ class QueryPlan:
     temporal: tuple[TemporalRelation, ...]  # normalized to 'before'
     variable_types: dict[str, str]
     relations: tuple[RelationCheck, ...] = ()
+    #: Per-pattern needed-column sets (``None`` = the pattern's consumers
+    #: are not statically known, fetch everything).  Derived from the
+    #: return/sort/``with`` clauses plus join variables; the scheduler
+    #: lowers them into each scan's :attr:`ScanSpec.projection`.
+    projections: tuple[frozenset[str] | None, ...] = ()
+    #: Pushed-down ``top N`` over time order, only ever set for
+    #: single-pattern non-distinct queries whose result order is the
+    #: canonical ``(ts, id)`` (or its descending mirror).
+    scan_order: ScanOrder | None = None
 
     def shared_variables(self) -> dict[str, list[int]]:
         """Entity variable -> indexes of patterns where it appears."""
@@ -269,12 +279,107 @@ def plan_multievent(query: MultieventQuery) -> QueryPlan:
     relations = tuple(
         _compile_relation(relation, variable_types, event_vars)
         for relation in query.relations)
-    return QueryPlan(query=query, data_queries=tuple(data_queries),
+    queries = tuple(data_queries)
+    return QueryPlan(query=query, data_queries=queries,
                      window=header.window,
                      agentids=(frozenset(global_agents)
                                if global_agents is not None else None),
                      temporal=temporal, variable_types=variable_types,
-                     relations=relations)
+                     relations=relations,
+                     projections=_derive_projections(query, queries),
+                     scan_order=_derive_scan_order(query, queries))
+
+
+def _derive_projections(query: MultieventQuery,
+                        data_queries: tuple[DataQuery, ...],
+                        ) -> tuple[frozenset[str] | None, ...]:
+    """Per-pattern column sets the rest of the query actually consumes.
+
+    A pattern's scan only needs a column when the return clause, a sort
+    key, or a ``with`` attribute relation reads it, or when its entity
+    side is a join variable shared with another pattern.  Filter-only
+    attributes are *not* needed: backends evaluate the residual
+    predicate before gathering, so a constrained-but-never-returned
+    column never leaves the scan.  ``ts``/``id`` are implied (they carry
+    the result order and temporal joins) and stay out of the sets.  A
+    reference that does not resolve statically makes that pattern's
+    projection ``None`` (fetch everything); projection is an
+    optimization hint, never the place semantic errors surface.
+    """
+    refs = [item.expr for item in query.return_items
+            if isinstance(item.expr, VarRef)]
+    refs.extend(key.expr for key in query.sort_by)
+    for relation in query.relations:
+        refs.append(relation.left)
+        refs.append(relation.right)
+    shared: dict[str, int] = {}
+    for dq in data_queries:
+        for variable in set(dq.variables):
+            shared[variable] = shared.get(variable, 0) + 1
+    projections: list[frozenset[str] | None] = []
+    for dq in data_queries:
+        needed: set[str] = set()
+        opaque = False
+        for ref in refs:
+            variable = ref.variable
+            if variable == dq.event_var:
+                try:
+                    attribute = canonical_event_attribute(
+                        ref.attribute or "id")
+                except Exception:
+                    opaque = True
+                    break
+                if attribute not in ("id", "ts"):
+                    needed.add(attribute)
+            else:
+                if variable == dq.subject_var:
+                    needed.add("subject")
+                if variable == dq.object_var:
+                    needed.add("object")
+        if opaque:
+            projections.append(None)
+            continue
+        for variable in set(dq.variables):
+            if shared.get(variable, 0) > 1:
+                if variable == dq.subject_var:
+                    needed.add("subject")
+                if variable == dq.object_var:
+                    needed.add("object")
+        projections.append(frozenset(needed))
+    return tuple(projections)
+
+
+def _derive_scan_order(query: MultieventQuery,
+                       data_queries: tuple[DataQuery, ...],
+                       ) -> ScanOrder | None:
+    """Lower ``top N`` into a scan-level order when that is sound.
+
+    Only a single-pattern plan can push its result order into the scan
+    (a join reorders rows), only without ``distinct`` (dedup below the
+    cut could surface rows past the first N survivors), and only when
+    the result order is the canonical time order: no ``sort by``, or a
+    single ``sort by <event>.ts [desc]`` on the pattern's event
+    variable.  Descending maps to the ``(-ts, id)`` comparator — the
+    exact order the executor's stable descending sort produces.
+    """
+    if query.top is None or query.distinct or len(data_queries) != 1:
+        return None
+    descending = False
+    if query.sort_by:
+        if len(query.sort_by) != 1:
+            return None
+        key = query.sort_by[0]
+        ref = key.expr
+        if ref.variable != data_queries[0].event_var:
+            return None
+        try:
+            attribute = canonical_event_attribute(ref.attribute or "id")
+        except Exception:
+            return None
+        if attribute != "ts":
+            return None
+        descending = key.descending
+    return ScanOrder(descending=descending, limit=query.top)
 
 
 def binding_getter(ref: VarRef, variable_types: dict[str, str],

@@ -22,14 +22,31 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.model.events import Event
 from repro.model.timeutil import Window
 from repro.engine.options import DEFAULT_OPTIONS, EngineOptions
 from repro.engine.planner import DataQuery, QueryPlan
-from repro.storage.backend import (IdentityBindings, ScanSpec,
+from repro.storage.backend import (IdentityBindings, ScanOrder, ScanSpec,
                                    StorageBackend, TemporalBounds)
+
+
+def annotate_path(name: str, spec: ScanSpec) -> str:
+    """Append the spec's projection/order pushdowns to an access-path name.
+
+    The explain surface's rendering of the vectorized levers: which
+    columns the scan was asked to gather and whether a top-k limit was
+    pushed into it (``first``/``last`` = ascending/descending time
+    order).
+    """
+    parts = [name]
+    if spec.projection is not None:
+        parts.append(f"proj=[{','.join(sorted(spec.projection)) or '-'}]")
+    if spec.order is not None and spec.order.limit is not None:
+        direction = "last" if spec.order.descending else "first"
+        parts.append(f"limit={spec.order.limit}({direction})")
+    return " ".join(parts)
 
 
 @dataclass
@@ -121,15 +138,20 @@ class Scheduler:
         self._temporal = options.pushdown and options.temporal_pushdown
         self._bitmap = options.pushdown and options.bitmap_bindings
         self._histograms = options.histogram_estimates
+        self._projection = options.projection_pushdown
+        self._topk = options.topk_pushdown
         self._explain = options.explain
 
     def _spec(self, window: Window | None,
               agentids: set[int] | None,
               bindings: IdentityBindings | None = None,
-              bounds: TemporalBounds | None = None) -> ScanSpec:
+              bounds: TemporalBounds | None = None,
+              projection: frozenset[str] | None = None,
+              order: ScanOrder | None = None) -> ScanSpec:
         return ScanSpec(window=window, agentids=agentids,
                         bindings=bindings, bounds=bounds,
-                        histograms=self._histograms)
+                        histograms=self._histograms,
+                        projection=projection, order=order)
 
     def run(self, plan: QueryPlan,
             window: Window | None = None,
@@ -152,6 +174,13 @@ class Scheduler:
         if self._prioritize:
             ordered.sort(key=lambda dq: (estimates[dq.index], dq.index))
 
+        projections = plan.projections if self._projection else ()
+        # A pushed ScanOrder truncates at the backend; that is only sound
+        # when no post-filter can thin the survivors further (the planner
+        # already restricts it to single-pattern plans, where no bindings
+        # or bounds ever propagate — the guard below keeps it that way).
+        scan_order = plan.scan_order if self._topk else None
+
         # Binding state threaded through pattern executions.
         closure = plan.temporal_closure() if self._propagate else {}
         identity_sets: dict[str, set[tuple]] = {}
@@ -167,7 +196,12 @@ class Scheduler:
                         if self._propagate else None)
             spec = self._spec(base_window, _agents(dq, agentids),
                               bindings if self._pushdown else None,
-                              bounds if self._temporal else None)
+                              bounds if self._temporal else None,
+                              projection=(projections[dq.index]
+                                          if projections else None),
+                              order=(scan_order
+                                     if bindings is None and bounds is None
+                                     else None))
             survivors, fetched = self._store.select(
                 dq.profile, dq.compiled, spec)
             if bindings is not None:
@@ -187,7 +221,8 @@ class Scheduler:
             # Path introspection happens off the clock: it re-costs the
             # scan (a COUNT on sqlite) and must not pollute the timing
             # the explain surface reports.
-            path = (self._store.access_path(dq.profile, spec).name
+            path = (annotate_path(
+                        self._store.access_path(dq.profile, spec).name, spec)
                     if self._explain else "")
             report.patterns.append(PatternExecution(
                 event_var=dq.event_var, estimate=estimates[dq.index],
@@ -224,15 +259,22 @@ class Scheduler:
         ``options.explain`` on.
         """
         base_window = window if window is not None else plan.window
+        projections = plan.projections if self._projection else ()
+        scan_order = plan.scan_order if self._topk else None
         decisions = []
         for dq in plan.data_queries:
-            spec = self._spec(base_window, _agents(dq, agentids))
+            spec = self._spec(base_window, _agents(dq, agentids),
+                              projection=(projections[dq.index]
+                                          if projections else None),
+                              order=scan_order)
             # Diagnostic path: estimate and access_path may re-cost the
             # same scan (sqlite answers both with a COUNT); explain is
             # explicitly requested and never on the execution hot path.
             estimate = self._store.estimate(dq.profile, spec)
             info = self._store.access_path(dq.profile, spec)
-            decisions.append((dq, estimate, info))
+            decisions.append((dq, estimate,
+                              replace(info, name=annotate_path(info.name,
+                                                               spec))))
         return decisions
 
     def _reorder_remaining(self, ordered: list[DataQuery], position: int,

@@ -19,9 +19,10 @@ the benchmarks all select one through :func:`create_backend`.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
-from typing import (TYPE_CHECKING, Callable, Iterable, Protocol,
+from typing import (TYPE_CHECKING, Callable, Iterable, Protocol, Sequence,
                     runtime_checkable)
 
 from repro.errors import StorageError
@@ -244,6 +245,61 @@ class IdentityBindings:
 
 
 @dataclass(frozen=True, slots=True)
+class ScanOrder:
+    """Pushed-down result ordering for one physical scan.
+
+    The engine's canonical result order is ``(ts, id)`` ascending — the
+    documented tiebreak every surface (executor sort, stream matchers,
+    golden files) relies on.  A ``ScanOrder`` asks the backend to return
+    survivors in that order (or its descending mirror) and, with
+    ``limit``, to stop materializing past the first N: the top-k
+    pushdown that turns "scan everything, sort, slice" into a bounded
+    scan.
+
+    Descending semantics mirror a stable descending sort on ``ts``: the
+    comparator is ``(-ts, id)`` ascending, i.e. largest timestamps
+    first and, among equal timestamps, *smallest* ids first — exactly
+    what the executor's stable multi-pass sort produces.  Backends that
+    cannot honor the order may ignore it (it is a hint like the rest of
+    the spec); callers keep their own ordering/truncation as fallback,
+    but a backend that *does* honor it must return the true first/last
+    ``limit`` survivors under that comparator.
+    """
+
+    descending: bool = False
+    limit: int | None = None
+
+    def key(self) -> Callable[[Event], tuple]:
+        """Per-event comparator key (ascending in the requested order)."""
+        if self.descending:
+            return lambda event: (-event.ts, event.id)
+        return lambda event: (event.ts, event.id)
+
+
+#: Span length at which the columnar ordered scan evaluates the fused
+#: filter chunk-at-a-time so it can stop once ``limit`` survivors are
+#: found, instead of filtering the entire span up front.
+ORDERED_CHUNK = 2048
+
+
+def take_ordered(events: Iterable[Event], order: ScanOrder,
+                 limit: int) -> list[Event]:
+    """True first/last-``limit`` survivors under the order's comparator.
+
+    Shared by backends that collect unordered survivor streams (posting
+    lists, SQL candidate sets): a bounded heap keeps memory at O(limit)
+    and returns the winners sorted in the requested order.
+    """
+    if order.descending:
+        # nlargest by (ts, -id) == nsmallest by (-ts, id): latest first,
+        # ties broken toward the smallest id, matching a stable
+        # descending sort on ts.
+        return heapq.nsmallest(limit, events,
+                               key=lambda e: (-e.ts, e.id))
+    return heapq.nsmallest(limit, events, key=lambda e: (e.ts, e.id))
+
+
+@dataclass(frozen=True, slots=True)
 class ScanSpec:
     """Everything one physical scan is allowed to assume — in one value.
 
@@ -262,7 +318,15 @@ class ScanSpec:
       pushdown for callers that only need the first N);
     * ``histograms`` — whether estimates may use the per-partition
       equi-depth timestamp histograms (off = uniform-time scaling, the
-      ablation's ``no_histogram`` lever).
+      ablation's ``no_histogram`` lever);
+    * ``projection`` — the attribute columns the caller will actually
+      consume (``operation``/``subject``/``object``/``amount``/
+      ``failcode``/``agentid``; ``ts`` and ``id`` are always implied).
+      ``None`` means "everything".  Purely advisory for Event-returning
+      ``select``; the columnar ``select_batches`` gathers only these;
+    * ``order`` — pushed-down ``(ts, id)`` result ordering with an
+      optional top-k limit (:class:`ScanOrder`).  A backend honoring it
+      returns the true first/last N survivors already sorted.
 
     Hints stay hints: a backend may ignore ``bindings``/``bounds``
     because the engine keeps exact post-filters as a correctness
@@ -280,6 +344,16 @@ class ScanSpec:
     bounds: TemporalBounds | None = None
     limit: int | None = None
     histograms: bool = True
+    projection: frozenset[str] | None = None
+    order: ScanOrder | None = None
+
+    @property
+    def effective_limit(self) -> int | None:
+        """The tightest survivor cap carried by the spec (either field)."""
+        limits = [cap for cap in (self.limit,
+                                  self.order.limit if self.order else None)
+                  if cap is not None]
+        return min(limits) if limits else None
 
     @property
     def unsatisfiable(self) -> bool:
@@ -331,6 +405,71 @@ FULL_SCAN = ScanSpec()
 def resolve_spec(spec: ScanSpec | None) -> ScanSpec:
     """The one spec-defaulting normalization every backend shares."""
     return spec if spec is not None else FULL_SCAN
+
+
+class ColumnBatch:
+    """One partition's scan survivors as parallel column slices.
+
+    The vectorized exchange format: instead of materializing an
+    :class:`~repro.model.events.Event` per survivor, a batch backend
+    hands back struct-of-arrays slices — one C-level :mod:`array` slice
+    per column when the survivors are contiguous, gathered lists
+    otherwise — plus the dictionaries needed to decode
+    them.  ``ts`` and ``ids`` are always present; the attribute columns
+    are ``None`` when the scan's :attr:`ScanSpec.projection` excluded
+    them.  ``ops``/``subjects``/``objects`` hold dictionary *codes*;
+    :meth:`operations`, :meth:`subject_entities` and
+    :meth:`object_entities` decode them in one comprehension.
+
+    ``hydrate(i)`` materializes row ``i`` as a full interned ``Event`` —
+    the lazy escape hatch for consumers that genuinely need one (e.g. a
+    join that binds entities the projection did not cover).
+    """
+
+    __slots__ = ("agentid", "ids", "ts", "ops", "subjects", "objects",
+                 "amounts", "failcodes", "op_names", "entities", "hydrate")
+
+    def __init__(self, agentid: int, ids: Sequence[int],
+                 ts: Sequence[float], *,
+                 ops: Sequence[int] | None = None,
+                 subjects: Sequence[int] | None = None,
+                 objects: Sequence[int] | None = None,
+                 amounts: Sequence[int] | None = None,
+                 failcodes: Sequence[int] | None = None,
+                 op_names: Sequence[str] | dict[int, str] = (),
+                 entities: Sequence[Entity] | dict[int, Entity] = (),
+                 hydrate: Callable[[int], Event] | None = None) -> None:
+        self.agentid = agentid
+        self.ids = ids
+        self.ts = ts
+        self.ops = ops
+        self.subjects = subjects
+        self.objects = objects
+        self.amounts = amounts
+        self.failcodes = failcodes
+        self.op_names = op_names
+        self.entities = entities
+        self.hydrate = hydrate
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def operations(self) -> list[str]:
+        names = self.op_names
+        return [names[code] for code in self.ops]
+
+    def subject_entities(self) -> list[Entity]:
+        entities = self.entities
+        return [entities[code] for code in self.subjects]
+
+    def object_entities(self) -> list[Entity]:
+        entities = self.entities
+        return [entities[code] for code in self.objects]
+
+    def events(self) -> list[Event]:
+        """Materialize every row (the non-lazy fallback)."""
+        hydrate = self.hydrate
+        return [hydrate(i) for i in range(len(self.ids))]
 
 
 @dataclass(frozen=True, slots=True)
@@ -436,6 +575,12 @@ def select_via_candidates(backend: StorageBackend, profile: PatternProfile,
     unsatisfiable spec short-circuits, and the spec's binding/bounds
     hints are enforced exactly on the survivors, whatever the backend's
     ``candidates`` chose to do with them.
+
+    The survivor stream is lazy: with a plain ``limit`` the filter loop
+    stops the moment it has enough (instead of building the full
+    survivor list and slicing), and with a pushed :class:`ScanOrder`
+    a bounded heap keeps only the best ``limit`` seen so far — O(limit)
+    memory however large the candidate set.
     """
     if spec is None:
         spec = FULL_SCAN
@@ -444,19 +589,35 @@ def select_via_candidates(backend: StorageBackend, profile: PatternProfile,
     fetched = backend.candidates(profile, spec)
     test = predicate.event_predicate
     bounds, bindings = spec.bounds, spec.bindings
-    survivors = fetched
     if bounds is not None and bounds:
         in_bounds = bounds.admits
-        survivors = [event for event in survivors if in_bounds(event.ts)]
-    if bindings is not None and bindings:
+        if bindings is not None and bindings:
+            admits = bindings.admits
+            survivors = (event for event in fetched
+                         if in_bounds(event.ts) and admits(event)
+                         and test(event))
+        else:
+            survivors = (event for event in fetched
+                         if in_bounds(event.ts) and test(event))
+    elif bindings is not None and bindings:
         admits = bindings.admits
-        survivors = [event for event in survivors
-                     if admits(event) and test(event)]
+        survivors = (event for event in fetched
+                     if admits(event) and test(event))
     else:
-        survivors = [event for event in survivors if test(event)]
-    if spec.limit is not None and len(survivors) > spec.limit:
-        survivors = survivors[:spec.limit]
-    return survivors, len(fetched)
+        survivors = (event for event in fetched if test(event))
+    order, limit = spec.order, spec.effective_limit
+    if order is not None:
+        if limit is not None:
+            return take_ordered(survivors, order, limit), len(fetched)
+        return sorted(survivors, key=order.key()), len(fetched)
+    if limit is not None:
+        selected: list[Event] = []
+        for event in survivors:
+            selected.append(event)
+            if len(selected) >= limit:
+                break
+        return selected, len(fetched)
+    return list(survivors), len(fetched)
 
 
 # ---------------------------------------------------------------------------

@@ -32,6 +32,7 @@ with the row store's per-event evaluation.
 from __future__ import annotations
 
 import bisect
+import heapq
 import threading
 from array import array
 from collections import Counter
@@ -50,8 +51,8 @@ from repro.storage.stats import PatternProfile, _binding_bound
 from repro.engine.filters import Atom, CompiledPredicate
 
 if TYPE_CHECKING:
-    from repro.storage.backend import (AccessPathInfo, IdentityBindings,
-                                       ScanSpec)
+    from repro.storage.backend import (AccessPathInfo, ColumnBatch,
+                                       IdentityBindings, ScanSpec)
 
 _ETYPE_CODE: dict[str, int] = {name: code
                                for code, name in enumerate(ENTITY_TYPES)}
@@ -117,7 +118,11 @@ class ColumnarPartition:
                subject_code: int, object_code: int, amount: int,
                failcode: int, subject_name: str,
                object_value: object) -> None:
-        if self.ts and ts < self.ts[-1]:
+        # The lazy sort key is (ts, id): an equal-ts append with an
+        # out-of-order id breaks it too (the ordered first/last-k scans
+        # rely on exact tie order, not just timestamp order).
+        if self.ts and (ts < self.ts[-1]
+                        or (ts == self.ts[-1] and eid < self.ids[-1])):
             self._sorted = False
         self.ids.append(eid)
         self.ts.append(ts)
@@ -478,15 +483,16 @@ class ColumnarEventStore:
                    spec: "ScanSpec | None" = None) -> list[Event]:
         """Batch-scan superset of events matching the profile.
 
-        The spec's ``limit`` is *not* applied here: candidates are a
-        superset still awaiting residual predicate evaluation, and
-        truncating the superset could starve the true matches a limited
-        ``select`` owes (the row store's candidates ignore it too).
+        The spec's ``limit`` and ``order`` are *not* applied here:
+        candidates are a superset still awaiting residual predicate
+        evaluation, and truncating (or order-selecting) the superset
+        could starve the true matches a limited ``select`` owes (the row
+        store's candidates ignore them too).
         """
         spec = _resolved(spec)
-        if spec.limit is not None:
+        if spec.limit is not None or spec.order is not None:
             from dataclasses import replace
-            spec = replace(spec, limit=None)
+            spec = replace(spec, limit=None, order=None)
         events, _fetched = self._batch_select(
             self._profile_atoms(profile), spec)
         return events
@@ -726,6 +732,81 @@ class ColumnarEventStore:
                       spec: "ScanSpec | None" = None,
                       ) -> tuple[list[Event], int]:
         spec = _resolved(spec)
+        groups, fetched = self._scan_rows(atoms, spec)
+        events: list[Event] = []
+        for partition, rows in groups:
+            events.extend(self._event_at(partition, row) for row in rows)
+        if spec.order is not None:
+            # The groups hold the right survivors; present them in the
+            # requested order (cheap — an ordered-limited scan already
+            # reduced them to at most the pushed k).
+            events.sort(key=spec.order.key())
+        return events, fetched
+
+    def select_batches(self, profile: PatternProfile,
+                       predicate: CompiledPredicate,
+                       spec: "ScanSpec | None" = None,
+                       ) -> tuple[list["ColumnBatch"], int]:
+        """Vectorized ``select``: survivors as per-partition column slices.
+
+        The same fused scan as :meth:`select`, but survivors never become
+        ``Event`` objects: each partition's matching rows come back as a
+        :class:`~repro.storage.backend.ColumnBatch` of parallel column
+        slices — contiguous survivor spans slice the backing arrays in
+        one C-level copy, scattered survivors gather per row — carrying
+        only the columns the spec's ``projection`` asks for (``ts``/
+        ``id`` always).  Dictionary columns stay codes; the batch carries
+        the vocabularies to decode them, and ``hydrate`` materializes
+        single rows lazily through the store's survivor cache.
+        """
+        spec = _resolved(spec)
+        groups, fetched = self._scan_rows(predicate.atoms, spec)
+        batches = [self._build_batch(partition, rows, spec.projection)
+                   for partition, rows in groups if rows]
+        return batches, fetched
+
+    def _build_batch(self, partition: ColumnarPartition, rows: list[int],
+                     projection: frozenset[str] | None) -> "ColumnBatch":
+        from repro.storage.backend import ColumnBatch
+        contiguous = len(rows) == rows[-1] - rows[0] + 1
+        if contiguous:
+            # Array slices, not memoryviews: a slice is one C-level copy,
+            # while a memoryview would pin the writable column (buffer
+            # export) and make a later ingest into this partition fail.
+            lo, hi = rows[0], rows[-1] + 1
+
+            def column(name: str):
+                return getattr(partition, name)[lo:hi]
+        else:
+            def column(name: str):
+                source = getattr(partition, name)
+                return [source[row] for row in rows]
+
+        def want(name: str) -> bool:
+            return projection is None or name in projection
+
+        return ColumnBatch(
+            agentid=partition.agentid,
+            ids=column("ids"), ts=column("ts"),
+            ops=column("ops") if want("operation") else None,
+            subjects=column("subjects") if want("subject") else None,
+            objects=column("objects") if want("object") else None,
+            amounts=column("amounts") if want("amount") else None,
+            failcodes=column("failcodes") if want("failcode") else None,
+            op_names=self._ops, entities=self._entities,
+            hydrate=lambda i: self._event_at(partition, rows[i]))
+
+    def _scan_rows(self, atoms: Iterable[Atom], spec: "ScanSpec",
+                   ) -> tuple[list[tuple[ColumnarPartition, list[int]]], int]:
+        """Surviving row indexes per partition, honoring order and limit.
+
+        Returns ``(groups, examined)`` where each group's rows ascend and
+        ``examined`` counts the rows the fused loop actually walked — the
+        early-termination paths make it smaller than the clamped spans.
+        With a pushed :class:`~repro.storage.backend.ScanOrder` limit the
+        union of the groups is exactly the global first/last-k survivor
+        set under the ``(ts, id)`` comparator.
+        """
         atoms = list(atoms)
         binding_codes = self._binding_codes(spec.bindings)
         if spec.unsatisfiable or (binding_codes is not None
@@ -739,19 +820,131 @@ class ColumnarEventStore:
         plan = self._scan_plan(atoms, binding_codes)
         if plan.empty:
             return [], 0
-        events: list[Event] = []
+        order, limit = spec.order, spec.effective_limit
+        if order is not None and limit is not None:
+            return self._scan_rows_ordered(plan, atoms, window,
+                                           spec.agentids, order.descending,
+                                           limit)
+        groups: list[tuple[ColumnarPartition, list[int]]] = []
         fetched = 0
+        remaining = limit
         for partition, lo, hi in self._scan_spans(plan, atoms, window,
                                                   spec.agentids):
+            # Ascending row index == ascending (ts, id): batch consumers
+            # (the vectorized executor's merge shortcut) rely on it.
+            partition._ensure_sorted()
             fetched += hi - lo
             rows = plan.row_filter(lo, hi, partition.ids, partition.ts,
                                    partition.ops, partition.etypes,
                                    partition.subjects, partition.objects,
                                    partition.amounts, partition.failcodes)
-            events.extend(self._event_at(partition, row) for row in rows)
-        if spec.limit is not None and len(events) > spec.limit:
-            events = events[:spec.limit]
-        return events, fetched
+            if not rows:
+                continue
+            if remaining is not None:
+                # Plain-limit early stop: the first `limit` survivors in
+                # partition-walk order, identical to the old collect-
+                # then-truncate prefix, without scanning past them.
+                if len(rows) >= remaining:
+                    groups.append((partition, rows[:remaining]))
+                    remaining = 0
+                    break
+                remaining -= len(rows)
+            groups.append((partition, rows))
+        return groups, fetched
+
+    def _scan_rows_ordered(self, plan: _ScanPlan, atoms: list[Atom],
+                           window: Window | None,
+                           agentids: set[int] | None, descending: bool,
+                           k: int,
+                           ) -> tuple[list[tuple[ColumnarPartition,
+                                                 list[int]]], int]:
+        """Global first/last-k survivors with chunked early termination.
+
+        Within a partition the sorted row order *is* the ``(ts, id)``
+        comparator, so the fused filter runs chunk-at-a-time from the
+        span's cheap end and stops as soon as the partition's own best k
+        are decided (for descending that means walking past every row
+        tied with the provisional k-th timestamp — an earlier row with
+        the same ts has a smaller id and wins).  Per-partition winners
+        then merge into the global top k; each partition's candidate set
+        provably contains all of its rows that can appear there.
+        """
+        per_partition: list[tuple[ColumnarPartition, list[int]]] = []
+        examined = 0
+        for partition, lo, hi in self._scan_spans(plan, atoms, window,
+                                                  agentids):
+            partition._ensure_sorted()
+            if descending:
+                rows, walked = self._last_rows(partition, plan, lo, hi, k)
+            else:
+                rows, walked = self._first_rows(partition, plan, lo, hi, k)
+            examined += walked
+            if rows:
+                per_partition.append((partition, rows))
+        pairs: list[tuple[float, int, ColumnarPartition, int]] = []
+        for partition, rows in per_partition:
+            ts_col, ids_col = partition.ts, partition.ids
+            if descending:
+                pairs.extend((-ts_col[row], ids_col[row], partition, row)
+                             for row in rows)
+            else:
+                pairs.extend((ts_col[row], ids_col[row], partition, row)
+                             for row in rows)
+        # Event ids are unique, so the (ts, id) prefix decides every
+        # comparison before a partition object could be compared.
+        best = heapq.nsmallest(k, pairs)
+        grouped: dict[ColumnarPartition, list[int]] = {}
+        for _ts, _eid, partition, row in best:
+            grouped.setdefault(partition, []).append(row)
+        return ([(partition, sorted(rows))
+                 for partition, rows in grouped.items()], examined)
+
+    def _first_rows(self, partition: ColumnarPartition, plan: _ScanPlan,
+                    lo: int, hi: int, k: int) -> tuple[list[int], int]:
+        """First k survivors of a span in row (= ``(ts, id)``) order."""
+        from repro.storage.backend import ORDERED_CHUNK
+        collected: list[int] = []
+        pos = lo
+        examined = 0
+        while pos < hi and len(collected) < k:
+            nxt = min(hi, pos + ORDERED_CHUNK)
+            collected.extend(plan.row_filter(
+                pos, nxt, partition.ids, partition.ts, partition.ops,
+                partition.etypes, partition.subjects, partition.objects,
+                partition.amounts, partition.failcodes))
+            examined += nxt - pos
+            pos = nxt
+        return collected[:k], examined
+
+    def _last_rows(self, partition: ColumnarPartition, plan: _ScanPlan,
+                   lo: int, hi: int, k: int) -> tuple[list[int], int]:
+        """Best k survivors under ``(-ts, id)``, walking from the tail."""
+        from repro.storage.backend import ORDERED_CHUNK
+        ts_col, ids_col = partition.ts, partition.ids
+        key = lambda row: (-ts_col[row], ids_col[row])  # noqa: E731
+        collected: list[int] = []
+        pos = hi
+        examined = 0
+        while pos > lo:
+            nxt = max(lo, pos - ORDERED_CHUNK)
+            rows = plan.row_filter(
+                nxt, pos, partition.ids, partition.ts, partition.ops,
+                partition.etypes, partition.subjects, partition.objects,
+                partition.amounts, partition.failcodes)
+            if rows:
+                collected = rows + collected
+            examined += pos - nxt
+            pos = nxt
+            if len(collected) >= k and pos > lo:
+                best = heapq.nsmallest(k, collected, key=key)
+                # Stop only when no earlier row can still win: an earlier
+                # row tied with the k-th best timestamp has a smaller id
+                # and would displace it.
+                if ts_col[pos - 1] < ts_col[best[-1]]:
+                    return sorted(best), examined
+        if len(collected) > k:
+            collected = heapq.nsmallest(k, collected, key=key)
+        return sorted(collected), examined
 
     def _scan_spans(self, plan: _ScanPlan, atoms: list[Atom],
                     window: Window | None, agentids: set[int] | None,

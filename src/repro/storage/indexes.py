@@ -20,9 +20,12 @@ import bisect
 import functools
 import re
 from collections import defaultdict
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.model.events import Event
+
+if TYPE_CHECKING:
+    from repro.model.timeutil import Window
 
 
 @functools.lru_cache(maxsize=4096)
@@ -163,7 +166,13 @@ class TimeIndex:
         self.max_ts = float("-inf")
 
     def add(self, event: Event) -> None:
-        if self._timestamps and event.ts < self._timestamps[-1]:
+        # Tie-aware: equal timestamps must still order by id, or the
+        # ordered-scan early termination would trust a (ts, id) order
+        # that an equal-ts, out-of-order-id ingest silently broke.
+        if self._timestamps and (
+                event.ts < self._timestamps[-1]
+                or (event.ts == self._timestamps[-1]
+                    and event.id < self._events[-1].id)):
             self._sorted = False
         self._timestamps.append(event.ts)
         self._events.append(event)
@@ -197,6 +206,21 @@ class TimeIndex:
     def all(self) -> list[Event]:
         self._ensure_sorted()
         return list(self._events)
+
+    def ordered_span(self, window: "Window | None" = None,
+                     ) -> tuple[list[Event], int, int]:
+        """The ``(ts, id)``-sorted backing list plus the window's row span.
+
+        Exposes the sorted order *in place* (no copy) so ordered scans
+        can walk it chunk-at-a-time from either end and stop early; the
+        caller must treat the list as read-only.
+        """
+        self._ensure_sorted()
+        if window is None:
+            return self._events, 0, len(self._events)
+        lo = bisect.bisect_left(self._timestamps, window.start)
+        hi = bisect.bisect_left(self._timestamps, window.end)
+        return self._events, lo, hi
 
     def __len__(self) -> int:
         return len(self._events)

@@ -31,7 +31,7 @@ from repro.storage.backend import resolve_spec as _resolved
 if TYPE_CHECKING:
     from repro.engine.filters import CompiledPredicate
     from repro.storage.backend import (AccessPathInfo, IdentityBindings,
-                                       ScanSpec)
+                                       ScanOrder, ScanSpec)
 
 
 class EventStore:
@@ -134,9 +134,69 @@ class EventStore:
     def select(self, profile: PatternProfile,
                predicate: "CompiledPredicate",
                spec: "ScanSpec | None" = None) -> tuple[list[Event], int]:
-        """Fetch candidates and apply the fused residual predicate."""
+        """Fetch candidates and apply the fused residual predicate.
+
+        A pushed :class:`~repro.storage.backend.ScanOrder` limit takes
+        the costed ordered path below; everything else goes through the
+        shared candidates-plus-residual implementation.  Binding/bounds
+        hints keep the shared path — their post-filters interact with
+        early termination, and the scheduler never pushes an order
+        alongside them.
+        """
+        spec = _resolved(spec)
+        order, limit = spec.order, spec.effective_limit
+        if (order is not None and limit is not None
+                and spec.bindings is None and spec.bounds is None):
+            return self._select_ordered(profile, predicate, spec, order,
+                                        limit)
         from repro.storage.backend import select_via_candidates
         return select_via_candidates(self, profile, predicate, spec)
+
+    def _select_ordered(self, profile: PatternProfile,
+                        predicate: "CompiledPredicate", spec: "ScanSpec",
+                        order: "ScanOrder", limit: int,
+                        ) -> tuple[list[Event], int]:
+        """Costed per-partition top-k, then a global bounded merge.
+
+        Each partition chooses between its two physical orders: when the
+        cheapest posting path is already small (within a few multiples of
+        ``limit``), fetching those candidates and heap-selecting beats
+        walking rows; otherwise the sorted time index is walked from the
+        cheap end chunk-at-a-time, stopping as soon as the partition's
+        own first/last ``limit`` survivors are decided.  The union of
+        per-partition winners provably contains the global winners, so a
+        final bounded merge finishes the job.  ``fetched`` counts rows
+        actually examined — the early-termination saving is visible in
+        execution reports.
+        """
+        from repro.storage.backend import take_ordered
+        if spec.unsatisfiable:
+            return [], 0
+        window = spec.clamped()
+        test = predicate.event_predicate
+        winners: list[Event] = []
+        fetched = 0
+        for partition in self._table.prune(window, spec.agentids):
+            paths = _access_paths(partition, profile, None, window)
+            cheapest = min(path.cost for path in paths)
+            if cheapest <= limit * _ORDERED_COST_FACTOR:
+                candidates = _cheapest(paths)()
+                if window is not None:
+                    candidates = clip_to_window(candidates, window.start,
+                                                window.end)
+                fetched += len(candidates)
+                winners.extend(take_ordered(
+                    (event for event in candidates if test(event)),
+                    order, limit))
+                continue
+            events, lo, hi = partition.time_index.ordered_span(window)
+            if order.descending:
+                part, walked = _last_survivors(events, lo, hi, test, limit)
+            else:
+                part, walked = _first_survivors(events, lo, hi, test, limit)
+            fetched += walked
+            winners.extend(part)
+        return take_ordered(winners, order, limit), fetched
 
     def estimate(self, profile: PatternProfile,
                  spec: "ScanSpec | None" = None) -> int:
@@ -207,6 +267,58 @@ class EventStore:
 
     def __len__(self) -> int:
         return len(self._table)
+
+
+#: Cost multiple of the pushed limit under which a partition's cheapest
+#: posting path wins over the ordered time-index walk: a candidate set
+#: within a few multiples of ``k`` is cheaper to heap-select than rows
+#: are to walk, while an unselective path (cost ≈ partition size) loses
+#: to a walk that stops at the k-th survivor.
+_ORDERED_COST_FACTOR = 4
+
+
+def _first_survivors(events: list[Event], lo: int, hi: int,
+                     test: Callable[[Event], bool], k: int,
+                     ) -> tuple[list[Event], int]:
+    """First ``k`` survivors of a ``(ts, id)``-sorted span, walk count."""
+    from repro.storage.backend import ORDERED_CHUNK
+    out: list[Event] = []
+    pos = lo
+    while pos < hi and len(out) < k:
+        nxt = min(hi, pos + ORDERED_CHUNK)
+        out.extend(event for event in events[pos:nxt] if test(event))
+        pos = nxt
+    return out[:k], pos - lo
+
+
+def _last_survivors(events: list[Event], lo: int, hi: int,
+                    test: Callable[[Event], bool], k: int,
+                    ) -> tuple[list[Event], int]:
+    """Best ``k`` survivors under ``(-ts, id)``, walking from the tail.
+
+    The walk may only stop once no earlier row can still win: an earlier
+    row tied with the provisional k-th timestamp has a smaller id and
+    would displace it, so the stop test is *strictly* earlier-than.
+    """
+    import heapq
+    from repro.storage.backend import ORDERED_CHUNK
+    key = lambda event: (-event.ts, event.id)  # noqa: E731
+    collected: list[Event] = []
+    pos = hi
+    while pos > lo:
+        nxt = max(lo, pos - ORDERED_CHUNK)
+        chunk = [event for event in events[nxt:pos] if test(event)]
+        if chunk:
+            collected = chunk + collected
+        pos = nxt
+        if len(collected) >= k and pos > lo:
+            best = heapq.nsmallest(k, collected, key=key)
+            if events[pos - 1].ts < best[-1].ts:
+                return best, hi - pos
+    if len(collected) > k:
+        return heapq.nsmallest(k, collected, key=key), hi - pos
+    collected.sort(key=key)
+    return collected, hi - pos
 
 
 class AccessPath(NamedTuple):

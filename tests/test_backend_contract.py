@@ -29,7 +29,7 @@ from repro.lang.parser import parse
 from repro.model.entities import FileEntity, NetworkEntity, ProcessEntity
 from repro.model.events import Event
 from repro.model.timeutil import Window
-from repro.storage.backend import (IdentityBindings, ScanSpec,
+from repro.storage.backend import (IdentityBindings, ScanOrder, ScanSpec,
                                    StorageBackend, TemporalBounds,
                                    available_backends, create_backend)
 from repro.storage.stats import PatternProfile
@@ -933,3 +933,209 @@ class TestFullEngineAgreement:
         rows = self._attack_session(backend_name).query(aiql).rows
         expected = self._attack_session("row").query(aiql).rows
         assert rows == expected
+
+
+class TestOrderPushdown:
+    """Tentpole contract: a pushed :class:`ScanOrder` limit returns the
+    true first/last-k survivors under the ``(ts, id)`` comparator —
+    ties at the cut included — already sorted, on every backend."""
+
+    SCAN_AIQL = ("amount >= 100\n"
+                 "proc p write file f as e1 return f")
+
+    @pytest.fixture
+    def tied_store(self, backend_name):
+        """Five events per timestamp, ingested in reverse id order.
+
+        Any limit that cuts inside a tie group must pick the smallest
+        ids — ascending *and* descending (descending ties keep ascending
+        ids, mirroring a stable descending sort on ts).  Reverse ingest
+        makes sortedness something the backend must maintain, not an
+        accident of insertion order.
+        """
+        store = create_backend(backend_name, bucket_seconds=1000)
+        writer = ProcessEntity(1, 10, "writer.exe")
+        events = []
+        eid = 0
+        for step in range(8):
+            for dup in range(5):
+                eid += 1
+                events.append(Event(
+                    id=eid, ts=float(step * 10), agentid=1,
+                    operation="write", subject=writer,
+                    object=FileEntity(1, f"/t/{dup}.txt"),
+                    amount=100 + dup))
+        store.ingest(list(reversed(events)))
+        return store
+
+    def _dq(self):
+        return plan_multievent(parse(self.SCAN_AIQL)).data_queries[0]
+
+    @pytest.mark.parametrize("descending", [False, True],
+                             ids=["asc", "desc"])
+    @pytest.mark.parametrize("limit", [3, 7, 12, 40, 100])
+    def test_ordered_limit_is_sort_then_slice(self, tied_store,
+                                              descending, limit):
+        dq = self._dq()
+        order = ScanOrder(descending=descending, limit=limit)
+        got, fetched = tied_store.select(dq.profile, dq.compiled,
+                                         ScanSpec(order=order))
+        full, full_fetched = tied_store.select(dq.profile, dq.compiled)
+        expected = sorted(full, key=order.key())[:limit]
+        assert [(e.ts, e.id) for e in got] \
+            == [(e.ts, e.id) for e in expected]
+        assert fetched <= full_fetched
+
+    def test_limit_larger_than_result_returns_everything(self, tied_store):
+        dq = self._dq()
+        order = ScanOrder(descending=True, limit=1000)
+        got, _fetched = tied_store.select(dq.profile, dq.compiled,
+                                          ScanSpec(order=order))
+        assert len(got) == 40
+        assert [(e.ts, e.id) for e in got] \
+            == sorted(((e.ts, e.id) for e in got),
+                      key=lambda pair: (-pair[0], pair[1]))
+
+    def test_order_without_limit_sorts_survivors(self, tied_store):
+        dq = self._dq()
+        order = ScanOrder(descending=True)
+        got, _fetched = tied_store.select(dq.profile, dq.compiled,
+                                          ScanSpec(order=order))
+        assert [(e.ts, e.id) for e in got] \
+            == sorted(((e.ts, e.id) for e in got),
+                      key=lambda pair: (-pair[0], pair[1]))
+        assert len(got) == 40
+
+    @pytest.mark.parametrize("descending", [False, True],
+                             ids=["asc", "desc"])
+    def test_order_composes_with_window(self, tied_store, descending):
+        dq = self._dq()
+        order = ScanOrder(descending=descending, limit=4)
+        window = Window(10.0, 60.0)
+        got, _fetched = tied_store.select(dq.profile, dq.compiled,
+                                          ScanSpec(window=window,
+                                                   order=order))
+        full = [e for e in tied_store.scan(window) if dq.predicate(e)]
+        expected = sorted(full, key=order.key())[:4]
+        assert [(e.ts, e.id) for e in got] \
+            == [(e.ts, e.id) for e in expected]
+
+    def test_order_composes_with_residual_filter(self, tied_store):
+        """The limit counts *survivors*: rows failing the residual
+        predicate must not starve true matches behind the cut."""
+        aiql = "amount >= 103\nproc p write file f as e1 return f"
+        dq = plan_multievent(parse(aiql)).data_queries[0]
+        order = ScanOrder(descending=True, limit=6)
+        got, _fetched = tied_store.select(dq.profile, dq.compiled,
+                                          ScanSpec(order=order))
+        full, _ = tied_store.select(dq.profile, dq.compiled)
+        expected = sorted(full, key=order.key())[:6]
+        assert [(e.ts, e.id) for e in got] \
+            == [(e.ts, e.id) for e in expected]
+        assert all(e.amount >= 103 for e in got)
+
+    def test_effective_limit_takes_tighter_cap(self, tied_store):
+        dq = self._dq()
+        spec = ScanSpec(limit=3, order=ScanOrder(limit=10))
+        assert spec.effective_limit == 3
+        got, _fetched = tied_store.select(dq.profile, dq.compiled, spec)
+        assert len(got) == 3
+
+
+class TestSelectBatches:
+    """Columnar vectorized surface: ``select_batches`` returns the same
+    survivors as ``select``, as projection-gated column slices."""
+
+    SCAN_AIQL = ("amount >= 100\n"
+                 "proc p write file f as e1 return f")
+
+    @pytest.fixture
+    def columnar(self):
+        store = create_backend("columnar", bucket_seconds=1000)
+        writer = ProcessEntity(1, 10, "writer.exe")
+        reader = ProcessEntity(2, 11, "reader.exe")
+        for i in range(60):
+            store.record(float(i), 1 + (i % 2), "write",
+                         writer if i % 2 == 0 else reader,
+                         FileEntity(1 + (i % 2), f"/data/{i % 5}.txt"),
+                         amount=50 + i * 10)
+        return store
+
+    def _dq(self, aiql=SCAN_AIQL):
+        return plan_multievent(parse(aiql)).data_queries[0]
+
+    def test_batches_match_select(self, columnar):
+        dq = self._dq()
+        batches, fetched = columnar.select_batches(dq.profile, dq.compiled)
+        events, select_fetched = columnar.select(dq.profile, dq.compiled)
+        hydrated = [event for batch in batches for event in batch.events()]
+        assert sorted(e.id for e in hydrated) == sorted(e.id for e in events)
+        assert fetched == select_fetched
+
+    def test_batch_columns_agree_with_events(self, columnar):
+        dq = self._dq()
+        batches, _fetched = columnar.select_batches(dq.profile, dq.compiled)
+        for batch in batches:
+            events = batch.events()
+            assert list(batch.ids) == [e.id for e in events]
+            assert list(batch.ts) == [e.ts for e in events]
+            assert batch.operations() == [e.operation for e in events]
+            assert batch.subject_entities() == [e.subject for e in events]
+            assert batch.object_entities() == [e.object for e in events]
+            assert list(batch.amounts) == [e.amount for e in events]
+            assert all(e.agentid == batch.agentid for e in events)
+
+    def test_projection_gates_columns(self, columnar):
+        dq = self._dq()
+        spec = ScanSpec(projection=frozenset({"amount", "object"}))
+        batches, _fetched = columnar.select_batches(dq.profile,
+                                                    dq.compiled, spec)
+        assert batches
+        for batch in batches:
+            assert batch.amounts is not None
+            assert batch.objects is not None
+            assert batch.ops is None
+            assert batch.subjects is None
+            assert batch.failcodes is None
+            # ts/ids always ride along.
+            assert len(batch.ids) == len(batch.ts) == len(batch)
+
+    def test_projection_never_changes_survivors(self, columnar):
+        """Projecting away the *filtered* attribute must not change the
+        result: the fused filter runs over the partition's own columns
+        before projection gates what the batch carries."""
+        dq = self._dq()   # filters on amount
+        spec = ScanSpec(projection=frozenset({"object"}))
+        projected, _f1 = columnar.select_batches(dq.profile, dq.compiled,
+                                                 spec)
+        unprojected, _f2 = columnar.select_batches(dq.profile, dq.compiled)
+        assert [list(batch.ids) for batch in projected] \
+            == [list(batch.ids) for batch in unprojected]
+        for batch in projected:
+            assert batch.amounts is None
+            hydrated = batch.events()
+            assert all(e.amount >= 100 for e in hydrated)
+
+    @pytest.mark.parametrize("descending", [False, True],
+                             ids=["asc", "desc"])
+    def test_ordered_batches_hold_true_top_k(self, columnar, descending):
+        dq = self._dq()
+        order = ScanOrder(descending=descending, limit=7)
+        batches, _fetched = columnar.select_batches(
+            dq.profile, dq.compiled, ScanSpec(order=order))
+        rows = [(ts, eid) for batch in batches
+                for ts, eid in zip(batch.ts, batch.ids)]
+        events, _ = columnar.select(dq.profile, dq.compiled,
+                                    ScanSpec(order=order))
+        assert sorted(rows) == sorted((e.ts, e.id) for e in events)
+
+    def test_batches_survive_later_ingest(self, columnar):
+        """Contiguous batches copy their slices: appending to the store
+        afterwards must not invalidate or corrupt a held batch."""
+        dq = self._dq()
+        batches, _fetched = columnar.select_batches(dq.profile, dq.compiled)
+        before = [list(batch.ids) for batch in batches]
+        writer = ProcessEntity(1, 10, "writer.exe")
+        columnar.record(500.0, 1, "write", writer,
+                        FileEntity(1, "/data/late.txt"), amount=999)
+        assert [list(batch.ids) for batch in batches] == before

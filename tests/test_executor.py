@@ -123,3 +123,104 @@ class TestProjectionErrors:
             distinct=False)
         with pytest.raises(SemanticError):
             execute(exfil_store, bad)
+
+
+class TestVectorizedAndTopK:
+    """The vectorized fast path and the bounded-heap ``top`` are pure
+    optimizations: every lever combination, on every backend, must
+    produce byte-identical rows — ties at the cut, null sort keys, and
+    ``top`` larger than the result included."""
+
+    LEVERS = [EngineOptions(vectorized=vectorized,
+                            projection_pushdown=projection,
+                            topk_pushdown=topk, max_workers=1)
+              for vectorized in (False, True)
+              for projection in (False, True)
+              for topk in (False, True)]
+
+    @pytest.fixture
+    def tied_store(self):
+        """Timestamp ties spanning any small ``top`` cut, plus events
+        with a null sort attribute (amount-less reads)."""
+        from repro.model.entities import FileEntity, ProcessEntity
+        from repro.storage.store import EventStore
+        store = EventStore()
+        writer = ProcessEntity(1, 10, "writer.exe")
+        # user=None: a genuinely null sort key for the null-safe
+        # composite comparator (the dataclass does not enforce str).
+        ghost = ProcessEntity(1, 11, "ghost.exe", user=None)
+        for step in range(6):
+            for dup in range(4):
+                store.record(1000.0 + step * 10, 1, "write",
+                             writer if dup % 2 == 0 else ghost,
+                             FileEntity(1, f"/t/{dup}.txt"),
+                             amount=dup * 100)
+        return store
+
+    def _matrix_rows(self, store, aiql):
+        query = parse(aiql)
+        rows = [execute(store, query, options).rows
+                for options in self.LEVERS]
+        assert all(r == rows[0] for r in rows[1:])
+        return rows[0]
+
+    def test_ties_at_the_top_cut(self, tied_store):
+        rows = self._matrix_rows(
+            tied_store, 'proc p write file f as e1\n'
+                        'return f, e1.ts sort by e1.ts desc top 6')
+        assert len(rows) == 6
+        # Descending ts, ties broken toward the *earlier* event: the two
+        # newest tie groups fully, then the cut lands mid-group keeping
+        # the smallest-id rows (stable descending sort semantics).
+        assert [row[1] for row in rows] == [1050.0] * 4 + [1040.0] * 2
+        assert rows[4][0] == "/t/0.txt" and rows[5][0] == "/t/1.txt"
+
+    def test_top_larger_than_result(self, tied_store):
+        rows = self._matrix_rows(
+            tied_store, 'proc p write file f as e1\n'
+                        'return f sort by e1.ts top 500')
+        assert len(rows) == 24
+
+    def test_descending_sort_with_nulls(self, tied_store):
+        """Half the subjects carry ``user=None``: the null-safe
+        composite key must rank nulls identically in the bounded heap,
+        the full stable sort, and the vectorized path — nulls last
+        under ``desc``, ties still broken by time order."""
+        rows = self._matrix_rows(
+            tied_store, 'proc p write file f as e1\n'
+                        'return f, p.user sort by p.user desc top 15')
+        assert len(rows) == 15
+        users = [row[1] for row in rows]
+        # Strings outrank nulls in the null-safe key, so desc puts the
+        # twelve "system" rows first and nulls fill the tail of the cut.
+        assert users[:12] == ["system"] * 12
+        assert users[12:] == [None] * 3
+
+    def test_projection_of_never_filtered_attribute(self, tied_store):
+        """Returning an attribute no constraint mentions exercises
+        projection pushdown's "carry the column anyway" path."""
+        rows = self._matrix_rows(
+            tied_store, 'amount >= 200\nproc p write file f as e1\n'
+                        'return e1.failcode, f, e1.amount')
+        assert rows
+        assert all(row[0] == 0 for row in rows)
+        assert all(row[2] >= 200 for row in rows)
+
+    def test_distinct_top_keeps_full_sort_semantics(self, tied_store):
+        rows = self._matrix_rows(
+            tied_store, 'proc p write file f as e1\n'
+                        'return distinct f sort by e1.ts top 3')
+        assert len(rows) == 3
+        assert len(set(rows)) == 3
+
+    def test_matrix_agrees_across_backends(self, tied_store):
+        """The same lever matrix on columnar and sqlite replays of the
+        row store: 3 backends x 8 combinations, one row set."""
+        from repro.storage.backend import create_backend
+        aiql = ('amount >= 100\nproc p write file f as e1\n'
+                'return f, e1.amount sort by e1.ts desc top 10')
+        reference = self._matrix_rows(tied_store, aiql)
+        for name in ("columnar", "sqlite"):
+            replay = create_backend(name)
+            replay.ingest(tied_store.scan())
+            assert self._matrix_rows(replay, aiql) == reference
