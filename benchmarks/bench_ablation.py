@@ -498,3 +498,26 @@ def test_topk_pushdown_beats_full_sort_on_columnar():
           f"{topk_time * 1000:.2f} ms, full sort "
           f"{sort_time * 1000:.2f} ms ({sort_time / topk_time:.1f}x)")
     assert sort_time >= topk_time * 2
+
+
+def test_analyzer_overhead_is_negligible():
+    """Acceptance check: the semantic analyzer that now fronts every
+    ``AiqlSession.query``/``register`` costs under 5 ms per catalog
+    query — static analysis must never be the reason to skip linting.
+    """
+    from repro.analysis import analyze
+    from repro.investigate import FIGURE4_QUERIES, FIGURE5_QUERIES
+
+    entries = list(FIGURE4_QUERIES) + list(FIGURE5_QUERIES)
+    for entry in entries:        # warm imports/caches outside the clock
+        assert analyze(entry.aiql) == [], entry.id
+
+    rounds = 5
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for entry in entries:
+            analyze(entry.aiql)
+    per_query = (time.perf_counter() - started) / (rounds * len(entries))
+    print(f"\nanalyzer overhead: {per_query * 1000:.3f} ms per catalog "
+          f"query ({len(entries)} queries, {rounds} rounds)")
+    assert per_query < 0.005

@@ -1,0 +1,41 @@
+"""Static analysis for AIQL queries and execution plans.
+
+``repro.analysis`` is the façade over the two static layers this package
+grew in front of the engine:
+
+* the query semantic analyzer (:func:`analyze` / :func:`analyze_query`,
+  implemented in :mod:`repro.lang.semantics`), which lints a query
+  against the event/entity schema before it is planned, and
+* the diagnostic vocabulary (:class:`Diagnostic`, severities, the
+  :class:`AiqlAnalysisError` raised when errors are present).
+
+The plan-soundness verifier lives with the engine
+(:mod:`repro.engine.verify`) because it checks scheduler output, not
+source text.
+"""
+
+from repro.analysis.diagnostics import (ERROR, WARNING, AiqlAnalysisError,
+                                        Diagnostic, render_all)
+from repro.lang.spans import SourceMap, Span
+
+
+def __getattr__(name: str):
+    # Lazy: semantics imports this package's diagnostics module, so a
+    # top-level import here would be circular when an import starts from
+    # repro.lang.semantics itself.
+    if name in ("analyze", "analyze_query"):
+        from repro.lang import semantics
+        return getattr(semantics, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "AiqlAnalysisError",
+    "Diagnostic",
+    "SourceMap",
+    "Span",
+    "analyze",
+    "analyze_query",
+    "render_all",
+]

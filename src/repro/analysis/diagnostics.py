@@ -1,0 +1,66 @@
+"""Diagnostics: what the semantic analyzer reports and how it renders.
+
+A :class:`Diagnostic` is one finding — severity, a stable machine-readable
+code, a message, and (when the query was parsed with spans) the exact
+token range it points at.  Errors describe queries that cannot mean what
+was written (an unknown attribute, an unsatisfiable temporal cycle);
+warnings describe queries that are legal but almost certainly not what
+the analyst intended (a pattern that never constrains the result, a
+filter no event can pass).
+
+:class:`AiqlAnalysisError` is the hard-failure surface: a
+:class:`~repro.errors.SemanticError` carrying the full diagnostic list,
+raised by the session facade before execution when any error-severity
+diagnostic is present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SemanticError
+from repro.lang.highlight import render_span
+from repro.lang.spans import Span
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One analyzer finding, anchored at a source span when known."""
+
+    severity: str          # ERROR | WARNING
+    code: str              # stable kebab-case defect class
+    message: str
+    span: Span | None = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == ERROR
+
+    def render(self, source: str | None = None) -> str:
+        """Human-readable diagnostic, with a caret snippet when possible."""
+        location = f" at {self.span}" if self.span is not None else ""
+        head = f"{self.severity}[{self.code}]{location}: {self.message}"
+        if source is None or self.span is None:
+            return head
+        snippet = render_span(source, self.span.line, self.span.col,
+                              self.span.length)
+        return f"{head}\n{snippet}"
+
+
+def render_all(diagnostics: list[Diagnostic],
+               source: str | None = None) -> str:
+    return "\n".join(d.render(source) for d in diagnostics)
+
+
+class AiqlAnalysisError(SemanticError):
+    """A query rejected by the semantic analyzer before execution."""
+
+    def __init__(self, source: str,
+                 diagnostics: list[Diagnostic]) -> None:
+        self.source = source
+        self.diagnostics = diagnostics
+        errors = [d for d in diagnostics if d.is_error]
+        super().__init__(render_all(errors, source))

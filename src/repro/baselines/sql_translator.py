@@ -17,7 +17,7 @@ from __future__ import annotations
 from repro.errors import TranslationError
 from repro.lang.ast import (AggCall, AnomalyQuery, BinOp, Constraint,
                             DependencyQuery, Expr, HistoryRef, Literal,
-                            MultieventQuery, NotOp, Query, ReturnItem,
+                            MultieventQuery, NotOp, Query,
                             VarRef, expr_history_refs)
 from repro.model.entities import DEFAULT_ATTRIBUTE, canonical_attribute
 from repro.model.events import canonical_event_attribute

@@ -45,9 +45,8 @@ from repro.model.events import Event, validate_operation
 from repro.model.timeutil import SECONDS_PER_DAY, SPAN_EPSILON, Window
 from repro.baselines.schema import CREATE_EVENTS_SQL, OPTIMIZED_INDEX_SQL
 from repro.baselines.sql_translator import translate
-from repro.storage.backend import (AccessPathInfo, IdentityBindings,
-                                   ScanOrder, ScanSpec, StorageBackend,
-                                   TemporalBounds, resolve_spec,
+from repro.storage.backend import (AccessPathInfo, ScanSpec,
+                                   StorageBackend, resolve_spec,
                                    select_via_candidates)
 from repro.storage.dedup import EntityInterner
 from repro.storage.scanstats import FrequencySketch

@@ -16,12 +16,14 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import TYPE_CHECKING, Iterable
 
+from repro.analysis.diagnostics import AiqlAnalysisError, Diagnostic
 from repro.core.results import QueryResult
 from repro.engine.executor import DEFAULT_OPTIONS, EngineOptions, execute, explain
 from repro.errors import StorageError
 from repro.lang.ast import Query
 from repro.lang.errors import AiqlSyntaxError, check_syntax
-from repro.lang.parser import parse
+from repro.lang.parser import parse, parse_with_spans
+from repro.lang.semantics import analyze_query
 from repro.model.events import Event
 from repro.model.timeutil import SECONDS_PER_DAY
 from repro.storage.backend import StorageBackend, create_backend
@@ -30,6 +32,16 @@ from repro.storage.ingest import IngestPipeline, IngestStats
 if TYPE_CHECKING:
     from repro.stream.continuous import ContinuousQuery
     from repro.stream.session import StreamSession
+
+
+def _surface(diagnostics: list[Diagnostic], source: str | None) -> None:
+    """Fail on analyzer errors; print warnings and continue."""
+    if any(d.is_error for d in diagnostics):
+        raise AiqlAnalysisError(source or "", diagnostics)
+    if diagnostics:
+        import sys
+        for diagnostic in diagnostics:
+            print(diagnostic.render(source), file=sys.stderr)
 
 
 class AiqlSession:
@@ -98,7 +110,11 @@ class AiqlSession:
         tailing pass ``retain_results=False``: matches reach the callback
         only, and nothing accumulates.
         """
-        parsed = parse(source) if isinstance(source, str) else source
+        if isinstance(source, str):
+            parsed = self._analyzed(source)
+        else:
+            parsed = source
+            _surface(analyze_query(parsed), None)
         return self.stream().register(parsed, callback=callback, name=name,
                                       retain_results=retain_results)
 
@@ -111,10 +127,27 @@ class AiqlSession:
 
     def query(self, source: str,
               options: EngineOptions | None = None) -> QueryResult:
-        """Parse and execute an AIQL query."""
-        parsed = parse(source)
+        """Parse, lint, and execute an AIQL query.
+
+        The semantic analyzer runs on every query before execution:
+        error diagnostics raise :class:`AiqlAnalysisError` (the query
+        could never mean what was written), warnings are printed to
+        stderr and the query proceeds.
+        """
+        parsed = self._analyzed(source)
         return execute(self.store, parsed,
                        options if options is not None else self.options)
+
+    def _analyzed(self, source: str) -> Query:
+        """Parse with spans and run the semantic analyzer.
+
+        ``check=False``: the analyzer re-runs every legacy parser check
+        with source spans attached, so the span-less versions would only
+        shadow the better diagnostics.
+        """
+        parsed, spans = parse_with_spans(source, check=False)
+        _surface(analyze_query(parsed, spans), source)
+        return parsed
 
     def explain(self, source: str) -> str:
         """Describe the execution plan without running the query."""

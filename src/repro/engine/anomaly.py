@@ -38,7 +38,7 @@ from repro.model.events import Event, canonical_event_attribute
 from repro.model.timeutil import Window, format_timestamp, sliding_windows
 from repro.engine.aggregates import GroupHistory, aggregate
 from repro.engine.options import DEFAULT_OPTIONS, EngineOptions
-from repro.engine.parallel import execute_plan, merge_reports
+from repro.engine.parallel import execute_plan
 from repro.engine.planner import plan_multievent
 from repro.engine.scheduler import ExecutionReport
 from repro.storage.backend import StorageBackend

@@ -16,8 +16,6 @@ from typing import Callable
 from repro.errors import SemanticError
 from repro.lang.ast import (AnomalyQuery, DependencyQuery, MultieventQuery,
                             Query, ReturnItem, VarRef)
-from repro.model.entities import DEFAULT_ATTRIBUTE, canonical_attribute
-from repro.model.events import canonical_event_attribute
 from repro.core.results import QueryResult
 from repro.engine.anomaly import execute_anomaly
 from repro.engine.dependency import rewrite_dependency

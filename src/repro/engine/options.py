@@ -40,8 +40,15 @@ class EngineOptions:
     three are byte-identical levers — results never change, only where
     the work happens.  ``explain`` makes the scheduler record
     the chosen access path per pattern in the execution report (the
-    ``repro query --explain`` surface).  ``max_workers`` of ``None``
-    sizes the sub-query pool to the machine
+    ``repro query --explain`` surface).  ``verify_plans`` re-derives
+    every :class:`~repro.storage.backend.ScanSpec` the scheduler emits
+    from the plan and query alone and raises
+    :class:`~repro.engine.verify.PlanVerificationError` on any unsound
+    pushdown (a projection missing a consumed column, a temporal bound
+    tighter than the closure implies, an order limit where post-filters
+    could still thin survivors, a binding set not justified by executed
+    partners) — a debugging/CI harness, off by default.  ``max_workers``
+    of ``None`` sizes the sub-query pool to the machine
     (:data:`repro.engine.parallel.DEFAULT_WORKERS`).
     """
 
@@ -56,6 +63,7 @@ class EngineOptions:
     projection_pushdown: bool = True  # needed-column sets into ScanSpec
     topk_pushdown: bool = True   # ts-ordered limit into ScanSpec
     explain: bool = False        # record access paths in execution reports
+    verify_plans: bool = False   # statically check every emitted ScanSpec
     max_workers: int | None = None
     row_limit: int | None = None
 

@@ -16,14 +16,13 @@ its bracket constraints to every occurrence.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from typing import Callable
 
 from repro.errors import SemanticError
 from repro.lang.ast import (AttributeRelation, Constraint, EventPattern,
-                            MultieventQuery, QueryHeader, TemporalRelation,
-                            VarRef)
+                            MultieventQuery, TemporalRelation, VarRef)
 from repro.model.entities import DEFAULT_ATTRIBUTE, canonical_attribute
 from repro.model.events import canonical_event_attribute, validate_operation
 from repro.model.timeutil import Window

@@ -141,6 +141,7 @@ class Scheduler:
         self._projection = options.projection_pushdown
         self._topk = options.topk_pushdown
         self._explain = options.explain
+        self._verify = options.verify_plans
 
     def _spec(self, window: Window | None,
               agentids: set[int] | None,
@@ -202,6 +203,14 @@ class Scheduler:
                               order=(scan_order
                                      if bindings is None and bounds is None
                                      else None))
+            if self._verify:
+                # Soundness gate: re-derive what this spec may claim from
+                # the plan and the current propagation state, before the
+                # backend acts on any of its hints.
+                from repro.engine.verify import verify_spec
+                verify_spec(plan, dq, spec, closure=closure,
+                            identity_sets=identity_sets,
+                            ts_bounds=ts_bounds)
             survivors, fetched = self._store.select(
                 dq.profile, dq.compiled, spec)
             if bindings is not None:

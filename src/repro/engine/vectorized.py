@@ -85,6 +85,12 @@ def execute_vectorized(store: StorageBackend, plan: QueryPlan,
         projection=(plan.projections[0] if options.projection_pushdown
                     else None),
         order=(plan.scan_order if options.topk_pushdown else None))
+    if options.verify_plans:
+        # Same soundness gate as the scheduler's, with the propagation
+        # state this path never has (single pattern, nothing propagates).
+        from repro.engine.verify import verify_spec
+        verify_spec(plan, dq, spec, closure={}, identity_sets={},
+                    ts_bounds={})
     batches, fetched = select_batches(dq.profile, dq.compiled, spec)
 
     top = query.top

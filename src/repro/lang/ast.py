@@ -8,7 +8,7 @@ global clauses (time window and spatial/attribute constraints) through
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 from repro.model.timeutil import Window

@@ -126,6 +126,24 @@ def _classify_gap(gap: str) -> list[tuple[str, str]]:
     return spans
 
 
+def render_span(source: str, line: int, col: int, length: int = 1) -> str:
+    """Snippet + caret underline for a source range (1-based).
+
+    The diagnostic rendering shared by the semantic analyzer and the
+    ``repro lint`` command: the offending line, then ``^~~~`` underlining
+    exactly the token range a diagnostic points at (the same caret
+    convention :meth:`repro.lang.errors.AiqlSyntaxError.render` uses,
+    extended to a range).
+    """
+    lines = source.splitlines()
+    snippet = lines[line - 1] if 0 < line <= len(lines) else ""
+    width = max(length, 1)
+    if col <= len(snippet):
+        width = min(width, len(snippet) - col + 1)
+    underline = " " * (col - 1) + "^" + "~" * (width - 1)
+    return f"  {snippet}\n  {underline}"
+
+
 def highlight_ansi(source: str) -> str:
     """Colorize a query for terminal display."""
     out: list[str] = []

@@ -29,9 +29,10 @@ from repro.errors import SemanticError
 from repro.lang import ast
 from repro.lang.errors import AiqlSyntaxError
 from repro.lang.lexer import tokenize
+from repro.lang.spans import SourceMap, Span, token_length
 from repro.lang.tokens import COMPARISON_TOKENS, Token, TokenType
 from repro.model.entities import ENTITY_TYPES, canonical_attribute
-from repro.model.timeutil import Window, parse_duration, parse_timestamp
+from repro.model.timeutil import Window, parse_duration
 
 _AGGREGATE_FUNCS = frozenset(
     {"avg", "sum", "count", "min", "max", "stddev", "median", "first",
@@ -50,10 +51,32 @@ _CMP_TEXT = {
 class Parser:
     """One-pass recursive-descent parser over the token list."""
 
-    def __init__(self, source: str) -> None:
+    def __init__(self, source: str, *, spans: SourceMap | None = None,
+                 check: bool = True) -> None:
         self.source = source
         self._tokens = tokenize(source)
         self._pos = 0
+        #: Optional side table receiving node spans (parse_with_spans).
+        self._spans = spans
+        #: When False, the span-less legacy semantic checks are skipped —
+        #: the semantic analyzer re-runs a strict superset of them with
+        #: precise spans (the ``repro lint`` path).
+        self._check = check
+
+    # ------------------------------------------------------------------
+    # Span recording (no-ops unless a SourceMap was supplied)
+    # ------------------------------------------------------------------
+    def _token_span(self, start: Token, end: Token | None = None) -> Span:
+        start_len = token_length(self.source, start)
+        if end is None or end is start or end.line != start.line:
+            return Span(start.line, start.col, start_len)
+        end_len = token_length(self.source, end)
+        return Span(start.line, start.col, end.col - start.col + end_len)
+
+    def _note(self, node: object, start: Token,
+              end: Token | None = None) -> None:
+        if self._spans is not None:
+            self._spans.note(node, self._token_span(start, end))
 
     # ------------------------------------------------------------------
     # Token-stream helpers
@@ -93,6 +116,10 @@ class Parser:
         if self._peek().type is ttype:
             return self._advance()
         return None
+
+    def _prev(self) -> Token:
+        """The most recently consumed token (for span end positions)."""
+        return self._tokens[max(self._pos - 1, 0)]
 
     # ------------------------------------------------------------------
     # Entry point
@@ -163,7 +190,9 @@ class Parser:
         attribute = name.text.lower()
         if attribute == "agentid" and op == "=" and not isinstance(value, int):
             raise self._error("agentid must be an integer", name)
-        return _desugar_constraint(attribute, op, value)
+        constraint = _desugar_constraint(attribute, op, value)
+        self._note(constraint, name, self._prev())
+        return constraint
 
     # ------------------------------------------------------------------
     # Multievent
@@ -176,7 +205,8 @@ class Parser:
                                     temporal=temporal, return_items=items,
                                     distinct=distinct, relations=relations,
                                     sort_by=sort_by, top=top)
-        _check_multievent(query, self)
+        if self._check:
+            _check_multievent(query, self)
         return query
 
     def _parse_patterns(self) -> tuple[ast.EventPattern, ...]:
@@ -190,12 +220,17 @@ class Parser:
 
     def _parse_event_pattern(self) -> ast.EventPattern:
         subject = self._parse_entity_pattern()
-        operations = self._parse_operations()
+        operations, op_tokens = self._parse_operations()
         obj = self._parse_entity_pattern()
         self._expect_keyword("as")
-        event_var = self._expect(TokenType.IDENT, "an event variable").text
-        return ast.EventPattern(subject=subject, operations=operations,
-                                object=obj, event_var=event_var)
+        event_token = self._expect(TokenType.IDENT, "an event variable")
+        pattern = ast.EventPattern(subject=subject, operations=operations,
+                                   object=obj, event_var=event_token.text)
+        self._note(pattern, event_token)
+        if self._spans is not None:
+            self._spans.note_operations(
+                pattern, tuple(self._token_span(t) for t in op_tokens))
+        return pattern
 
     def _parse_entity_pattern(self) -> ast.EntityPattern:
         type_token = self._peek()
@@ -203,12 +238,15 @@ class Parser:
             raise self._error("expected an entity type (proc, file, ip)",
                               type_token)
         self._advance()
-        variable = self._expect(TokenType.IDENT, "an entity variable").text
+        var_token = self._expect(TokenType.IDENT, "an entity variable")
         constraints: tuple[ast.Constraint, ...] = ()
         if self._peek().type is TokenType.LBRACKET:
             constraints = self._parse_bracket_constraints(type_token.keyword)
-        return ast.EntityPattern(entity_type=type_token.keyword,
-                                 variable=variable, constraints=constraints)
+        entity = ast.EntityPattern(entity_type=type_token.keyword,
+                                   variable=var_token.text,
+                                   constraints=constraints)
+        self._note(entity, var_token)
+        return entity
 
     def _parse_bracket_constraints(
             self, entity_type: str) -> tuple[ast.Constraint, ...]:
@@ -226,7 +264,9 @@ class Parser:
         token = self._peek()
         if token.type is TokenType.STRING:
             self._advance()
-            return _desugar_constraint(None, "=", token.text)
+            constraint = _desugar_constraint(None, "=", token.text)
+            self._note(constraint, token)
+            return constraint
         if token.type in (TokenType.IDENT, TokenType.KEYWORD):
             name = self._advance()
             attribute = name.text.lower()
@@ -238,18 +278,24 @@ class Parser:
             if self._at_keyword("like"):
                 self._advance()
                 value = self._expect(TokenType.STRING, "a pattern string")
-                return ast.Constraint(attribute, "like", value.text)
+                constraint = ast.Constraint(attribute, "like", value.text)
+                self._note(constraint, name, value)
+                return constraint
             if self._at_keyword("in"):
                 self._advance()
                 values = self._parse_literal_list()
-                return ast.Constraint(attribute, "in", values)
+                constraint = ast.Constraint(attribute, "in", values)
+                self._note(constraint, name, self._prev())
+                return constraint
             op_token = self._peek()
             if op_token.type not in COMPARISON_TOKENS:
                 raise self._error("expected a comparison operator", op_token)
             self._advance()
             value = self._parse_literal()
-            return _desugar_constraint(attribute, _CMP_TEXT[op_token.type],
-                                       value)
+            constraint = _desugar_constraint(attribute,
+                                             _CMP_TEXT[op_token.type], value)
+            self._note(constraint, name, self._prev())
+            return constraint
         raise self._error("expected a constraint (string or attr = value)",
                           token)
 
@@ -279,14 +325,14 @@ class Parser:
         self._expect(TokenType.RPAREN, "')'")
         return tuple(values)
 
-    def _parse_operations(self) -> tuple[str, ...]:
+    def _parse_operations(self) -> tuple[tuple[str, ...], list[Token]]:
         first = self._expect(TokenType.IDENT, "an operation (read, write, "
                              "start, ...)")
-        operations = [first.text.lower()]
+        tokens = [first]
         while self._match(TokenType.OROR):
-            nxt = self._expect(TokenType.IDENT, "an operation after '||'")
-            operations.append(nxt.text.lower())
-        return tuple(operations)
+            tokens.append(self._expect(TokenType.IDENT,
+                                       "an operation after '||'"))
+        return tuple(token.text.lower() for token in tokens), tokens
 
     def _parse_with_clause(
             self, patterns: tuple[ast.EventPattern, ...],
@@ -335,8 +381,10 @@ class Parser:
         if self._at_keyword("within"):
             self._advance()
             within = self._parse_duration()
-        return ast.TemporalRelation(left.text, rel_token.keyword,
-                                    right.text, within)
+        relation = ast.TemporalRelation(left.text, rel_token.keyword,
+                                        right.text, within)
+        self._note(relation, left, self._prev())
+        return relation
 
     def _parse_attribute_relation(
             self, known: set[str]) -> ast.AttributeRelation:
@@ -421,26 +469,32 @@ class Parser:
         return self._parse_var_ref()
 
     def _parse_aggregate(self) -> ast.AggCall:
-        func = self._advance().text.lower()
+        func_token = self._advance()
         self._expect(TokenType.LPAREN, "'('")
         if self._peek().type is TokenType.STAR:
             self._advance()
             arg: ast.VarRef | None = None
         else:
             arg = self._parse_var_ref()
-        self._expect(TokenType.RPAREN, "')'")
-        return ast.AggCall(func=func, arg=arg)
+        close = self._expect(TokenType.RPAREN, "')'")
+        call = ast.AggCall(func=func_token.text.lower(), arg=arg)
+        self._note(call, func_token, close)
+        return call
 
     def _parse_var_ref(self) -> ast.VarRef:
         name = self._expect(TokenType.IDENT, "a variable")
         attribute = None
+        end = name
         if self._match(TokenType.DOT):
             attr_token = self._peek()
             if attr_token.type not in (TokenType.IDENT, TokenType.KEYWORD):
                 raise self._error("expected an attribute name", attr_token)
             self._advance()
             attribute = attr_token.text.lower()
-        return ast.VarRef(variable=name.text, attribute=attribute)
+            end = attr_token
+        ref = ast.VarRef(variable=name.text, attribute=attribute)
+        self._note(ref, name, end)
+        return ref
 
     # ------------------------------------------------------------------
     # Dependency
@@ -454,12 +508,17 @@ class Parser:
                                     TokenType.ARROW_LEFT):
             arrow = self._advance()
             self._expect(TokenType.LBRACKET, "'[' after the arrow")
-            operations = self._parse_operations()
+            operations, op_tokens = self._parse_operations()
             self._expect(TokenType.RBRACKET, "']' after the operation")
             side = ("left" if arrow.type is TokenType.ARROW_RIGHT
                     else "right")
-            edges.append(ast.DependencyEdge(operations=operations,
-                                            subject_side=side))
+            edge = ast.DependencyEdge(operations=operations,
+                                      subject_side=side)
+            self._note(edge, arrow)
+            if self._spans is not None:
+                self._spans.note_operations(
+                    edge, tuple(self._token_span(t) for t in op_tokens))
+            edges.append(edge)
             nodes.append(self._parse_entity_pattern())
         if not edges:
             raise self._error("a dependency path needs at least one edge")
@@ -468,7 +527,8 @@ class Parser:
                                     nodes=tuple(nodes), edges=tuple(edges),
                                     return_items=items, distinct=distinct,
                                     sort_by=sort_by, top=top)
-        _check_dependency(query, self)
+        if self._check:
+            _check_dependency(query, self)
         return query
 
     # ------------------------------------------------------------------
@@ -505,7 +565,8 @@ class Parser:
             window_spec=ast.SlidingWindowSpec(width=width, step=step),
             patterns=patterns, return_items=items, group_by=group_by,
             having=having)
-        _check_anomaly(query, self)
+        if self._check:
+            _check_anomaly(query, self)
         return query
 
     # Having expressions: or -> and -> not -> comparison -> additive ->
@@ -584,14 +645,17 @@ class Parser:
                     and self._peek(1).type is TokenType.LPAREN):
                 return self._parse_aggregate()
             if self._peek(1).type is TokenType.LBRACKET:
-                name = self._advance().text
+                name_token = self._advance()
                 self._advance()  # '['
                 offset = self._expect(TokenType.NUMBER, "a window offset")
                 if not isinstance(offset.value, int) or offset.value < 0:
                     raise self._error("history offsets must be non-negative "
                                       "integers", offset)
-                self._expect(TokenType.RBRACKET, "']'")
-                return ast.HistoryRef(alias=name, offset=offset.value)
+                close = self._expect(TokenType.RBRACKET, "']'")
+                ref = ast.HistoryRef(alias=name_token.text,
+                                     offset=offset.value)
+                self._note(ref, name_token, close)
+                return ref
             return self._parse_var_ref()
         raise self._error("expected an expression", token)
 
@@ -729,3 +793,18 @@ def _check_anomaly(query: ast.AnomalyQuery, parser: Parser) -> None:
 def parse(source: str) -> ast.Query:
     """Parse AIQL source into a typed query AST."""
     return Parser(source).parse()
+
+
+def parse_with_spans(source: str,
+                     check: bool = True) -> tuple[ast.Query, SourceMap]:
+    """Parse AIQL source and record each AST node's source span.
+
+    Returns the query plus a :class:`~repro.lang.spans.SourceMap` the
+    semantic analyzer uses to anchor diagnostics at the offending token
+    range.  ``check=False`` skips the legacy span-less semantic checks so
+    the analyzer (which re-runs a superset of them, with spans) owns
+    every semantic diagnostic — the ``repro lint`` path.
+    """
+    spans = SourceMap(source)
+    query = Parser(source, spans=spans, check=check).parse()
+    return query, spans

@@ -1,0 +1,100 @@
+"""Source spans: where an AST node came from in the query text.
+
+The parser's ASTs are frozen value objects with no position information —
+two structurally equal ``VarRef("p", None)`` nodes from different queries
+compare equal, so positions cannot live on the nodes without changing
+their identity semantics (and every golden file built on them).  Instead
+the parser records positions in a :class:`SourceMap` side table keyed on
+node *identity*, populated only when a caller asks for spans
+(:func:`repro.lang.parser.parse_with_spans`); the default :func:`parse`
+path pays nothing.
+
+A :class:`Span` is a 1-based ``(line, col)`` plus the token range's
+length on that line — exactly what the caret renderer in
+:mod:`repro.lang.highlight` underlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.tokens import Token, TokenType
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """A contiguous range of source text on one line (1-based)."""
+
+    line: int
+    col: int
+    length: int = 1
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.col}"
+
+
+def token_length(source: str, token: Token) -> int:
+    """Length of a token's raw source text (quotes/escapes included)."""
+    if token.type is TokenType.STRING:
+        offset = _offset(source, token.line, token.col)
+        if 0 <= offset < len(source) and source[offset] == '"':
+            return _raw_string_length(source, offset)
+        return len(token.text) + 2
+    return max(len(token.text), 1)
+
+
+def _offset(source: str, line: int, col: int) -> int:
+    """Byte offset of a 1-based (line, col) position."""
+    start = 0
+    for _skip in range(line - 1):
+        newline = source.find("\n", start)
+        if newline == -1:
+            break
+        start = newline + 1
+    return start + col - 1
+
+
+def _raw_string_length(source: str, start: int) -> int:
+    index = start + 1
+    while index < len(source):
+        if source[index] == "\\" and index + 1 < len(source):
+            index += 2
+            continue
+        if source[index] == '"':
+            return index - start + 1
+        index += 1
+    return len(source) - start
+
+
+class SourceMap:
+    """Identity-keyed side table of AST-node source spans.
+
+    Holds a strong reference to every noted node so ``id()`` keys stay
+    unique for the map's lifetime (a recycled id after garbage
+    collection would silently alias two nodes).
+    """
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self._spans: dict[int, Span] = {}
+        self._operation_spans: dict[int, tuple[Span, ...]] = {}
+        self._nodes: list[object] = []
+
+    def note(self, node: object, span: Span) -> None:
+        key = id(node)
+        if key not in self._spans:
+            self._spans[key] = span
+            self._nodes.append(node)
+
+    def span(self, node: object) -> Span | None:
+        return self._spans.get(id(node))
+
+    def note_operations(self, node: object, spans: tuple[Span, ...]) -> None:
+        key = id(node)
+        if key not in self._operation_spans:
+            self._operation_spans[key] = spans
+            self._nodes.append(node)
+
+    def operation_spans(self, node: object) -> tuple[Span, ...]:
+        """Per-operation spans of a pattern/edge's ``op1 || op2`` list."""
+        return self._operation_spans.get(id(node), ())

@@ -13,7 +13,7 @@ record, which is one of the paper's storage optimizations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import DataModelError
 

@@ -8,11 +8,11 @@ events, process events, and network events by the type of their object.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import DataModelError
-from repro.model.entities import (FILE, NETWORK, PROCESS, Entity, FileEntity,
-                                  NetworkEntity, ProcessEntity)
+from repro.model.entities import (FILE, NETWORK, PROCESS, Entity,
+                                  ProcessEntity)
 
 # Operations grouped by the event type they belong to.  The vocabulary covers
 # the demo paper's queries (start, read, write, connect, ...) plus the usual

@@ -18,7 +18,6 @@ import math
 from typing import Iterable, Iterator
 
 from repro.errors import StorageError
-from repro.model.entities import DEFAULT_ATTRIBUTE
 from repro.model.events import Event
 from repro.model.timeutil import SECONDS_PER_DAY, SPAN_EPSILON, Window
 from repro.storage.indexes import PostingIndex, TimeIndex

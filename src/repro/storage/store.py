@@ -17,7 +17,6 @@ from __future__ import annotations
 from typing import (TYPE_CHECKING, Callable, Iterable, NamedTuple,
                     Sequence)
 
-from repro.errors import StorageError
 from repro.model.entities import Entity, ProcessEntity
 from repro.model.events import Event, validate_operation
 from repro.model.timeutil import SECONDS_PER_DAY, Window

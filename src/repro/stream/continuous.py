@@ -36,7 +36,7 @@ from repro.engine.anomaly import AnomalyWindowEvaluator
 from repro.engine.dependency import rewrite_dependency
 from repro.engine.executor import _compile_projection, project_bindings
 from repro.engine.joiner import Binding
-from repro.engine.planner import QueryPlan, plan_multievent
+from repro.engine.planner import plan_multievent
 from repro.errors import SemanticError
 from repro.lang.ast import (AnomalyQuery, DependencyQuery, MultieventQuery,
                             Query, ReturnItem, VarRef)

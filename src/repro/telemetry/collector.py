@@ -12,10 +12,10 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.model.events import Event
-from repro.model.timeutil import SECONDS_PER_DAY, Window, parse_timestamp
+from repro.model.timeutil import Window
 from repro.storage.backend import StorageBackend
-from repro.telemetry.apt import AptTrace, inject_apt
-from repro.telemetry.apt_case2 import Apt2Trace, inject_apt_case2
+from repro.telemetry.apt import inject_apt
+from repro.telemetry.apt_case2 import inject_apt_case2
 from repro.telemetry.background import BackgroundWorkload, WorkloadConfig
 from repro.telemetry.enterprise import Enterprise, demo_enterprise
 from repro.telemetry.factory import EventFactory

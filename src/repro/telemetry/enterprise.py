@@ -8,7 +8,7 @@ identified by its ``agentid`` — the spatial dimension of the data model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import DataModelError
 

@@ -17,13 +17,15 @@ from repro.lang.highlight import highlight_ansi
 from repro.ui.render import render_table
 
 BANNER = """AIQL investigation console — type a query, finish with an
-empty line.  Commands: .help  .describe  .backend  .explain <query>  .quit"""
+empty line.  Commands: .help  .describe  .backend  .explain <query>  \
+.lint <query>  .quit"""
 
 HELP = """Commands:
   .help              this message
   .describe          store summary (events, entities, partitions, agents)
   .backend           active storage backend (and the available ones)
   .explain <query>   show the execution plan without running
+  .lint <query>      run the semantic analyzer without running the query
   .quit              exit
 Any other input is executed as an AIQL query (end with a blank line)."""
 
@@ -51,6 +53,15 @@ class Repl:
             from repro.storage.backend import available_backends
             return (f"backend: {self.session.backend_name} "
                     f"(available: {', '.join(available_backends())})")
+        if stripped.startswith(".lint"):
+            query_text = stripped[len(".lint"):].strip()
+            if not query_text:
+                return "usage: .lint <query>"
+            from repro.analysis import analyze, render_all
+            diagnostics = analyze(query_text)
+            if not diagnostics:
+                return "query is clean"
+            return render_all(diagnostics, query_text)
         if stripped.startswith(".explain"):
             query_text = stripped[len(".explain"):].strip()
             if not query_text:

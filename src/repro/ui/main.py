@@ -72,6 +72,12 @@ def _build_parser() -> argparse.ArgumentParser:
     check = commands.add_parser("check", help="syntax-check a query")
     check.add_argument("aiql")
 
+    lint = commands.add_parser(
+        "lint", help="run the semantic analyzer on a query")
+    lint.add_argument("aiql", nargs="+", help="query text (each may be @file)")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit non-zero on warnings too")
+
     repl = commands.add_parser("repl", help="interactive console")
     repl.add_argument("data")
 
@@ -170,6 +176,9 @@ def _dispatch(args: argparse.Namespace, stdout) -> int:
         print(error.render(), file=stdout)
         return 2
 
+    if args.command == "lint":
+        return _run_lint(args, stdout)
+
     if args.command == "query":
         session = _load_session(args.data, args.backend, args.workers)
         text = _query_text(args.aiql)
@@ -232,6 +241,38 @@ def _dispatch(args: argparse.Namespace, stdout) -> int:
         return 0
 
     raise ReproError(f"unknown command {args.command!r}")
+
+
+def _run_lint(args: argparse.Namespace, stdout) -> int:
+    """``repro lint``: static analysis without loading any data.
+
+    Exit codes: 0 when every query is clean (or carries only warnings
+    without ``--strict``), 1 when warnings are present under
+    ``--strict``, 2 when any query has errors.
+    """
+    from repro.analysis import analyze, render_all
+
+    errors = warnings = 0
+    for position, text in enumerate(args.aiql, start=1):
+        source = _query_text(text)
+        label = (text[1:] if text.startswith("@")
+                 else f"query {position}")
+        diagnostics = analyze(source)
+        if not diagnostics:
+            continue
+        print(f"{label}:", file=stdout)
+        print(render_all(diagnostics, source), file=stdout)
+        errors += sum(1 for d in diagnostics if d.is_error)
+        warnings += sum(1 for d in diagnostics if not d.is_error)
+    checked = len(args.aiql)
+    summary = (f"{checked} quer{'y' if checked == 1 else 'ies'} checked: "
+               f"{errors} error(s), {warnings} warning(s)")
+    print(summary, file=stdout)
+    if errors:
+        return 2
+    if warnings and args.strict:
+        return 1
+    return 0
 
 
 def _run_stream(args: argparse.Namespace, stdout) -> int:

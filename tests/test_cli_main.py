@@ -101,3 +101,44 @@ class TestInvestigate:
         assert code == 0
         assert "[a5-5]" in out
         assert "20 queries" in out
+
+
+class TestLint:
+    CLEAN = 'proc p1 write file f1 as evt\nreturn p1.exe_name, f1.name'
+    ERROR = 'proc p1 write file f1 as evt\nreturn p1.bogus'
+    WARN = 'proc p1[pid = 1, pid = 2] write file f1 as evt\nreturn f1'
+
+    def test_clean_query_exits_zero(self):
+        code, out = run_cli("lint", self.CLEAN)
+        assert code == 0
+        assert "1 query checked: 0 error(s), 0 warning(s)" in out
+
+    def test_errors_exit_two_with_rendered_spans(self):
+        code, out = run_cli("lint", self.ERROR)
+        assert code == 2
+        assert "error[unknown-attribute] at line 2, column 8" in out
+        assert "^~~~~~~~" in out
+        assert "1 query checked: 1 error(s), 0 warning(s)" in out
+
+    def test_warnings_exit_zero_without_strict(self):
+        code, out = run_cli("lint", self.WARN)
+        assert code == 0
+        assert "warning[always-false]" in out
+
+    def test_warnings_exit_one_under_strict(self):
+        code, out = run_cli("lint", "--strict", self.WARN)
+        assert code == 1
+        assert "0 error(s), 1 warning(s)" in out
+
+    def test_multiple_queries_and_file_input(self, tmp_path):
+        query_file = tmp_path / "bad.aiql"
+        query_file.write_text(self.ERROR)
+        code, out = run_cli("lint", self.CLEAN, f"@{query_file}")
+        assert code == 2
+        assert str(query_file) in out        # findings labeled by file
+        assert "2 queries checked: 1 error(s), 0 warning(s)" in out
+
+    def test_syntax_errors_are_diagnostics_not_crashes(self):
+        code, out = run_cli("lint", "proc p1[ write file")
+        assert code == 2
+        assert "error[syntax]" in out

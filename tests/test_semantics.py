@@ -1,0 +1,343 @@
+"""The semantic analyzer: every defect class, positive and negative.
+
+Each defect class gets (a) a query that triggers it with the diagnostic
+anchored at the exact offending token range — locked in via full
+``render()`` snapshots including the caret underline — and (b) a
+near-identical clean query proving the check does not overfire.  The
+shipped figure-4/5 catalogs must lint completely clean, and the session
+facade must fail fast on errors while letting warnings through.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AiqlSession
+from repro.analysis import AiqlAnalysisError, analyze, analyze_query
+from repro.investigate.figure4_queries import FIGURE4_QUERIES
+from repro.investigate.figure5_queries import FIGURE5_QUERIES
+from repro.lang.parser import parse
+
+
+def codes(source: str) -> list[str]:
+    return [d.code for d in analyze(source)]
+
+
+def errors(source: str) -> list[str]:
+    return [d.code for d in analyze(source) if d.is_error]
+
+
+def warnings(source: str) -> list[str]:
+    return [d.code for d in analyze(source) if not d.is_error]
+
+
+class TestUnknownAttribute:
+    def test_entity_attribute_flagged_with_exact_span(self):
+        source = ('proc p1 write file f1 as evt\n'
+                  'return p1.bogus, f1.name')
+        diagnostics = analyze(source)
+        assert [d.code for d in diagnostics] == ["unknown-attribute"]
+        assert diagnostics[0].render(source) == (
+            "error[unknown-attribute] at line 2, column 8: entity type "
+            "'proc' has no attribute 'bogus' (known: agentid, pid, "
+            "exe_name, user, cmdline, start_time)\n"
+            "  return p1.bogus, f1.name\n"
+            "         ^~~~~~~~")
+
+    def test_event_attribute_flagged(self):
+        assert errors('proc p1 write file f1 as evt\n'
+                      'return evt.nonsense') == ["unknown-attribute"]
+
+    def test_header_constraint_attribute_flagged(self):
+        source = 'exe_name = "x"\nproc p1 write file f1 as evt\nreturn f1'
+        diagnostics = analyze(source)
+        assert [d.code for d in diagnostics] == ["unknown-attribute"]
+        assert diagnostics[0].span is not None
+        assert (diagnostics[0].span.line, diagnostics[0].span.col) == (1, 1)
+
+    def test_aliases_resolve_clean(self):
+        assert codes('proc p1 write file f1 as evt\n'
+                     'return evt.bytes, evt.time, p1.exe_name\n'
+                     'sort by evt.timestamp') == []
+
+
+class TestUnknownOperation:
+    def test_flagged_at_operation_token(self):
+        source = 'proc p1 frobnicate file f1 as evt\nreturn f1'
+        diagnostics = analyze(source)
+        assert [d.code for d in diagnostics] == ["unknown-operation"]
+        assert diagnostics[0].render(source) == (
+            "error[unknown-operation] at line 1, column 9: operation "
+            "'frobnicate' is not valid for file events (valid: chmod, "
+            "create, delete, execute, read, rename, write)\n"
+            "  proc p1 frobnicate file f1 as evt\n"
+            "          ^~~~~~~~~~")
+
+    def test_second_of_operation_list_gets_its_own_span(self):
+        source = 'proc p1 read || launch file f1 as evt\nreturn f1'
+        diagnostics = analyze(source)
+        assert [d.code for d in diagnostics] == ["unknown-operation"]
+        assert diagnostics[0].span.col == 17  # 'launch', not 'read'
+
+    def test_operation_validity_depends_on_object_type(self):
+        # 'start' is a process operation: fine on proc, not on file.
+        assert codes('proc p1 start proc p2 as evt\nreturn p2') == []
+        assert errors('proc p1 start file f1 as evt\n'
+                      'return f1') == ["unknown-operation"]
+
+    def test_dependency_edge_operations_checked(self):
+        assert errors('forward: proc w ->[accept] file f\n'
+                      'return f') == ["unknown-operation"]
+        assert codes('forward: proc w ->[write] file f\nreturn f') == []
+
+
+class TestUnboundVariable:
+    def test_return_and_sort_each_get_spans(self):
+        source = ('proc p1 write file f1 as evt\n'
+                  'return p2.exe_name\n'
+                  'sort by evt9.ts')
+        diagnostics = analyze(source)
+        assert [d.code for d in diagnostics] == ["unbound-variable"] * 2
+        assert [(d.span.line, d.span.col) for d in diagnostics] == \
+            [(2, 8), (3, 9)]
+
+    def test_group_by_and_having_checked(self):
+        base = ('window = 1 min, step = 10 sec\n'
+                'proc p1 write ip i1 as evt\n'
+                'return sum(evt.amount) as amt\n')
+        assert errors(base + 'group by q9') == ["unbound-variable"]
+        assert errors(base + 'group by p1\n'
+                      'having amt > ghost.amount') == ["unbound-variable"]
+        assert codes(base + 'group by p1\nhaving amt > 100') == []
+
+    def test_bound_variables_clean(self):
+        assert codes('proc p1 write file f1 as evt\n'
+                     'return p1, f1, evt.amount\nsort by evt.ts') == []
+
+
+class TestTypeMismatch:
+    def test_like_on_numeric_attribute_is_error(self):
+        source = 'proc p1[pid like "4%"] write file f1 as evt\nreturn f1'
+        diagnostics = analyze(source)
+        assert [d.code for d in diagnostics] == ["type-mismatch"]
+        assert diagnostics[0].is_error
+        assert diagnostics[0].render(source) == (
+            "error[type-mismatch] at line 1, column 9: 'like' needs a "
+            "string attribute, p1.pid is int\n"
+            '  proc p1[pid like "4%"] write file f1 as evt\n'
+            "          ^~~~~~~~~~~~~")
+
+    def test_ordering_across_types_is_error(self):
+        assert errors('proc p1[pid > "abc"] write file f1 as evt\n'
+                      'return f1') == ["type-mismatch"]
+
+    def test_equality_across_types_is_warning(self):
+        source = 'proc p1[pid = "abc"] write file f1 as evt\nreturn f1'
+        diagnostics = analyze(source)
+        assert [(d.code, d.severity) for d in diagnostics] == \
+            [("type-mismatch", "warning")]
+
+    def test_numeric_aggregate_over_string_is_error(self):
+        assert errors('window = 1 min, step = 10 sec\n'
+                      'proc p1 write ip i1 as evt\n'
+                      'return avg(p1.exe_name) as x\n'
+                      'group by p1') == ["type-mismatch"]
+
+    def test_matched_types_clean(self):
+        assert codes('proc p1[pid > 4, exe_name like "%sql%"] write '
+                     'file f1 as evt\nreturn f1') == []
+        assert codes('window = 1 min, step = 10 sec\n'
+                     'proc p1 write ip i1 as evt\n'
+                     'return avg(evt.amount) as x\ngroup by p1') == []
+
+    def test_int_float_are_mutually_comparable(self):
+        assert codes('proc p1[pid > 4.5] write file f1 as evt\n'
+                     'return f1') == []
+
+
+class TestUnusedPattern:
+    SOURCE = ('proc p1 write file f1 as evt1\n'
+              'proc p2 read file f2 as evt2\n'
+              'return p1.exe_name, f1.name')
+
+    def test_flagged_at_event_var(self):
+        diagnostics = analyze(self.SOURCE)
+        assert [(d.code, d.severity) for d in diagnostics] == \
+            [("unused-pattern", "warning")]
+        assert diagnostics[0].render(self.SOURCE).startswith(
+            "warning[unused-pattern] at line 2, column 25:")
+
+    def test_temporal_relation_counts_as_use(self):
+        assert codes('proc p1 write file f1 as evt1\n'
+                     'proc p2 read file f2 as evt2\n'
+                     'with evt1 before evt2\n'
+                     'return p1.exe_name, f1.name') == []
+
+    def test_shared_variable_counts_as_use(self):
+        assert codes('proc p1 write file f1 as evt1\n'
+                     'proc p2 read file f1 as evt2\n'
+                     'return p1.exe_name, f1.name') == []
+
+    def test_single_pattern_never_flagged(self):
+        assert codes('proc p1 write file f1 as evt\nreturn f1') == []
+
+
+class TestAlwaysFalse:
+    def test_conflicting_equalities(self):
+        source = ('proc p1[pid = 3, pid = 5] write file f1 as evt\n'
+                  'return f1')
+        diagnostics = analyze(source)
+        assert [(d.code, d.severity) for d in diagnostics] == \
+            [("always-false", "warning")]
+        assert diagnostics[0].span.col == 18  # the second 'pid = 5'
+
+    def test_empty_numeric_range(self):
+        assert warnings('proc p1[pid > 10, pid < 5] write file f1 as evt\n'
+                        'return f1') == ["always-false"]
+
+    def test_equality_outside_in_set(self):
+        assert warnings('proc p1[pid = 9, pid in (1, 2)] write file f1 '
+                        'as evt\nreturn f1') == ["always-false"]
+
+    def test_merged_across_patterns(self):
+        # Constraint chaining unions f1's brackets from both patterns.
+        assert warnings('proc p1 write file f1[owner = "a"] as evt1\n'
+                        'proc p1 read file f1[owner = "b"] as evt2\n'
+                        'with evt1 before evt2\n'
+                        'return f1') == ["always-false"]
+
+    def test_satisfiable_range_clean(self):
+        assert codes('proc p1[pid >= 5, pid <= 5] write file f1 as evt\n'
+                     'return f1') == []
+        assert codes('proc p1[pid != 3, pid = 5] write file f1 as evt\n'
+                     'return f1') == []
+
+
+class TestUnsatisfiableTemporal:
+    def test_direct_cycle(self):
+        source = ('proc p1 write file f1 as evt1\n'
+                  'proc p2 read file f1 as evt2\n'
+                  'with evt1 before evt2, evt2 before evt1\n'
+                  'return f1')
+        diagnostics = analyze(source)
+        assert [d.code for d in diagnostics] == ["unsatisfiable-temporal"]
+        assert diagnostics[0].is_error
+        assert diagnostics[0].span.line == 3
+
+    def test_transitive_cycle_through_chain(self):
+        assert errors('proc p1 write file f1 as e1\n'
+                      'proc p2 read file f1 as e2\n'
+                      'proc p3 read file f1 as e3\n'
+                      'with e1 before e2, e2 before e3, e3 before e1\n'
+                      'return f1') == ["unsatisfiable-temporal"]
+
+    def test_zero_within_chain(self):
+        assert errors('proc p1 write file f1 as e1\n'
+                      'proc p2 read file f1 as e2\n'
+                      'with e1 before e2 within 0 sec\n'
+                      'return f1') == ["unsatisfiable-temporal"]
+
+    def test_after_normalization_respected(self):
+        # "e2 after e1" is the same edge as "e1 before e2": no cycle.
+        assert codes('proc p1 write file f1 as e1\n'
+                     'proc p2 read file f1 as e2\n'
+                     'with e1 before e2, e2 after e1\n'
+                     'return f1') == []
+
+    def test_satisfiable_chain_clean(self):
+        assert codes('proc p1 write file f1 as e1\n'
+                     'proc p2 read file f1 as e2\n'
+                     'with e1 before e2 within 5 min\n'
+                     'return f1') == []
+
+
+class TestLegacyCheckParity:
+    """The analyzer owns the session path: legacy classes still caught."""
+
+    def test_duplicate_event_var(self):
+        assert "duplicate-event-var" in errors(
+            'proc p1 write file f1 as evt\n'
+            'proc p2 read file f1 as evt\nreturn f1')
+
+    def test_type_conflict(self):
+        assert errors('proc p1 write file p1 as evt\n'
+                      'return p1') == ["type-conflict"]
+
+    def test_invalid_subject(self):
+        assert errors('file f1 write file f2 as evt\n'
+                      'return f2') == ["invalid-subject"]
+
+    def test_dependency_arrow_subject(self):
+        assert errors('forward: file f <-[write] file g\n'
+                      'return g') == ["invalid-subject"]
+
+    def test_aggregate_in_multievent(self):
+        assert errors('proc p1 write file f1 as evt\n'
+                      'return avg(evt.amount)') == \
+            ["aggregate-in-multievent"]
+
+    def test_missing_aggregate(self):
+        assert errors('window = 1 min, step = 10 sec\n'
+                      'proc p1 write ip i1 as evt\n'
+                      'return p1') == ["missing-aggregate"]
+
+    def test_unknown_history_alias(self):
+        assert errors('window = 1 min, step = 10 sec\n'
+                      'proc p1 write ip i1 as evt\n'
+                      'return sum(evt.amount) as amt\n'
+                      'group by p1\n'
+                      'having amt > ghost[1]') == ["unknown-history-alias"]
+
+    def test_syntax_error_becomes_diagnostic(self):
+        diagnostics = analyze('proc p1[ write file')
+        assert [d.code for d in diagnostics] == ["syntax"]
+        assert diagnostics[0].span is not None
+
+
+class TestCatalogsLintClean:
+    @pytest.mark.parametrize("entry", [
+        pytest.param(entry, id=f"fig4-{entry.id}")
+        for entry in FIGURE4_QUERIES])
+    def test_figure4(self, entry):
+        assert analyze(entry.aiql) == []
+
+    @pytest.mark.parametrize("entry", [
+        pytest.param(entry, id=f"fig5-{entry.id}")
+        for entry in FIGURE5_QUERIES])
+    def test_figure5(self, entry):
+        assert analyze(entry.aiql) == []
+
+
+class TestSessionIntegration:
+    def test_errors_fail_fast_before_execution(self, exfil_session):
+        with pytest.raises(AiqlAnalysisError) as info:
+            exfil_session.query('proc p1 write file f1 as evt\n'
+                                'return p1.bogus')
+        rendered = str(info.value)
+        assert "unknown-attribute" in rendered
+        assert "^" in rendered  # caret snippet travels with the exception
+        assert [d.code for d in info.value.diagnostics] == \
+            ["unknown-attribute"]
+
+    def test_warnings_do_not_block_execution(self, exfil_session, capsys):
+        result = exfil_session.query(
+            'proc p1[pid = 1, pid = 2] write file f1 as evt\nreturn f1')
+        assert result.rows == []
+        assert "always-false" in capsys.readouterr().err
+
+    def test_register_lints_standing_queries(self):
+        session = AiqlSession()
+        with pytest.raises(AiqlAnalysisError):
+            session.register('proc p1 write file f1 as evt\n'
+                             'return zz.name')
+
+    def test_register_lints_parsed_query_objects(self):
+        session = AiqlSession()
+        parsed = parse('proc p1 write file f1 as evt\nreturn f1')
+        handle = session.register(parsed)
+        assert handle is not None
+        session.stream().close()
+
+    def test_analyze_query_works_without_spans(self):
+        parsed = parse('proc p1 write file f1 as evt\nreturn f1')
+        assert analyze_query(parsed) == []

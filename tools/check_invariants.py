@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Repo-wide invariant lint: pure-stdlib AST checks over ``src/``.
+
+Project-specific rules no off-the-shelf linter knows, enforced in CI
+alongside ruff/mypy and runnable anywhere Python is (no dependencies):
+
+``scan-bypass``
+    Engine code must hand every backend scan a :class:`ScanSpec`.  A
+    ``.select(profile, compiled)`` / ``.estimate(profile)`` /
+    ``.select_batches(profile, compiled)`` call without the spec
+    argument silently loses the pushdown contract (window, bindings,
+    bounds, projection, order) — the exact bug class the plan verifier
+    exists to catch at runtime, caught here statically.
+
+``wall-clock``
+    Engine and stream code must not read the wall clock
+    (``time.time()``, ``datetime.now()`` & friends): event time comes
+    from the data, elapsed time from ``time.perf_counter()``.  A naive
+    ``now()`` in streaming eviction or temporal filtering breaks replay
+    determinism — results would depend on when the test ran.
+
+``mutable-default``
+    No mutable default arguments (``def f(x, acc=[])``), the classic
+    shared-state-across-calls bug.
+
+``unused-import``
+    Module-level imports that no code in the module references.
+    ``__init__.py`` files (re-export surfaces), ``__future__`` imports,
+    and names listed in ``__all__`` are exempt.
+
+Exit status: 0 clean, 1 findings (one ``path:line: [rule] message`` per
+finding), 2 usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Backend scan entry points and the argument count that includes a spec.
+SCAN_METHODS = {"select": 3, "select_batches": 3, "estimate": 2,
+                "candidates": 2, "access_path": 2}
+
+#: Directories (relative to src/repro) where wall-clock reads are banned.
+CLOCK_FREE = ("engine", "stream")
+
+WALL_CLOCK_CALLS = {
+    ("time", "time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("list", "dict", "set", "bytearray")
+    return False
+
+
+def _dotted(node: ast.expr) -> tuple[str, ...]:
+    """Flatten ``a.b.c`` into ``("a", "b", "c")``; empty if not names."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+class Checker(ast.NodeVisitor):
+    def __init__(self, path: Path, rel: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.findings: list[tuple[int, str, str]] = []
+        self.in_clock_free = any(f"repro/{name}/" in rel.replace("\\", "/")
+                                 for name in CLOCK_FREE)
+        self.in_engine = "repro/engine/" in rel.replace("\\", "/")
+
+    def report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append((node.lineno, rule, message))
+
+    # -- mutable defaults --------------------------------------------------
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                self.report(default, "mutable-default",
+                            f"function {node.name!r} has a mutable default "
+                            f"argument (shared across calls)")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- calls: wall clock + scan bypass -----------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if self.in_clock_free and len(dotted) >= 2:
+            if dotted[-2:] in WALL_CLOCK_CALLS:
+                self.report(node, "wall-clock",
+                            f"{'.'.join(dotted)}() reads the wall clock; "
+                            f"use event timestamps or time.perf_counter()")
+        if self.in_engine and isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            needed = SCAN_METHODS.get(method)
+            if needed is not None and not _dotted(node.func)[:1] == ("self",):
+                supplied = len(node.args)
+                has_star = any(isinstance(a, ast.Starred) for a in node.args)
+                has_spec_kw = any(kw.arg == "spec" or kw.arg is None
+                                  for kw in node.keywords)
+                if supplied < needed and not has_star and not has_spec_kw:
+                    self.report(node, "scan-bypass",
+                                f".{method}() called with {supplied} "
+                                f"argument(s) — backend scans must receive "
+                                f"a ScanSpec (expected {needed})")
+        self.generic_visit(node)
+
+
+def _unused_imports(tree: ast.Module, is_init: bool) -> list[tuple[int, str]]:
+    if is_init:
+        return []
+    imported: dict[str, int] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                imported[name] = node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imported[alias.asname or alias.name] = node.lineno
+    if not imported:
+        return []
+    used: set[str] = set()
+    exported: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif (isinstance(node, ast.Assign)
+              and any(isinstance(t, ast.Name) and t.id == "__all__"
+                      for t in node.targets)
+              and isinstance(node.value, (ast.List, ast.Tuple))):
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) \
+                        and isinstance(element.value, str):
+                    exported.add(element.value)
+    return [(line, name) for name, line in sorted(imported.items(),
+                                                  key=lambda kv: kv[1])
+            if name not in used and name not in exported]
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    rel = str(path.relative_to(root))
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError as exc:
+        return [f"{rel}:{exc.lineno}: [parse-error] {exc.msg}"]
+    checker = Checker(path, rel)
+    checker.visit(tree)
+    findings = [f"{rel}:{line}: [{rule}] {message}"
+                for line, rule, message in checker.findings]
+    findings.extend(
+        f"{rel}:{line}: [unused-import] {name!r} is imported but never used"
+        for line, name in _unused_imports(tree, path.name == "__init__.py"))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).parent.parent
+    src = root / "src"
+    if not src.is_dir():
+        print(f"error: {src} is not a directory", file=sys.stderr)
+        return 2
+    findings: list[str] = []
+    for path in sorted(src.rglob("*.py")):
+        findings.extend(check_file(path, root))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
