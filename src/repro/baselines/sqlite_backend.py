@@ -34,6 +34,7 @@ import math
 import sqlite3
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
@@ -272,6 +273,60 @@ class SqliteEventStore:
         self._count = int(row[0])
         self._max_id = int(row[1]) if row[1] is not None else 0
 
+    #: Bounded retry for write transactions that hit SQLITE_BUSY — a
+    #: persistent archive can be shared with another process holding the
+    #: write lock.  ``BUSY_BACKOFF`` seconds before the first retry,
+    #: doubling each attempt; after ``BUSY_RETRIES`` retries the busy
+    #: error surfaces as a :class:`~repro.errors.StorageError`.
+    BUSY_RETRIES = 5
+    BUSY_BACKOFF = 0.01
+
+    @staticmethod
+    def _is_busy(exc: sqlite3.OperationalError) -> bool:
+        text = str(exc).lower()
+        return "locked" in text or "busy" in text
+
+    def _write_transaction(self, work, locked: bool = False) -> None:
+        """Run ``work(conn)`` in one explicit immediate transaction.
+
+        ``BEGIN IMMEDIATE`` takes the write lock up front, so a busy
+        database fails here — before any statement ran — and the whole
+        transaction retries with exponential backoff.  Either every
+        statement ``work`` issues commits atomically or none do.
+        ``locked=True`` means the caller already holds ``self._lock``
+        (the constructor's migration path).
+        """
+        delay = self.BUSY_BACKOFF
+        for attempt in range(self.BUSY_RETRIES + 1):
+            with nullcontext() if locked else self._lock:
+                try:
+                    self._conn.execute("BEGIN IMMEDIATE")
+                except sqlite3.OperationalError as exc:
+                    if not self._is_busy(exc):
+                        raise
+                    if attempt == self.BUSY_RETRIES:
+                        raise StorageError(
+                            f"database busy after {attempt} retries: {exc}"
+                            ) from exc
+                else:
+                    try:
+                        work(self._conn)
+                        self._conn.execute("COMMIT")
+                        return
+                    except sqlite3.OperationalError as exc:
+                        if self._conn.in_transaction:
+                            self._conn.execute("ROLLBACK")
+                        if not self._is_busy(exc):
+                            raise
+                        if attempt == self.BUSY_RETRIES:
+                            raise StorageError(
+                                f"database busy after {attempt} retries: "
+                                f"{exc}") from exc
+            # Back off outside the lock so readers are not starved while
+            # the other writer finishes.
+            time.sleep(delay)
+            delay *= 2
+
     def _migrate_identity_keys(self) -> None:
         """Upgrade a pre-pushdown persistent table in place.
 
@@ -284,33 +339,40 @@ class SqliteEventStore:
             "PRAGMA table_info(backend_events)")}
         if "subject_key" in columns:
             return
-        for name in ("subject_key", "object_key"):
-            self._conn.execute(
-                f"ALTER TABLE backend_events "
-                f"ADD COLUMN {name} TEXT NOT NULL DEFAULT ''")
-        # Backfill in bounded rowid-keyed chunks: a large archive never
-        # pulls every payload into memory, and each SELECT completes
-        # before its chunk's UPDATEs run.
-        last_rowid = 0
-        while True:
-            rows = self._conn.execute(
-                "SELECT rowid, payload FROM backend_events "
-                "WHERE rowid > ? ORDER BY rowid LIMIT 10000",
-                (last_rowid,)).fetchall()
-            if not rows:
-                break
-            updates = []
-            for rowid, payload_text in rows:
-                payload = json.loads(payload_text)
-                subject = entity_from_dict(payload["subject"])
-                obj = entity_from_dict(payload["object"])
-                updates.append((identity_key(subject.identity),
-                                identity_key(obj.identity), rowid))
-            self._conn.executemany(
-                "UPDATE backend_events SET subject_key = ?, object_key = ? "
-                "WHERE rowid = ?", updates)
-            last_rowid = rows[-1][0]
-        self._conn.commit()
+
+        def migrate(conn: sqlite3.Connection) -> None:
+            for name in ("subject_key", "object_key"):
+                conn.execute(
+                    f"ALTER TABLE backend_events "
+                    f"ADD COLUMN {name} TEXT NOT NULL DEFAULT ''")
+            # Backfill in bounded rowid-keyed chunks: a large archive
+            # never pulls every payload into memory, and each SELECT
+            # completes before its chunk's UPDATEs run.
+            last_rowid = 0
+            while True:
+                rows = conn.execute(
+                    "SELECT rowid, payload FROM backend_events "
+                    "WHERE rowid > ? ORDER BY rowid LIMIT 10000",
+                    (last_rowid,)).fetchall()
+                if not rows:
+                    break
+                updates = []
+                for rowid, payload_text in rows:
+                    payload = json.loads(payload_text)
+                    subject = entity_from_dict(payload["subject"])
+                    obj = entity_from_dict(payload["object"])
+                    updates.append((identity_key(subject.identity),
+                                    identity_key(obj.identity), rowid))
+                conn.executemany(
+                    "UPDATE backend_events "
+                    "SET subject_key = ?, object_key = ? "
+                    "WHERE rowid = ?", updates)
+                last_rowid = rows[-1][0]
+
+        # One immediate transaction: a concurrent writer sees either the
+        # pre-migration table or the fully backfilled one, never a torn
+        # half-migrated schema.
+        self._write_transaction(migrate, locked=True)
 
     # ------------------------------------------------------------------
     # Write path
@@ -361,11 +423,9 @@ class SqliteEventStore:
                 for event in events]
         columns = ", ".join(_BACKEND_COLUMNS)
         marks = ", ".join("?" for _ in _BACKEND_COLUMNS)
-        with self._lock:
-            self._conn.executemany(
-                f"INSERT INTO backend_events ({columns}) VALUES ({marks})",
-                rows)
-            self._conn.commit()
+        self._write_transaction(lambda conn: conn.executemany(
+            f"INSERT INTO backend_events ({columns}) VALUES ({marks})",
+            rows))
         self._count += len(rows)
         if self._sketches is not None:
             subject_sketch, object_sketch = self._sketches

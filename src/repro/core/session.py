@@ -51,9 +51,22 @@ class AiqlSession:
                  options: EngineOptions = DEFAULT_OPTIONS,
                  bucket_seconds: float = SECONDS_PER_DAY,
                  backend: str = "row",
-                 max_workers: int | None = None) -> None:
-        self.store = store if store is not None else create_backend(
-            backend, bucket_seconds)
+                 max_workers: int | None = None,
+                 durable_dir: "str | None" = None,
+                 sync: str = "always") -> None:
+        if durable_dir is not None and store is not None:
+            raise StorageError(
+                "pass either an explicit store or durable_dir, not both — "
+                "a durable session owns its backend via the recovery dir")
+        if durable_dir is not None:
+            # Crash-safe tier: WAL every ingested batch and recover the
+            # wrapped backend from disk on reopen (see repro.storage.durable).
+            from repro.storage.durable import DurableStore
+            store = DurableStore(durable_dir, backend=backend,
+                                 bucket_seconds=bucket_seconds, sync=sync)
+        elif store is None:
+            store = create_backend(backend, bucket_seconds)
+        self.store = store
         # ``max_workers`` overrides the option set's worker count (None in
         # the defaults means size-to-machine); benchmarks and the CLI use
         # it to pin the sub-query fan-out explicitly.
@@ -72,6 +85,41 @@ class AiqlSession:
                             merge_window=merge_window) as pipeline:
             pipeline.add_all(events)
         return pipeline.stats
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(cls, durable_dir: str, *,
+                options: EngineOptions = DEFAULT_OPTIONS,
+                bucket_seconds: float = SECONDS_PER_DAY,
+                backend: str = "row", sync: str = "always",
+                max_workers: int | None = None) -> "AiqlSession":
+        """Open a session over a crash-recovered durable directory.
+
+        Replays the checkpoint and the surviving WAL suffix (torn tails
+        dropped, duplicates deduplicated) and returns a queryable
+        session; the recovery tally is on ``session.store.recovery``.
+        Raises :class:`~repro.errors.StorageError` if ``durable_dir``
+        does not exist.
+        """
+        from repro.storage.durable import recover as recover_store
+        store = recover_store(durable_dir, backend=backend,
+                              bucket_seconds=bucket_seconds, sync=sync)
+        return cls(store=store, options=options, max_workers=max_workers)
+
+    def checkpoint(self) -> int:
+        """Snapshot a durable store and truncate its WAL.
+
+        Only meaningful for durable sessions; raises
+        :class:`~repro.errors.StorageError` otherwise.
+        """
+        checkpoint = getattr(self.store, "checkpoint", None)
+        if checkpoint is None:
+            raise StorageError(
+                "checkpoint() needs a durable session — construct with "
+                "AiqlSession(durable_dir=...)")
+        return checkpoint()
 
     # ------------------------------------------------------------------
     # Streaming / continuous queries

@@ -13,7 +13,10 @@ from repro.storage.backend import (AccessPathInfo, Bitmap, BloomedSet,
                                    StorageBackend, TemporalBounds,
                                    available_backends, create_backend,
                                    register_backend, select_via_candidates)
-from repro.storage.dedup import EntityInterner, EventMerger
+from repro.storage.dedup import EntityInterner, EventMerger, ReplayDeduper
+from repro.storage.durable import DurableStore, RecoveryStats, recover
+from repro.storage.faults import (FAULT_MODES, FAULT_POINTS, Fault,
+                                  FaultInjector, FaultTriggered)
 from repro.storage.indexes import (PostingIndex, TimeIndex, like_match,
                                    like_to_regex)
 from repro.storage.ingest import IngestPipeline, IngestStats
@@ -22,13 +25,19 @@ from repro.storage.scanstats import (EquiDepthHistogram, FrequencySketch,
                                      PartitionStatistics)
 from repro.storage.stats import PatternProfile, estimate_total
 from repro.storage.store import EventStore
+from repro.storage.wal import WalRecord, WriteAheadLog
 
 __all__ = [
     "AccessPathInfo", "Bitmap", "BloomedSet", "IdentityBindings",
     "ScanSpec", "StorageBackend", "TemporalBounds",
     "available_backends", "create_backend",
     "register_backend", "select_via_candidates",
-    "EntityInterner", "EventMerger", "PostingIndex", "TimeIndex",
+    "EntityInterner", "EventMerger", "ReplayDeduper",
+    "DurableStore", "RecoveryStats", "recover",
+    "FAULT_MODES", "FAULT_POINTS", "Fault", "FaultInjector",
+    "FaultTriggered",
+    "WalRecord", "WriteAheadLog",
+    "PostingIndex", "TimeIndex",
     "like_match", "like_to_regex", "IngestPipeline", "IngestStats",
     "Hypertable", "Partition", "PatternProfile", "estimate_total",
     "EquiDepthHistogram", "FrequencySketch", "PartitionStatistics",

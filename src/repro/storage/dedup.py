@@ -52,6 +52,41 @@ class EntityInterner:
         return self.hits / total if total else 0.0
 
 
+class ReplayDeduper:
+    """Idempotent-replay filter: admit each event exactly once.
+
+    Crash recovery composes a checkpoint snapshot with a WAL replay, and
+    the two can overlap: a crash between the manifest swap and the WAL
+    reset leaves pre-checkpoint batches in the log, a duplicated batch
+    can be appended twice, and ``recover()`` itself may run over a store
+    that already applied a suffix.  The deduper makes all of those safe:
+    events are keyed on ``(id, agentid, ts)`` — the immutable identity a
+    WAL round-trip preserves — and only the first occurrence is admitted.
+    """
+
+    __slots__ = ("_seen", "duplicates")
+
+    def __init__(self) -> None:
+        self._seen: set[tuple[int, int, float]] = set()
+        self.duplicates = 0
+
+    def admit(self, event: Event) -> bool:
+        key = (event.id, event.agentid, event.ts)
+        if key in self._seen:
+            self.duplicates += 1
+            return False
+        self._seen.add(key)
+        return True
+
+    def admit_batch(self, events: list[Event]) -> list[Event]:
+        """The batch form: the admitted subsequence, order preserved."""
+        admit = self.admit
+        return [event for event in events if admit(event)]
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+
 class EventMerger:
     """Merges bursts of identical events within a time window.
 

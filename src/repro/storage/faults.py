@@ -1,0 +1,182 @@
+"""Fault injection for the durability tier: crash where it hurts.
+
+Recovery code is only trustworthy if its failure windows are actually
+exercised.  This module provides the injectable IO-fault layer the WAL
+(:mod:`repro.storage.wal`) and the checkpoint machinery
+(:mod:`repro.storage.durable`) consult at *named fault points* — the
+places a crash, a torn write, or silent corruption can leave the
+on-disk state in every shape recovery must tolerate:
+
+* ``wal.append.header``     — before any byte of a record is written
+  (a crash here loses the whole record, cleanly);
+* ``wal.append.payload``    — mid-record, after the header (a *torn
+  write*: the tail fails the CRC and replay must stop there);
+* ``wal.append.sync``       — after the full record is written but
+  before fsync (data may or may not survive; either is a valid prefix);
+* ``checkpoint.segment``    — while the snapshot segment is being
+  written (the tmp file must be ignored by recovery);
+* ``checkpoint.manifest``   — after the segment landed, before the
+  manifest swap (recovery uses the *old* checkpoint + the full WAL);
+* ``checkpoint.truncate``   — after the manifest swap, before the WAL
+  reset (recovery replays a WAL whose prefix the checkpoint already
+  contains — the window idempotent dedup exists for).
+
+A :class:`Fault` arms one point with a *mode*:
+
+``error``
+    raise :class:`FaultTriggered` (an ``OSError``) — the in-process
+    crash used by unit tests;
+``kill``
+    ``SIGKILL`` the current process — the subprocess chaos harness'
+    un-catchable crash (``kill -9`` semantics, no atexit, no flush);
+``torn``
+    write only a prefix of the pending bytes, then crash;
+``bitflip``
+    flip one bit inside the just-written region, then crash — silent
+    corruption the CRC must catch;
+``truncate``
+    chop the just-written region in half with ``ftruncate``, then
+    crash — the lost-tail shape journaling filesystems produce.
+
+``skip`` delays the trigger: the fault fires on the ``skip+1``-th
+arrival at its point, so a crash can land mid-stream instead of on the
+first batch.  Faults are one-shot — once fired they disarm.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable
+
+#: Every named fault point, in write-path order.  The CI chaos job runs
+#: the kill-at-point matrix across exactly this tuple.
+FAULT_POINTS = (
+    "wal.append.header",
+    "wal.append.payload",
+    "wal.append.sync",
+    "checkpoint.segment",
+    "checkpoint.manifest",
+    "checkpoint.truncate",
+)
+
+#: The modes a fault can act with.
+FAULT_MODES = ("error", "kill", "torn", "bitflip", "truncate")
+
+
+class FaultTriggered(OSError):
+    """The injected IO failure (mode ``error``/``torn``/... in-process)."""
+
+
+@dataclass
+class Fault:
+    """One armed fault: fire ``mode`` at the ``skip+1``-th hit of ``point``."""
+
+    point: str
+    mode: str = "error"
+    skip: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULT_MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r} "
+                             f"(known: {', '.join(FAULT_MODES)})")
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "Fault":
+        """Parse ``point[:mode[:skip]]`` (the chaos harness' CLI form)."""
+        parts = spec.split(":")
+        point = parts[0]
+        mode = parts[1] if len(parts) > 1 and parts[1] else "error"
+        skip = int(parts[2]) if len(parts) > 2 and parts[2] else 0
+        return cls(point=point, mode=mode, skip=skip)
+
+
+class FaultInjector:
+    """Arms faults and acts them out when the instrumented code arrives.
+
+    The durability code calls :meth:`crash_point` at points where the
+    failure is a plain crash (``error``/``kill``), and :meth:`write`
+    instead of ``handle.write`` at points where the *write itself* can
+    fail partway (torn/bitflip/truncate need the handle and the bytes).
+    With no fault armed both are near-free passthroughs, so production
+    code paths can keep the hooks unconditionally.
+    """
+
+    def __init__(self, faults: Iterable[Fault] = ()) -> None:
+        self._armed: list[Fault] = list(faults)
+        self.hits: dict[str, int] = {}
+        self.fired: list[Fault] = []
+
+    def arm(self, fault: Fault) -> None:
+        self._armed.append(fault)
+
+    def _take(self, point: str) -> Fault | None:
+        """Count a hit; return the fault if one triggers now (one-shot)."""
+        count = self.hits.get(point, 0)
+        self.hits[point] = count + 1
+        for index, fault in enumerate(self._armed):
+            if fault.point == point:
+                if count >= fault.skip:
+                    del self._armed[index]
+                    self.fired.append(fault)
+                    return fault
+                return None
+        return None
+
+    # ------------------------------------------------------------------
+    # Hooks the durability code calls
+    # ------------------------------------------------------------------
+    def crash_point(self, point: str) -> None:
+        """A pure crash point: nothing to tear, just stop existing here."""
+        fault = self._take(point)
+        if fault is not None:
+            self._crash(fault)
+
+    def write(self, handle: BinaryIO, data: bytes, point: str) -> None:
+        """Write ``data`` at the handle's current position — or fail at it.
+
+        The torn/bitflip/truncate modes need both the handle and the
+        pending bytes; ``error``/``kill`` crash before anything lands.
+        """
+        fault = self._take(point)
+        if fault is None:
+            handle.write(data)
+            return
+        start = handle.tell()
+        if fault.mode == "torn":
+            handle.write(data[:max(1, len(data) // 2)])
+            handle.flush()
+        elif fault.mode == "bitflip":
+            handle.write(data)
+            handle.flush()
+            flip_at = start + len(data) // 2
+            handle.seek(flip_at)
+            byte = handle.read(1)
+            handle.seek(flip_at)
+            handle.write(bytes((byte[0] ^ 0x40,)))
+            handle.flush()
+        elif fault.mode == "truncate":
+            handle.write(data)
+            handle.flush()
+            handle.truncate(start + len(data) // 2)
+        self._crash(fault)
+
+    @staticmethod
+    def _crash(fault: Fault) -> None:
+        if fault.mode == "kill":
+            # The real thing: no exception, no cleanup, no buffered-IO
+            # flush — exactly what `kill -9` (or a power cut, minus the
+            # page cache) leaves behind.
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise FaultTriggered(
+            f"injected fault at {fault.point!r} (mode={fault.mode})")
+
+
+#: The no-op injector production paths share (no allocation per call).
+NO_FAULTS = FaultInjector()
+
+
+def resolve_injector(faults: "FaultInjector | None") -> FaultInjector:
+    """Normalize the optional injector argument every hook site takes."""
+    return faults if faults is not None else NO_FAULTS

@@ -10,6 +10,7 @@ finite timestamp-ordered stream yields exactly the rows the batch engine
 returns on the final store.
 """
 
+from repro.stream.alertlog import AlertLog, AlertRecord
 from repro.stream.bus import BusStats, EventBus
 from repro.stream.continuous import (ContinuousAnomaly, ContinuousQuery,
                                      ContinuousRuntime)
@@ -17,6 +18,7 @@ from repro.stream.matcher import MultieventMatcher, PatternBuffer
 from repro.stream.session import StreamSession
 
 __all__ = [
+    "AlertLog", "AlertRecord",
     "BusStats", "EventBus", "ContinuousAnomaly", "ContinuousQuery",
     "ContinuousRuntime", "MultieventMatcher", "PatternBuffer",
     "StreamSession",

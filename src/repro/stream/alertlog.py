@@ -1,0 +1,179 @@
+"""Persistent alert log: standing-query matches with replay/ack cursors.
+
+A standing query's matches are only as durable as whatever the callback
+did with them — a crashed tailing process loses every alert it had not
+yet acted on.  The alert log closes that gap: every match/alert emitted
+by a :class:`~repro.stream.session.StreamSession` is appended to an
+on-disk log (the same CRC-framed record format as the ingest WAL, so a
+torn tail never corrupts earlier alerts), and consumers read it through
+*cursors*:
+
+* :meth:`AlertLog.replay` yields, in emission order, every alert a
+  consumer has not yet acknowledged — after a crash, exactly the alerts
+  it may have missed;
+* :meth:`AlertLog.ack` durably advances that consumer's cursor, so
+  acknowledged alerts are never redelivered.
+
+Cursors are per-consumer sidecar files swapped atomically, which makes
+``replay -> handle -> ack`` an at-least-once delivery loop with crash
+safety on both sides: a consumer that dies before acking sees the alert
+again, one that dies after acking does not.
+
+Rows round-trip with entity fidelity: entity cells are serialized
+through the archive wire format and rebuilt on replay, scalar cells
+pass through JSON, anything else degrades to its string form.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.model.entities import FileEntity, NetworkEntity, ProcessEntity
+from repro.storage.serialize import entity_from_dict, entity_to_dict
+from repro.storage.wal import RT_ALERT, WriteAheadLog, fsync_directory
+
+_CONSUMER_RE = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
+
+_ENTITY_TYPES = (ProcessEntity, FileEntity, NetworkEntity)
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def _encode_cell(cell: object) -> object:
+    if isinstance(cell, _ENTITY_TYPES):
+        return {"$e": entity_to_dict(cell)}
+    if isinstance(cell, _SCALAR_TYPES):
+        return cell
+    return {"$s": str(cell)}
+
+
+def _decode_cell(cell: object) -> object:
+    if isinstance(cell, dict):
+        if "$e" in cell:
+            return entity_from_dict(cell["$e"])
+        if "$s" in cell:
+            return cell["$s"]
+    return cell
+
+
+@dataclass(frozen=True, slots=True)
+class AlertRecord:
+    """One logged alert: its sequence number, source query, and row."""
+
+    seq: int
+    query: str
+    row: tuple
+
+
+class AlertLog:
+    """Append-only alert journal with durable per-consumer ack cursors.
+
+    ``path`` is the log file; cursor sidecars live next to it as
+    ``<name>.<consumer>.cursor``.  ``sync`` is the WAL fsync policy
+    (``always`` makes every appended alert survive an OS crash before
+    ``append`` returns).
+    """
+
+    def __init__(self, path: str | Path, sync: str = "always") -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Resume numbering: seq is the 1-based record position, so a
+        # reopened log keeps appending where it left off.
+        self._next_seq = 1 + sum(
+            1 for _record in WriteAheadLog.replay(self.path))
+        self._wal = WriteAheadLog(self.path, sync=sync)
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def append(self, query: str, row: tuple) -> int:
+        """Durably log one alert; returns its sequence number."""
+        payload = json.dumps(
+            {"q": query, "row": [_encode_cell(cell) for cell in row]},
+            separators=(",", ":")).encode("utf-8")
+        self._wal.append(RT_ALERT, payload)
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def close(self) -> None:
+        self._wal.close()
+
+    def __enter__(self) -> "AlertLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        """Alerts appended over the log's lifetime (all sessions)."""
+        return self._next_seq - 1
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def _cursor_path(self, consumer: str) -> Path:
+        if not _CONSUMER_RE.match(consumer):
+            raise StorageError(
+                f"invalid alert consumer name {consumer!r} "
+                f"(alphanumerics, dot, dash, underscore; max 64 chars)")
+        return self.path.with_name(f"{self.path.name}.{consumer}.cursor")
+
+    def acked(self, consumer: str = "default") -> int:
+        """The consumer's durable cursor (0: nothing acknowledged)."""
+        cursor = self._cursor_path(consumer)
+        if not cursor.exists():
+            return 0
+        try:
+            return int(json.loads(
+                cursor.read_text(encoding="utf-8"))["acked"])
+        except (OSError, ValueError, KeyError) as exc:
+            raise StorageError(f"{cursor}: unreadable ack cursor: {exc}"
+                               ) from None
+
+    def ack(self, seq: int, consumer: str = "default") -> None:
+        """Durably acknowledge every alert up to and including ``seq``.
+
+        Cursors only move forward: acking below the current cursor is a
+        no-op, so replay/ack loops are idempotent under retries.
+        """
+        cursor = self._cursor_path(consumer)
+        if seq <= self.acked(consumer):
+            return
+        tmp = cursor.with_name(cursor.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"acked": seq}, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, cursor)
+        fsync_directory(cursor.parent)
+
+    def replay(self, consumer: str = "default") -> Iterator[AlertRecord]:
+        """Yield every alert past the consumer's cursor, in order."""
+        after = self.acked(consumer)
+        # Read through the open writer's view so alerts appended this
+        # session are visible without reopening.
+        seq = 0
+        for record in self._wal.records():
+            if record.rtype != RT_ALERT:
+                continue
+            seq += 1
+            if seq <= after:
+                continue
+            try:
+                data = json.loads(record.payload)
+                row = tuple(_decode_cell(cell) for cell in data["row"])
+                yield AlertRecord(seq=seq, query=data["q"], row=row)
+            except (ValueError, KeyError, TypeError) as exc:
+                raise StorageError(
+                    f"{self.path}: undecodable alert #{seq}: {exc}"
+                    ) from None
+
+    def pending(self, consumer: str = "default") -> int:
+        """How many alerts the consumer has not yet acknowledged."""
+        return max(0, len(self) - self.acked(consumer))

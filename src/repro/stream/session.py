@@ -11,31 +11,44 @@ and for a timestamp-ordered finite stream the two agree exactly.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Iterable
 
 from repro.lang.ast import Query
 from repro.model.events import Event
 from repro.storage.backend import StorageBackend
 from repro.storage.ingest import ProgressCallback
+from repro.stream.alertlog import AlertLog
 from repro.stream.bus import BusStats, EventBus
 from repro.stream.continuous import (ContinuousQuery, ContinuousRuntime,
                                      MatchCallback)
 
 
 class StreamSession:
-    """Publish side, store side, and standing queries of one live feed."""
+    """Publish side, store side, and standing queries of one live feed.
+
+    ``alert_log`` (an :class:`~repro.stream.alertlog.AlertLog`, or a path
+    one is created at) makes matches durable: every row any standing
+    query emits is appended to the log *before* the user callback runs,
+    so a consumer that crashes mid-handling finds the alert again via
+    the log's replay/ack cursors.
+    """
 
     def __init__(self, store: StorageBackend | None = None, *,
                  batch_size: int = 256, max_pending: int = 64,
                  lateness: float = 0.0, merge_window: float | None = None,
                  threaded: bool = False,
-                 progress: ProgressCallback | None = None) -> None:
+                 progress: ProgressCallback | None = None,
+                 alert_log: AlertLog | str | Path | None = None) -> None:
         self.bus = EventBus(batch_size=batch_size, max_pending=max_pending,
                             lateness=lateness)
         self.store = store
         if store is not None:
             self.bus.attach_store(store, merge_window=merge_window,
                                   progress=progress)
+        if alert_log is not None and not isinstance(alert_log, AlertLog):
+            alert_log = AlertLog(alert_log)
+        self.alert_log = alert_log
         self.runtime = ContinuousRuntime()
         self.bus.subscribe(self.runtime.on_batch)
         if threaded:
@@ -56,6 +69,17 @@ class StreamSession:
         ``retain_results=False`` makes the handle callback-only (bounded
         memory for unbounded tailing).
         """
+        if self.alert_log is not None:
+            log = self.alert_log
+            user_callback = callback
+
+            def callback(cq: ContinuousQuery, row: tuple) -> None:
+                # Log before handling: a consumer crash mid-callback
+                # still finds the alert on replay.
+                log.append(cq.name, row)
+                if user_callback is not None:
+                    user_callback(cq, row)
+
         return self.runtime.register(query, callback=callback, name=name,
                                      retain_results=retain_results)
 
@@ -86,6 +110,8 @@ class StreamSession:
             return self.bus.close()
         finally:
             self.runtime.finish()
+            if self.alert_log is not None:
+                self.alert_log.close()
             self.closed = True
 
     def __enter__(self) -> "StreamSession":

@@ -30,6 +30,7 @@ from repro.errors import ReproError
 from repro.lang.errors import AiqlSyntaxError
 from repro.storage.backend import BUILTIN_BACKENDS
 from repro.storage.serialize import load_store, write_events
+from repro.storage.wal import SYNC_POLICIES
 from repro.ui.render import render_table
 
 
@@ -112,6 +113,40 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="result rows per query printed at the end")
     stream.add_argument("--backend", choices=BUILTIN_BACKENDS, default="row",
                         help="storage substrate the stream ingests into")
+    stream.add_argument("--durable", metavar="DIR", default=None,
+                        help="write-ahead-log the ingest (and standing-query "
+                             "alerts) into DIR; crash-recoverable with "
+                             "'repro recover DIR'")
+    stream.add_argument("--sync", choices=SYNC_POLICIES, default="always",
+                        help="WAL fsync policy for --durable "
+                             "(default: always)")
+
+    recover = commands.add_parser(
+        "recover", help="rebuild a crashed durable session from its "
+                        "WAL + checkpoint")
+    recover.add_argument("dir", help="durable directory (--durable DIR)")
+    recover.add_argument("--aiql", action="append", default=[],
+                         metavar="QUERY",
+                         help="run a query on the recovered store "
+                              "(repeatable; each may be @file)")
+    recover.add_argument("--checkpoint", action="store_true",
+                         help="checkpoint after recovery (snapshots the "
+                              "store and truncates the replayed WAL)")
+    recover.add_argument("--max-rows", type=int, default=20)
+    recover.add_argument("--backend", choices=BUILTIN_BACKENDS, default="row",
+                         help="backend to rebuild into (used only if the "
+                              "directory's manifest does not name one)")
+    recover.add_argument("--workers", type=_positive_int, default=None,
+                         metavar="N")
+
+    alerts = commands.add_parser(
+        "alerts", help="replay or acknowledge a durable session's alert log")
+    alerts.add_argument("dir", help="durable directory (--durable DIR)")
+    alerts.add_argument("--consumer", default="default",
+                        help="named ack cursor to read through")
+    alerts.add_argument("--ack", action="store_true",
+                        help="acknowledge everything printed (the next "
+                             "replay starts after it)")
 
     for loader in (query, explain, repl, serve, investigate):
         loader.add_argument("--backend", choices=BUILTIN_BACKENDS,
@@ -223,6 +258,12 @@ def _dispatch(args: argparse.Namespace, stdout) -> int:
     if args.command == "stream":
         return _run_stream(args, stdout)
 
+    if args.command == "recover":
+        return _run_recover(args, stdout)
+
+    if args.command == "alerts":
+        return _run_alerts(args, stdout)
+
     if args.command == "investigate":
         from repro.investigate import FIGURE4_QUERIES, FIGURE5_QUERIES
         catalog = (FIGURE4_QUERIES if args.catalog == "figure4"
@@ -275,18 +316,80 @@ def _run_lint(args: argparse.Namespace, stdout) -> int:
     return 0
 
 
+def _run_recover(args: argparse.Namespace, stdout) -> int:
+    """``repro recover``: rebuild store state after a crash.
+
+    Prints the recovery tally (checkpoint + WAL replay + dedup counts)
+    and the recovered store summary; ``--aiql`` then runs investigation
+    queries directly on the recovered state.
+    """
+    session = AiqlSession.recover(args.dir, backend=args.backend,
+                                  max_workers=args.workers)
+    print(session.store.recovery.describe(), file=stdout)
+    print(session.describe(), file=stdout)
+    for text in args.aiql:
+        result = session.query(_query_text(text))
+        print(render_table(result, max_rows=args.max_rows), file=stdout)
+    if args.checkpoint:
+        number = session.checkpoint()
+        print(f"checkpoint #{number} written ({session.event_count} "
+              f"events); WAL truncated", file=stdout)
+    session.store.close()
+    return 0
+
+
+def _run_alerts(args: argparse.Namespace, stdout) -> int:
+    """``repro alerts``: at-least-once consumption of the alert log."""
+    import os
+
+    from repro.stream.alertlog import AlertLog
+
+    path = os.path.join(args.dir, "alerts.log")
+    if not os.path.exists(path):
+        raise ReproError(f"{path}: no alert log (was the stream run with "
+                         f"--durable {args.dir}?)")
+    with AlertLog(path) as log:
+        last = 0
+        count = 0
+        for record in log.replay(args.consumer):
+            cells = ", ".join(str(cell) for cell in record.row)
+            print(f"#{record.seq} [{record.query}] {cells}", file=stdout)
+            last = record.seq
+            count = count + 1
+        print(f"{count} pending alert(s) for consumer "
+              f"{args.consumer!r}", file=stdout)
+        if args.ack and last:
+            log.ack(last, args.consumer)
+            print(f"acknowledged through #{last}", file=stdout)
+    return 0
+
+
 def _run_stream(args: argparse.Namespace, stdout) -> int:
     """``repro stream``: tail a telemetry generator with standing queries.
 
     Matches and anomaly alerts print live as the stream produces them;
     the final section shows each standing query's accumulated result —
     exactly what a batch query over the fully-ingested store returns.
+
+    With ``--durable DIR`` every delivered batch is WAL-appended before
+    it reaches the store and every alert lands in ``DIR/alerts.log``, so
+    a crash (or kill) mid-stream loses at most the in-flight batch and
+    ``repro recover DIR`` rebuilds the rest.  ``--follow`` shuts down
+    gracefully on SIGINT/SIGTERM: pending bus batches are flushed,
+    window panes finalized, and the WAL closed cleanly (exit 0).
     """
+    import os as _os
     import time as _time
 
     events = _build_scenario(args).events()
 
-    session = AiqlSession(backend=args.backend)
+    stream_kwargs = {"batch_size": args.batch_size}
+    if args.durable is not None:
+        session = AiqlSession(backend=args.backend, durable_dir=args.durable,
+                              sync=args.sync)
+        stream_kwargs["alert_log"] = _os.path.join(args.durable, "alerts.log")
+    else:
+        session = AiqlSession(backend=args.backend)
 
     def on_match(standing, row) -> None:
         cells = ", ".join(str(cell) for cell in row)
@@ -294,7 +397,7 @@ def _run_stream(args: argparse.Namespace, stdout) -> int:
 
     # The stream must exist (with the requested batch size) before the
     # first register() lazily creates one with defaults.
-    stream = session.stream(batch_size=args.batch_size)
+    stream = session.stream(**stream_kwargs)
     queries = []
     for position, text in enumerate(args.aiql, start=1):
         source = _query_text(text)
@@ -308,12 +411,31 @@ def _run_stream(args: argparse.Namespace, stdout) -> int:
           f"[backend={session.backend_name}]", file=stdout)
 
     started = _time.perf_counter()
-    try:
-        if args.follow:
-            if args.rate <= 0:
-                raise ReproError("--rate must be positive with --follow")
+    if args.follow:
+        if args.rate <= 0:
+            raise ReproError("--rate must be positive with --follow")
+        # Graceful shutdown: SIGINT/SIGTERM set a flag the pacing loop
+        # checks between chunks, so interruption never tears a batch —
+        # pending bus batches flush, panes finalize, the WAL closes
+        # cleanly, and the command exits 0.
+        import signal as _signal
+
+        stopping = []
+
+        def _request_stop(signum, frame) -> None:
+            stopping.append(_signal.Signals(signum).name)
+
+        previous = {
+            sig: _signal.signal(sig, _request_stop)
+            for sig in (_signal.SIGINT, _signal.SIGTERM)
+        }
+        try:
             published = 0
             for start in range(0, len(events), args.batch_size):
+                if stopping:
+                    print(f"{stopping[0]} — flushing and closing stream",
+                          file=stdout)
+                    break
                 chunk = events[start:start + args.batch_size]
                 stream.publish_many(chunk)
                 stream.flush()
@@ -325,10 +447,14 @@ def _run_stream(args: argparse.Namespace, stdout) -> int:
                 remaining = deadline - _time.perf_counter()
                 if remaining > 0:
                     _time.sleep(remaining)
-        else:
+        finally:
+            for sig, handler in previous.items():
+                _signal.signal(sig, handler)
+    else:
+        try:
             stream.publish_many(events)
-    except KeyboardInterrupt:
-        print("interrupted — closing stream", file=stdout)
+        except KeyboardInterrupt:
+            print("interrupted — closing stream", file=stdout)
     stream.close()
     elapsed = _time.perf_counter() - started
 
@@ -343,6 +469,12 @@ def _run_stream(args: argparse.Namespace, stdout) -> int:
     rate = len(events) / elapsed if elapsed > 0 else 0.0
     print(f"{len(events)} events in {elapsed:.2f}s ({rate:,.0f} events/sec); "
           f"store now holds {session.event_count} events", file=stdout)
+    if args.durable is not None:
+        wal_size = session.store.wal_size
+        session.store.close()
+        print(f"durable: {args.durable} (wal {wal_size} bytes; "
+              f"'repro recover {args.durable}' rebuilds this store)",
+              file=stdout)
     return 0
 
 

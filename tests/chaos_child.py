@@ -1,0 +1,72 @@
+"""Chaos-harness child: stream into a durable store, crash at a fault point.
+
+Run as a subprocess by ``tests/test_crash_recovery.py`` (and by the CI
+chaos job).  It regenerates the deterministic demo scenario, streams it
+through an :class:`~repro.stream.bus.EventBus` into a
+:class:`~repro.storage.durable.DurableStore` with one armed fault, and —
+in ``kill`` mode — dies by SIGKILL mid-write, exactly like ``kill -9``
+or a power cut.  The parent then runs ``recover()`` on the directory and
+asserts the differential property: every catalog query returns
+byte-identical results to a fresh store holding the same event prefix.
+
+Exit codes: 0 — the whole stream completed and the fault never fired
+(the parent treats this as a harness failure for ``kill`` runs);
+2 — bad arguments.  A fired ``kill`` fault exits via SIGKILL (the
+parent sees returncode ``-9``); ``error``-mode faults exit 0 after the
+triggered append is absorbed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.storage.durable import DurableStore
+from repro.storage.faults import Fault, FaultInjector
+from repro.telemetry import build_demo_scenario
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--dir", required=True)
+    parser.add_argument("--backend", default="row")
+    parser.add_argument("--fault", required=True,
+                        help="point[:mode[:skip]] (see Fault.from_spec)")
+    parser.add_argument("--events-per-host", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--sync", default="always")
+    args = parser.parse_args(argv)
+
+    from repro.storage.faults import FaultTriggered
+    from repro.stream.bus import EventBus
+
+    events = build_demo_scenario(events_per_host=args.events_per_host,
+                                 seed=args.seed).events()
+    fault = Fault.from_spec(args.fault)
+    injector = FaultInjector([fault])
+    # A quarter-stream checkpoint cadence puts every checkpoint.* fault
+    # point on the path of a mid-ingest run, not just an explicit call.
+    store = DurableStore(args.dir, backend=args.backend, sync=args.sync,
+                        auto_checkpoint=max(1, len(events) // 4),
+                        faults=injector)
+    bus = EventBus(batch_size=args.batch_size)
+    bus.attach_store(store)
+    try:
+        bus.publish_many(events)
+        bus.close()
+    except FaultTriggered:
+        # error/torn/bitflip/truncate modes: the injected failure
+        # surfaces in-process.  Stop writing immediately — a real
+        # process would crash here — and leave the directory as-is.
+        return 0
+    store.close()
+    # Clean completion: report whether the fault ever fired so the
+    # parent can distinguish "survived an error fault" from "the armed
+    # point was never reached" (a harness bug worth failing loudly).
+    print(f"fired={len(injector.fired)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,530 @@
+"""Crash recovery: kill the process at every fault point, recover, compare.
+
+The durability tier's contract is the *prefix property*: whatever the
+crash — torn append, lost fsync, half-written checkpoint, ``kill -9``
+mid-stream — ``recover()`` rebuilds exactly the longest cleanly-committed
+batch prefix of the original ingest, and every catalog query over the
+recovered store returns byte-identical results to a fresh store holding
+that same prefix.  These tests drive it three ways:
+
+* in-process: armed :class:`~repro.storage.faults.Fault` objects raise
+  at each named point, across every applicable mode;
+* replay idempotence: recovering twice, recovering over a WAL whose
+  prefix the checkpoint already applied, and duplicated/out-of-order
+  batches all converge to the same state;
+* subprocess chaos: ``tests/chaos_child.py`` streams the demo scenario
+  and is SIGKILLed by the injector mid-write — the real ``kill -9``,
+  no atexit, no flushing — then the parent recovers and runs the
+  differential comparison.
+
+Also here: the persistent alert log's replay/ack loop, the SQLite
+busy-retry satellite, and the CLI's graceful-shutdown satellite.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import AiqlSession
+from repro.baselines.sqlite_backend import SqliteEventStore
+from repro.errors import StorageError
+from repro.investigate import FIGURE4_QUERIES
+from repro.model.entities import FileEntity, ProcessEntity
+from repro.model.events import Event
+from repro.storage.backend import create_backend
+from repro.storage.durable import DurableStore, recover
+from repro.storage.faults import (FAULT_POINTS, Fault, FaultInjector,
+                                  FaultTriggered)
+from repro.storage.wal import WriteAheadLog
+from repro.stream.alertlog import AlertLog
+from repro.telemetry import build_demo_scenario
+
+CHAOS_EVENTS_PER_HOST = int(os.environ.get(
+    "REPRO_CHAOS_EVENTS_PER_HOST", "200"))
+CHAOS_SEED = 7
+BATCH = 64
+
+
+def _event_key(event: Event) -> tuple:
+    return (event.id, event.agentid, event.ts, event.operation,
+            event.amount, event.failcode, event.subject.identity,
+            event.object.identity)
+
+
+def _scenario_events(events_per_host: int = CHAOS_EVENTS_PER_HOST):
+    return build_demo_scenario(events_per_host=events_per_host,
+                               seed=CHAOS_SEED).events()
+
+
+def _fresh_session(events) -> AiqlSession:
+    session = AiqlSession()
+    session.ingest(events)
+    return session
+
+
+def _assert_differential(recovered_store, events) -> int:
+    """The acceptance property: the recovered store is a clean prefix
+    and every Figure-4 catalog query agrees byte-for-byte with a fresh
+    store over that prefix."""
+    count = len(recovered_store)
+    prefix = events[:count]
+    assert ([_event_key(e) for e in recovered_store.scan()]
+            == [_event_key(e) for e in prefix]), \
+        "recovered state is not the ingest prefix"
+    recovered_session = AiqlSession(store=recovered_store)
+    fresh_session = _fresh_session(prefix)
+    for entry in FIGURE4_QUERIES:
+        got = recovered_session.query(entry.aiql)
+        want = fresh_session.query(entry.aiql)
+        assert got.columns == want.columns, entry.id
+        assert got.rows == want.rows, \
+            f"{entry.id}: recovered store diverges from prefix store"
+    return count
+
+
+def _crashing_ingest(store: DurableStore, events) -> None:
+    """Stream in BATCH-sized chunks until the armed fault crashes it."""
+    with pytest.raises(FaultTriggered):
+        for start in range(0, len(events), BATCH):
+            store.ingest(events[start:start + BATCH])
+        pytest.fail("armed fault never fired")
+
+
+# ---------------------------------------------------------------------------
+# In-process fault-point recovery
+# ---------------------------------------------------------------------------
+
+# wal.append.* points are hit on every batch: skip a few so the crash
+# lands mid-stream.  checkpoint.* points are only reached through the
+# auto-checkpoint cadence, which is already mid-stream on first trigger.
+WAL_POINTS = [p for p in FAULT_POINTS if p.startswith("wal.")]
+CHECKPOINT_POINTS = [p for p in FAULT_POINTS if p.startswith("checkpoint.")]
+
+
+class TestFaultPointRecovery:
+    @pytest.mark.parametrize("point", WAL_POINTS)
+    def test_crash_at_wal_point_mid_stream(self, tmp_path, point):
+        events = _scenario_events(60)
+        injector = FaultInjector([Fault(point, "error", skip=4)])
+        store = DurableStore(tmp_path / "dur", faults=injector)
+        _crashing_ingest(store, events)
+        recovered = recover(tmp_path / "dur")
+        count = _assert_differential(recovered, events)
+        # Four full batches committed before the crash; the crashing
+        # batch may or may not have made it depending on the point.
+        assert count >= 4 * BATCH
+        recovered.close()
+
+    @pytest.mark.parametrize("mode", ("torn", "bitflip", "truncate"))
+    def test_corrupted_append_recovers_to_prior_batch(self, tmp_path, mode):
+        """The write-mangling modes leave a frame the CRC must reject."""
+        events = _scenario_events(60)
+        injector = FaultInjector([Fault("wal.append.payload", mode,
+                                        skip=3)])
+        store = DurableStore(tmp_path / "dur", faults=injector)
+        _crashing_ingest(store, events)
+        recovered = recover(tmp_path / "dur")
+        count = _assert_differential(recovered, events)
+        assert count == 3 * BATCH      # the mangled batch never survives
+        recovered.close()
+
+    @pytest.mark.parametrize("point", CHECKPOINT_POINTS)
+    def test_crash_inside_checkpoint_sequence(self, tmp_path, point):
+        events = _scenario_events(60)
+        injector = FaultInjector([Fault(point, "error")])
+        store = DurableStore(tmp_path / "dur", faults=injector,
+                             auto_checkpoint=max(1, len(events) // 3))
+        _crashing_ingest(store, events)
+        recovered = recover(tmp_path / "dur")
+        count = _assert_differential(recovered, events)
+        # The checkpoint crashed, but every batch WAL-appended before it
+        # is still covered (old manifest + full WAL, or new manifest +
+        # deduplicated stale WAL).
+        assert count >= len(events) // 3
+        recovered.close()
+
+    def test_crash_between_manifest_swap_and_wal_reset(self, tmp_path):
+        """The window idempotent dedup exists for: the manifest already
+        points at the new checkpoint, the WAL still holds everything."""
+        events = _scenario_events(60)
+        injector = FaultInjector([Fault("checkpoint.truncate", "error")])
+        store = DurableStore(tmp_path / "dur", faults=injector)
+        store.ingest(events[:200])
+        with pytest.raises(FaultTriggered):
+            store.checkpoint()
+        recovered = recover(tmp_path / "dur")
+        assert recovered.recovery.checkpoint == 1
+        assert recovered.recovery.deduplicated == 200   # full WAL overlap
+        _assert_differential(recovered, events)
+        assert len(recovered) == 200
+        recovered.close()
+
+    def test_missing_segment_is_a_hard_error(self, tmp_path):
+        events = _scenario_events(30)
+        store = DurableStore(tmp_path / "dur")
+        store.ingest(events[:100])
+        store.checkpoint()
+        store.close()
+        os.unlink(tmp_path / "dur" / "checkpoint-000001.wal")
+        with pytest.raises(StorageError, match="missing checkpoint"):
+            recover(tmp_path / "dur")
+
+    def test_torn_checkpoint_segment_is_a_hard_error(self, tmp_path):
+        """A WAL tail may tear (replay stops there); a manifest-named
+        segment may not — a silently partial checkpoint would violate
+        the prefix property, so the count trailer must catch it."""
+        events = _scenario_events(30)
+        store = DurableStore(tmp_path / "dur")
+        store.ingest(events[:150])
+        store.checkpoint()
+        store.close()
+        segment = tmp_path / "dur" / "checkpoint-000001.wal"
+        with open(segment, "r+b") as handle:
+            handle.truncate(segment.stat().st_size - 20)
+        with pytest.raises(StorageError, match="corrupt"):
+            recover(tmp_path / "dur")
+
+    def test_recover_missing_directory_raises(self, tmp_path):
+        with pytest.raises(StorageError, match="no durable store"):
+            recover(tmp_path / "never-created")
+
+
+# ---------------------------------------------------------------------------
+# Replay idempotence (satellite: extends the disorder/dup suite)
+# ---------------------------------------------------------------------------
+
+class TestReplayIdempotence:
+    def test_recover_twice_is_identical(self, tmp_path):
+        events = _scenario_events(40)
+        store = DurableStore(tmp_path / "dur",
+                             auto_checkpoint=len(events) // 2)
+        for start in range(0, len(events), BATCH):
+            store.ingest(events[start:start + BATCH])
+        store.close()
+        first = recover(tmp_path / "dur")
+        state = [_event_key(e) for e in first.scan()]
+        first.close()
+        second = recover(tmp_path / "dur")
+        assert [_event_key(e) for e in second.scan()] == state
+        assert len(second) == len(events)
+        second.close()
+
+    def test_duplicated_batches_apply_once(self, tmp_path):
+        """An at-least-once shipper may append the same batch twice; the
+        replay deduper admits each event exactly once."""
+        events = _scenario_events(30)
+        store = DurableStore(tmp_path / "dur")
+        store.ingest(events[:100])
+        store.close()
+        # Duplicate the batch straight into the WAL, like a retry would.
+        with WriteAheadLog(tmp_path / "dur" / "wal.log") as wal:
+            wal.append_events(events[:100])
+            wal.append_events(events[50:100])   # overlapping suffix too
+        recovered = recover(tmp_path / "dur")
+        assert len(recovered) == 100
+        assert recovered.recovery.deduplicated == 150
+        _assert_differential(recovered, events)
+        recovered.close()
+
+    def test_out_of_order_batches_recover_to_the_same_store(self, tmp_path):
+        """WAL batches appended out of timestamp order still rebuild the
+        same queryable state (partition routing is by timestamp)."""
+        events = _scenario_events(30)
+        first, second, third = (events[:50], events[50:120],
+                                events[120:200])
+        path = tmp_path / "dur"
+        path.mkdir()
+        with WriteAheadLog(path / "wal.log") as wal:
+            wal.append_events(second)          # disordered arrival
+            wal.append_events(first)
+            wal.append_events(third)
+        recovered = recover(path)
+        expected = create_backend("row")
+        expected.ingest(events[:200])
+        assert ([_event_key(e) for e in recovered.scan()]
+                == [_event_key(e) for e in expected.scan()])
+        recovered.close()
+
+    def test_reopen_is_recovery_and_appends_continue(self, tmp_path):
+        """Opening the directory again *is* recovery; new writes land
+        after the replayed state and survive the next recovery."""
+        events = _scenario_events(30)
+        store = DurableStore(tmp_path / "dur")
+        store.ingest(events[:80])
+        store.close()
+        reopened = DurableStore(tmp_path / "dur")
+        assert reopened.recovery.applied == 80
+        reopened.ingest(events[80:130])
+        reopened.close()
+        final = recover(tmp_path / "dur")
+        assert len(final) == 130
+        _assert_differential(final, events)
+        final.close()
+
+
+# ---------------------------------------------------------------------------
+# Subprocess chaos: kill -9 at every fault point, then recover
+# ---------------------------------------------------------------------------
+
+def _run_chaos_child(directory: Path, fault_spec: str) -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    child = subprocess.run(
+        [sys.executable, str(Path(__file__).with_name("chaos_child.py")),
+         "--dir", str(directory), "--fault", fault_spec,
+         "--events-per-host", str(CHAOS_EVENTS_PER_HOST),
+         "--seed", str(CHAOS_SEED), "--batch-size", str(BATCH)],
+        env=env, capture_output=True, text=True, timeout=600)
+    return child.returncode
+
+
+class TestChaosKill:
+    @pytest.mark.parametrize("point", FAULT_POINTS)
+    def test_kill9_at_point_recovers_byte_identical(self, tmp_path, point):
+        """The acceptance scenario: a streamed ingest is SIGKILLed at
+        the fault point, and recovery yields byte-identical catalog
+        query results against a fresh store over the same prefix."""
+        skip = 4 if point.startswith("wal.") else 0
+        returncode = _run_chaos_child(tmp_path / "dur",
+                                      f"{point}:kill:{skip}")
+        assert returncode == -signal.SIGKILL, \
+            (f"chaos child survived (rc={returncode}) — fault {point!r} "
+             f"never fired; the harness is not exercising the point")
+        events = _scenario_events()
+        recovered = recover(tmp_path / "dur")
+        count = _assert_differential(recovered, events)
+        if point.startswith("wal."):
+            assert count >= 4 * BATCH          # crash landed mid-stream
+        recovered.close()
+
+    def test_double_kill_then_recover(self, tmp_path):
+        """Crash, recover nothing (just reopen), crash again during the
+        checkpoint the reopened store triggers, recover again."""
+        directory = tmp_path / "dur"
+        assert _run_chaos_child(
+            directory, "wal.append.sync:kill:6") == -signal.SIGKILL
+        intermediate = recover(directory)
+        count_after_first = len(intermediate)
+        intermediate.close()
+        assert _run_chaos_child(
+            directory, "checkpoint.manifest:kill:0") == -signal.SIGKILL
+        events = _scenario_events()
+        recovered = recover(directory)
+        assert len(recovered) >= count_after_first
+        _assert_differential(recovered, events)
+        recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# Persistent alert log
+# ---------------------------------------------------------------------------
+
+ALERT_AIQL = ('proc p["%cmd.exe%"] start proc c as e1\n'
+              'return p, c')
+
+
+class TestAlertLogDurability:
+    def test_alerts_survive_reopen_and_replay_past_cursor(self, tmp_path):
+        path = tmp_path / "alerts.log"
+        with AlertLog(path) as log:
+            for i in range(5):
+                log.append("q1", (f"row-{i}", i))
+        with AlertLog(path) as log:
+            assert len(log) == 5
+            records = list(log.replay())
+            assert [r.row for r in records] == [
+                (f"row-{i}", i) for i in range(5)]
+            log.ack(3)
+        with AlertLog(path) as log:            # cursor is durable too
+            assert log.pending() == 2
+            assert [r.seq for r in log.replay()] == [4, 5]
+
+    def test_cursors_are_per_consumer_and_forward_only(self, tmp_path):
+        with AlertLog(tmp_path / "alerts.log") as log:
+            for i in range(4):
+                log.append("q", (i,))
+            log.ack(4, "pager")
+            log.ack(2, "dashboard")
+            log.ack(1, "dashboard")            # backwards: no-op
+            assert log.pending("pager") == 0
+            assert log.pending("dashboard") == 2
+            assert log.pending("fresh-consumer") == 4
+
+    def test_invalid_consumer_name_rejected(self, tmp_path):
+        with AlertLog(tmp_path / "alerts.log") as log:
+            log.append("q", (1,))
+            with pytest.raises(StorageError, match="consumer name"):
+                log.ack(1, "../escape")
+
+    def test_torn_alert_tail_drops_only_the_tail(self, tmp_path):
+        path = tmp_path / "alerts.log"
+        with AlertLog(path) as log:
+            log.append("q", ("kept",))
+            log.append("q", ("torn",))
+        with open(path, "r+b") as handle:
+            handle.truncate(path.stat().st_size - 5)
+        with AlertLog(path) as log:
+            assert [r.row for r in log.replay()] == [("kept",)]
+            # And the log keeps working past the repaired tail.
+            log.append("q", ("after",))
+            assert [r.row for r in log.replay()] == [("kept",), ("after",)]
+
+    def test_entity_cells_round_trip(self, tmp_path):
+        proc = ProcessEntity(1, 10, "cmd.exe", user="u", cmdline="cmd",
+                             start_time=9.0)
+        file_entity = FileEntity(1, r"C:\x\y.txt", owner="o")
+        with AlertLog(tmp_path / "alerts.log") as log:
+            log.append("q", (proc, file_entity, 3.5, None, "plain"))
+        with AlertLog(tmp_path / "alerts.log") as log:
+            (record,) = log.replay()
+        assert record.row == (proc, file_entity, 3.5, None, "plain")
+        assert isinstance(record.row[0], ProcessEntity)
+
+    def test_stream_session_logs_matches_durably(self, tmp_path):
+        """The wiring: a standing query's matches reach the alert log
+        before the user callback, so an unconsumed alert is replayable
+        after the process is gone."""
+        events = _scenario_events(60)
+        session = AiqlSession(durable_dir=str(tmp_path / "dur"))
+        stream = session.stream(
+            batch_size=BATCH,
+            alert_log=str(tmp_path / "dur" / "alerts.log"))
+        seen = []
+        session.register(ALERT_AIQL, callback=lambda q, row:
+                         seen.append(row), name="exec-chain")
+        stream.publish_many(events)
+        stream.close()
+        session.store.close()
+        assert seen                             # the scenario matches
+        with AlertLog(tmp_path / "dur" / "alerts.log") as log:
+            replayed = list(log.replay())
+        assert [r.row for r in replayed] == seen
+        assert all(r.query == "exec-chain" for r in replayed)
+
+
+# ---------------------------------------------------------------------------
+# SQLite busy retry (satellite)
+# ---------------------------------------------------------------------------
+
+class _FlakyConn:
+    """Raises SQLITE_BUSY on the first N immediate BEGINs, then behaves."""
+
+    def __init__(self, conn, failures: int,
+                 message: str = "database is locked") -> None:
+        self._conn = conn
+        self._failures = failures
+        self._message = message
+        self.begin_attempts = 0
+
+    def execute(self, sql, *args):
+        if sql == "BEGIN IMMEDIATE":
+            self.begin_attempts += 1
+            if self.begin_attempts <= self._failures:
+                raise sqlite3.OperationalError(self._message)
+        return self._conn.execute(sql, *args)
+
+    def __getattr__(self, name):
+        return getattr(self._conn, name)
+
+
+def _sqlite_events(n: int = 10) -> list[Event]:
+    proc = ProcessEntity(1, 10, "w.exe")
+    return [Event(id=i + 1, ts=100.0 + i, agentid=1, operation="write",
+                  subject=proc, object=FileEntity(1, f"/f{i % 3}"))
+            for i in range(n)]
+
+
+class TestSqliteBusyRetry:
+    def _flaky_store(self, failures: int) -> tuple[SqliteEventStore,
+                                                   _FlakyConn]:
+        store = SqliteEventStore()
+        flaky = _FlakyConn(store._conn, failures)
+        store._conn = flaky
+        store.BUSY_BACKOFF = 0.0001            # keep the test instant
+        return store, flaky
+
+    def test_transient_busy_retries_and_commits(self):
+        store, flaky = self._flaky_store(failures=2)
+        assert store.ingest(_sqlite_events()) == 10
+        assert flaky.begin_attempts == 3       # 2 busy + 1 success
+        assert len(store.scan()) == 10         # the write really landed
+        store.close()
+
+    def test_busy_beyond_retry_budget_raises_storage_error(self):
+        store, _flaky = self._flaky_store(
+            failures=SqliteEventStore.BUSY_RETRIES + 1)
+        with pytest.raises(StorageError, match="busy after"):
+            store.ingest(_sqlite_events())
+        assert len(store) == 0                 # nothing half-committed
+
+    def test_non_busy_operational_error_is_not_retried(self):
+        store, flaky = self._flaky_store(failures=0)
+        started = time.perf_counter()
+        with pytest.raises(sqlite3.OperationalError, match="syntax"):
+            store._write_transaction(
+                lambda conn: conn.execute("NOT SQL AT ALL"))
+        assert time.perf_counter() - started < 1.0
+        assert flaky.begin_attempts == 1       # no retry loop entered
+        store.close()
+
+    def test_failed_transaction_rolls_back_cleanly(self):
+        store, _flaky = self._flaky_store(failures=0)
+        events = _sqlite_events(5)
+        store.ingest(events)
+
+        def poison(conn):
+            conn.execute("INSERT INTO backend_events (id, ts, agentid, "
+                         "etype, op, subject_name, payload) "
+                         "VALUES (99, 1.0, 1, 'file', 'write', 'x', '{}')")
+            raise sqlite3.OperationalError("database is locked")
+
+        store.BUSY_RETRIES = 1
+        with pytest.raises(StorageError, match="busy after"):
+            store._write_transaction(poison)
+        # The poisoned insert is rolled back on every attempt.
+        assert len(store.scan()) == 5
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# CLI graceful shutdown (satellite)
+# ---------------------------------------------------------------------------
+
+class TestStreamGracefulShutdown:
+    @pytest.mark.parametrize("signum", (signal.SIGINT, signal.SIGTERM))
+    def test_follow_flushes_and_exits_zero(self, tmp_path, signum):
+        durable = tmp_path / "dur"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parent.parent / "src")
+        child = subprocess.Popen(
+            [sys.executable, "-m", "repro", "stream",
+             "--events-per-host", "2000", "--follow", "--rate", "400",
+             "--batch-size", "64", "--seed", str(CHAOS_SEED),
+             "--durable", str(durable), ALERT_AIQL],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        # Give the stream time to start pacing, then interrupt it.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline and not durable.exists():
+            time.sleep(0.05)
+        time.sleep(1.0)
+        child.send_signal(signum)
+        output, _ = child.communicate(timeout=60)
+        assert child.returncode == 0, output
+        assert signal.Signals(signum).name in output
+        assert "flushing and closing stream" in output
+        # The flushed prefix is recoverable and differentially clean.
+        recovered = recover(durable)
+        assert len(recovered) > 0, output
+        _assert_differential(recovered,
+                             _scenario_events(2000)[:len(recovered)])
+        recovered.close()

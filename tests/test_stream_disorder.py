@@ -18,9 +18,11 @@ from repro.model.entities import FileEntity, ProcessEntity
 from repro.model.events import Event
 from repro.model.timeutil import Window
 from repro.storage.backend import create_backend
-from repro.storage.dedup import EventMerger
+from repro.storage.dedup import EventMerger, ReplayDeduper
+from repro.storage.durable import DurableStore, recover
 from repro.storage.ingest import IngestPipeline
 from repro.storage.partition import Hypertable
+from repro.storage.wal import WriteAheadLog
 from repro.stream import EventBus
 
 BACKENDS = ("row", "columnar", "sqlite")
@@ -157,6 +159,69 @@ class TestPartitionRoutingDisorder:
         assert len(stream_store) == len(batch_store) == 1
         assert (stream_store.scan()[0].amount
                 == batch_store.scan()[0].amount == 21)
+
+
+# ---------------------------------------------------------------------------
+# Durable replay under disorder and duplicates
+# ---------------------------------------------------------------------------
+
+class TestDurableReplayDisorder:
+    """WAL replay meets the same feed pathologies live ingest does:
+    duplicated batches (at-least-once shippers) and non-monotonic
+    timestamps.  Recovery must converge to the same store a clean batch
+    ingest builds — on every backend the durable tier can wrap."""
+
+    def test_replay_deduper_admits_each_event_once(self):
+        deduper = ReplayDeduper()
+        events = _shuffled_events(50)
+        assert deduper.admit_batch(events) == events
+        assert deduper.admit_batch(events) == []       # full replay dup
+        assert deduper.admit_batch(events[25:]) == []  # suffix overlap
+        assert deduper.duplicates == 75
+        assert len(deduper) == 50
+        # Same id but different (agentid, ts) is a different event.
+        other = _event(1, 9999.0, agent=3)
+        assert deduper.admit(other)
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_disordered_duplicated_wal_recovers_like_batch(
+            self, tmp_path, backend_name):
+        events = _shuffled_events(300)
+        chunks = [events[i:i + 60] for i in range(0, 300, 60)]
+        directory = tmp_path / backend_name
+        directory.mkdir()
+        with WriteAheadLog(directory / "wal.log") as wal:
+            for chunk in (chunks[2], chunks[0], chunks[1],   # out of order
+                          chunks[0],                         # duplicated
+                          chunks[3], chunks[4], chunks[3]):
+                wal.append_events(chunk)
+        recovered = recover(directory, backend=backend_name,
+                            bucket_seconds=1000.0)
+        assert recovered.recovery.deduplicated == 120
+        expected = create_backend(backend_name, bucket_seconds=1000.0)
+        with IngestPipeline(expected, batch_size=64) as pipeline:
+            pipeline.add_all(events)
+        assert ([(e.id, e.ts, e.agentid) for e in recovered.scan()]
+                == [(e.id, e.ts, e.agentid) for e in expected.scan()])
+        assert recovered.partition_count == expected.partition_count
+        recovered.close()
+
+    def test_durable_reopen_after_duplicate_suffix_append(self, tmp_path):
+        """A shipper retry re-appends an already-applied suffix; the next
+        recovery (and the one after it) both land on the same state."""
+        events = _shuffled_events(200)
+        store = DurableStore(tmp_path / "dur", bucket_seconds=1000.0)
+        store.ingest(events[:150])
+        store.close()
+        with WriteAheadLog(tmp_path / "dur" / "wal.log") as wal:
+            wal.append_events(events[100:150])      # retried suffix
+            wal.append_events(events[150:])         # then new data
+        for _round in range(2):                     # recover twice
+            recovered = recover(tmp_path / "dur", bucket_seconds=1000.0)
+            assert len(recovered) == 200
+            assert sorted(e.id for e in recovered.scan()) == sorted(
+                e.id for e in events)
+            recovered.close()
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,268 @@
+"""The write-ahead log: framing, torn tails, corruption, fault injector.
+
+These are the unit-level guarantees the crash-recovery suite composes:
+records round-trip, replay stops at (exactly) the first bad frame, an
+append-after-crash extends the valid prefix, and the fault injector
+fires at the armed point in the armed mode — once.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro.errors import StorageError
+from repro.model.entities import FileEntity, NetworkEntity, ProcessEntity
+from repro.model.events import Event
+from repro.storage.faults import (FAULT_MODES, FAULT_POINTS, Fault,
+                                  FaultInjector, FaultTriggered)
+from repro.storage.wal import (MAGIC, RT_EVENT_BATCH, RT_NOTE, WriteAheadLog,
+                               decode_event_batch, encode_event_batch)
+
+
+def _events(n: int = 10, *, agent: int = 1) -> list[Event]:
+    proc = ProcessEntity(agent, 10, "w.exe", user="svc",
+                         cmdline="w.exe -x", start_time=5.0)
+    out = []
+    for i in range(n):
+        obj = (FileEntity(agent, f"/data/{i % 3}", owner="root")
+               if i % 2 == 0 else
+               NetworkEntity(agent, "10.0.0.1", 1000 + i % 2, "10.0.0.9",
+                             443))
+        out.append(Event(id=i + 1, ts=100.0 + i, agentid=agent,
+                         operation="write" if i % 2 == 0 else "send",
+                         subject=proc, object=obj, amount=i * 7,
+                         failcode=i % 2))
+    return out
+
+
+class TestFraming:
+    def test_records_round_trip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(RT_NOTE, b"hello")
+            wal.append(RT_NOTE, b"")
+            wal.append(RT_EVENT_BATCH, b"x" * 1000)
+        records = list(WriteAheadLog.replay(path))
+        assert [(r.rtype, r.payload) for r in records] == [
+            (RT_NOTE, b"hello"), (RT_NOTE, b""),
+            (RT_EVENT_BATCH, b"x" * 1000)]
+        # LSNs are byte offsets: strictly increasing, first past header.
+        assert records[0].lsn == 8
+        assert records[1].lsn > records[0].lsn
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        assert list(WriteAheadLog.replay(tmp_path / "absent.log")) == []
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"NOPE" + bytes(4))
+        with pytest.raises(StorageError, match="bad magic"):
+            list(WriteAheadLog.replay(path))
+        with pytest.raises(StorageError, match="bad magic"):
+            WriteAheadLog(path)
+
+    def test_newer_version_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(struct.pack("<4sHH", MAGIC, 99, 0))
+        with pytest.raises(StorageError, match="version 99"):
+            list(WriteAheadLog.replay(path))
+
+    def test_replay_stops_at_torn_payload(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(RT_NOTE, b"first")
+            wal.append(RT_NOTE, b"second-record-payload")
+        # Chop mid-way through the second record's payload.
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 10)
+        records = list(WriteAheadLog.replay(path))
+        assert [r.payload for r in records] == [b"first"]
+
+    def test_replay_stops_at_flipped_bit(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(RT_NOTE, b"aaaa")
+            second = wal.append(RT_NOTE, b"bbbb")
+            wal.append(RT_NOTE, b"cccc")
+        with open(path, "r+b") as handle:      # corrupt the middle record
+            handle.seek(second + 9 + 2)
+            byte = handle.read(1)
+            handle.seek(second + 9 + 2)
+            handle.write(bytes((byte[0] ^ 0x01,)))
+        # The corrupt frame *and everything after it* are the torn tail:
+        # without the prefix property a recovered store could contain
+        # record 3 but not record 2, which is not a prefix of the ingest.
+        assert [r.payload for r in WriteAheadLog.replay(path)] == [b"aaaa"]
+
+    def test_append_after_torn_tail_overwrites_it(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(RT_NOTE, b"keep")
+            wal.append(RT_NOTE, b"torn-away")
+        with open(path, "r+b") as handle:
+            handle.truncate(path.stat().st_size - 4)
+        with WriteAheadLog(path) as wal:       # reopen for append
+            wal.append(RT_NOTE, b"new")
+        assert [r.payload for r in WriteAheadLog.replay(path)] == [
+            b"keep", b"new"]
+
+    def test_reset_truncates_to_header(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(RT_NOTE, b"x" * 100)
+            wal.reset()
+            assert wal.size == 8
+            wal.append(RT_NOTE, b"after")
+        assert [r.payload for r in WriteAheadLog.replay(path)] == [b"after"]
+
+    def test_records_through_open_handle_restores_position(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append(RT_NOTE, b"one")
+        assert [r.payload for r in wal.records()] == [b"one"]
+        wal.append(RT_NOTE, b"two")            # append still lands cleanly
+        assert [r.payload for r in wal.records()] == [b"one", b"two"]
+        wal.close()
+
+    @pytest.mark.parametrize("sync", ("always", "close", "never"))
+    def test_sync_policies_all_produce_replayable_logs(self, tmp_path, sync):
+        path = tmp_path / f"wal-{sync}.log"
+        with WriteAheadLog(path, sync=sync) as wal:
+            for i in range(5):
+                wal.append(RT_NOTE, f"r{i}".encode())
+        assert len(list(WriteAheadLog.replay(path))) == 5
+
+    def test_unknown_sync_policy_raises(self, tmp_path):
+        with pytest.raises(StorageError, match="sync policy"):
+            WriteAheadLog(tmp_path / "wal.log", sync="sometimes")
+
+
+class TestBatchCodec:
+    def test_round_trip_preserves_every_field(self):
+        events = _events(20)
+        decoded = decode_event_batch(encode_event_batch(events))
+        assert decoded == events
+
+    def test_entity_table_shares_repeated_entities(self):
+        events = _events(50)
+        payload = encode_event_batch(events)
+        # 50 events share 1 subject + 4 distinct objects; the naive
+        # per-event encoding would repeat the subject 50 times.
+        import json
+        data = json.loads(payload)
+        assert len(data["n"]) == 5, [d for d in data["n"]]
+        assert len(data["e"]) == 50
+        decoded = decode_event_batch(payload)
+        # Within a batch, identical entities decode to one instance.
+        assert all(e.subject is decoded[0].subject for e in decoded)
+
+    def test_empty_batch(self):
+        assert decode_event_batch(encode_event_batch([])) == []
+
+    def test_garbage_payload_raises_storage_error(self):
+        with pytest.raises(StorageError, match="undecodable"):
+            decode_event_batch(b"{not json")
+        with pytest.raises(StorageError, match="undecodable"):
+            decode_event_batch(b'{"n": [], "e": [[0]]}')
+
+    def test_wal_event_round_trip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        events = _events(30)
+        with WriteAheadLog(path) as wal:
+            wal.append_events(events[:17])
+            wal.append_events(events[17:])
+        batches = list(WriteAheadLog.replay_events(path))
+        assert [len(b) for b in batches] == [17, 13]
+        assert [e for b in batches for e in b] == events
+
+
+class TestFaultInjector:
+    def test_error_mode_raises_at_the_point(self, tmp_path):
+        injector = FaultInjector([Fault("wal.append.header")])
+        wal = WriteAheadLog(tmp_path / "wal.log", faults=injector)
+        with pytest.raises(FaultTriggered):
+            wal.append(RT_NOTE, b"x")
+        assert injector.fired[0].point == "wal.append.header"
+
+    def test_faults_are_one_shot(self, tmp_path):
+        injector = FaultInjector([Fault("wal.append.sync")])
+        wal = WriteAheadLog(tmp_path / "wal.log", faults=injector)
+        with pytest.raises(FaultTriggered):
+            wal.append(RT_NOTE, b"x")
+        wal.append(RT_NOTE, b"y")              # disarmed: append succeeds
+        wal.close()
+
+    def test_skip_delays_the_trigger(self, tmp_path):
+        injector = FaultInjector([Fault("wal.append.payload", "torn",
+                                        skip=2)])
+        wal = WriteAheadLog(tmp_path / "wal.log", faults=injector)
+        wal.append(RT_NOTE, b"one")
+        wal.append(RT_NOTE, b"two")
+        with pytest.raises(FaultTriggered):
+            wal.append(RT_NOTE, b"three-is-torn")
+        assert injector.hits["wal.append.payload"] == 3
+
+    def test_torn_write_leaves_prefix_valid(self, tmp_path):
+        path = tmp_path / "wal.log"
+        injector = FaultInjector([Fault("wal.append.payload", "torn",
+                                        skip=1)])
+        with WriteAheadLog(path, faults=injector) as wal:
+            wal.append(RT_NOTE, b"complete")
+            with pytest.raises(FaultTriggered):
+                wal.append(RT_NOTE, b"torn-in-half")
+        assert [r.payload for r in WriteAheadLog.replay(path)] == [
+            b"complete"]
+
+    def test_bitflip_write_is_caught_by_crc(self, tmp_path):
+        path = tmp_path / "wal.log"
+        injector = FaultInjector([Fault("wal.append.payload", "bitflip",
+                                        skip=1)])
+        with WriteAheadLog(path, faults=injector) as wal:
+            wal.append(RT_NOTE, b"good")
+            with pytest.raises(FaultTriggered):
+                wal.append(RT_NOTE, b"silently-corrupted")
+        # The full record is on disk — only the CRC betrays it.
+        assert os.path.getsize(path) > 8 + 9 + 4
+        assert [r.payload for r in WriteAheadLog.replay(path)] == [b"good"]
+
+    def test_truncate_write_loses_the_tail(self, tmp_path):
+        path = tmp_path / "wal.log"
+        injector = FaultInjector([Fault("wal.append.payload", "truncate")])
+        with WriteAheadLog(path, faults=injector) as wal:
+            with pytest.raises(FaultTriggered):
+                wal.append(RT_NOTE, b"0123456789")
+        assert list(WriteAheadLog.replay(path)) == []
+
+    def test_from_spec_parses_the_cli_form(self):
+        fault = Fault.from_spec("checkpoint.manifest")
+        assert (fault.point, fault.mode, fault.skip) == (
+            "checkpoint.manifest", "error", 0)
+        fault = Fault.from_spec("wal.append.payload:torn:3")
+        assert (fault.point, fault.mode, fault.skip) == (
+            "wal.append.payload", "torn", 3)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            Fault("wal.append.header", mode="maybe")
+
+    def test_every_declared_point_reachable_by_error_mode(self, tmp_path):
+        """FAULT_POINTS is the chaos matrix — each one must actually be
+        wired into the write path (a renamed hook would silently turn
+        the CI chaos job into a no-op)."""
+        from repro.storage.durable import DurableStore
+        for point in FAULT_POINTS:
+            injector = FaultInjector([Fault(point)])
+            store = DurableStore(tmp_path / point.replace(".", "-"),
+                                 faults=injector)
+            with pytest.raises(FaultTriggered):
+                store.ingest(_events(5))
+                store.checkpoint()
+            assert injector.fired, f"{point} never fired"
+            store.close()
+
+    def test_mode_catalog_is_closed(self):
+        assert set(FAULT_MODES) == {"error", "kill", "torn", "bitflip",
+                                    "truncate"}
