@@ -45,15 +45,29 @@ BENCH_OPTIONS = EngineOptions(max_workers=BENCH_WORKERS)
 
 
 def pytest_addoption(parser):
-    from repro.storage.backend import BUILTIN_BACKENDS
+    from repro.storage.backend import BUILTIN_BACKENDS, SHARDED_BACKENDS
     parser.addoption(
-        "--backend", choices=BUILTIN_BACKENDS, default="row",
+        "--backend", choices=BUILTIN_BACKENDS + SHARDED_BACKENDS,
+        default="row",
         help="storage backend the storage and figure benchmarks run against")
+    parser.addoption(
+        "--shards", type=int, default=None, metavar="N",
+        help="worker-process fan-out when --backend selects a sharded "
+             "store (default: the sharded tier's own default)")
 
 
 @pytest.fixture(scope="session")
 def backend_name(request) -> str:
-    return request.config.getoption("--backend")
+    name = request.config.getoption("--backend")
+    shards = request.config.getoption("--shards")
+    if shards is None:
+        return name
+    if not name.startswith("sharded"):
+        raise pytest.UsageError("--shards only applies to the sharded "
+                                "backends (--backend sharded(...))")
+    from repro.storage.sharded import parse_backend_name
+    inner, _ = parse_backend_name(name)
+    return f"sharded({inner},{shards})"
 
 
 @dataclass

@@ -53,17 +53,35 @@ class AiqlSession:
                  backend: str = "row",
                  max_workers: int | None = None,
                  durable_dir: "str | None" = None,
-                 sync: str = "always") -> None:
+                 sync: str = "always",
+                 shards: int | None = None,
+                 shard_backend: str | None = None) -> None:
         if durable_dir is not None and store is not None:
             raise StorageError(
                 "pass either an explicit store or durable_dir, not both — "
                 "a durable session owns its backend via the recovery dir")
+        if ((shards is not None or shard_backend is not None)
+                and not (store is None and durable_dir is None
+                         and (backend == "sharded"
+                              or backend.startswith("sharded(")))):
+            raise StorageError(
+                "shards/shard_backend configure backend='sharded' only")
         if durable_dir is not None:
             # Crash-safe tier: WAL every ingested batch and recover the
             # wrapped backend from disk on reopen (see repro.storage.durable).
             from repro.storage.durable import DurableStore
             store = DurableStore(durable_dir, backend=backend,
                                  bucket_seconds=bucket_seconds, sync=sync)
+        elif store is None and (shards is not None
+                                or shard_backend is not None):
+            # Scatter-gather tier with explicit fan-out:
+            # AiqlSession(backend="sharded", shards=4, shard_backend=...)
+            from repro.storage.sharded import ShardedStore, parse_backend_name
+            inner, default_shards = parse_backend_name(backend)
+            store = ShardedStore(
+                shards=shards if shards is not None else default_shards,
+                backend=shard_backend if shard_backend is not None else inner,
+                bucket_seconds=bucket_seconds)
         elif store is None:
             store = create_backend(backend, bucket_seconds)
         self.store = store

@@ -23,6 +23,8 @@ from repro.storage.ingest import IngestPipeline, IngestStats
 from repro.storage.partition import Hypertable, Partition
 from repro.storage.scanstats import (EquiDepthHistogram, FrequencySketch,
                                      PartitionStatistics)
+from repro.storage.sharded import ShardedStore, ShardFailedError
+from repro.storage.shardrpc import SHARD_FAULT_POINTS
 from repro.storage.stats import PatternProfile, estimate_total
 from repro.storage.store import EventStore
 from repro.storage.wal import WalRecord, WriteAheadLog
@@ -42,4 +44,5 @@ __all__ = [
     "Hypertable", "Partition", "PatternProfile", "estimate_total",
     "EquiDepthHistogram", "FrequencySketch", "PartitionStatistics",
     "EventStore",
+    "ShardedStore", "ShardFailedError", "SHARD_FAULT_POINTS",
 ]

@@ -631,6 +631,10 @@ BackendFactory = Callable[[float], StorageBackend]
 #: implementations.
 BUILTIN_BACKENDS = ("row", "columnar", "sqlite")
 
+#: The sharded scatter-gather family (each hosts a builtin per worker).
+SHARDED_BACKENDS = ("sharded", "sharded(row)", "sharded(columnar)",
+                    "sharded(sqlite)")
+
 _FACTORIES: dict[str, BackendFactory] = {}
 
 
@@ -651,6 +655,9 @@ def _ensure_builtins() -> None:
     if "sqlite" not in _FACTORIES:
         from repro.baselines.sqlite_backend import SqliteEventStore
         register_backend("sqlite", SqliteEventStore)
+    if "sharded" not in _FACTORIES:
+        from repro.storage.sharded import register_sharded
+        register_sharded(register_backend)
 
 
 def available_backends() -> tuple[str, ...]:
@@ -664,6 +671,13 @@ def create_backend(name: str,
     """Instantiate a backend by registry name."""
     _ensure_builtins()
     factory = _FACTORIES.get(name)
+    if factory is None and name.startswith("sharded("):
+        # Parameterized spellings ("sharded(columnar,4)") construct
+        # directly; the fixed-arity family is registered above.
+        from repro.storage.sharded import ShardedStore, parse_backend_name
+        inner, shards = parse_backend_name(name)
+        return ShardedStore(shards=shards, backend=inner,
+                            bucket_seconds=bucket_seconds)
     if factory is None:
         raise StorageError(
             f"unknown storage backend {name!r} "

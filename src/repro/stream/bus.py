@@ -91,7 +91,16 @@ class EventBus:
                      merge_window: float | None = None,
                      progress: ProgressCallback | None = None,
                      ) -> IngestPipeline:
-        """Append every published event to ``store`` (batch-committed)."""
+        """Append every published event to ``store`` (batch-committed).
+
+        Sharded stores parallelize this for free: each committed batch
+        reaches :meth:`~repro.storage.sharded.ShardedStore.ingest`,
+        which splits it by agent hash and pipelines one sub-batch RPC
+        per shard worker, so stream ingest fans out across processes
+        without the bus knowing.  (Sharded workers must be spawned, not
+        forked, precisely because this bus may already run its delivery
+        thread — ``tools/check_invariants.py`` pins that down.)
+        """
         pipeline = IngestPipeline(
             store, batch_size=chunk_size or self._batch_size,
             merge_window=merge_window, progress=progress)

@@ -11,10 +11,12 @@ Usage (also via ``python -m repro``):
     repro serve day.jsonl --port 8080
     repro investigate day.jsonl --catalog figure4
 
-Every data-loading command accepts ``--backend {row,columnar,sqlite}`` to
-pick the storage substrate the engine runs on (default: row) and
-``--workers N`` to pin the sub-query thread pool (default: sized to the
-machine's CPU count).
+Every data-loading command accepts ``--backend`` to pick the storage
+substrate the engine runs on — a single-node builtin (``row``,
+``columnar``, ``sqlite``; default: row) or the multi-process
+scatter-gather tier (``sharded``, ``sharded(columnar)``, ... with
+``--shards N`` setting the worker fan-out) — and ``--workers N`` to pin
+the sub-query thread pool (default: sized to the machine's CPU count).
 
 Event files are the JSONL archive format of
 :mod:`repro.storage.serialize` (``.gz`` compressed transparently).
@@ -28,10 +30,14 @@ import sys
 from repro.core.session import AiqlSession
 from repro.errors import ReproError
 from repro.lang.errors import AiqlSyntaxError
-from repro.storage.backend import BUILTIN_BACKENDS
+from repro.storage.backend import BUILTIN_BACKENDS, SHARDED_BACKENDS
 from repro.storage.serialize import load_store, write_events
 from repro.storage.wal import SYNC_POLICIES
 from repro.ui.render import render_table
+
+#: ``--backend`` choices: the single-node builtins plus the sharded
+#: scatter-gather family (``--shards`` sets the worker fan-out).
+BACKEND_CHOICES = BUILTIN_BACKENDS + SHARDED_BACKENDS
 
 
 def _positive_int(text: str) -> int:
@@ -111,8 +117,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="events/sec pacing for --follow")
     stream.add_argument("--max-rows", type=int, default=20,
                         help="result rows per query printed at the end")
-    stream.add_argument("--backend", choices=BUILTIN_BACKENDS, default="row",
+    stream.add_argument("--backend", choices=BACKEND_CHOICES, default="row",
                         help="storage substrate the stream ingests into")
+    stream.add_argument("--shards", type=_positive_int, default=None,
+                        metavar="N",
+                        help="worker-process fan-out for the sharded "
+                             "backends (stream batches route per shard)")
     stream.add_argument("--durable", metavar="DIR", default=None,
                         help="write-ahead-log the ingest (and standing-query "
                              "alerts) into DIR; crash-recoverable with "
@@ -149,13 +159,17 @@ def _build_parser() -> argparse.ArgumentParser:
                              "replay starts after it)")
 
     for loader in (query, explain, repl, serve, investigate):
-        loader.add_argument("--backend", choices=BUILTIN_BACKENDS,
+        loader.add_argument("--backend", choices=BACKEND_CHOICES,
                             default="row",
                             help="storage substrate to load events into")
         loader.add_argument("--workers", type=_positive_int, default=None,
                             metavar="N",
                             help="sub-query thread-pool size (default: "
                                  "sized to the machine's CPU count)")
+        loader.add_argument("--shards", type=_positive_int, default=None,
+                            metavar="N",
+                            help="worker-process fan-out for the sharded "
+                                 "backends (default: 2)")
     return parser
 
 
@@ -167,8 +181,10 @@ def _query_text(argument: str) -> str:
 
 
 def _load_session(path: str, backend: str = "row",
-                  workers: int | None = None) -> AiqlSession:
-    session = AiqlSession(backend=backend, max_workers=workers)
+                  workers: int | None = None,
+                  shards: int | None = None) -> AiqlSession:
+    session = AiqlSession(backend=backend, max_workers=workers,
+                          shards=shards)
     load_store(path, session.store)
     return session
 
@@ -215,7 +231,8 @@ def _dispatch(args: argparse.Namespace, stdout) -> int:
         return _run_lint(args, stdout)
 
     if args.command == "query":
-        session = _load_session(args.data, args.backend, args.workers)
+        session = _load_session(args.data, args.backend, args.workers,
+                                args.shards)
         text = _query_text(args.aiql)
         if not args.explain:
             result = session.query(text)
@@ -231,20 +248,23 @@ def _dispatch(args: argparse.Namespace, stdout) -> int:
         return 0
 
     if args.command == "explain":
-        session = _load_session(args.data, args.backend, args.workers)
+        session = _load_session(args.data, args.backend, args.workers,
+                                args.shards)
         print(session.explain(_query_text(args.aiql)), file=stdout)
         return 0
 
     if args.command == "repl":
         from repro.ui.cli import run
-        session = _load_session(args.data, args.backend, args.workers)
+        session = _load_session(args.data, args.backend, args.workers,
+                                args.shards)
         print(session.describe(), file=stdout)
         run(session, stdout=stdout)
         return 0
 
     if args.command == "serve":
         from repro.ui.webapp import make_server
-        session = _load_session(args.data, args.backend, args.workers)
+        session = _load_session(args.data, args.backend, args.workers,
+                                args.shards)
         server = make_server(session, args.host, args.port)
         host, port = server.server_address
         print(f"AIQL web UI on http://{host}:{port}/ — Ctrl-C to stop",
@@ -268,7 +288,8 @@ def _dispatch(args: argparse.Namespace, stdout) -> int:
         from repro.investigate import FIGURE4_QUERIES, FIGURE5_QUERIES
         catalog = (FIGURE4_QUERIES if args.catalog == "figure4"
                    else FIGURE5_QUERIES)
-        session = _load_session(args.data, args.backend, args.workers)
+        session = _load_session(args.data, args.backend, args.workers,
+                                args.shards)
         print(session.describe(), file=stdout)
         total = 0.0
         for entry in catalog:
@@ -385,11 +406,16 @@ def _run_stream(args: argparse.Namespace, stdout) -> int:
 
     stream_kwargs = {"batch_size": args.batch_size}
     if args.durable is not None:
+        if args.backend.startswith("sharded") or args.shards is not None:
+            # WAL-backed shard recovery is the ROADMAP follow-up; until
+            # then refuse rather than silently lose a shard on crash.
+            raise ReproError("--durable does not support the sharded "
+                             "backends yet (shard workers restart empty)")
         session = AiqlSession(backend=args.backend, durable_dir=args.durable,
                               sync=args.sync)
         stream_kwargs["alert_log"] = _os.path.join(args.durable, "alerts.log")
     else:
-        session = AiqlSession(backend=args.backend)
+        session = AiqlSession(backend=args.backend, shards=args.shards)
 
     def on_match(standing, row) -> None:
         cells = ", ".join(str(cell) for cell in row)

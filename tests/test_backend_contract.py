@@ -684,6 +684,32 @@ class TestEstimateParity:
         assert ([(e.id, e.ts) for e in via_bounds]
                 == [(e.id, e.ts) for e in via_window])
 
+    def test_merged_shard_estimates_match_single_node(self, backend_name,
+                                                      edge_store):
+        """Sharding must not move the scheduler's numbers: the sum of
+        per-shard estimates over the same events equals this backend's
+        single-node estimate for every edge-case spec above (shards hold
+        disjoint partition subsets, and estimates sum over partitions)."""
+        if backend_name.startswith("sharded"):
+            pytest.skip("already sharded — the tier does not nest")
+        from repro.storage.sharded import ShardedStore
+        specs = (
+            ScanSpec(),
+            ScanSpec(agentids=frozenset({1})),
+            ScanSpec(agentids=frozenset({2})),
+            ScanSpec(agentids=frozenset({99})),
+            ScanSpec(window=Window(100.0, 100.0001), agentids=frozenset({1})),
+            ScanSpec(window=Window(0.0, 100.0)),
+            ScanSpec(bounds=TemporalBounds(lo=99.0, hi=99.0)),
+            ScanSpec(bounds=TemporalBounds(lo=200.0, hi=100.0)),
+        )
+        with ShardedStore(shards=2, backend=backend_name,
+                          bucket_seconds=self.BUCKET) as sharded:
+            sharded.ingest(edge_store.scan())
+            for spec in specs:
+                assert (sharded.estimate(self.PROFILE, spec)
+                        == edge_store.estimate(self.PROFILE, spec)), spec
+
 
 class TestTemporalBoundary:
     """Satellite lock-in: an event exactly at the propagated (inclusive)

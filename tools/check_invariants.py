@@ -19,6 +19,17 @@ alongside ruff/mypy and runnable anywhere Python is (no dependencies):
     ``now()`` in streaming eviction or temporal filtering breaks replay
     determinism — results would depend on when the test ran.
 
+``spawn-only``
+    Worker processes must come from the ``spawn`` multiprocessing
+    context.  The coordinator process may already run threads (the
+    streaming ``EventBus`` delivery thread, the engine's sub-query
+    pool), and ``fork()`` in a threaded process clones locks whose
+    owning threads do not survive — a child deadlocked on a copied
+    mutex.  Bans ``get_context()`` with any argument other than the
+    literal ``"spawn"`` and direct ``multiprocessing.Process`` /
+    ``Pool`` / ``Pipe`` construction (which use the platform default,
+    ``fork`` on Linux); go through ``shardrpc.SPAWN_CONTEXT``.
+
 ``mutable-default``
     No mutable default arguments (``def f(x, acc=[])``), the classic
     shared-state-across-calls bug.
@@ -42,8 +53,17 @@ from pathlib import Path
 SCAN_METHODS = {"select": 3, "select_batches": 3, "estimate": 2,
                 "candidates": 2, "access_path": 2}
 
+#: Modules (beyond repro/engine/) that issue backend scans and therefore
+#: fall under the scan-bypass rule: the shard RPC boundary may only ever
+#: hand a worker's hosted backend a full ScanSpec, never raw kwargs.
+SCAN_SPEC_MODULES = ("repro/storage/sharded.py", "repro/storage/shardrpc.py")
+
 #: Directories (relative to src/repro) where wall-clock reads are banned.
 CLOCK_FREE = ("engine", "stream")
+
+#: Process/pipe constructors that implicitly use the platform-default
+#: start method (``fork`` on Linux) when called on the bare module.
+FORKING_CONSTRUCTORS = ("Process", "Pool", "Pipe")
 
 WALL_CLOCK_CALLS = {
     ("time", "time"),
@@ -79,9 +99,12 @@ class Checker(ast.NodeVisitor):
         self.path = path
         self.rel = rel
         self.findings: list[tuple[int, str, str]] = []
-        self.in_clock_free = any(f"repro/{name}/" in rel.replace("\\", "/")
+        posix = rel.replace("\\", "/")
+        self.in_clock_free = any(f"repro/{name}/" in posix
                                  for name in CLOCK_FREE)
-        self.in_engine = "repro/engine/" in rel.replace("\\", "/")
+        self.in_engine = ("repro/engine/" in posix
+                          or any(posix.endswith(module)
+                                 for module in SCAN_SPEC_MODULES))
 
     def report(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append((node.lineno, rule, message))
@@ -125,7 +148,31 @@ class Checker(ast.NodeVisitor):
                                 f".{method}() called with {supplied} "
                                 f"argument(s) — backend scans must receive "
                                 f"a ScanSpec (expected {needed})")
+        self._check_spawn_only(node, dotted)
         self.generic_visit(node)
+
+    def _check_spawn_only(self, node: ast.Call,
+                          dotted: tuple[str, ...]) -> None:
+        if not dotted:
+            return
+        if dotted[-1] == "get_context":
+            argument = node.args[0] if node.args else None
+            for kw in node.keywords:
+                if kw.arg == "method":
+                    argument = kw.value
+            spawn = (isinstance(argument, ast.Constant)
+                     and argument.value == "spawn")
+            if not spawn:
+                self.report(node, "spawn-only",
+                            "get_context() must request the literal "
+                            "'spawn' start method — fork after threads "
+                            "(EventBus, sub-query pool) deadlocks")
+        elif (len(dotted) >= 2 and dotted[0] == "multiprocessing"
+              and dotted[-1] in FORKING_CONSTRUCTORS):
+            self.report(node, "spawn-only",
+                        f"multiprocessing.{dotted[-1]}() uses the "
+                        f"platform-default start method (fork on Linux); "
+                        f"construct via shardrpc.SPAWN_CONTEXT instead")
 
 
 def _unused_imports(tree: ast.Module, is_init: bool) -> list[tuple[int, str]]:
