@@ -19,6 +19,7 @@ import time
 
 import pytest
 
+import benchlib
 from repro.engine.executor import EngineOptions, execute
 from repro.lang.parser import parse
 from repro.storage.backend import create_backend
@@ -132,13 +133,8 @@ def _pushdown_workload():
 
 def _best_of(store, options: EngineOptions, rounds: int = 5):
     query = parse(PUSHDOWN_AIQL)
-    timings, rows = [], None
-    for _ in range(rounds):
-        started = time.perf_counter()
-        result = execute(store, query, options)
-        timings.append(time.perf_counter() - started)
-        rows = result.rows
-    return min(timings), rows
+    return benchlib.best_of(
+        lambda: execute(store, query, options).rows, rounds=rounds)
 
 
 def test_pushdown_beats_post_filter_on_columnar():
@@ -252,12 +248,9 @@ def test_temporal_pushdown_beats_post_filter_on_columnar():
     assert reference  # the chain must actually produce matches
 
     def _run(options):
-        timings = []
-        for _ in range(5):
-            started = time.perf_counter()
-            execute(stores["columnar"], query, options)
-            timings.append(time.perf_counter() - started)
-        return min(timings)
+        best, _ = benchlib.best_of(
+            lambda: execute(stores["columnar"], query, options), rounds=5)
+        return best
 
     push_time = _run(_TPUSH)
     post_time = _run(_TPOST)
@@ -356,12 +349,10 @@ def test_histogram_estimates_beat_uniform_on_skewed_workload():
     assert "pattern order: e2 -> e1" in uniform_report
 
     def _best_of(options, rounds=5):
-        timings = []
-        for _ in range(rounds):
-            started = time.perf_counter()
-            execute(stores["columnar"], query, options)
-            timings.append(time.perf_counter() - started)
-        return min(timings)
+        best, _ = benchlib.best_of(
+            lambda: execute(stores["columnar"], query, options),
+            rounds=rounds)
+        return best
 
     hist_time = _best_of(_HIST)
     uniform_time = _best_of(_UNIFORM)
@@ -429,12 +420,8 @@ def _vectorized_workload():
 
 
 def _timed(store, query, options, rounds: int = 5):
-    timings, rows = [], None
-    for _ in range(rounds):
-        started = time.perf_counter()
-        rows = execute(store, query, options).rows
-        timings.append(time.perf_counter() - started)
-    return min(timings), rows
+    return benchlib.best_of(
+        lambda: execute(store, query, options).rows, rounds=rounds)
 
 
 def test_vectorized_beats_row_at_a_time_on_columnar():

@@ -30,9 +30,10 @@ from __future__ import annotations
 
 import json
 import os
-import time
 
 import pytest
+
+import benchlib
 
 from repro.engine.planner import plan_multievent
 from repro.lang.parser import parse
@@ -79,14 +80,10 @@ def event_stream():
 
 
 def _best_of(store, dq, rounds: int = ROUNDS) -> tuple[float, set[int]]:
-    timings = []
-    matched: set[int] = set()
-    for _ in range(rounds):
-        started = time.perf_counter()
+    def scan() -> set[int]:
         events, _fetched = store.select(dq.profile, dq.compiled)
-        timings.append(time.perf_counter() - started)
-        matched = {event.id for event in events}
-    return min(timings), matched
+        return {event.id for event in events}
+    return benchlib.best_of(scan, rounds=rounds)
 
 
 @pytest.mark.skipif(

@@ -23,10 +23,9 @@ pattern regardless of the selector.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
+import benchlib
 from repro.engine.planner import DataQuery, plan_multievent
 from repro.lang.parser import parse
 from repro.model.timeutil import Window
@@ -231,20 +230,54 @@ def test_columnar_beats_row_on_scan_heavy(event_stream):
     columnar.ingest(event_stream)
     dq = _single_pattern(SCAN_HEAVY_AIQL)
 
-    def best_of(store, rounds: int = 7) -> tuple[float, set[int]]:
-        timings = []
-        matched: set[int] = set()
-        for _ in range(rounds):
-            started = time.perf_counter()
-            events, _fetched = store.select(dq.profile, dq.compiled)
-            timings.append(time.perf_counter() - started)
-            matched = {event.id for event in events}
-        return min(timings), matched
+    def scan(store) -> set[int]:
+        events, _fetched = store.select(dq.profile, dq.compiled)
+        return {event.id for event in events}
 
-    row_time, row_ids = best_of(row)
-    columnar_time, columnar_ids = best_of(columnar)
+    row_time, row_ids = benchlib.best_of(lambda: scan(row), rounds=7)
+    columnar_time, columnar_ids = benchlib.best_of(lambda: scan(columnar),
+                                                   rounds=7)
     assert columnar_ids == row_ids and row_ids
     print(f"\nscan-heavy select: row {row_time * 1000:.2f} ms, "
           f"columnar {columnar_time * 1000:.2f} ms "
           f"({row_time / columnar_time:.1f}x)")
     assert columnar_time < row_time
+
+
+def test_metrics_overhead_within_budget(event_stream):
+    """Guard: metrics-on / tracing-off execution stays within 5% of a
+    metrics-off baseline on the scan-heavy select.
+
+    Recording through a handle is an ``enabled`` check plus int/dict
+    updates at per-scan granularity — this pins that design down so a
+    future per-*event* metric can't sneak into the hot loop unnoticed.
+    min-of-N on both sides keeps scheduler noise out of the ratio; a
+    small absolute epsilon keeps sub-millisecond timings from flaking
+    the gate on timer jitter.
+    """
+    from repro.obs.metrics import REGISTRY
+
+    columnar = ColumnarEventStore()
+    columnar.ingest(event_stream)
+    dq = _single_pattern(SCAN_HEAVY_AIQL)
+
+    def scan() -> int:
+        events, _fetched = columnar.select(dq.profile, dq.compiled)
+        return len(events)
+
+    rounds = 9
+    assert scan() > 0   # warm caches before either timed side
+    was_enabled = REGISTRY.enabled
+    try:
+        REGISTRY.enabled = False
+        disabled_time, _ = benchlib.best_of(scan, rounds=rounds)
+        REGISTRY.enabled = True
+        enabled_time, _ = benchlib.best_of(scan, rounds=rounds)
+    finally:
+        REGISTRY.enabled = was_enabled
+    overhead = enabled_time / disabled_time if disabled_time else 1.0
+    print(f"\nmetrics overhead: off {disabled_time * 1000:.3f} ms, "
+          f"on {enabled_time * 1000:.3f} ms (x{overhead:.3f})")
+    assert enabled_time <= disabled_time * 1.05 + 0.0005, (
+        f"metrics-on scan {enabled_time * 1000:.3f} ms exceeds the 5% "
+        f"budget over {disabled_time * 1000:.3f} ms")

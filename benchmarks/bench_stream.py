@@ -25,6 +25,7 @@ import json
 import os
 import time
 
+import benchlib
 from repro.lang.parser import parse
 from repro.model.entities import FileEntity, NetworkEntity, ProcessEntity
 from repro.model.events import Event
@@ -99,19 +100,14 @@ def _drive(events: list[Event], store: EventStore | None,
     latencies: list[float] = []
     started = time.perf_counter()
     for start in range(0, len(events), BATCH):
-        batch_started = time.perf_counter()
-        bus.publish_many(events[start:start + BATCH])
-        bus.flush()
-        latencies.append(time.perf_counter() - batch_started)
+        def push(chunk=events[start:start + BATCH]) -> None:
+            bus.publish_many(chunk)
+            bus.flush()
+        batch_elapsed, _ = benchlib.time_once(push)
+        latencies.append(batch_elapsed)
     bus.close()
     runtime.finish()
     return time.perf_counter() - started, latencies, runtime
-
-
-def _percentile(values: list[float], fraction: float) -> float:
-    ordered = sorted(values)
-    index = min(len(ordered) - 1, int(len(ordered) * fraction))
-    return ordered[index]
 
 
 def test_stream_throughput_with_8_standing_queries():
@@ -136,11 +132,7 @@ def test_stream_throughput_with_8_standing_queries():
         "events_per_sec_with_store": round(store_eps),
         "matches": total_matches,
         "batch_size": BATCH,
-        "batch_latency_ms": {
-            "p50": round(_percentile(latencies, 0.50) * 1000, 3),
-            "p95": round(_percentile(latencies, 0.95) * 1000, 3),
-            "max": round(max(latencies) * 1000, 3),
-        },
+        "batch_latency_ms": benchlib.latency_summary_ms(latencies),
     }
     with open("BENCH_stream.json", "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

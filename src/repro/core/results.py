@@ -8,9 +8,12 @@ implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import ExecutionError
+
+if TYPE_CHECKING:
+    from repro.engine.scheduler import ExecutionReport
 
 
 @dataclass
@@ -22,6 +25,11 @@ class QueryResult:
     elapsed: float
     kind: str
     report: str = ""
+    # The structured execution report behind the ``report`` text — per
+    # pattern estimates, actual rows, and elapsed time.  The EXPLAIN
+    # ANALYZE surface reads this; ``None`` for engines that don't
+    # produce one.
+    execution: "ExecutionReport | None" = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -57,7 +65,7 @@ class QueryResult:
                          reverse=descending)
         return QueryResult(columns=list(self.columns), rows=ordered,
                            elapsed=self.elapsed, kind=self.kind,
-                           report=self.report)
+                           report=self.report, execution=self.execution)
 
     def search(self, needle: str) -> "QueryResult":
         """Rows whose textual form contains the needle (UI search feature)."""
@@ -66,7 +74,7 @@ class QueryResult:
                 if any(lowered in str(cell).lower() for cell in row)]
         return QueryResult(columns=list(self.columns), rows=kept,
                            elapsed=self.elapsed, kind=self.kind,
-                           report=self.report)
+                           report=self.report, execution=self.execution)
 
     def first(self) -> dict[str, object]:
         """The first row as a dict; raises when the result is empty."""

@@ -26,6 +26,8 @@ from repro.lang.parser import parse, parse_with_spans
 from repro.lang.semantics import analyze_query
 from repro.model.events import Event
 from repro.model.timeutil import SECONDS_PER_DAY
+from repro.obs.metrics import REGISTRY, MetricsSnapshot
+from repro.obs.trace import Tracer
 from repro.storage.backend import StorageBackend, create_backend
 from repro.storage.ingest import IngestPipeline, IngestStats
 
@@ -92,6 +94,7 @@ class AiqlSession:
             options = replace(options, max_workers=max_workers)
         self.options = options
         self._stream = None
+        self._last_tracer: Tracer | None = None
 
     # ------------------------------------------------------------------
     # Ingest
@@ -192,17 +195,32 @@ class AiqlSession:
         return parse(source)
 
     def query(self, source: str,
-              options: EngineOptions | None = None) -> QueryResult:
+              options: EngineOptions | None = None,
+              trace: bool = False) -> QueryResult:
         """Parse, lint, and execute an AIQL query.
 
         The semantic analyzer runs on every query before execution:
         error diagnostics raise :class:`AiqlAnalysisError` (the query
         could never mean what was written), warnings are printed to
         stderr and the query proceeds.
+
+        ``trace=True`` records a hierarchical span tree for this one
+        query (parse → analyze → plan → schedule → per-pattern scan →
+        join → project), retrievable afterwards via :meth:`last_trace`
+        or exportable with ``repro query --trace-out``.
         """
-        parsed = self._analyzed(source)
-        return execute(self.store, parsed,
-                       options if options is not None else self.options)
+        opts = options if options is not None else self.options
+        if not trace:
+            parsed = self._analyzed(source)
+            return execute(self.store, parsed, opts)
+        tracer = Tracer()
+        self._last_tracer = tracer
+        with tracer.span("query"):
+            with tracer.span("parse"):
+                parsed, spans = parse_with_spans(source, check=False)
+            with tracer.span("analyze"):
+                _surface(analyze_query(parsed, spans), source)
+            return execute(self.store, parsed, replace(opts, tracer=tracer))
 
     def _analyzed(self, source: str) -> Query:
         """Parse with spans and run the semantic analyzer.
@@ -224,6 +242,29 @@ class AiqlSession:
         return check_syntax(source)
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricsSnapshot:
+        """The merged metrics snapshot for everything this process ran.
+
+        The process-local registry plus — for a sharded store — every
+        worker's registry, gathered over the shard RPC and merged
+        (counters sum, gauges last-write, histogram buckets add).  Scan
+        work under sharding happens only worker-side, so the merged
+        ``storage.scan.*`` totals equal what a single-node run of the
+        same queries would report.
+        """
+        snapshots = [REGISTRY.snapshot()]
+        worker_metrics = getattr(self.store, "worker_metrics", None)
+        if worker_metrics is not None:
+            snapshots.extend(worker_metrics())
+        return MetricsSnapshot.merged(snapshots)
+
+    def last_trace(self) -> Tracer | None:
+        """The span tree of the most recent ``query(..., trace=True)``."""
+        return self._last_tracer
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
@@ -243,7 +284,18 @@ class AiqlSession:
         """One-line store summary for the UI status area."""
         span = self.store.span
         span_text = str(span) if span is not None else "(empty)"
-        return (f"{len(self.store)} events, {self.store.entity_count} "
+        text = (f"{len(self.store)} events, {self.store.entity_count} "
                 f"entities, {self.store.partition_count} partitions, "
                 f"agents={sorted(self.store.agentids)}, span={span_text}, "
                 f"backend={self.backend_name}")
+        coordinator_stats = getattr(self.store, "coordinator_stats", None)
+        if coordinator_stats is not None:
+            stats = coordinator_stats()
+            text += (f", shards={stats['shards']}, "
+                     f"restarts={stats['restarts']}")
+            if stats["restarts_by_shard"]:
+                per_shard = ",".join(
+                    f"{index}:{count}" for index, count
+                    in stats["restarts_by_shard"].items())
+                text += f" ({per_shard})"
+        return text

@@ -25,7 +25,6 @@ remain expressible; a group is only evaluated after it first appears.
 from __future__ import annotations
 
 import bisect
-import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -36,6 +35,8 @@ from repro.lang.ast import (AggCall, AnomalyQuery, BinOp, Expr, HistoryRef,
 from repro.model.entities import DEFAULT_ATTRIBUTE, canonical_attribute
 from repro.model.events import Event, canonical_event_attribute
 from repro.model.timeutil import Window, format_timestamp, sliding_windows
+from repro.obs.clock import monotonic
+from repro.obs.trace import NULL_TRACER
 from repro.engine.aggregates import GroupHistory, aggregate
 from repro.engine.options import DEFAULT_OPTIONS, EngineOptions
 from repro.engine.parallel import execute_plan
@@ -136,7 +137,8 @@ def execute_anomaly(store: StorageBackend, query: AnomalyQuery,
                     options: EngineOptions = DEFAULT_OPTIONS,
                     ) -> AnomalyOutput:
     """Run an anomaly query against the store."""
-    started = time.perf_counter()
+    started = monotonic()
+    tracer = options.tracer or NULL_TRACER
     evaluator = AnomalyWindowEvaluator(query)
 
     events = _fetch_events(store, query, options)
@@ -146,19 +148,23 @@ def execute_anomaly(store: StorageBackend, query: AnomalyQuery,
     span = query.header.window or store.span
     if span is None:
         report = ExecutionReport()
-        report.elapsed = time.perf_counter() - started
+        report.elapsed = monotonic() - started
         return AnomalyOutput(columns=evaluator.columns, rows=[],
                              report=report)
 
     rows: list[tuple] = []
-    for window in sliding_windows(span, query.window_spec.width,
-                                  query.window_spec.step):
-        lo = bisect.bisect_left(timestamps, window.start)
-        hi = bisect.bisect_left(timestamps, window.end)
-        rows.extend(evaluator.evaluate(window, events[lo:hi]))
+    with tracer.span("windows", events=len(events)) as window_span:
+        panes = 0
+        for window in sliding_windows(span, query.window_spec.width,
+                                      query.window_spec.step):
+            panes += 1
+            lo = bisect.bisect_left(timestamps, window.start)
+            hi = bisect.bisect_left(timestamps, window.end)
+            rows.extend(evaluator.evaluate(window, events[lo:hi]))
+        window_span.set(panes=panes, rows=len(rows))
     report = ExecutionReport()
     report.joined_rows = len(rows)
-    report.elapsed = time.perf_counter() - started
+    report.elapsed = monotonic() - started
     return AnomalyOutput(columns=evaluator.columns, rows=rows, report=report)
 
 

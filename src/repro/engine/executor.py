@@ -10,10 +10,11 @@ the context-aware shortcuts of §2.2.1.
 from __future__ import annotations
 
 import heapq
-import time
 from typing import Callable
 
 from repro.errors import SemanticError
+from repro.obs.clock import monotonic
+from repro.obs.trace import NULL_TRACER
 from repro.lang.ast import (AnomalyQuery, DependencyQuery, MultieventQuery,
                             Query, ReturnItem, VarRef)
 from repro.core.results import QueryResult
@@ -40,12 +41,13 @@ def execute(store: StorageBackend, query: Query,
         result = _execute_multievent(store, rewritten, options)
         return QueryResult(columns=result.columns, rows=result.rows,
                            elapsed=result.elapsed, kind="dependency",
-                           report=result.report)
+                           report=result.report, execution=result.execution)
     if isinstance(query, AnomalyQuery):
         output = execute_anomaly(store, query, options)
         return QueryResult(columns=output.columns, rows=output.rows,
                            elapsed=output.report.elapsed, kind="anomaly",
-                           report=output.report.describe())
+                           report=output.report.describe(),
+                           execution=output.report)
     raise SemanticError(f"unknown query type: {type(query).__name__}")
 
 
@@ -92,25 +94,31 @@ def explain(store: StorageBackend, query: Query,
 
 def _execute_multievent(store: StorageBackend, query: MultieventQuery,
                         options: EngineOptions) -> QueryResult:
-    started = time.perf_counter()
-    plan = plan_multievent(query)
+    started = monotonic()
+    tracer = options.tracer or NULL_TRACER
+    with tracer.span("plan"):
+        plan = plan_multievent(query)
     if options.vectorized:
         from repro.engine.vectorized import execute_vectorized
         fast = execute_vectorized(store, plan, query, options)
         if fast is not None:
             columns, rows, report = fast
-            elapsed = time.perf_counter() - started
+            elapsed = monotonic() - started
             report.elapsed = elapsed
             return QueryResult(columns=columns, rows=rows, elapsed=elapsed,
-                               kind="multievent", report=report.describe())
+                               kind="multievent", report=report.describe(),
+                               execution=report)
     parallel = execute_plan(store, plan, options)
-    columns, rows = project_bindings(plan, query, parallel.rows)
+    with tracer.span("project") as span:
+        columns, rows = project_bindings(plan, query, parallel.rows)
+        span.set(bindings=len(parallel.rows), rows=len(rows))
     report = merge_reports(parallel.reports)
     report.joined_rows = len(parallel.rows)
-    elapsed = time.perf_counter() - started
+    elapsed = monotonic() - started
     report.elapsed = elapsed
     return QueryResult(columns=columns, rows=rows, elapsed=elapsed,
-                       kind="multievent", report=report.describe())
+                       kind="multievent", report=report.describe(),
+                       execution=report)
 
 
 def project_bindings(plan: QueryPlan, query: MultieventQuery,

@@ -9,7 +9,11 @@ contribution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,6 +70,10 @@ class EngineOptions:
     verify_plans: bool = False   # statically check every emitted ScanSpec
     max_workers: int | None = None
     row_limit: int | None = None
+    # Span sink for this execution; None = tracing off.  Excluded from
+    # equality/hash/repr: a tracer is a per-query collection vessel, not
+    # a behavioural lever (results are identical with or without one).
+    tracer: "Tracer | None" = field(default=None, compare=False, repr=False)
 
 
 DEFAULT_OPTIONS = EngineOptions()

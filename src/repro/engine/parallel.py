@@ -28,6 +28,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.model.timeutil import Window
+from repro.obs.trace import NULL_TRACER
 from repro.engine.joiner import Binding, join
 from repro.engine.options import DEFAULT_OPTIONS, EngineOptions
 from repro.engine.planner import QueryPlan
@@ -97,14 +98,22 @@ def execute_plan(store: StorageBackend, plan: QueryPlan,
     """
     scheduler = Scheduler(store, options)
     partition = options.partition
+    tracer = options.tracer or NULL_TRACER
     join_kwargs = ({} if options.row_limit is None
                    else {"row_limit": options.row_limit})
 
     def run_one(window: Window | None,
                 agents: frozenset[int] | None) -> tuple[list[Binding],
                                                         ExecutionReport]:
-        scheduled = scheduler.run(plan, window=window, agentids=agents)
-        rows = join(plan, scheduled, **join_kwargs)
+        with tracer.span("schedule") as span:
+            if agents is not None:
+                span.set(agents=len(agents))
+            if window is not None:
+                span.set(window=f"[{window.start:.0f},{window.end:.0f})")
+            scheduled = scheduler.run(plan, window=window, agentids=agents)
+        with tracer.span("join") as span:
+            rows = join(plan, scheduled, **join_kwargs)
+            span.set(rows=len(rows))
         return rows, scheduled.report
 
     tasks: list[tuple[Window | None, frozenset[int] | None]] = []

@@ -21,11 +21,13 @@ can measure their contribution.
 from __future__ import annotations
 
 import math
-import time
+import sys
 from dataclasses import dataclass, field, replace
 
 from repro.model.events import Event
 from repro.model.timeutil import Window
+from repro.obs.clock import monotonic
+from repro.obs.trace import NULL_TRACER
 from repro.engine.options import DEFAULT_OPTIONS, EngineOptions
 from repro.engine.planner import DataQuery, QueryPlan
 from repro.storage.backend import (IdentityBindings, ScanOrder, ScanSpec,
@@ -49,6 +51,35 @@ def annotate_path(name: str, spec: ScanSpec) -> str:
     return " ".join(parts)
 
 
+def describe_spec(spec: ScanSpec) -> str:
+    """Compact one-line ScanSpec summary for span attributes.
+
+    Binding sets and windows can be huge; the trace wants their *shape*
+    (set sizes, bound presence), not their contents.
+    """
+    parts = []
+    if spec.window is not None:
+        parts.append(f"window=[{spec.window.start:.0f},{spec.window.end:.0f})")
+    if spec.agentids is not None:
+        parts.append(f"agents={len(spec.agentids)}")
+    if spec.bindings is not None:
+        subjects = spec.bindings.subjects
+        objects = spec.bindings.objects
+        parts.append("bindings=subj:%s/obj:%s" % (
+            "-" if subjects is None else len(subjects),
+            "-" if objects is None else len(objects)))
+    if spec.bounds is not None:
+        parts.append("bounds=(%s,%s)" % (
+            "-inf" if spec.bounds.lo == -math.inf else f"{spec.bounds.lo:.0f}",
+            "inf" if spec.bounds.hi == math.inf else f"{spec.bounds.hi:.0f}"))
+    if spec.projection is not None:
+        parts.append(f"proj=[{','.join(sorted(spec.projection)) or '-'}]")
+    if spec.order is not None and spec.order.limit is not None:
+        direction = "last" if spec.order.descending else "first"
+        parts.append(f"order={direction}:{spec.order.limit}")
+    return " ".join(parts) or "full-scan"
+
+
 @dataclass
 class PatternExecution:
     """Trace of one data query's execution (for explain/report output)."""
@@ -70,6 +101,33 @@ class ExecutionReport:
     short_circuited: bool = False
     joined_rows: int = 0
     elapsed: float = 0.0
+
+    def aggregated(self) -> "list[PatternExecution]":
+        """Per-pattern totals across partitions, in execution order.
+
+        The parallel executor concatenates one :class:`PatternExecution`
+        per pattern *per partition*; the EXPLAIN ANALYZE surface wants
+        one line per pattern, so sum counts and elapsed per event
+        variable (keeping the first recorded access path).
+        """
+        by_var: dict[str, PatternExecution] = {}
+        for trace in self.patterns:
+            agg = by_var.get(trace.event_var)
+            if agg is None:
+                by_var[trace.event_var] = PatternExecution(
+                    event_var=trace.event_var, estimate=trace.estimate,
+                    fetched=trace.fetched, matched=trace.matched,
+                    elapsed=trace.elapsed, path=trace.path)
+            else:
+                agg.estimate += trace.estimate
+                agg.fetched += trace.fetched
+                agg.matched += trace.matched
+                agg.elapsed += trace.elapsed
+                if not agg.path:
+                    agg.path = trace.path
+        ordered = [var for var in dict.fromkeys(self.order) if var in by_var]
+        ordered += [var for var in by_var if var not in ordered]
+        return [by_var[var] for var in ordered]
 
     def describe(self) -> str:
         lines = [f"pattern order: {' -> '.join(self.order) or '(none)'}"]
@@ -142,6 +200,8 @@ class Scheduler:
         self._topk = options.topk_pushdown
         self._explain = options.explain
         self._verify = options.verify_plans
+        self._tracer = options.tracer or NULL_TRACER
+        self._trace_on = options.tracer is not None
 
     def _spec(self, window: Window | None,
               agentids: set[int] | None,
@@ -163,7 +223,7 @@ class Scheduler:
         the parallel executor uses this to run the same plan per partition.
         """
         base_window = window if window is not None else plan.window
-        started = time.perf_counter()
+        started = monotonic()
         report = ExecutionReport()
 
         estimates = {
@@ -190,7 +250,7 @@ class Scheduler:
         executed: list[tuple[DataQuery, list[Event]]] = []
 
         for position, dq in enumerate(ordered):
-            step_started = time.perf_counter()
+            step_started = monotonic()
             bounds = (self._bounds_for(dq, closure, ts_bounds)
                       if self._propagate else None)
             bindings = (self._bindings_for(dq, identity_sets)
@@ -211,28 +271,38 @@ class Scheduler:
                 verify_spec(plan, dq, spec, closure=closure,
                             identity_sets=identity_sets,
                             ts_bounds=ts_bounds)
-            survivors, fetched = self._store.select(
-                dq.profile, dq.compiled, spec)
-            if bindings is not None:
-                # Correctness fallback: exact even when the backend
-                # ignored (or only partially applied) the pushdown hint.
-                admits = bindings.admits
-                survivors = [event for event in survivors
-                             if admits(event)]
-            if bounds is not None:
-                # Same fallback for the temporal hint — and the entire
-                # restriction when temporal pushdown is ablated off.
-                in_bounds = bounds.admits
-                survivors = [event for event in survivors
-                             if in_bounds(event.ts)]
+            with self._tracer.span("scan", pattern=dq.event_var) as scan_span:
+                survivors, fetched = self._store.select(
+                    dq.profile, dq.compiled, spec)
+                if bindings is not None:
+                    # Correctness fallback: exact even when the backend
+                    # ignored (or only partially applied) the pushdown
+                    # hint.
+                    admits = bindings.admits
+                    survivors = [event for event in survivors
+                                 if admits(event)]
+                if bounds is not None:
+                    # Same fallback for the temporal hint — and the entire
+                    # restriction when temporal pushdown is ablated off.
+                    in_bounds = bounds.admits
+                    survivors = [event for event in survivors
+                                 if in_bounds(event.ts)]
             matches[dq.index] = survivors
-            step_elapsed = time.perf_counter() - step_started
+            step_elapsed = monotonic() - step_started
             # Path introspection happens off the clock: it re-costs the
             # scan (a COUNT on sqlite) and must not pollute the timing
             # the explain surface reports.
             path = (annotate_path(
                         self._store.access_path(dq.profile, spec).name, spec)
                     if self._explain else "")
+            if self._trace_on:
+                # Attribute hydration is also off the clock (and off the
+                # hot path entirely — the null tracer skips it).
+                scan_span.set(spec=describe_spec(spec),
+                              estimate=estimates[dq.index],
+                              fetched=fetched, matched=len(survivors),
+                              bytes_hydrated=_shallow_bytes(survivors),
+                              path=path)
             report.patterns.append(PatternExecution(
                 event_var=dq.event_var, estimate=estimates[dq.index],
                 fetched=fetched, matched=len(survivors),
@@ -240,7 +310,7 @@ class Scheduler:
             if not survivors:
                 report.short_circuited = True
                 report.order = [d.event_var for d in ordered]
-                report.elapsed = time.perf_counter() - started
+                report.elapsed = monotonic() - started
                 return ScheduledMatches(order=ordered, events={
                     d.index: matches.get(d.index, [])
                     for d in plan.data_queries}, report=report)
@@ -253,7 +323,7 @@ class Scheduler:
                                         base_window, agentids,
                                         identity_sets, closure, ts_bounds)
         report.order = [dq.event_var for dq in ordered]
-        report.elapsed = time.perf_counter() - started
+        report.elapsed = monotonic() - started
         return ScheduledMatches(order=ordered, events=matches, report=report)
 
     def explain(self, plan: QueryPlan,
@@ -456,6 +526,15 @@ class Scheduler:
             identity_sets[var] = ids if existing is None else existing & ids
         timestamps = [event.ts for event in events]
         ts_bounds[dq.event_var] = (min(timestamps), max(timestamps))
+
+
+def _shallow_bytes(events: list[Event]) -> int:
+    """Shallow memory of the survivor objects the scan hydrated.
+
+    Only computed when tracing is on; an honest lower bound (entity
+    payloads are shared/interned, so deep sizes would double-count).
+    """
+    return sum(sys.getsizeof(event) for event in events)
 
 
 def _agents(dq: DataQuery,

@@ -32,11 +32,12 @@ backend stop materializing past the first/last N survivors.
 from __future__ import annotations
 
 import heapq
-import time
 from operator import itemgetter
 from typing import Callable, Sequence
 
 from repro.lang.ast import MultieventQuery, VarRef
+from repro.obs.clock import monotonic
+from repro.obs.trace import NULL_TRACER
 from repro.model.entities import DEFAULT_ATTRIBUTE, canonical_attribute
 from repro.model.events import canonical_event_attribute
 # The executor imports this module lazily inside its dispatch, so pulling
@@ -78,7 +79,8 @@ def execute_vectorized(store: StorageBackend, plan: QueryPlan,
     if any(getter is None for getter, _descending in sort_getters):
         return None
 
-    started = time.perf_counter()
+    started = monotonic()
+    tracer = options.tracer or NULL_TRACER
     spec = ScanSpec(
         window=plan.window, agentids=dq.agentids,
         histograms=options.histogram_estimates,
@@ -91,57 +93,61 @@ def execute_vectorized(store: StorageBackend, plan: QueryPlan,
         from repro.engine.verify import verify_spec
         verify_spec(plan, dq, spec, closure={}, identity_sets={},
                     ts_bounds={})
-    batches, fetched = select_batches(dq.profile, dq.compiled, spec)
+    with tracer.span("scan", pattern=dq.event_var, vectorized=True) as span:
+        batches, fetched = select_batches(dq.profile, dq.compiled, spec)
+        span.set(fetched=fetched, batches=len(batches))
 
     top = query.top
     batches = [batch for batch in batches if len(batch)]
     matched = sum(len(batch) for batch in batches)
-    if not sort_getters and top is None and not query.distinct \
-            and _time_disjoint(batches):
-        # No-key shortcut for the plain scan-filter-project shape: each
-        # batch's rows already ascend by (ts, id), and the batches do
-        # not interleave in time, so emitting them in batch-start order
-        # *is* the canonical result order — no per-row sort keys, no
-        # global sort, just one zip per batch.
-        rows = []
-        for batch in batches:
-            columns = [getter(batch) for getter in return_getters]
-            rows.extend(zip(*columns))
-    else:
-        keyed: list[tuple[tuple, tuple]] = []
-        for batch in batches:
-            size = len(batch)
-            columns = [getter(batch) for getter in return_getters]
-            time_keys = list(zip(batch.ts, batch.ids))
-            if sort_getters:
-                sort_columns = [(getter(batch), descending)
-                                for getter, descending in sort_getters]
-                keys: list[tuple] = []
-                for i in range(size):
-                    parts: list[object] = []
-                    for column, descending in sort_columns:
-                        part = _null_safe_key(column[i])
-                        parts.append(_Reversed(part) if descending
-                                     else part)
-                    parts.append((time_keys[i],))
-                    keys.append(tuple(parts))
-            else:
-                keys = time_keys
-            keyed.extend(zip(keys, zip(*columns)))
-
-        first = itemgetter(0)
-        if top is not None and not query.distinct:
-            chosen = heapq.nsmallest(top, keyed, key=first)
+    with tracer.span("project", vectorized=True) as project_span:
+        if not sort_getters and top is None and not query.distinct \
+                and _time_disjoint(batches):
+            # No-key shortcut for the plain scan-filter-project shape:
+            # each batch's rows already ascend by (ts, id), and the
+            # batches do not interleave in time, so emitting them in
+            # batch-start order *is* the canonical result order — no
+            # per-row sort keys, no global sort, just one zip per batch.
+            rows = []
+            for batch in batches:
+                columns = [getter(batch) for getter in return_getters]
+                rows.extend(zip(*columns))
         else:
-            keyed.sort(key=first)
-            chosen = keyed
-        rows = [row for _key, row in chosen]
-        if query.distinct:
-            rows = list(dict.fromkeys(rows))
-        if top is not None:
-            rows = rows[:top]
+            keyed: list[tuple[tuple, tuple]] = []
+            for batch in batches:
+                size = len(batch)
+                columns = [getter(batch) for getter in return_getters]
+                time_keys = list(zip(batch.ts, batch.ids))
+                if sort_getters:
+                    sort_columns = [(getter(batch), descending)
+                                    for getter, descending in sort_getters]
+                    keys: list[tuple] = []
+                    for i in range(size):
+                        parts: list[object] = []
+                        for column, descending in sort_columns:
+                            part = _null_safe_key(column[i])
+                            parts.append(_Reversed(part) if descending
+                                         else part)
+                        parts.append((time_keys[i],))
+                        keys.append(tuple(parts))
+                else:
+                    keys = time_keys
+                keyed.extend(zip(keys, zip(*columns)))
 
-    step_elapsed = time.perf_counter() - started
+            first = itemgetter(0)
+            if top is not None and not query.distinct:
+                chosen = heapq.nsmallest(top, keyed, key=first)
+            else:
+                keyed.sort(key=first)
+                chosen = keyed
+            rows = [row for _key, row in chosen]
+            if query.distinct:
+                rows = list(dict.fromkeys(rows))
+            if top is not None:
+                rows = rows[:top]
+        project_span.set(rows=len(rows))
+
+    step_elapsed = monotonic() - started
     report = ExecutionReport()
     report.order = [dq.event_var]
     report.joined_rows = matched

@@ -1,0 +1,27 @@
+"""Observability: metrics registry, tracing, and the sanctioned clock.
+
+A dependency-free layer the whole system reports through:
+
+* :mod:`repro.obs.clock` — the one sanctioned monotonic time source for
+  engine/stream/storage code (``tools/check_invariants.py`` bans raw
+  ``time.*`` reads there and points offenders here);
+* :mod:`repro.obs.metrics` — process-local counters, gauges, and
+  bounded-memory log-bucketed histograms whose snapshots are plain
+  picklable data that *merge* — shard workers ship theirs over the
+  existing shardrpc and the coordinator aggregates;
+* :mod:`repro.obs.trace` — hierarchical spans (parse → analyze → plan →
+  schedule → per-pattern scan → join → project) with per-span
+  attributes, exported as Chrome ``trace_event`` JSON.
+
+This is the substrate the future async query service's admission
+control and SLOs will read; nothing here imports outside the stdlib.
+"""
+
+from repro.obs.clock import monotonic
+from repro.obs.metrics import (REGISTRY, HistogramSnapshot, MetricsRegistry,
+                               MetricsSnapshot)
+from repro.obs.trace import NULL_TRACER, Span, Tracer, chrome_trace
+
+__all__ = ["monotonic", "REGISTRY", "MetricsRegistry", "MetricsSnapshot",
+           "HistogramSnapshot", "Tracer", "Span", "NULL_TRACER",
+           "chrome_trace"]

@@ -1,0 +1,25 @@
+"""The sanctioned monotonic-clock seam.
+
+``tools/check_invariants.py`` bans direct time reads
+(``time.time``/``time.perf_counter``/``datetime.now``/...) in engine,
+stream, and storage code: wall clocks make results depend on when a
+query runs, and scattering raw monotonic reads makes instrumentation
+impossible to stub in tests or virtualize for replay.  All durations in
+those layers come from this module instead — one function, one import,
+one place a test or a simulator can monkeypatch.
+
+The value is *monotonic and unitless-origin*: only differences are
+meaningful.  Never persist it, compare it across processes, or render
+it as a timestamp.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+__all__ = ["monotonic"]
+
+
+def monotonic() -> float:
+    """Seconds on a monotonic clock; only differences are meaningful."""
+    return _time.perf_counter()

@@ -1,0 +1,312 @@
+"""Process-local metrics: counters, gauges, log-bucketed histograms.
+
+Design constraints, in order:
+
+* **Hot-path cheap.**  Instrumented code holds metric *handles* (created
+  once at import or construction time); recording is an ``enabled``
+  check plus a dict/int update — no locks, no allocation.  A disabled
+  registry costs one attribute load and a branch, which is what the
+  ``bench_storage`` overhead-budget test pins to ≤5%.
+* **Bounded memory.**  Histograms never keep raw observations: values
+  land in sparse logarithmic buckets (:data:`BUCKETS_PER_DECADE` per
+  ×10), so a histogram's size is O(decades spanned), not O(samples),
+  and p50/p95/p99 are read from cumulative bucket counts with ~±12%
+  relative error — plenty for latency telemetry.
+* **Mergeable snapshots.**  :meth:`MetricsRegistry.snapshot` returns
+  plain picklable data; shard workers ship theirs over the existing
+  shardrpc and the coordinator folds them together with
+  :meth:`MetricsSnapshot.merge` — counters sum, gauges take the
+  last-written value, histogram buckets add.
+
+``reset()`` zeroes metrics *in place* so cached handles stay live —
+tests and the overhead benchmark rely on that.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["BUCKETS_PER_DECADE", "Counter", "Gauge", "Histogram",
+           "HistogramSnapshot", "MetricsRegistry", "MetricsSnapshot",
+           "REGISTRY", "bucket_index", "bucket_value"]
+
+#: Log-bucket resolution: 10 buckets per decade keeps the relative
+#: quantile error under ~12% (10**0.1 ≈ 1.26 bucket ratio) while a
+#: µs-to-minutes latency range still fits in ~80 buckets.
+BUCKETS_PER_DECADE = 10
+
+#: Sparse-bucket key for observations ≤ 0 (log undefined); its
+#: representative value is 0.0.
+ZERO_BUCKET = -(10 ** 9)
+
+
+def bucket_index(value: float) -> int:
+    """The sparse log-bucket an observation falls into."""
+    if value <= 0.0:
+        return ZERO_BUCKET
+    return math.floor(math.log10(value) * BUCKETS_PER_DECADE)
+
+
+def bucket_value(index: int) -> float:
+    """A bucket's representative value (its geometric midpoint)."""
+    if index == ZERO_BUCKET:
+        return 0.0
+    return 10.0 ** ((index + 0.5) / BUCKETS_PER_DECADE)
+
+
+class Counter:
+    """A monotonically increasing count (events scanned, rounds pruned)."""
+
+    __slots__ = ("name", "value", "_registry")
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self.value: float = 0
+        self._registry = registry
+
+    def inc(self, amount: float = 1) -> None:
+        if self._registry.enabled:
+            self.value += amount
+
+    def _reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A last-write-wins level (queue depth, watermark lag, state size)."""
+
+    __slots__ = ("name", "value", "_registry")
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self.value: float = 0.0
+        self._registry = registry
+
+    def set(self, value: float) -> None:
+        if self._registry.enabled:
+            self.value = value
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """A bounded-memory latency/size distribution with p50/p95/p99."""
+
+    __slots__ = ("name", "count", "total", "vmin", "vmax", "buckets",
+                 "_registry")
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self._registry = registry
+        self._reset()
+
+    def _reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def snapshot(self) -> "HistogramSnapshot":
+        return HistogramSnapshot(count=self.count, total=self.total,
+                                 vmin=self.vmin, vmax=self.vmax,
+                                 buckets=dict(self.buckets))
+
+
+@dataclass
+class HistogramSnapshot:
+    """Frozen histogram state: plain data, picklable, mergeable."""
+
+    count: int = 0
+    total: float = 0.0
+    vmin: float = math.inf
+    vmax: float = -math.inf
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The value at quantile ``q`` (0..1), clamped to [vmin, vmax].
+
+        Walks the cumulative bucket counts and returns the covering
+        bucket's geometric midpoint — exact to within one bucket's
+        width (~±12% relative).
+        """
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                return min(max(bucket_value(index), self.vmin), self.vmax)
+        return self.vmax  # pragma: no cover - bucket counts always cover
+
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Bucket-wise sum — the distribution of the pooled samples."""
+        buckets = dict(self.buckets)
+        for index, count in other.buckets.items():
+            buckets[index] = buckets.get(index, 0) + count
+        return HistogramSnapshot(count=self.count + other.count,
+                                 total=self.total + other.total,
+                                 vmin=min(self.vmin, other.vmin),
+                                 vmax=max(self.vmax, other.vmax),
+                                 buckets=buckets)
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "total": self.total,
+                "min": None if self.count == 0 else self.vmin,
+                "max": None if self.count == 0 else self.vmax,
+                "p50": self.percentile(0.50), "p95": self.percentile(0.95),
+                "p99": self.percentile(0.99), "mean": self.mean,
+                "buckets": {str(k): v for k, v in self.buckets.items()}}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HistogramSnapshot":
+        count = int(data["count"])
+        return cls(count=count, total=float(data["total"]),
+                   vmin=math.inf if data.get("min") is None
+                   else float(data["min"]),
+                   vmax=-math.inf if data.get("max") is None
+                   else float(data["max"]),
+                   buckets={int(k): int(v)
+                            for k, v in data.get("buckets", {}).items()})
+
+
+@dataclass
+class MetricsSnapshot:
+    """One registry's state at a point in time: plain, picklable data.
+
+    Merge semantics (the contract the sharded tier depends on):
+    counters **sum**, gauges take the **last write** (``other`` wins),
+    histogram **buckets add**.
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramSnapshot] = field(default_factory=dict)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = dict(self.gauges)
+        gauges.update(other.gauges)          # last write wins
+        histograms = dict(self.histograms)
+        for name, hist in other.histograms.items():
+            mine = histograms.get(name)
+            histograms[name] = hist if mine is None else mine.merge(hist)
+        return MetricsSnapshot(counters=counters, gauges=gauges,
+                               histograms=histograms)
+
+    @classmethod
+    def merged(cls, snapshots: "list[MetricsSnapshot]") -> "MetricsSnapshot":
+        out = cls()
+        for snapshot in snapshots:
+            out = out.merge(snapshot)
+        return out
+
+    def to_dict(self) -> dict:
+        return {"counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {name: hist.to_dict()
+                               for name, hist in self.histograms.items()}}
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsSnapshot":
+        return cls(counters=dict(data.get("counters", {})),
+                   gauges=dict(data.get("gauges", {})),
+                   histograms={name: HistogramSnapshot.from_dict(hist)
+                               for name, hist
+                               in data.get("histograms", {}).items()})
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsSnapshot":
+        return cls.from_dict(json.loads(text))
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics for one process.
+
+    Handle creation takes a lock; recording through a handle does not
+    (updates are GIL-coarse — at per-scan/per-batch granularity the
+    worst case under racing engine threads is an undercount, never a
+    crash).  ``enabled`` gates every record so the overhead benchmark
+    can measure the instrumented-but-idle cost.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name, self)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name, self)
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, self)
+            return metric
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Frozen plain-data copy of every metric with any signal."""
+        with self._lock:
+            return MetricsSnapshot(
+                counters={name: c.value
+                          for name, c in self._counters.items() if c.value},
+                gauges={name: g.value for name, g in self._gauges.items()},
+                histograms={name: h.snapshot()
+                            for name, h in self._histograms.items()
+                            if h.count})
+
+    def reset(self) -> None:
+        """Zero every metric *in place* — cached handles stay live."""
+        with self._lock:
+            for counter in self._counters.values():
+                counter._reset()
+            for gauge in self._gauges.values():
+                gauge._reset()
+            for histogram in self._histograms.values():
+                histogram._reset()
+
+
+#: The process-global registry every layer records into.  Shard worker
+#: processes get their own copy (fresh module state after spawn), which
+#: is exactly what makes their snapshots per-worker.
+REGISTRY = MetricsRegistry()

@@ -29,6 +29,8 @@ from repro.errors import StorageError
 from repro.model.entities import Entity, ProcessEntity
 from repro.model.events import Event
 from repro.model.timeutil import SECONDS_PER_DAY, Window
+from repro.obs.clock import monotonic
+from repro.obs.metrics import REGISTRY
 from repro.storage.stats import PatternProfile
 
 if TYPE_CHECKING:
@@ -586,6 +588,7 @@ def select_via_candidates(backend: StorageBackend, profile: PatternProfile,
         spec = FULL_SCAN
     if spec.unsatisfiable:
         return [], 0
+    started = monotonic()
     fetched = backend.candidates(profile, spec)
     test = predicate.event_predicate
     bounds, bindings = spec.bounds, spec.bindings
@@ -608,16 +611,39 @@ def select_via_candidates(backend: StorageBackend, profile: PatternProfile,
     order, limit = spec.order, spec.effective_limit
     if order is not None:
         if limit is not None:
-            return take_ordered(survivors, order, limit), len(fetched)
-        return sorted(survivors, key=order.key()), len(fetched)
-    if limit is not None:
-        selected: list[Event] = []
+            selected = take_ordered(survivors, order, limit)
+        else:
+            selected = sorted(survivors, key=order.key())
+    elif limit is not None:
+        selected = []
         for event in survivors:
             selected.append(event)
             if len(selected) >= limit:
                 break
-        return selected, len(fetched)
-    return list(survivors), len(fetched)
+    else:
+        selected = list(survivors)
+    record_scan(len(fetched), len(selected), monotonic() - started)
+    return selected, len(fetched)
+
+
+# Scan telemetry handles, created once at import.  Every physical scan —
+# this shared row-at-a-time path *and* the columnar batch overrides —
+# reports through :func:`record_scan`, so the counters mean the same
+# thing on every backend; under sharding the inner backend runs in the
+# worker process and these land in the worker's registry, which is what
+# makes coordinator-merged totals equal the sum of worker snapshots.
+_SCAN_COUNT = REGISTRY.counter("storage.scan.count")
+_SCAN_FETCHED = REGISTRY.counter("storage.scan.fetched")
+_SCAN_MATCHED = REGISTRY.counter("storage.scan.matched")
+_SCAN_SECONDS = REGISTRY.histogram("storage.scan.seconds")
+
+
+def record_scan(fetched: int, matched: int, elapsed: float) -> None:
+    """Record one physical scan (candidate rows, survivors, duration)."""
+    _SCAN_COUNT.inc()
+    _SCAN_FETCHED.inc(fetched)
+    _SCAN_MATCHED.inc(matched)
+    _SCAN_SECONDS.observe(elapsed)
 
 
 # ---------------------------------------------------------------------------

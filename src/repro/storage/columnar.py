@@ -43,8 +43,10 @@ from repro.model.entities import (DEFAULT_ATTRIBUTE, ENTITY_TYPES, Entity,
                                   ProcessEntity)
 from repro.model.events import Event, validate_operation
 from repro.model.timeutil import SECONDS_PER_DAY, SPAN_EPSILON, Window
+from repro.obs.clock import monotonic
 from repro.storage.dedup import EntityInterner
 from repro.storage.indexes import like_to_regex
+from repro.storage.backend import record_scan
 from repro.storage.backend import resolve_spec as _resolved
 from repro.storage.scanstats import PartitionStatistics
 from repro.storage.stats import PatternProfile, _binding_bound
@@ -512,7 +514,10 @@ class ColumnarEventStore:
         fused loop's row range — so binding propagation prunes *before*
         survivor materialization too.
         """
-        return self._batch_select(predicate.atoms, spec)
+        started = monotonic()
+        events, fetched = self._batch_select(predicate.atoms, spec)
+        record_scan(fetched, len(events), monotonic() - started)
+        return events, fetched
 
     def estimate(self, profile: PatternProfile,
                  spec: "ScanSpec | None" = None) -> int:
@@ -759,10 +764,13 @@ class ColumnarEventStore:
         the vocabularies to decode them, and ``hydrate`` materializes
         single rows lazily through the store's survivor cache.
         """
+        started = monotonic()
         spec = _resolved(spec)
         groups, fetched = self._scan_rows(predicate.atoms, spec)
         batches = [self._build_batch(partition, rows, spec.projection)
                    for partition, rows in groups if rows]
+        record_scan(fetched, sum(len(rows) for _p, rows in groups),
+                    monotonic() - started)
         return batches, fetched
 
     def _build_batch(self, partition: ColumnarPartition, rows: list[int],

@@ -61,6 +61,8 @@ from repro.errors import StorageError
 from repro.model.entities import Entity, ProcessEntity
 from repro.model.events import Event, validate_operation
 from repro.model.timeutil import SECONDS_PER_DAY, SPAN_EPSILON, Window
+from repro.obs.clock import monotonic
+from repro.obs.metrics import REGISTRY
 from repro.storage.backend import (AccessPathInfo, ColumnBatch, ScanSpec,
                                    resolve_spec)
 from repro.storage.faults import Fault
@@ -70,6 +72,7 @@ from repro.storage.stats import PatternProfile
 
 if TYPE_CHECKING:
     from repro.engine.filters import CompiledPredicate
+    from repro.obs.metrics import MetricsSnapshot
 
 #: Default worker count when a shard count is not given explicitly.
 DEFAULT_SHARDS = 2
@@ -221,6 +224,9 @@ class ShardedStore:
         self._agentids: set[int] = set()
         self._closed = False
         self.restarts = 0
+        #: Auto-restarts per shard index — a flapping worker shows up
+        #: here, where a single total would hide *which* shard flaps.
+        self.restarts_by_shard: dict[int, int] = {}
         #: RPC rounds skipped entirely by shard pruning (test observability).
         self.pruned_rounds = 0
         self._finalizer = weakref.finalize(self, _finalize_shards,
@@ -262,6 +268,7 @@ class ShardedStore:
         coordinator-side after the drain.
         """
         self._check_open()
+        started = monotonic()
         shards = [self._shards[i] for i in targets]
         dead: list[int] = []
         app_error: BaseException | None = None
@@ -279,11 +286,20 @@ class ShardedStore:
             except (EOFError, OSError, BrokenPipeError):
                 dead.append(shard.index)
                 continue
+            # Per-shard round-trip: scatter start → this shard's reply
+            # drained.  Pipelined rounds overlap worker execution, so
+            # later drains include the earlier ones' wait — this is the
+            # latency a query *experiences* per shard, which is the SLO
+            # signal, not the worker's service time.
+            REGISTRY.histogram(
+                f"shard.rpc.seconds[shard={shard.index}]").observe(
+                monotonic() - started)
             if status == "err":  # answered error: worker is fine
                 if app_error is None:
                     app_error = value
             else:
                 replies[shard.index] = value
+        REGISTRY.counter(f"shard.rpc.rounds[method={method}]").inc()
         if dead:
             for index in dead:
                 self._restart(index)
@@ -299,7 +315,10 @@ class ShardedStore:
                  ) -> list[object]:
         """Spec-pruned round with identical args; replies in shard order."""
         targets = self._relevant(spec)
-        self.pruned_rounds += len(self._shards) - len(targets)
+        pruned = len(self._shards) - len(targets)
+        self.pruned_rounds += pruned
+        if pruned:
+            REGISTRY.counter("shard.pruned_rounds").inc(pruned)
         if not targets:
             return []
         with self._lock:
@@ -312,6 +331,9 @@ class ShardedStore:
         self._shards[index] = _Shard(index, shard.backend,
                                      shard.bucket_seconds)
         self.restarts += 1
+        self.restarts_by_shard[index] = \
+            self.restarts_by_shard.get(index, 0) + 1
+        REGISTRY.counter(f"shard.restarts[shard={index}]").inc()
 
     def _check_open(self) -> None:
         if self._closed:
@@ -547,6 +569,33 @@ class ShardedStore:
             replies = self._round(list(range(len(self._shards))),
                                   "stats", lambda index: ())
         return [replies[index] for index in sorted(replies)]
+
+    def worker_metrics(self) -> "list[MetricsSnapshot]":
+        """Each worker's metrics snapshot, in shard order.
+
+        Plain mergeable data over the same RPC everything else uses;
+        :meth:`repro.core.session.AiqlSession.metrics` folds these into
+        the coordinator's own snapshot.
+        """
+        with self._lock:
+            replies = self._round(list(range(len(self._shards))),
+                                  "metrics", lambda index: ())
+        return [replies[index] for index in sorted(replies)]
+
+    def coordinator_stats(self) -> dict:
+        """Merged introspection: shard health the workers can't see.
+
+        Restart counts live here (a restarted worker has no memory of
+        having died), keyed per shard so a flapping worker stands out.
+        """
+        return {
+            "shards": len(self._shards),
+            "backend": self.shard_backend,
+            "restarts": self.restarts,
+            "restarts_by_shard": dict(sorted(
+                self.restarts_by_shard.items())),
+            "pruned_rounds": self.pruned_rounds,
+        }
 
     @property
     def entity_count(self) -> int:

@@ -178,6 +178,15 @@ def _dispatch(backend, faults: FaultInjector, method: str,
             "dedup_ratio": backend.dedup_ratio,
             "partition_count": backend.partition_count,
         }
+    if method == "metrics":
+        # The worker's whole process-local registry as one picklable
+        # snapshot — scan counters/timings accumulated by the hosted
+        # backend's instrumented select paths.  The coordinator merges
+        # these with its own snapshot (counters sum, histogram buckets
+        # add), which is what makes sharded totals equal single-node
+        # totals.
+        from repro.obs.metrics import REGISTRY
+        return REGISTRY.snapshot()
     if method == "arm_fault":
         faults.arm(args[0])
         return None

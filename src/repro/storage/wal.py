@@ -51,6 +51,8 @@ from typing import BinaryIO, Iterator, Sequence
 from repro.errors import StorageError
 from repro.model.entities import ProcessEntity
 from repro.model.events import Event
+from repro.obs.clock import monotonic
+from repro.obs.metrics import REGISTRY
 from repro.storage.faults import FaultInjector, resolve_injector
 from repro.storage.serialize import entity_from_dict, entity_to_dict
 
@@ -68,6 +70,15 @@ RT_NOTE = 2
 RT_ALERT = 3
 
 SYNC_POLICIES = ("always", "close", "never")
+
+# Durability telemetry: where WAL time goes.  fsync is tracked apart
+# from the rest of the append because the sync policy knob exists
+# precisely to trade that component away.
+_APPEND_SECONDS = REGISTRY.histogram("wal.append.seconds")
+_FSYNC_SECONDS = REGISTRY.histogram("wal.fsync.seconds")
+_REPLAY_SECONDS = REGISTRY.histogram("wal.replay.seconds")
+_APPEND_BYTES = REGISTRY.counter("wal.append.bytes")
+_REPLAY_RECORDS = REGISTRY.counter("wal.replay.records")
 
 
 @dataclass(frozen=True, slots=True)
@@ -182,6 +193,7 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     def append(self, rtype: int, payload: bytes) -> int:
         """Durably append one record; returns its LSN (byte offset)."""
+        started = monotonic()
         faults = self._faults
         faults.crash_point("wal.append.header")
         lsn = self._end
@@ -194,9 +206,13 @@ class WriteAheadLog:
         handle.flush()
         faults.crash_point("wal.append.sync")
         if self.sync_policy == "always":
+            fsync_started = monotonic()
             os.fsync(handle.fileno())
+            _FSYNC_SECONDS.observe(monotonic() - fsync_started)
         self._end = lsn + _RECORD.size + len(payload)
         self.appended += 1
+        _APPEND_BYTES.inc(_RECORD.size + len(payload))
+        _APPEND_SECONDS.observe(monotonic() - started)
         return lsn
 
     def append_events(self, events: Sequence[Event]) -> int:
@@ -207,7 +223,9 @@ class WriteAheadLog:
         """Flush and fsync whatever has been appended so far."""
         self._handle.flush()
         if self.sync_policy != "never":
+            started = monotonic()
             os.fsync(self._handle.fileno())
+            _FSYNC_SECONDS.observe(monotonic() - started)
 
     def reset(self) -> None:
         """Truncate back to the header (checkpoint took over the prefix)."""
@@ -264,12 +282,18 @@ class WriteAheadLog:
         path = Path(path)
         if not path.exists():
             return
+        started = monotonic()
+        records = 0
         with open(path, "rb") as handle:
             head = handle.read(_HEADER.size)
             if len(head) < _HEADER.size:
                 return       # header itself torn: empty log
             _check_header(head, path)
-            yield from _frames(handle, _HEADER.size)
+            for record in _frames(handle, _HEADER.size):
+                records += 1
+                yield record
+        _REPLAY_RECORDS.inc(records)
+        _REPLAY_SECONDS.observe(monotonic() - started)
 
     @staticmethod
     def replay_events(path: str | Path) -> Iterator[list[Event]]:

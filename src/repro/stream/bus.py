@@ -35,6 +35,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro.errors import StorageError
 from repro.model.events import Event
+from repro.obs.metrics import REGISTRY
 from repro.storage.backend import StorageBackend
 from repro.storage.ingest import IngestPipeline, ProgressCallback
 
@@ -42,6 +43,12 @@ from repro.storage.ingest import IngestPipeline, ProgressCallback
 BatchConsumer = Callable[[Sequence[Event], float], None]
 
 _STOP = object()
+
+# Bus telemetry (process-global: one stream pipeline per process in
+# practice, and the names stay stable for `repro stats`).
+_PUBLISHED = REGISTRY.counter("stream.bus.published")
+_BATCHES = REGISTRY.counter("stream.bus.batches")
+_QUEUE_DEPTH = REGISTRY.gauge("stream.bus.queue_depth")
 
 
 @dataclass
@@ -204,9 +211,12 @@ class EventBus:
     def _emit(self) -> None:
         batch, self._buffer = self._buffer, []
         self.stats.batches += 1
+        _BATCHES.inc()
+        _PUBLISHED.inc(len(batch))
         if self._queue is not None:
             self._queue.put(batch)   # blocks at max_pending: backpressure
             depth = self._queue.qsize()
+            _QUEUE_DEPTH.set(depth)
             if depth > self.stats.max_pending:
                 self.stats.max_pending = depth
         else:

@@ -42,10 +42,19 @@ from repro.lang.ast import (AnomalyQuery, DependencyQuery, MultieventQuery,
                             Query, ReturnItem, VarRef)
 from repro.model.events import Event
 from repro.model.timeutil import SPAN_EPSILON, Window
+from repro.obs.clock import monotonic
+from repro.obs.metrics import REGISTRY
 from repro.storage.dedup import EntityInterner
 
 #: A match callback receives the standing query and one emitted row.
 MatchCallback = Callable[["ContinuousQuery", tuple], None]
+
+# Stream-tier telemetry.  Match latency is per *batch* (the unit the bus
+# delivers and the unit a follower's alert lag is measured in); watermark
+# lag is how far completed-pane time trails event time, i.e. the
+# lateness allowance actually being paid.
+_MATCH_SECONDS = REGISTRY.histogram("stream.match.seconds")
+_WATERMARK_LAG = REGISTRY.gauge("stream.watermark.lag")
 
 
 class ContinuousAnomaly:
@@ -181,6 +190,14 @@ class ContinuousQuery:
             raise SemanticError(
                 f"cannot register {type(query).__name__} as a standing query")
         self.name = name or self.kind
+        # Cached handles: per-query state/eviction telemetry, labelled by
+        # the standing query's name (last-write wins on a name collision).
+        self._matches_counter = REGISTRY.counter(
+            f"stream.matches[query={self.name}]")
+        self._state_gauge = REGISTRY.gauge(
+            f"stream.state_size[query={self.name}]")
+        self._evicted_gauge = REGISTRY.gauge(
+            f"stream.evicted[query={self.name}]")
         self.bindings: list[Binding] = []   # multievent/dependency matches
         self.rows: list[tuple] = []         # anomaly alert rows, in order
         self.events_matched = 0
@@ -200,6 +217,7 @@ class ContinuousQuery:
         assert self.matcher is not None
         for binding in self.matcher.push(index, event):
             self.matches += 1
+            self._matches_counter.inc()
             if self.retain_results:
                 self.bindings.append(binding)
             self._emit_match(binding)
@@ -234,6 +252,7 @@ class ContinuousQuery:
     def _emit_alerts(self, rows: list[tuple]) -> None:
         for row in rows:
             self.matches += 1
+            self._matches_counter.inc()
             if self.retain_results:
                 self.rows.append(row)
             self.emitted += 1
@@ -322,6 +341,7 @@ class ContinuousRuntime:
 
     def on_batch(self, events: Sequence[Event], watermark: float) -> None:
         """Bus-facing consumer: match a batch, then advance watermarks."""
+        started = monotonic()
         dispatch = self._dispatch
         min_ts, max_ts = self._min_ts, self._max_ts
         for event in events:
@@ -355,6 +375,11 @@ class ContinuousRuntime:
         first_ts = min_ts if min_ts != math.inf else None
         for standing in self.queries:
             standing.advance(watermark, first_ts)
+            standing._state_gauge.set(standing.state_size())
+            standing._evicted_gauge.set(standing.evicted)
+        if max_ts != -math.inf and watermark != -math.inf:
+            _WATERMARK_LAG.set(max_ts - watermark)
+        _MATCH_SECONDS.observe(monotonic() - started)
 
     def finish(self) -> None:
         """End of stream: close every pane the final span still owes."""

@@ -71,6 +71,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print the plan (chosen access path, "
                             "statistics-based estimate) and the per-pattern "
                             "execution report (actual rows) with the result")
+    query.add_argument("--analyze", action="store_true",
+                       help="EXPLAIN ANALYZE: run the query and print, per "
+                            "pattern, the planner's estimate next to the "
+                            "actual rows and elapsed time, with the "
+                            "estimate-error ratio flagged when it is far off")
+    query.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="record a hierarchical span trace of the query "
+                            "(parse/analyze/plan/schedule/scan/join/project) "
+                            "and write it as Chrome trace_event JSON, "
+                            "loadable in chrome://tracing or Perfetto")
 
     explain = commands.add_parser("explain", help="show the query plan")
     explain.add_argument("data")
@@ -130,6 +140,17 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--sync", choices=SYNC_POLICIES, default="always",
                         help="WAL fsync policy for --durable "
                              "(default: always)")
+
+    stats = commands.add_parser(
+        "stats", help="dump the metrics snapshot a durable stream writes")
+    stats.add_argument("dir", help="durable directory (--durable DIR); "
+                                   "reads DIR/metrics.json")
+    stats.add_argument("--json", action="store_true",
+                       help="raw snapshot JSON instead of the rendered form")
+    stats.add_argument("--follow", action="store_true",
+                       help="re-read and re-print the snapshot every second "
+                            "until interrupted (pairs with a live "
+                            "'repro stream --durable DIR --follow')")
 
     recover = commands.add_parser(
         "recover", help="rebuild a crashed durable session from its "
@@ -234,18 +255,35 @@ def _dispatch(args: argparse.Namespace, stdout) -> int:
         session = _load_session(args.data, args.backend, args.workers,
                                 args.shards)
         text = _query_text(args.aiql)
-        if not args.explain:
+        tracing = args.trace_out is not None
+        if not (args.explain or args.analyze or tracing):
             result = session.query(text)
             print(render_table(result, max_rows=args.max_rows), file=stdout)
             return 0
         from dataclasses import replace
-        print(session.explain(text), file=stdout)
-        result = session.query(text, replace(session.options, explain=True))
-        if result.report:
+        options = session.options
+        if args.explain or args.analyze:
+            print(session.explain(text), file=stdout)
+            options = replace(options, explain=True)
+        result = session.query(text, options, trace=args.analyze or tracing)
+        if args.analyze:
+            print(_render_analyze(result), file=stdout)
+        elif args.explain and result.report:
             print("execution:", file=stdout)
             print(result.report, file=stdout)
+        if tracing:
+            tracer = session.last_trace()
+            assert tracer is not None
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                handle.write(tracer.to_json())
+            print(f"trace written to {args.trace_out} "
+                  f"({len(tracer.spans())} spans; open in chrome://tracing "
+                  f"or https://ui.perfetto.dev)", file=stdout)
         print(render_table(result, max_rows=args.max_rows), file=stdout)
         return 0
+
+    if args.command == "stats":
+        return _run_stats(args, stdout)
 
     if args.command == "explain":
         session = _load_session(args.data, args.backend, args.workers,
@@ -303,6 +341,101 @@ def _dispatch(args: argparse.Namespace, stdout) -> int:
         return 0
 
     raise ReproError(f"unknown command {args.command!r}")
+
+
+def _render_analyze(result) -> str:
+    """EXPLAIN ANALYZE body: planner estimates against measured reality.
+
+    One line per pattern (partition reports aggregated), the actual rows
+    the scan matched and the time it took next to the statistics-based
+    estimate the scheduler ordered by (the estimator predicts *matched*
+    rows — fetched shows what the access path had to hydrate to get
+    there).  The estimate-error ratio (actual / estimated) is printed
+    for every pattern and flagged when off by 4x either way — the signal
+    that the per-bucket statistics have gone stale or a predicate
+    defeated them.
+    """
+    execution = result.execution
+    if execution is None:
+        return result.report or "(no execution report)"
+    lines = ["EXPLAIN ANALYZE",
+             f"pattern order: {' -> '.join(execution.order) or '(none)'}"]
+    for trace in execution.aggregated():
+        if trace.estimate > 0:
+            ratio = trace.matched / trace.estimate
+            error = f"est-error=x{ratio:.2f}"
+            if ratio >= 4.0 or ratio <= 0.25:
+                error += "  <-- estimate off"
+        elif trace.matched == 0:
+            error = "est-error=exact"
+        else:
+            error = "est-error=xinf  <-- estimate off"
+        path = f" path={trace.path}" if trace.path else ""
+        lines.append(f"  {trace.event_var}:{path} estimate={trace.estimate} "
+                     f"actual={trace.matched} fetched={trace.fetched} "
+                     f"time={trace.elapsed * 1000:.1f}ms  {error}")
+    if execution.short_circuited:
+        lines.append("  short-circuited: a pattern had no matches")
+    lines.append(f"joined rows: {execution.joined_rows}")
+    lines.append(f"total: {execution.elapsed * 1000:.1f} ms")
+    return "\n".join(lines)
+
+
+def _render_metrics(snapshot) -> str:
+    """Human-readable form of one metrics snapshot."""
+    lines = []
+    if snapshot.counters:
+        lines.append("counters:")
+        for name in sorted(snapshot.counters):
+            lines.append(f"  {name} = {snapshot.counters[name]}")
+    if snapshot.gauges:
+        lines.append("gauges:")
+        for name in sorted(snapshot.gauges):
+            lines.append(f"  {name} = {snapshot.gauges[name]:g}")
+    if snapshot.histograms:
+        lines.append("histograms:")
+        for name in sorted(snapshot.histograms):
+            hist = snapshot.histograms[name]
+            mean = hist.total / hist.count if hist.count else 0.0
+            lines.append(
+                f"  {name}: count={hist.count} mean={mean:.6g} "
+                f"p50={hist.percentile(0.50):.6g} "
+                f"p95={hist.percentile(0.95):.6g} "
+                f"p99={hist.percentile(0.99):.6g} max={hist.vmax:.6g}")
+    return "\n".join(lines) if lines else "(empty snapshot)"
+
+
+def _run_stats(args: argparse.Namespace, stdout) -> int:
+    """``repro stats``: print the snapshot a durable stream keeps on disk.
+
+    ``repro stream --durable DIR`` rewrites ``DIR/metrics.json``
+    atomically (write + rename) as it runs and on close, so this command
+    can watch a live stream's counters without any RPC surface.
+    """
+    import os as _os
+    import time as _time
+
+    from repro.obs.metrics import MetricsSnapshot
+
+    path = _os.path.join(args.dir, "metrics.json")
+    while True:
+        if not _os.path.exists(path):
+            raise ReproError(f"{path}: no metrics snapshot (was the stream "
+                             f"run with --durable {args.dir}?)")
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        if args.json:
+            print(text, file=stdout)
+        else:
+            print(_render_metrics(MetricsSnapshot.from_json(text)),
+                  file=stdout)
+        if not args.follow:
+            return 0
+        print(file=stdout)
+        try:
+            _time.sleep(1.0)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _run_lint(args: argparse.Namespace, stdout) -> int:
@@ -385,6 +518,18 @@ def _run_alerts(args: argparse.Namespace, stdout) -> int:
     return 0
 
 
+def _write_metrics_snapshot(session: AiqlSession, directory: str) -> str:
+    """Atomically rewrite DIR/metrics.json (what ``repro stats`` reads)."""
+    import os as _os
+
+    path = _os.path.join(directory, "metrics.json")
+    temp = path + ".tmp"
+    with open(temp, "w", encoding="utf-8") as handle:
+        handle.write(session.metrics().to_json())
+    _os.replace(temp, path)   # a follower never sees a torn snapshot
+    return path
+
+
 def _run_stream(args: argparse.Namespace, stdout) -> int:
     """``repro stream``: tail a telemetry generator with standing queries.
 
@@ -457,6 +602,7 @@ def _run_stream(args: argparse.Namespace, stdout) -> int:
         }
         try:
             published = 0
+            last_snapshot = started
             for start in range(0, len(events), args.batch_size):
                 if stopping:
                     print(f"{stopping[0]} — flushing and closing stream",
@@ -466,6 +612,13 @@ def _run_stream(args: argparse.Namespace, stdout) -> int:
                 stream.publish_many(chunk)
                 stream.flush()
                 published += len(chunk)
+                # Keep the on-disk metrics snapshot fresh (~1 Hz) so a
+                # concurrent `repro stats DIR --follow` tails live
+                # counters (match latency, watermark lag, queue depth).
+                now = _time.perf_counter()
+                if args.durable is not None and now - last_snapshot >= 1.0:
+                    _write_metrics_snapshot(session, args.durable)
+                    last_snapshot = now
                 # Deadline-based pacing: sleep toward the schedule instead
                 # of a full per-chunk budget, so publish/flush time does
                 # not erode the requested rate.
@@ -496,10 +649,12 @@ def _run_stream(args: argparse.Namespace, stdout) -> int:
     print(f"{len(events)} events in {elapsed:.2f}s ({rate:,.0f} events/sec); "
           f"store now holds {session.event_count} events", file=stdout)
     if args.durable is not None:
+        metrics_path = _write_metrics_snapshot(session, args.durable)
         wal_size = session.store.wal_size
         session.store.close()
         print(f"durable: {args.durable} (wal {wal_size} bytes; "
-              f"'repro recover {args.durable}' rebuilds this store)",
+              f"'repro recover {args.durable}' rebuilds this store; "
+              f"'repro stats {args.durable}' reads {metrics_path})",
               file=stdout)
     return 0
 

@@ -13,11 +13,24 @@ alongside ruff/mypy and runnable anywhere Python is (no dependencies):
     exists to catch at runtime, caught here statically.
 
 ``wall-clock``
-    Engine and stream code must not read the wall clock
-    (``time.time()``, ``datetime.now()`` & friends): event time comes
-    from the data, elapsed time from ``time.perf_counter()``.  A naive
-    ``now()`` in streaming eviction or temporal filtering breaks replay
-    determinism — results would depend on when the test ran.
+    Engine, stream, and storage code must not read the clock directly —
+    neither the wall clock (``time.time()``, ``datetime.now()`` &
+    friends; a naive ``now()`` in streaming eviction or temporal
+    filtering breaks replay determinism) nor the raw monotonic sources
+    (``time.perf_counter()``, ``time.monotonic()``).  Event time comes
+    from the data; elapsed time comes from the one sanctioned seam,
+    :func:`repro.obs.clock.monotonic`, so instrumentation has a single
+    place to interpose on.  ``repro/obs/`` itself implements the seam
+    and is exempt by location.
+
+``span-leak``
+    Every tracer span must be closed on every exit path, exceptions
+    included.  The only construction that guarantees that is the
+    context-manager form, so a ``<tracer>.span(...)`` call is legal
+    only as the context expression of a ``with`` item — never assigned,
+    passed, or manually ``__enter__``-ed.  (Applies to receivers whose
+    name mentions ``tracer``; ``SpanMap.span`` in the language layer is
+    unrelated.)
 
 ``spawn-only``
     Worker processes must come from the ``spawn`` multiprocessing
@@ -58,8 +71,9 @@ SCAN_METHODS = {"select": 3, "select_batches": 3, "estimate": 2,
 #: hand a worker's hosted backend a full ScanSpec, never raw kwargs.
 SCAN_SPEC_MODULES = ("repro/storage/sharded.py", "repro/storage/shardrpc.py")
 
-#: Directories (relative to src/repro) where wall-clock reads are banned.
-CLOCK_FREE = ("engine", "stream")
+#: Directories (relative to src/repro) where direct clock reads are
+#: banned — these read time only through ``repro.obs.clock.monotonic``.
+CLOCK_FREE = ("engine", "stream", "storage")
 
 #: Process/pipe constructors that implicitly use the platform-default
 #: start method (``fork`` on Linux) when called on the bare module.
@@ -71,7 +85,28 @@ WALL_CLOCK_CALLS = {
     ("datetime", "utcnow"),
     ("datetime", "today"),
     ("date", "today"),
+    # Raw monotonic sources: fine in themselves, but instrumented code
+    # must go through the repro.obs.clock seam so there is exactly one
+    # place a test or future virtual clock can interpose on.
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
 }
+
+
+def _is_tracer_span(node: ast.Call) -> bool:
+    """Is this ``<something tracer-ish>.span(...)``?
+
+    Keyed on the receiver naming a tracer (``tracer``, ``self._tracer``,
+    ``NULL_TRACER``, ...) so unrelated ``.span()`` APIs — the language
+    layer's source-span map — stay out of the rule.
+    """
+    if not (isinstance(node.func, ast.Attribute)
+            and node.func.attr == "span"):
+        return False
+    receiver = _dotted(node.func.value)
+    return any("tracer" in part.lower() for part in receiver)
 
 
 def _is_mutable_literal(node: ast.expr) -> bool:
@@ -100,8 +135,12 @@ class Checker(ast.NodeVisitor):
         self.rel = rel
         self.findings: list[tuple[int, str, str]] = []
         posix = rel.replace("\\", "/")
-        self.in_clock_free = any(f"repro/{name}/" in posix
-                                 for name in CLOCK_FREE)
+        # repro/obs/ implements the clock seam; everything else in the
+        # clock-free directories must read time through it.
+        self.in_clock_free = (any(f"repro/{name}/" in posix
+                                  for name in CLOCK_FREE)
+                              and "repro/obs/" not in posix)
+        self._with_spans: set[int] = set()
         self.in_engine = ("repro/engine/" in posix
                           or any(posix.endswith(module)
                                  for module in SCAN_SPEC_MODULES))
@@ -127,14 +166,35 @@ class Checker(ast.NodeVisitor):
         self._check_defaults(node)
         self.generic_visit(node)
 
-    # -- calls: wall clock + scan bypass -----------------------------------
+    # -- with statements: the one legal home for tracer spans --------------
+    def _register_with_items(self, node) -> None:
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call) and _is_tracer_span(expr):
+                self._with_spans.add(id(expr))
+
+    def visit_With(self, node: ast.With) -> None:
+        self._register_with_items(node)
+        self.generic_visit(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._register_with_items(node)
+        self.generic_visit(node)
+
+    # -- calls: wall clock + span leaks + scan bypass ----------------------
     def visit_Call(self, node: ast.Call) -> None:
         dotted = _dotted(node.func)
         if self.in_clock_free and len(dotted) >= 2:
             if dotted[-2:] in WALL_CLOCK_CALLS:
                 self.report(node, "wall-clock",
-                            f"{'.'.join(dotted)}() reads the wall clock; "
-                            f"use event timestamps or time.perf_counter()")
+                            f"{'.'.join(dotted)}() reads the clock "
+                            f"directly; use event timestamps or "
+                            f"repro.obs.clock.monotonic()")
+        if _is_tracer_span(node) and id(node) not in self._with_spans:
+            self.report(node, "span-leak",
+                        ".span(...) outside a with-statement can leak an "
+                        "open span on exception paths; use "
+                        "'with tracer.span(...) as s:'")
         if self.in_engine and isinstance(node.func, ast.Attribute):
             method = node.func.attr
             needed = SCAN_METHODS.get(method)
